@@ -1,0 +1,44 @@
+// Command collectd runs the measurement collection back end: the service
+// Netalyzr sessions submit their reports to (§4.1). It prints the live
+// aggregate on SIGINT.
+//
+// Usage:
+//
+//	collectd [-addr 127.0.0.1:7512] [-keep]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+)
+
+import "tangledmass/internal/collect"
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("collectd: ")
+	var (
+		addr = flag.String("addr", "127.0.0.1:7512", "listen address")
+		keep = flag.Bool("keep", false, "retain full reports in memory (not just aggregates)")
+	)
+	flag.Parse()
+
+	srv, err := collect.Serve(*addr, *keep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("collecting on %s", srv.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	sum := srv.Summary()
+	out, _ := json.MarshalIndent(sum, "", "  ")
+	log.Printf("final aggregate:\n%s", out)
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

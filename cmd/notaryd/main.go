@@ -1,0 +1,60 @@
+// Command notaryd runs the Notary as a network service, the role the ICSI
+// Certificate Notary plays in the paper's pipeline (§4.2): sensors stream
+// observed TLS chains in; analysis clients query records and run store
+// validation remotely.
+//
+// Usage:
+//
+//	notaryd [-addr 127.0.0.1:7511] [-prefeed 20000] [-seed 1]
+//
+// -prefeed N seeds the database from an N-leaf simulated TLS internet so a
+// fresh daemon immediately answers validation queries; 0 starts empty.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+
+	"tangledmass/internal/certgen"
+	"tangledmass/internal/notary"
+	"tangledmass/internal/notarynet"
+	"tangledmass/internal/tlsnet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("notaryd: ")
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7511", "listen address")
+		prefeed = flag.Int("prefeed", 20000, "pre-feed the database from an N-leaf simulated internet (0 = start empty)")
+		seed    = flag.Int64("seed", 1, "seed for the pre-feed world")
+	)
+	flag.Parse()
+
+	n := notary.New(certgen.Epoch)
+	if *prefeed > 0 {
+		log.Printf("pre-feeding from a %d-leaf simulated TLS internet (seed %d)...", *prefeed, *seed)
+		world, err := tlsnet.NewWorld(tlsnet.Config{Seed: *seed, NumLeaves: *prefeed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tlsnet.Feed(world, n)
+		log.Print(n.String())
+	}
+
+	srv, err := notarynet.Serve(n, *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving on %s", srv.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	log.Print("shutting down")
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

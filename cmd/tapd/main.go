@@ -1,0 +1,80 @@
+// Command tapd runs a passive TLS monitor: a transparent TCP relay that
+// extracts certificate chains from TLS ≤1.2 handshakes crossing it (§4.2's
+// sensor mechanism), keeps a local database, and optionally streams each
+// chain to a notaryd service.
+//
+// Usage:
+//
+//	tapd -upstream host:port [-notary 127.0.0.1:7511] [-port 443]
+//
+// Clients connect to tapd's printed address; bytes relay untouched while
+// observed chains flow to the Notary.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+
+	"tangledmass/internal/certgen"
+	"tangledmass/internal/notary"
+	"tangledmass/internal/notarynet"
+	"tangledmass/internal/tap"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tapd: ")
+	var (
+		upstream   = flag.String("upstream", "", "origin host:port to relay to (required)")
+		notaryAddr = flag.String("notary", "", "notaryd address to stream observations to (empty: local only)")
+		port       = flag.Int("port", 443, "logical service port recorded with each observation")
+	)
+	flag.Parse()
+	if *upstream == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	sink := &fanout{local: notary.New(certgen.Epoch)}
+	if *notaryAddr != "" {
+		remote, err := notarynet.Dial(*notaryAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer remote.Close()
+		sink.remote = remote
+	}
+
+	t, err := tap.New(*upstream, sink, *port)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("tapping %s on %s", *upstream, t.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	log.Printf("extracted %d chains; %s", t.Extracted(), sink.local)
+	if err := t.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// fanout observes into the local database and forwards to the remote
+// service when configured.
+type fanout struct {
+	local  *notary.Notary
+	remote *notarynet.Client
+}
+
+// Observe implements tap.Observer.
+func (f *fanout) Observe(obs notary.Observation) {
+	f.local.Observe(obs)
+	if f.remote != nil {
+		if err := f.remote.Observe(obs.Chain, obs.Port); err != nil {
+			log.Printf("forwarding observation: %v", err)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+// Package tangledmass reproduces "A Tangled Mass: The Android Root
+// Certificate Stores" (Vallina-Rodriguez et al., CoNEXT 2014): a root-store
+// audit toolkit plus every substrate the paper's measurement study depends
+// on — a synthetic CA universe, an Android device/firmware simulator, a
+// Netalyzr-style measurement client, an ICSI-Notary-style passive
+// certificate database, and a TLS interception proxy.
+//
+// The library lives under internal/; the binaries under cmd/ (tangled,
+// paperfigs) and the runnable examples under examples/ are the public
+// surface. bench_test.go regenerates every table and figure of the paper as
+// a benchmark. See README.md, DESIGN.md and EXPERIMENTS.md.
+package tangledmass

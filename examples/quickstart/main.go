@@ -1,0 +1,59 @@
+// Quickstart: build the reference root-store universe, diff AOSP 4.4
+// against Mozilla under the paper's certificate equivalence, and classify a
+// few well-known vendor additions.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tangledmass/internal/analysis"
+	"tangledmass/internal/cauniverse"
+	"tangledmass/internal/certid"
+	"tangledmass/internal/rootstore"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The universe is a pure function of its seed: every root store the
+	// paper studies, with real keys and real self-signatures.
+	u, err := cauniverse.New(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Root store sizes (Table 1):")
+	for _, row := range analysis.Table1(u) {
+		fmt.Printf("  %-10s %d certificates\n", row.Name, row.Certs)
+	}
+
+	// Diff AOSP 4.4 against Mozilla. Matching is by the paper's identity —
+	// subject + public key — so roots that were re-issued with a new
+	// expiration date still count as shared.
+	d := rootstore.Diff(u.AOSP("4.4"), u.Mozilla())
+	fmt.Printf("\nAOSP 4.4 vs Mozilla: %d shared (equivalent), %d byte-identical, %d AOSP-only, %d Mozilla-only\n",
+		len(d.Both), rootstore.ByteIntersectCount(u.AOSP("4.4"), u.Mozilla()),
+		len(d.OnlyA), len(d.OnlyB))
+
+	// The expired Firmaprofesional analogue still ships in every AOSP
+	// version (§2).
+	exp := u.ExpiredRoot()
+	fmt.Printf("\nExpired root still shipped: %s (not after %s)\n",
+		exp.Name, exp.Issued.Cert.NotAfter.Format("2006-01-02"))
+
+	// Classify some famous vendor additions from Figure 2.
+	fmt.Println("\nVendor additions and where else they are trusted:")
+	for _, name := range []string{
+		"DoD CLASS 3 Root CA",
+		"Motorola FOTA Root CA",
+		"AddTrust Class 1 CA Root",
+		"CFCA Root CA",
+	} {
+		r := u.Root(name)
+		fmt.Printf("  %-28s hash=%s class=%s\n",
+			r.Name, certid.SubjectHashString(r.Issued.Cert), r.Class)
+	}
+}

@@ -1,0 +1,92 @@
+// Vendorservices: why the "not recorded by the Notary" roots exist (§5.1).
+// Motorola firmware carries FOTA and SUPL roots that never appear in web
+// traffic; this example runs both services live on loopback — a signed
+// firmware-update check and an A-GPS assistance exchange — and shows that a
+// stock device (without the special-purpose roots) refuses both channels.
+//
+//	go run ./examples/vendorservices
+package main
+
+import (
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"log"
+
+	"tangledmass/internal/cauniverse"
+	"tangledmass/internal/certgen"
+	"tangledmass/internal/device"
+	"tangledmass/internal/fota"
+	"tangledmass/internal/supl"
+)
+
+func main() {
+	log.SetFlags(0)
+	u := cauniverse.Default()
+	gen := u.Generator()
+	fotaRoot := u.Root("Motorola FOTA Root CA")
+	suplRoot := u.Root("Motorola SUPL Server Root CA")
+
+	// Vendor infrastructure: the FOTA update server and the SUPL server.
+	fotaSvc, err := gen.Leaf(fotaRoot.Issued, "fota.vendor.example", certgen.WithKeyName("ex-fota"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	payload := sha256.Sum256([]byte("firmware image 4.4.2"))
+	updateSrv, err := fota.NewServer(&fota.Signer{Cert: fotaSvc}, fota.Manifest{
+		Model: "Droid Razr", Version: "4.4.2", PayloadSHA256: hex.EncodeToString(payload[:]),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer updateSrv.Close()
+
+	suplSvc, err := gen.Leaf(suplRoot.Issued, "supl.vendor.example", certgen.WithKeyName("ex-supl"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	suplSrv, err := supl.NewServer(suplSvc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer suplSrv.Close()
+
+	// A Motorola handset: AOSP base + the two vendor roots (§5.1).
+	moto := device.New(device.Profile{Model: "Droid Razr", Manufacturer: "MOTOROLA", Version: "4.4"},
+		u.AOSP("4.4"), []*x509.Certificate{fotaRoot.Issued.Cert, suplRoot.Issued.Cert})
+	fmt.Printf("Motorola image: %d roots (AOSP 150 + FOTA + SUPL)\n", moto.SystemStore().Len())
+
+	updater := &fota.Updater{Store: moto.EffectiveStore(), FOTARoot: fotaRoot.Issued.Cert, At: certgen.Epoch}
+	manifest, err := updater.Fetch(updateSrv.Addr(), "fota.vendor.example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FOTA: verified signed manifest for %s %s (payload %s…)\n",
+		manifest.Model, manifest.Version, manifest.PayloadSHA256[:12])
+
+	locator := &supl.Client{Store: moto.EffectiveStore(), SUPLRoot: suplRoot.Issued.Cert, At: certgen.Epoch}
+	assist, err := locator.Fetch(suplSrv.Addr(), "supl.vendor.example", supl.LocationRequest{
+		Cells:   []supl.CellID{{MCC: 310, MNC: 4, LAC: 120, Cell: 20033}},
+		WiFiAPs: []string{"aa:bb:cc:dd:ee:01"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SUPL: assistance received (≈%.0f,%.0f; %d ephemerides) — the server now knows the radio environment\n",
+		assist.ApproxLat, assist.ApproxLon, len(assist.EphemerisIDs))
+
+	// A stock Nexus lacks the vendor roots: both channels refused.
+	stock := device.New(device.Profile{Model: "Nexus 5", Manufacturer: "LG", Version: "4.4"},
+		u.AOSP("4.4"), nil)
+	stockUpdater := &fota.Updater{Store: stock.EffectiveStore(), FOTARoot: fotaRoot.Issued.Cert, At: certgen.Epoch}
+	if _, err := stockUpdater.Fetch(updateSrv.Addr(), "fota.vendor.example"); errors.Is(err, fota.ErrChannelUntrusted) {
+		fmt.Println("stock device: FOTA channel refused (no FOTA root in store)")
+	}
+	stockLocator := &supl.Client{Store: stock.EffectiveStore(), SUPLRoot: suplRoot.Issued.Cert, At: certgen.Epoch}
+	if _, err := stockLocator.Fetch(suplSrv.Addr(), "supl.vendor.example", supl.LocationRequest{}); errors.Is(err, supl.ErrChannelUntrusted) {
+		fmt.Println("stock device: SUPL channel refused — no location context transmitted")
+	}
+	fmt.Printf("SUPL server observed %d request(s) total\n", len(suplSrv.ObservedRequests()))
+}

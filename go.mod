@@ -1,0 +1,3 @@
+module tangledmass
+
+go 1.22

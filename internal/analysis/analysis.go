@@ -1,0 +1,317 @@
+// Package analysis is the core of the reproduction: the root-store audit
+// pipeline that turns the raw substrates (CA universe, device population,
+// Notary) into every result the paper reports — store-size and overlap
+// tables, the extended-store scatter of Figure 1, the certificate
+// attribution matrix of Figure 2, the validation analyses of Tables 3–4 and
+// Figure 3, and the rooted-device exclusives of Table 5.
+package analysis
+
+import (
+	"sort"
+
+	"tangledmass/internal/cauniverse"
+	"tangledmass/internal/certid"
+	"tangledmass/internal/population"
+	"tangledmass/internal/rootstore"
+)
+
+// StoreSize is one row of Table 1.
+type StoreSize struct {
+	Name  string
+	Certs int
+}
+
+// Table1 reports the number of certificates in each studied root store.
+func Table1(u *cauniverse.Universe) []StoreSize {
+	out := []StoreSize{}
+	for _, v := range cauniverse.AOSPVersions() {
+		out = append(out, StoreSize{"AOSP " + v, u.AOSP(v).Len()})
+	}
+	out = append(out,
+		StoreSize{"iOS7", u.IOS7().Len()},
+		StoreSize{"Mozilla", u.Mozilla().Len()},
+	)
+	return out
+}
+
+// CountRow is a (name, sessions) pair for Table 2.
+type CountRow struct {
+	Name     string
+	Sessions int
+}
+
+// Table2 returns the top-k devices and manufacturers by session count.
+func Table2(p *population.Population, k int) (devices, manufacturers []CountRow) {
+	devCount := map[string]int{}
+	manCount := map[string]int{}
+	for _, s := range p.Sessions {
+		devCount[s.Handset.Manufacturer+" "+s.Handset.Model]++
+		manCount[s.Handset.Manufacturer]++
+	}
+	return topK(devCount, k), topK(manCount, k)
+}
+
+func topK(m map[string]int, k int) []CountRow {
+	rows := make([]CountRow, 0, len(m))
+	for name, n := range m {
+		rows = append(rows, CountRow{name, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Sessions != rows[j].Sessions {
+			return rows[i].Sessions > rows[j].Sessions
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	if k < len(rows) {
+		rows = rows[:k]
+	}
+	return rows
+}
+
+// ScatterPoint is one Figure 1 marker: sessions observed at a given
+// (manufacturer, version, AOSP-count, extra-count) coordinate.
+type ScatterPoint struct {
+	Manufacturer string
+	Version      string
+	AOSPCerts    int
+	ExtraCerts   int
+	Sessions     int
+}
+
+// Figure1 aggregates the fleet into the extended-store scatter: how many
+// sessions sit at each (AOSP certs, additional certs) coordinate per
+// manufacturer and OS version.
+func Figure1(p *population.Population) []ScatterPoint {
+	type key struct {
+		man, ver   string
+		aosp, xtra int
+	}
+	agg := map[key]int{}
+	for _, s := range p.Sessions {
+		h := s.Handset
+		agg[key{h.Manufacturer, h.Version, h.AOSPCount, h.ExtraCount}]++
+	}
+	out := make([]ScatterPoint, 0, len(agg))
+	for k, n := range agg {
+		out = append(out, ScatterPoint{k.man, k.ver, k.aosp, k.xtra, n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Manufacturer != b.Manufacturer {
+			return a.Manufacturer < b.Manufacturer
+		}
+		if a.Version != b.Version {
+			return a.Version < b.Version
+		}
+		if a.AOSPCerts != b.AOSPCerts {
+			return a.AOSPCerts < b.AOSPCerts
+		}
+		return a.ExtraCerts < b.ExtraCerts
+	})
+	return out
+}
+
+// MarkerSize buckets a session count into Figure 1's log2 marker-size
+// legend (1, 64, 256, 512, 1024): the returned value is the legend entry the
+// count falls under.
+func MarkerSize(sessions int) int {
+	switch {
+	case sessions >= 1024:
+		return 1024
+	case sessions >= 512:
+		return 512
+	case sessions >= 256:
+		return 256
+	case sessions >= 64:
+		return 64
+	default:
+		return 1
+	}
+}
+
+// Headlines are the §5/§6 prose numbers.
+type Headlines struct {
+	TotalSessions          int
+	Handsets               int
+	Models                 int
+	UniqueRoots            int
+	ExtendedFraction       float64 // sessions with extra certs (≈0.39)
+	MissingHandsets        int     // handsets missing AOSP certs (5)
+	Over40Fraction41_42    float64 // 4.1/4.2 sessions with >40 additions (>0.10)
+	RootedFraction         float64 // sessions on rooted handsets (≈0.24)
+	RootedExclusiveOfRoots float64 // rooted sessions with rooted-only certs (≈0.06)
+	InterceptedSessions    int     // exactly 1
+}
+
+// ComputeHeadlines derives the §5/§6 headline numbers from the fleet.
+func ComputeHeadlines(p *population.Population) Headlines {
+	h := Headlines{
+		TotalSessions:    p.TotalSessions(),
+		Handsets:         len(p.Handsets),
+		UniqueRoots:      p.UniqueRootIdentities(),
+		ExtendedFraction: p.ExtendedSessionFraction(),
+		RootedFraction:   p.RootedSessionFraction(),
+	}
+	models := map[string]bool{}
+	var old, oldOver40, rooted, rootedExcl int
+	for _, s := range p.Sessions {
+		hs := s.Handset
+		models[hs.Manufacturer+"/"+hs.Model] = true
+		if hs.Version == "4.1" || hs.Version == "4.2" {
+			old++
+			if hs.ExtraCount > 40 {
+				oldOver40++
+			}
+		}
+		if hs.Rooted {
+			rooted++
+			if hs.RootedExclusive {
+				rootedExcl++
+			}
+		}
+		if s.Intercepted {
+			h.InterceptedSessions++
+		}
+	}
+	h.Models = len(models)
+	if old > 0 {
+		h.Over40Fraction41_42 = float64(oldOver40) / float64(old)
+	}
+	if rooted > 0 {
+		h.RootedExclusiveOfRoots = float64(rootedExcl) / float64(rooted)
+	}
+	for _, hs := range p.Handsets {
+		if hs.MissingCount > 0 {
+			h.MissingHandsets++
+		}
+	}
+	return h
+}
+
+// MonthCount is one month of the collection window with its session count.
+type MonthCount struct {
+	Month    string // "2013-11"
+	Sessions int
+}
+
+// SessionsPerMonth histograms the fleet's sessions over the §4.1 collection
+// window (November 2013 – April 2014).
+func SessionsPerMonth(p *population.Population) []MonthCount {
+	counts := map[string]int{}
+	for _, s := range p.Sessions {
+		counts[s.At.Format("2006-01")]++
+	}
+	months := make([]string, 0, len(counts))
+	for m := range counts {
+		months = append(months, m)
+	}
+	sort.Strings(months)
+	out := make([]MonthCount, len(months))
+	for i, m := range months {
+		out[i] = MonthCount{Month: m, Sessions: counts[m]}
+	}
+	return out
+}
+
+// RootedExclusive is one Table 5 row: a root found exclusively on rooted
+// handsets.
+type RootedExclusive struct {
+	Subject string
+	Name    string // universe catalog name if known, else the subject CN
+	Devices int
+}
+
+// Table5 detects certificates that appear exclusively on rooted handsets —
+// the §6 methodology. AOSP members are excluded (every handset carries
+// them); anything else present on ≥1 rooted and 0 non-rooted handsets is
+// reported, sorted by device count.
+func Table5(p *population.Population) []RootedExclusive {
+	u := p.Universe
+	aosp44 := u.AOSP("4.4")
+	type tally struct {
+		rooted, nonRooted int
+		subject           string
+	}
+	counts := map[certid.Identity]*tally{}
+	cn := map[certid.Identity]string{}
+	for _, h := range p.Handsets {
+		for _, id := range h.Store.Identities() {
+			if aosp44.ContainsIdentity(id) {
+				continue
+			}
+			t := counts[id]
+			if t == nil {
+				t = &tally{subject: id.Subject}
+				counts[id] = t
+				if c := h.Store.Get(id); c != nil {
+					cn[id] = c.Subject.CommonName
+				}
+			}
+			if h.Rooted {
+				t.rooted++
+			} else {
+				t.nonRooted++
+			}
+		}
+	}
+	nameByID := map[certid.Identity]string{}
+	for _, r := range u.Roots() {
+		nameByID[certid.IdentityOf(r.Issued.Cert)] = r.Name
+	}
+	var out []RootedExclusive
+	for id, t := range counts {
+		if t.rooted >= 1 && t.nonRooted == 0 {
+			name := nameByID[id]
+			if name == "" {
+				name = cn[id]
+			}
+			if name == "" {
+				name = id.Subject
+			}
+			out = append(out, RootedExclusive{Subject: id.Subject, Name: name, Devices: t.rooted})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Devices != out[j].Devices {
+			return out[i].Devices > out[j].Devices
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// MissingReport lists the handsets missing AOSP roots (§5's "only 5
+// handsets").
+type MissingReport struct {
+	HandsetID int
+	Model     string
+	Version   string
+	Missing   int
+}
+
+// MissingHandsets reports every handset whose store lacks AOSP roots.
+func MissingHandsets(p *population.Population) []MissingReport {
+	var out []MissingReport
+	for _, h := range p.Handsets {
+		if h.MissingCount > 0 {
+			out = append(out, MissingReport{h.ID, h.Model, h.Version, h.MissingCount})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].HandsetID < out[j].HandsetID })
+	return out
+}
+
+// OverlapReport quantifies §2's AOSP/Mozilla overlap both ways.
+type OverlapReport struct {
+	Equivalent    int // subject+key equivalence (Table 4's 130)
+	ByteIdentical int // byte-level identity (§2's 117)
+}
+
+// MozillaOverlap computes the AOSP 4.4 ∩ Mozilla overlap under both
+// identity notions — the ablation behind choosing equivalence.
+func MozillaOverlap(u *cauniverse.Universe) OverlapReport {
+	return OverlapReport{
+		Equivalent:    rootstore.Intersect("i", u.AOSP("4.4"), u.Mozilla()).Len(),
+		ByteIdentical: rootstore.ByteIntersectCount(u.AOSP("4.4"), u.Mozilla()),
+	}
+}

@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"crypto/x509"
+	"sort"
+
+	"tangledmass/internal/certid"
+	"tangledmass/internal/notary"
+	"tangledmass/internal/population"
+)
+
+// Fig2Class is Figure 2's shape legend: where else a non-AOSP certificate
+// observed on Android devices is known from.
+type Fig2Class string
+
+const (
+	ClassMozillaAndIOS7 Fig2Class = "Mozilla, and iOS7"
+	ClassIOS7Only       Fig2Class = "iOS7"
+	ClassMozillaOnly    Fig2Class = "Mozilla"
+	ClassOnlyAndroid    Fig2Class = "Only Android"
+	ClassNotRecorded    Fig2Class = "Not recorded by ICSI Notary"
+)
+
+// PresenceClass classifies one certificate against the Mozilla and iOS7
+// stores and the Notary's records, as Figure 2's legend does.
+func PresenceClass(cert *x509.Certificate, p *population.Population, n *notary.Notary) Fig2Class {
+	u := p.Universe
+	inMoz := u.Mozilla().Contains(cert)
+	inIOS := u.IOS7().Contains(cert)
+	switch {
+	case inMoz && inIOS:
+		return ClassMozillaAndIOS7
+	case inIOS:
+		return ClassIOS7Only
+	case inMoz:
+		return ClassMozillaOnly
+	case n != nil && n.HasRecord(cert):
+		return ClassOnlyAndroid
+	default:
+		return ClassNotRecorded
+	}
+}
+
+// AttributionCell is one marker of Figure 2: within a manufacturer+version
+// or operator group, the fraction of modified-store sessions that carry a
+// given non-AOSP certificate.
+type AttributionCell struct {
+	// Group is "SAMSUNG 4.1" (manufacturer kind) or "VERIZON(US)" (operator
+	// kind).
+	Group string
+	// GroupKind is "manufacturer" or "operator".
+	GroupKind string
+	// CertName is the certificate's display name (universe catalog name or
+	// subject CN for user certs); CertHash is the 8-hex Android subject
+	// hash shown in the paper's labels.
+	CertName string
+	CertHash string
+	// Sessions carrying the certificate, and Ratio = Sessions / group's
+	// modified-store session total.
+	Sessions int
+	Ratio    float64
+	// Class is the presence-class legend value.
+	Class Fig2Class
+}
+
+// Figure2 builds the attribution matrix. Groups with fewer than minSessions
+// modified-store sessions are omitted, as in the paper ("we omit handset
+// manufacturers and operators with fewer than 10 sessions exhibiting
+// modified root stores").
+func Figure2(p *population.Population, n *notary.Notary, minSessions int) []AttributionCell {
+	u := p.Universe
+	nameByID := map[certid.Identity]string{}
+	for _, r := range u.Roots() {
+		nameByID[certid.IdentityOf(r.Issued.Cert)] = r.Name
+	}
+
+	type groupKey struct{ kind, name string }
+	groupTotal := map[groupKey]int{}
+	certCount := map[groupKey]map[certid.Identity]int{}
+	certObj := map[certid.Identity]*x509.Certificate{}
+
+	for _, s := range p.Sessions {
+		h := s.Handset
+		// Rooted handsets are analyzed separately (§4.1: "We analyzed
+		// rooted handsets separately from operator and manufacturer root
+		// stores to avoid any bias") — see Table5.
+		if h.ExtraCount == 0 || h.Rooted {
+			continue
+		}
+		aosp := u.AOSP(h.Version)
+		user := h.Device.UserStore()
+		groups := []groupKey{
+			{"manufacturer", h.Manufacturer + " " + h.Version},
+			{"operator", h.Operator + "(" + h.Country + ")"},
+		}
+		for _, g := range groups {
+			groupTotal[g]++
+			if certCount[g] == nil {
+				certCount[g] = map[certid.Identity]int{}
+			}
+			for _, c := range h.Store.Certificates() {
+				// Attribute firmware additions only: user-installed roots
+				// (the §5.2 per-device VPN certificates) are not vendor or
+				// operator behaviour.
+				if aosp.Contains(c) || user.Contains(c) {
+					continue
+				}
+				id := certid.IdentityOf(c)
+				certCount[g][id]++
+				certObj[id] = c
+			}
+		}
+	}
+
+	var cells []AttributionCell
+	for g, total := range groupTotal {
+		if total < minSessions {
+			continue
+		}
+		for id, count := range certCount[g] {
+			cert := certObj[id]
+			name := nameByID[id]
+			if name == "" {
+				name = cert.Subject.CommonName
+			}
+			cells = append(cells, AttributionCell{
+				Group:     g.name,
+				GroupKind: g.kind,
+				CertName:  name,
+				CertHash:  certid.SubjectHashString(cert),
+				Sessions:  count,
+				Ratio:     float64(count) / float64(total),
+				Class:     PresenceClass(cert, p, n),
+			})
+		}
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		a, b := cells[i], cells[j]
+		if a.GroupKind != b.GroupKind {
+			return a.GroupKind < b.GroupKind
+		}
+		if a.Group != b.Group {
+			return a.Group < b.Group
+		}
+		return a.CertName < b.CertName
+	})
+	return cells
+}
+
+// ClassShares summarizes the fraction of distinct displayed certificates in
+// each presence class — the 6.7% / 16.2% / 37.1% / 40.0% split quoted in §5.
+func ClassShares(cells []AttributionCell) map[Fig2Class]float64 {
+	classByCert := map[string]Fig2Class{}
+	for _, c := range cells {
+		classByCert[c.CertName] = c.Class
+	}
+	if len(classByCert) == 0 {
+		return nil
+	}
+	counts := map[Fig2Class]int{}
+	for _, cl := range classByCert {
+		counts[cl]++
+	}
+	out := map[Fig2Class]float64{}
+	for cl, n := range counts {
+		out[cl] = float64(n) / float64(len(classByCert))
+	}
+	return out
+}

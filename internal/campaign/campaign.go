@@ -1,0 +1,124 @@
+// Package campaign drives the complete measurement pipeline end-to-end: for
+// every session of a device population it runs a real Netalyzr execution —
+// store collection plus TLS probes over loopback — routes the §7 handset's
+// traffic through the interception proxy, and submits every report to the
+// collection back end. It is the integration harness proving that the
+// substrates compose: population → device → netalyzr → (mitm) → collect.
+package campaign
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tangledmass/internal/collect"
+	"tangledmass/internal/mitm"
+	"tangledmass/internal/netalyzr"
+	"tangledmass/internal/population"
+	"tangledmass/internal/tlsnet"
+)
+
+// Config parameterizes a campaign run.
+type Config struct {
+	// Population is the fleet to measure.
+	Population *population.Population
+	// Origin is the TLS internet the probes hit.
+	Origin *tlsnet.Server
+	// CollectorAddr is the collection back end to submit to.
+	CollectorAddr string
+	// Proxy, when non-nil, carries the traffic of intercepted handsets.
+	Proxy *mitm.Proxy
+	// Targets are the domains each session probes. Nil means the full
+	// Table 6 list; campaigns at fleet scale usually probe a subset.
+	Targets []tlsnet.HostPort
+	// Concurrency bounds parallel sessions. Values < 1 mean 8.
+	Concurrency int
+	// At pins the validation clock.
+	At time.Time
+}
+
+// Stats summarizes a campaign.
+type Stats struct {
+	Sessions        int
+	Failed          int
+	UntrustedProbes int
+	Elapsed         time.Duration
+}
+
+// Run executes the campaign. Sessions are independent, so they run on a
+// worker pool; each worker holds its own collector connection.
+func Run(cfg Config) (Stats, error) {
+	if cfg.Population == nil || cfg.Origin == nil || cfg.CollectorAddr == "" {
+		return Stats{}, fmt.Errorf("campaign: config needs Population, Origin and CollectorAddr")
+	}
+	conc := cfg.Concurrency
+	if conc < 1 {
+		conc = 8
+	}
+	start := time.Now()
+
+	sessions := cfg.Population.Sessions
+	jobs := make(chan *population.Session)
+	var (
+		mu    sync.Mutex
+		stats Stats
+		wg    sync.WaitGroup
+	)
+	errs := make(chan error, conc)
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := collect.Dial(cfg.CollectorAddr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for s := range jobs {
+				rep, err := cfg.runSession(s)
+				mu.Lock()
+				stats.Sessions++
+				if err != nil {
+					stats.Failed++
+					mu.Unlock()
+					continue
+				}
+				stats.UntrustedProbes += len(rep.UntrustedProbes())
+				mu.Unlock()
+				if err := cl.Submit(rep); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	for _, s := range sessions {
+		jobs <- s
+	}
+	close(jobs)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return stats, err
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	return stats, nil
+}
+
+// runSession executes one Netalyzr session for one fleet session record.
+func (cfg Config) runSession(s *population.Session) (*netalyzr.Report, error) {
+	var dialer tlsnet.Dialer = tlsnet.DirectDialer{Server: cfg.Origin}
+	if s.Intercepted && cfg.Proxy != nil {
+		dialer = cfg.Proxy
+	}
+	client := &netalyzr.Client{
+		Device:  s.Handset.Device,
+		Dialer:  dialer,
+		Targets: cfg.Targets,
+		At:      cfg.At,
+	}
+	return client.Run()
+}

@@ -1,0 +1,122 @@
+package campaign
+
+import (
+	"testing"
+
+	"tangledmass/internal/cauniverse"
+	"tangledmass/internal/certgen"
+	"tangledmass/internal/collect"
+	"tangledmass/internal/mitm"
+	"tangledmass/internal/population"
+	"tangledmass/internal/tlsnet"
+)
+
+// TestFullPipeline is the repository's end-to-end integration test: a
+// generated fleet runs real Netalyzr sessions against real loopback TLS
+// origins (the §7 handset through the interception proxy) and the collector
+// aggregate must agree with the population's ground truth.
+func TestFullPipeline(t *testing.T) {
+	u := cauniverse.Default()
+	pop, err := population.Generate(population.Config{Seed: 2, Universe: u, SessionScale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	world, err := tlsnet.NewWorld(tlsnet.Config{Seed: 2, Universe: u, NumLeaves: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, err := tlsnet.NewSites(world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin, err := tlsnet.ServeSites(sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer origin.Close()
+
+	proxy, err := mitm.NewProxy(mitm.ProxyConfig{
+		CA:        u.InterceptionRoot().Issued,
+		Generator: u.Generator(),
+		Upstream:  tlsnet.DirectDialer{Server: origin},
+		Whitelist: tlsnet.WhitelistedDomains,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	collector, err := collect.Serve("127.0.0.1:0", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer collector.Close()
+
+	targets := []tlsnet.HostPort{
+		{Host: "gmail.com", Port: 443},       // intercepted for the §7 handset
+		{Host: "www.google.com", Port: 443},  // whitelisted
+		{Host: "www.twitter.com", Port: 443}, // whitelisted (pinned app)
+	}
+	stats, err := Run(Config{
+		Population:    pop,
+		Origin:        origin,
+		CollectorAddr: collector.Addr(),
+		Proxy:         proxy,
+		Targets:       targets,
+		Concurrency:   8,
+		At:            certgen.Epoch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if stats.Sessions != pop.TotalSessions() {
+		t.Errorf("campaign ran %d sessions, want %d", stats.Sessions, pop.TotalSessions())
+	}
+	if stats.Failed != 0 {
+		t.Errorf("%d sessions failed", stats.Failed)
+	}
+	// Exactly one session probed gmail.com through the proxy: exactly one
+	// untrusted probe fleet-wide.
+	if stats.UntrustedProbes != 1 {
+		t.Errorf("untrusted probes = %d, want 1 (the §7 session's gmail.com)", stats.UntrustedProbes)
+	}
+
+	sum := collector.Summary()
+	if sum.Sessions != int64(pop.TotalSessions()) {
+		t.Errorf("collector sessions = %d, want %d", sum.Sessions, pop.TotalSessions())
+	}
+	if sum.UntrustedProbes != 1 {
+		t.Errorf("collector untrusted probes = %d, want 1", sum.UntrustedProbes)
+	}
+	// Collector's per-manufacturer tallies match ground truth.
+	truth := map[string]int64{}
+	var rootedTruth int64
+	for _, s := range pop.Sessions {
+		truth[s.Handset.Manufacturer]++
+		if s.Handset.Rooted {
+			rootedTruth++
+		}
+	}
+	for man, want := range truth {
+		if sum.ByManufacturer[man] != want {
+			t.Errorf("collector %s sessions = %d, want %d", man, sum.ByManufacturer[man], want)
+		}
+	}
+	if sum.RootedSessions != rootedTruth {
+		t.Errorf("collector rooted = %d, want %d", sum.RootedSessions, rootedTruth)
+	}
+	// Store sizes: Netalyzr collected what the fleet actually carries.
+	if sum.StoreSizeMin < 130 || sum.StoreSizeMax < 150 {
+		t.Errorf("store-size envelope [%d,%d] implausible", sum.StoreSizeMin, sum.StoreSizeMax)
+	}
+	if proxy.Stats().Intercepted == 0 {
+		t.Error("the §7 session never hit the proxy")
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty config should error")
+	}
+}

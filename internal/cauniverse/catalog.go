@@ -1,0 +1,177 @@
+package cauniverse
+
+// The extras catalog reproduces the certificate population of the paper's
+// Figure 2 (the non-AOSP roots observed on devices in the wild), using the
+// figure's own certificate names, plus the §5.2 "additional observations"
+// (operator-API and government roots seen on too few sessions to appear in
+// the figure). Class assignments follow the figure's shape legend and the
+// footnotes (e.g. DoD CLASS 3 Root CA is in iOS7 but not Mozilla).
+//
+// Within each class the first zeroValidation[class] entries are roots that
+// validate no Notary certificate; the counts are calibrated so Table 4's
+// per-category percentages hold (see DESIGN.md).
+
+type extraDef struct {
+	name  string
+	class Class
+}
+
+var zeroValidation = map[Class]int{
+	SharedByte:           20, // of 117 (indices 97..116; with SharedReissued → 15% of the 130 AOSP∩Mozilla roots)
+	SharedReissued:       0,  // of 13
+	AOSPOnly:             14, // of 20 → AOSP 4.4 zero share 34/150 ≈ 23%
+	MozillaUnobserved:    7,  // of 7 → Mozilla zero share 33/153 ≈ 22%
+	ExtraBoth:            3,  // of 7
+	ExtraMozillaOnly:     3,  // of 9 → extras-in-Mozilla zero share 6/16 ≈ 38%
+	ExtraIOSOnly:         10, // of 16
+	ExtraAndroidRecorded: 9,  // of 30 → non-AOSP/non-Mozilla zero share 69/96 ≈ 72%
+	ExtraUnrecorded:      50, // of 50 (never observed ⇒ validate nothing)
+	IOSExclusive:         50, // of 84 → iOS7 zero share 93/227 ≈ 41%
+	RootedOnly:           5,  // of 5
+	Interception:         1,  // of 1
+}
+
+var extraCatalog = []extraDef{
+	// Present in Mozilla and iOS7 (Figure 2 shape "Mozilla, and iOS7").
+	{"Thawte Server CA", ExtraBoth},
+	{"Thawte Premium Server CA", ExtraBoth},
+	{"Starfield Services Root CA", ExtraBoth},
+	{"AddTrust Class 1 CA Root", ExtraBoth},
+	{"GlobalSign Root CA", ExtraBoth},
+	{"Sonera Class1 CA", ExtraBoth},
+	{"Deutsche Telekom Root CA 1", ExtraBoth},
+
+	// Present in Mozilla only.
+	{"Certplus Class 1 Primary CA", ExtraMozillaOnly},
+	{"Certplus Class 3 Primary CA", ExtraMozillaOnly},
+	{"Certplus Class 3P Primary CA", ExtraMozillaOnly},
+	{"Certplus Class 3TS Primary CA", ExtraMozillaOnly},
+	{"SecureSign Root CA2 Japan", ExtraMozillaOnly},
+	{"SecureSign Root CA3 Japan", ExtraMozillaOnly},
+	{"TC TrustCenter Class 1 CA", ExtraMozillaOnly},
+	{"UserTrust UTN-USERFirst", ExtraMozillaOnly},
+	{"COMODO RSA CA", ExtraMozillaOnly},
+
+	// Present in iOS7 only (Figure 2 shape "iOS7").
+	{"DoD CLASS 3 Root CA", ExtraIOSOnly},
+	{"AOL Time Warner Root CA 1", ExtraIOSOnly},
+	{"AOL Time Warner Root CA 2", ExtraIOSOnly},
+	{"Thawte Personal Basic CA", ExtraIOSOnly},
+	{"Thawte Personal Freemail CA", ExtraIOSOnly},
+	{"Thawte Personal Premium CA", ExtraIOSOnly},
+	{"Thawte Timestamping CA", ExtraIOSOnly},
+	{"Baltimore EZ by DST", ExtraIOSOnly},
+	{"Xcert EZ by DST", ExtraIOSOnly},
+	{"Visa Information Delivery Root CA", ExtraIOSOnly},
+	{"VeriSign Class 1 Public Primary CA (dd84d4b9)", ExtraIOSOnly},
+	{"VeriSign Class 2 Public Primary CA (af0a0dc2)", ExtraIOSOnly},
+	{"VeriSign Class 3 Public Primary CA", ExtraIOSOnly},
+	{"COMODO Secure Certificate Services", ExtraIOSOnly},
+	{"COMODO Trusted Certificate Services", ExtraIOSOnly},
+	{"GoDaddy Inc", ExtraIOSOnly},
+
+	// In no other store, but the Notary has the certificate on record
+	// (Figure 2 shape "Only Android").
+	{"Certisign AC2", ExtraAndroidRecorded},
+	{"Certisign AC3S", ExtraAndroidRecorded},
+	{"Certisign AC4", ExtraAndroidRecorded},
+	{"CFCA Root CA", ExtraAndroidRecorded},
+	{"DST Root CA X1", ExtraAndroidRecorded},
+	{"DST RootCA X2", ExtraAndroidRecorded},
+	{"DST-Entrust GTI CA", ExtraAndroidRecorded},
+	{"Entrust CA - L1B", ExtraAndroidRecorded},
+	{"Entrust.net CA", ExtraAndroidRecorded},
+	{"Entrust.net Client CA (9374b4b6)", ExtraAndroidRecorded},
+	{"Entrust.net Client CA (c83a995e)", ExtraAndroidRecorded},
+	{"Entrust.net Secure Server CA", ExtraAndroidRecorded},
+	{"TrustCenter Class 2 CA", ExtraAndroidRecorded},
+	{"TrustCenter Class 3 CA", ExtraAndroidRecorded},
+	{"UserTrust Client Auth. and Email", ExtraAndroidRecorded},
+	{"UserTrust RSA Extended Val. Sec. Server CA", ExtraAndroidRecorded},
+	{"VeriSign (d32e20f0)", ExtraAndroidRecorded},
+	{"VeriSign Class 1 Public Primary CA (e519bf6d)", ExtraAndroidRecorded},
+	{"VeriSign Class 2 Public Primary CA (b65a8ba3)", ExtraAndroidRecorded},
+	{"VeriSign Class 3 Extended Validation SSL SGC CA", ExtraAndroidRecorded},
+	{"VeriSign Class 3 International Server CA - G3", ExtraAndroidRecorded},
+	{"VeriSign Class 3 Secure Server CA - G3", ExtraAndroidRecorded},
+	{"VeriSign Class 3 Secure Server CA", ExtraAndroidRecorded},
+	{"VeriSign Commercial Software Publishers CA", ExtraAndroidRecorded},
+	{"VeriSign Individual Software Publishers CA", ExtraAndroidRecorded},
+	{"VeriSign Trust Network (a7880121)", ExtraAndroidRecorded},
+	{"VeriSign Trust Network (aad0babe)", ExtraAndroidRecorded},
+	{"VeriSign Trust Network (cc5ed111)", ExtraAndroidRecorded},
+	{"Certisign AC1S", ExtraAndroidRecorded},
+	{"ABA.ECOM Root CA", ExtraAndroidRecorded},
+
+	// Never seen by the Notary in any traffic (Figure 2 shape "Not
+	// recorded"): firmware-update, location-assistance, code-signing and
+	// operator-service roots that operate offline or on private channels.
+	{"Motorola FOTA Root CA", ExtraUnrecorded},
+	{"Motorola SUPL Server Root CA", ExtraUnrecorded},
+	{"GeoTrust CA for UTI", ExtraUnrecorded},
+	{"GeoTrust CA for Adobe", ExtraUnrecorded},
+	{"GeoTrust Mobile Device Root - Privileged", ExtraUnrecorded},
+	{"GeoTrust Mobile Device Root", ExtraUnrecorded},
+	{"GeoTrust True Credentials CA 2", ExtraUnrecorded},
+	{"Cingular Preferred Root CA", ExtraUnrecorded},
+	{"Cingular Trusted Root CA", ExtraUnrecorded},
+	{"Sprint Nextel Root Authority", ExtraUnrecorded},
+	{"Sprint XCA01", ExtraUnrecorded},
+	{"Vodafone (Operator Domain)", ExtraUnrecorded},
+	{"Vodafone (Widget Operator Domain)", ExtraUnrecorded},
+	{"Sony Computer DNAS Root 05", ExtraUnrecorded},
+	{"Sony Ericsson Secure E2E", ExtraUnrecorded},
+	{"SEVEN Open Channel Primary CA", ExtraUnrecorded},
+	{"Microsoft Secure Server Authority", ExtraUnrecorded},
+	{"Wells Fargo CA 01", ExtraUnrecorded},
+	{"First Data Digital CA", ExtraUnrecorded},
+	{"Free SSL CA", ExtraUnrecorded},
+	{"eSign Imperito Primary Root CA", ExtraUnrecorded},
+	{"eSign Gatekeeper Root CA", ExtraUnrecorded},
+	{"eSign Primary Utility Root CA", ExtraUnrecorded},
+	{"EUnet International Root CA", ExtraUnrecorded},
+	{"FESTE Public Notary Certs", ExtraUnrecorded},
+	{"FESTE Verified Certs", ExtraUnrecorded},
+	{"IPS CA CLASE1", ExtraUnrecorded},
+	{"IPS CA CLASE3 CA", ExtraUnrecorded},
+	{"IPS CA CLASEA1 CA", ExtraUnrecorded},
+	{"IPS CA CLASEA3", ExtraUnrecorded},
+	{"IPS CA Timestamping CA", ExtraUnrecorded},
+	{"IPS Chained CAs", ExtraUnrecorded},
+	{"DST (ANX Network) CA", ExtraUnrecorded},
+	{"DST (NRF) RootCA", ExtraUnrecorded},
+	{"DST (UPS) RootCA", ExtraUnrecorded},
+	{"RSA Data Security CA", ExtraUnrecorded},
+	{"VeriSign CPS", ExtraUnrecorded},
+	{"SIA Secure Client CA", ExtraUnrecorded},
+	{"SIA Secure Server CA", ExtraUnrecorded},
+	{"PTT Post Root CA KeyMail", ExtraUnrecorded},
+	{"AddTrust Public CA Root", ExtraUnrecorded},
+	{"AddTrust Qualified CA Root", ExtraUnrecorded},
+
+	// §5.2 oddballs: operator service APIs and government CAs, observed on
+	// a handful of devices and absent from Notary traffic.
+	{"Verizon Wireless Network API CA", ExtraUnrecorded},
+	{"Meditel Root CA", ExtraUnrecorded},
+	{"Telefonica Root CA 1", ExtraUnrecorded},
+	{"Telefonica Root CA 2", ExtraUnrecorded},
+	{"Venezuelan National CA", ExtraUnrecorded},
+	{"CFCA Root CA 2", ExtraUnrecorded},
+	{"CFCA Root CA 3", ExtraUnrecorded},
+	{"CFCA Root CA 4", ExtraUnrecorded},
+}
+
+// rootedCatalog lists the Table 5 certificate authorities found more
+// frequently on rooted devices: user self-signed roots and the Freedom-app
+// root ("CRAZY HOUSE", installed on 70 handsets).
+var rootedCatalog = []string{
+	"CRAZY HOUSE",
+	"MIND OVERFLOW",
+	"USER_X",
+	"CDA/EMAILADDRESS",
+	"CIRRUS, PRIVATE",
+}
+
+// interceptionName is the §7 marketing-research proxy signing root (the
+// Reality Mine analogue).
+const interceptionName = "Marketing Research Proxy Root CA"

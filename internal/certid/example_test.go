@@ -1,0 +1,25 @@
+package certid_test
+
+import (
+	"fmt"
+
+	"tangledmass/internal/certgen"
+	"tangledmass/internal/certid"
+)
+
+// A CA re-issuing its root with a new validity period produces a
+// byte-distinct certificate that is still the same trust anchor — the
+// paper's equivalence (§4.2).
+func ExampleEquivalent() {
+	g := certgen.NewGenerator(1)
+	orig, _ := g.SelfSignedCA("Example Root CA")
+	reissued, _ := g.Reissue(orig, certgen.WithValidity(certgen.Epoch, certgen.Epoch.AddDate(20, 0, 0)))
+
+	fmt.Println("byte-identical:", string(orig.Cert.Raw) == string(reissued.Cert.Raw))
+	fmt.Println("equivalent:", certid.Equivalent(orig.Cert, reissued.Cert))
+	fmt.Println("same subject hash:", certid.SubjectHashString(orig.Cert) == certid.SubjectHashString(reissued.Cert))
+	// Output:
+	// byte-identical: false
+	// equivalent: true
+	// same subject hash: true
+}

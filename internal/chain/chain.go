@@ -1,0 +1,274 @@
+// Package chain implements X.509 certification path building and validation
+// over an explicit certificate pool, with per-root attribution.
+//
+// The standard library's x509.Verify answers "is there a chain"; the paper's
+// analyses also need "which roots can this certificate chain to" — the
+// per-root validation counts behind Table 3/4 and the ECDF of Figure 3. The
+// Verifier here builds every path from a candidate certificate up to any
+// trusted root, crossing intermediates, checking signatures, CA basic
+// constraints, and validity at a fixed reference time.
+package chain
+
+import (
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tangledmass/internal/certid"
+)
+
+// DefaultMaxDepth bounds path length (leaf..root inclusive). Real-world web
+// PKI chains are ≤ 5; the bound exists to terminate on pathological pools.
+const DefaultMaxDepth = 8
+
+// ErrNoChain is returned when no path to a trusted root exists.
+var ErrNoChain = errors.New("chain: certificate does not chain to a trusted root")
+
+// Verifier builds and validates certification paths against a set of trusted
+// roots and optional intermediates. Construct with NewVerifier; the zero
+// value is not usable.
+type Verifier struct {
+	at        time.Time
+	maxDepth  int
+	roots     map[certid.Identity]*x509.Certificate
+	bySubject map[string][]*x509.Certificate // issuer candidates: roots + intermediates
+
+	// sigCache memoizes signature checks keyed by (child, parent) raw DER.
+	// Bulk validation passes (the Notary validates tens of thousands of
+	// leaves against the same pool) re-check the same intermediate→root
+	// edges constantly; caching turns those into map hits.
+	mu       sync.Mutex
+	sigCache map[sigKey]bool
+}
+
+type sigKey struct{ child, parent *x509.Certificate }
+
+// checkSignature is CheckSignatureFrom with memoization.
+func (v *Verifier) checkSignature(child, parent *x509.Certificate) bool {
+	k := sigKey{child, parent}
+	v.mu.Lock()
+	ok, hit := v.sigCache[k]
+	v.mu.Unlock()
+	if hit {
+		return ok
+	}
+	ok = child.CheckSignatureFrom(parent) == nil
+	v.mu.Lock()
+	v.sigCache[k] = ok
+	v.mu.Unlock()
+	return ok
+}
+
+// NewVerifier returns a Verifier trusting roots, able to cross the given
+// intermediates, evaluating validity at the instant at.
+func NewVerifier(roots, intermediates []*x509.Certificate, at time.Time) *Verifier {
+	v := &Verifier{
+		at:        at,
+		maxDepth:  DefaultMaxDepth,
+		roots:     make(map[certid.Identity]*x509.Certificate, len(roots)),
+		bySubject: make(map[string][]*x509.Certificate, len(roots)+len(intermediates)),
+		sigCache:  make(map[sigKey]bool),
+	}
+	for _, r := range roots {
+		id := certid.IdentityOf(r)
+		if _, dup := v.roots[id]; dup {
+			continue
+		}
+		v.roots[id] = r
+		v.index(r)
+	}
+	for _, c := range intermediates {
+		v.index(c)
+	}
+	return v
+}
+
+func (v *Verifier) index(c *x509.Certificate) {
+	k := string(c.RawSubject)
+	v.bySubject[k] = append(v.bySubject[k], c)
+}
+
+// SetMaxDepth overrides the path-length bound. Values < 2 are ignored.
+func (v *Verifier) SetMaxDepth(d int) {
+	if d >= 2 {
+		v.maxDepth = d
+	}
+}
+
+// At returns the reference instant used for validity checks.
+func (v *Verifier) At() time.Time { return v.at }
+
+// timeValid reports whether c's validity window covers the reference time.
+func (v *Verifier) timeValid(c *x509.Certificate) bool {
+	return !v.at.Before(c.NotBefore) && !v.at.After(c.NotAfter)
+}
+
+// isRoot reports whether c is one of the trusted roots.
+func (v *Verifier) isRoot(c *x509.Certificate) bool {
+	_, ok := v.roots[certid.IdentityOf(c)]
+	return ok
+}
+
+// candidateIssuers returns pool certificates whose subject matches c's
+// issuer, that are marked CA, and that verify c's signature.
+func (v *Verifier) candidateIssuers(c *x509.Certificate) []*x509.Certificate {
+	var out []*x509.Certificate
+	for _, cand := range v.bySubject[string(c.RawIssuer)] {
+		if !cand.IsCA {
+			continue
+		}
+		if !v.checkSignature(c, cand) {
+			continue
+		}
+		out = append(out, cand)
+	}
+	return out
+}
+
+// Chains returns every distinct valid path from cert to a trusted root, each
+// ordered leaf-first. A certificate that is itself a trusted root yields the
+// single-element chain. The result is nil when no path exists.
+func (v *Verifier) Chains(cert *x509.Certificate) [][]*x509.Certificate {
+	if !v.timeValid(cert) {
+		return nil
+	}
+	var chains [][]*x509.Certificate
+	visited := map[certid.Identity]bool{certid.IdentityOf(cert): true}
+	v.extend([]*x509.Certificate{cert}, visited, &chains)
+	return chains
+}
+
+func (v *Verifier) extend(path []*x509.Certificate, visited map[certid.Identity]bool, out *[][]*x509.Certificate) {
+	tip := path[len(path)-1]
+	if v.isRoot(tip) {
+		chain := make([]*x509.Certificate, len(path))
+		copy(chain, path)
+		*out = append(*out, chain)
+		// A root may itself be cross-signed by another root; we stop here —
+		// a trusted anchor terminates the path, matching browser behaviour.
+		return
+	}
+	if len(path) >= v.maxDepth {
+		return
+	}
+	for _, issuer := range v.candidateIssuers(tip) {
+		id := certid.IdentityOf(issuer)
+		if visited[id] {
+			continue
+		}
+		if !v.timeValid(issuer) {
+			continue
+		}
+		visited[id] = true
+		v.extend(append(path, issuer), visited, out)
+		delete(visited, id)
+	}
+}
+
+// Verify returns the first valid chain for cert, or ErrNoChain.
+func (v *Verifier) Verify(cert *x509.Certificate) ([]*x509.Certificate, error) {
+	chains := v.Chains(cert)
+	if len(chains) == 0 {
+		return nil, ErrNoChain
+	}
+	return chains[0], nil
+}
+
+// Validates reports whether cert chains to any trusted root.
+func (v *Verifier) Validates(cert *x509.Certificate) bool {
+	return len(v.Chains(cert)) > 0
+}
+
+// ValidatingRoots returns the distinct trusted roots reachable from cert,
+// in discovery order. This is the primitive behind the paper's per-root
+// validation counting: a leaf contributes one count to each root that can
+// validate it.
+func (v *Verifier) ValidatingRoots(cert *x509.Certificate) []*x509.Certificate {
+	seen := make(map[certid.Identity]bool)
+	var out []*x509.Certificate
+	for _, chain := range v.Chains(cert) {
+		root := chain[len(chain)-1]
+		id := certid.IdentityOf(root)
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, root)
+		}
+	}
+	return out
+}
+
+// ErrHostMismatch is returned by VerifyForHost when the leaf does not cover
+// the requested host.
+var ErrHostMismatch = errors.New("chain: certificate does not cover the requested host")
+
+// ErrNameConstraint is returned by VerifyForHost when every path crosses a
+// CA whose name constraints exclude the host.
+var ErrNameConstraint = errors.New("chain: host excluded by a CA name constraint")
+
+// VerifyForHost verifies cert for use as a TLS server certificate for host:
+// the leaf must cover host, and at least one path to a trusted root must
+// cross only CAs whose (permitted-subtree) name constraints allow it. This
+// is the check that makes a name-constrained operator CA safe to ship in
+// firmware: it can anchor its own services but not gmail.com.
+func (v *Verifier) VerifyForHost(cert *x509.Certificate, host string) ([]*x509.Certificate, error) {
+	if err := cert.VerifyHostname(host); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHostMismatch, err)
+	}
+	chains := v.Chains(cert)
+	if len(chains) == 0 {
+		return nil, ErrNoChain
+	}
+	for _, path := range chains {
+		if pathPermitsHost(path, host) {
+			return path, nil
+		}
+	}
+	return nil, ErrNameConstraint
+}
+
+// pathPermitsHost checks every CA's permitted DNS subtrees against host.
+func pathPermitsHost(path []*x509.Certificate, host string) bool {
+	for _, ca := range path[1:] {
+		if len(ca.PermittedDNSDomains) == 0 {
+			continue
+		}
+		ok := false
+		for _, domain := range ca.PermittedDNSDomains {
+			if hostInDomain(host, domain) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// hostInDomain implements RFC 5280 DNS subtree matching: the host equals
+// the domain or ends with "."+domain (a leading dot on the constraint
+// anchors subdomains only).
+func hostInDomain(host, domain string) bool {
+	if domain == "" {
+		return true
+	}
+	if domain[0] == '.' {
+		return len(host) > len(domain) && host[len(host)-len(domain):] == domain
+	}
+	if host == domain {
+		return true
+	}
+	suffix := "." + domain
+	return len(host) > len(suffix) && host[len(host)-len(suffix):] == suffix
+}
+
+// IsSelfSigned reports whether c is self-issued and self-signature-valid.
+func IsSelfSigned(c *x509.Certificate) bool {
+	if string(c.RawSubject) != string(c.RawIssuer) {
+		return false
+	}
+	return c.CheckSignatureFrom(c) == nil
+}

@@ -1,0 +1,31 @@
+package chain_test
+
+import (
+	"crypto/x509"
+	"fmt"
+
+	"tangledmass/internal/certgen"
+	"tangledmass/internal/chain"
+)
+
+// Building a path through an intermediate and attributing it to its root.
+func ExampleVerifier_ValidatingRoots() {
+	g := certgen.NewGenerator(11)
+	root, _ := g.SelfSignedCA("Example Anchor")
+	inter, _ := g.Intermediate(root, "Example Issuing CA")
+	leaf, _ := g.Leaf(inter, "www.example.org")
+
+	v := chain.NewVerifier(
+		[]*x509.Certificate{root.Cert},
+		[]*x509.Certificate{inter.Cert},
+		certgen.Epoch,
+	)
+	path, _ := v.Verify(leaf.Cert)
+	fmt.Println("path length:", len(path))
+	for _, r := range v.ValidatingRoots(leaf.Cert) {
+		fmt.Println("anchored at:", r.Subject.CommonName)
+	}
+	// Output:
+	// path length: 3
+	// anchored at: Example Anchor
+}

@@ -1,0 +1,119 @@
+package chain
+
+import (
+	"crypto/x509"
+	"errors"
+	"testing"
+
+	"tangledmass/internal/certgen"
+)
+
+// operatorPKI builds the §8 mitigation scenario: a device store containing
+// a web root plus an operator CA name-constrained to operator.example.
+func operatorPKI(t *testing.T) (v *Verifier, webLeaf, opLeaf, abuseLeaf *x509.Certificate) {
+	t.Helper()
+	g := certgen.NewGenerator(140)
+	webRoot, err := g.SelfSignedCA("NC Web Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opRoot, err := g.SelfSignedCA("NC Operator CA",
+		certgen.WithNameConstraints("operator.example"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	web, err := g.Leaf(webRoot, "gmail.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := g.Leaf(opRoot, "portal.operator.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The abuse case: the operator CA mints gmail.com.
+	abuse, err := g.Leaf(opRoot, "gmail.com", certgen.WithKeyName("nc-abuse"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = NewVerifier([]*x509.Certificate{webRoot.Cert, opRoot.Cert}, nil, certgen.Epoch)
+	return v, web.Cert, op.Cert, abuse.Cert
+}
+
+func TestNameConstrainedOperatorCA(t *testing.T) {
+	v, webLeaf, opLeaf, abuseLeaf := operatorPKI(t)
+
+	// The web root still serves gmail.com.
+	if _, err := v.VerifyForHost(webLeaf, "gmail.com"); err != nil {
+		t.Errorf("web-root gmail chain rejected: %v", err)
+	}
+	// The operator CA serves its own domain.
+	if _, err := v.VerifyForHost(opLeaf, "portal.operator.example"); err != nil {
+		t.Errorf("operator-domain chain rejected: %v", err)
+	}
+	// But the operator CA cannot mint gmail.com: plain Validates accepts it
+	// (Android's behaviour), VerifyForHost rejects it (the mitigation).
+	if !v.Validates(abuseLeaf) {
+		t.Fatal("unconstrained validation should accept — that is the problem")
+	}
+	if _, err := v.VerifyForHost(abuseLeaf, "gmail.com"); !errors.Is(err, ErrNameConstraint) {
+		t.Errorf("constrained verification err = %v, want ErrNameConstraint", err)
+	}
+}
+
+func TestVerifyForHostMismatch(t *testing.T) {
+	v, webLeaf, _, _ := operatorPKI(t)
+	if _, err := v.VerifyForHost(webLeaf, "wrong.example"); !errors.Is(err, ErrHostMismatch) {
+		t.Errorf("err = %v, want ErrHostMismatch", err)
+	}
+}
+
+func TestVerifyForHostNoChain(t *testing.T) {
+	g := certgen.NewGenerator(141)
+	rogue, _ := g.SelfSignedCA("NC Rogue")
+	leaf, _ := g.Leaf(rogue, "orphan.example")
+	v := NewVerifier(nil, nil, certgen.Epoch)
+	if _, err := v.VerifyForHost(leaf.Cert, "orphan.example"); !errors.Is(err, ErrNoChain) {
+		t.Errorf("err = %v, want ErrNoChain", err)
+	}
+}
+
+func TestHostInDomain(t *testing.T) {
+	cases := []struct {
+		host, domain string
+		want         bool
+	}{
+		{"operator.example", "operator.example", true},
+		{"portal.operator.example", "operator.example", true},
+		{"deep.portal.operator.example", "operator.example", true},
+		{"operator.example", ".operator.example", false}, // leading dot: subdomains only
+		{"portal.operator.example", ".operator.example", true},
+		{"evil-operator.example", "operator.example", false},
+		{"operator.example.evil", "operator.example", false},
+		{"gmail.com", "operator.example", false},
+		{"anything.example", "", true},
+	}
+	for _, c := range cases {
+		if got := hostInDomain(c.host, c.domain); got != c.want {
+			t.Errorf("hostInDomain(%q, %q) = %v, want %v", c.host, c.domain, got, c.want)
+		}
+	}
+}
+
+func TestConstraintOnIntermediate(t *testing.T) {
+	g := certgen.NewGenerator(142)
+	root, _ := g.SelfSignedCA("NC Chain Root")
+	inter, err := g.Intermediate(root, "NC Constrained Intermediate",
+		certgen.WithNameConstraints("svc.example"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, _ := g.Leaf(inter, "api.svc.example")
+	bad, _ := g.Leaf(inter, "www.bank.example", certgen.WithKeyName("nc-bad"))
+	v := NewVerifier([]*x509.Certificate{root.Cert}, []*x509.Certificate{inter.Cert}, certgen.Epoch)
+	if _, err := v.VerifyForHost(good.Cert, "api.svc.example"); err != nil {
+		t.Errorf("in-constraint chain rejected: %v", err)
+	}
+	if _, err := v.VerifyForHost(bad.Cert, "www.bank.example"); !errors.Is(err, ErrNameConstraint) {
+		t.Errorf("out-of-constraint err = %v, want ErrNameConstraint", err)
+	}
+}

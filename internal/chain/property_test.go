@@ -1,0 +1,120 @@
+package chain
+
+import (
+	"crypto/x509"
+	"testing"
+	"testing/quick"
+
+	"tangledmass/internal/certgen"
+)
+
+// buildLadder issues a root and a ladder of n intermediates, returning all
+// CA certs (root first) and a leaf under the last rung.
+func buildLadder(t *testing.T, seed int64, n int) (cas []*x509.Certificate, leaf *x509.Certificate) {
+	t.Helper()
+	g := certgen.NewGenerator(seed)
+	root, err := g.SelfSignedCA("Ladder Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cas = append(cas, root.Cert)
+	parent := root
+	for i := 0; i < n; i++ {
+		inter, err := g.Intermediate(parent, "Ladder Rung "+string(rune('A'+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cas = append(cas, inter.Cert)
+		parent = inter
+	}
+	l, err := g.Leaf(parent, "ladder.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cas, l.Cert
+}
+
+// TestPropChainRequiresEveryRung: removing any single intermediate from the
+// pool breaks the (only) path; the full pool always validates.
+func TestPropChainRequiresEveryRung(t *testing.T) {
+	const rungs = 4
+	cas, leaf := buildLadder(t, 31, rungs)
+	root, inters := cas[0], cas[1:]
+
+	full := NewVerifier([]*x509.Certificate{root}, inters, certgen.Epoch)
+	if !full.Validates(leaf) {
+		t.Fatal("full pool should validate")
+	}
+	for skip := range inters {
+		var pool []*x509.Certificate
+		for i, c := range inters {
+			if i != skip {
+				pool = append(pool, c)
+			}
+		}
+		v := NewVerifier([]*x509.Certificate{root}, pool, certgen.Epoch)
+		if v.Validates(leaf) {
+			t.Errorf("pool missing rung %d should not validate", skip)
+		}
+	}
+}
+
+// TestPropVerifiersAgree: the indexed and naive verifiers agree on random
+// pool subsets.
+func TestPropVerifiersAgree(t *testing.T) {
+	cas, leaf := buildLadder(t, 32, 4)
+	root, inters := cas[0], cas[1:]
+	err := quick.Check(func(mask uint8) bool {
+		var pool []*x509.Certificate
+		for i, c := range inters {
+			if mask&(1<<i) != 0 {
+				pool = append(pool, c)
+			}
+		}
+		a := NewVerifier([]*x509.Certificate{root}, pool, certgen.Epoch)
+		b := NewNaiveVerifier([]*x509.Certificate{root}, pool, certgen.Epoch)
+		return a.Validates(leaf) == b.Validates(leaf)
+	}, &quick.Config{MaxCount: 64})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropChainsAreValidPaths: every returned chain is structurally sound —
+// starts at the query, ends at a root, and each link is issuer-signed.
+func TestPropChainsAreValidPaths(t *testing.T) {
+	cas, leaf := buildLadder(t, 33, 3)
+	root, inters := cas[0], cas[1:]
+	v := NewVerifier([]*x509.Certificate{root}, inters, certgen.Epoch)
+	for _, c := range append([]*x509.Certificate{leaf}, cas...) {
+		for _, path := range v.Chains(c) {
+			if path[0] != c {
+				t.Fatal("chain must start at the query certificate")
+			}
+			if !v.isRoot(path[len(path)-1]) {
+				t.Fatal("chain must end at a trusted root")
+			}
+			for i := 0; i+1 < len(path); i++ {
+				if err := path[i].CheckSignatureFrom(path[i+1]); err != nil {
+					t.Fatalf("link %d not signed by its successor: %v", i, err)
+				}
+			}
+		}
+	}
+}
+
+// TestPropValidityWindowMonotone: a verifier at a time outside any cert's
+// window never validates more than one inside all windows.
+func TestPropValidityWindowMonotone(t *testing.T) {
+	cas, leaf := buildLadder(t, 34, 2)
+	root, inters := cas[0], cas[1:]
+	inside := NewVerifier([]*x509.Certificate{root}, inters, certgen.Epoch)
+	before := NewVerifier([]*x509.Certificate{root}, inters, certgen.Epoch.AddDate(-20, 0, 0))
+	after := NewVerifier([]*x509.Certificate{root}, inters, certgen.Epoch.AddDate(20, 0, 0))
+	if !inside.Validates(leaf) {
+		t.Fatal("in-window verification should pass")
+	}
+	if before.Validates(leaf) || after.Validates(leaf) {
+		t.Error("out-of-window verification should fail")
+	}
+}

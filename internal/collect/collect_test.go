@@ -1,0 +1,232 @@
+package collect
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"tangledmass/internal/cauniverse"
+	"tangledmass/internal/certgen"
+	"tangledmass/internal/device"
+	"tangledmass/internal/netalyzr"
+	"tangledmass/internal/tlsnet"
+)
+
+var (
+	envOnce sync.Once
+	envRep  *netalyzr.Report
+	envErr  error
+)
+
+// sessionReport runs one real Netalyzr session against a loopback origin
+// and caches the report.
+func sessionReport(t *testing.T) *netalyzr.Report {
+	t.Helper()
+	envOnce.Do(func() {
+		var w *tlsnet.World
+		w, envErr = tlsnet.NewWorld(tlsnet.Config{Seed: 23, NumLeaves: 10})
+		if envErr != nil {
+			return
+		}
+		sites, err := tlsnet.NewSites(w)
+		if err != nil {
+			envErr = err
+			return
+		}
+		srv, err := tlsnet.ServeSites(sites)
+		if err != nil {
+			envErr = err
+			return
+		}
+		defer srv.Close()
+		u := cauniverse.Default()
+		dev := device.New(device.Profile{
+			Model: "Galaxy SIV", Manufacturer: "SAMSUNG", Operator: "SPRINT", Country: "US", Version: "4.3",
+		}, u.AOSP("4.3"), nil)
+		client := &netalyzr.Client{Device: dev, Dialer: tlsnet.DirectDialer{Server: srv}, At: certgen.Epoch}
+		envRep, envErr = client.Run()
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return envRep
+}
+
+func TestFromReport(t *testing.T) {
+	rep := sessionReport(t)
+	w := FromReport(rep)
+	if w.Manufacturer != "SAMSUNG" || w.Version != "4.3" || w.Model != "Galaxy SIV" {
+		t.Errorf("profile = %+v", w)
+	}
+	if w.StoreSize != 146 || len(w.StoreHashes) != 146 {
+		t.Errorf("store size = %d / %d hashes, want 146", w.StoreSize, len(w.StoreHashes))
+	}
+	if len(w.Probes) != len(rep.Probes) {
+		t.Fatalf("probes = %d, want %d", len(w.Probes), len(rep.Probes))
+	}
+	for _, p := range w.Probes {
+		if p.Err == "" && (len(p.ChainSubjects) == 0 || len(p.TopHash) != 8) {
+			t.Errorf("probe %s:%d poorly serialized: %+v", p.Host, p.Port, p)
+		}
+	}
+}
+
+func TestSubmitAndSummary(t *testing.T) {
+	rep := sessionReport(t)
+	srv, err := Serve("127.0.0.1:0", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i := 0; i < 3; i++ {
+		if err := c.Submit(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rooted := FromReport(rep)
+	rooted.Rooted = true
+	rooted.Manufacturer = "HTC"
+	if err := c.SubmitWire(rooted); err != nil {
+		t.Fatal(err)
+	}
+
+	sum, err := c.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Sessions != 4 || sum.RootedSessions != 1 {
+		t.Errorf("sessions = %d rooted = %d", sum.Sessions, sum.RootedSessions)
+	}
+	if sum.ByManufacturer["SAMSUNG"] != 3 || sum.ByManufacturer["HTC"] != 1 {
+		t.Errorf("by manufacturer = %v", sum.ByManufacturer)
+	}
+	if sum.ByVersion["4.3"] != 4 {
+		t.Errorf("by version = %v", sum.ByVersion)
+	}
+	if sum.StoreSizeMin != 146 || sum.StoreSizeMax != 146 || sum.MeanStoreSize() != 146 {
+		t.Errorf("store sizes = %d/%d mean %.1f", sum.StoreSizeMin, sum.StoreSizeMax, sum.MeanStoreSize())
+	}
+	if sum.UntrustedProbes != 0 {
+		t.Errorf("untrusted probes = %d on a clean network", sum.UntrustedProbes)
+	}
+	if got := len(srv.Reports()); got != 4 {
+		t.Errorf("retained reports = %d", got)
+	}
+}
+
+func TestUntrustedProbeCounting(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	w := WireReport{
+		Manufacturer: "ASUS", Version: "4.4", StoreSize: 150,
+		Probes: []WireProbe{
+			{Host: "gmail.com", Port: 443, DeviceValidated: false},
+			{Host: "www.google.com", Port: 443, DeviceValidated: true},
+			{Host: "down.example", Port: 443, DeviceValidated: false, Err: "dial failed"},
+		},
+	}
+	if err := c.SubmitWire(w); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := c.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.UntrustedProbes != 1 {
+		t.Errorf("untrusted probes = %d, want 1 (errors are not untrusted)", sum.UntrustedProbes)
+	}
+	if len(srv.Reports()) != 0 {
+		t.Error("keepReports=false should retain nothing")
+	}
+}
+
+func TestConcurrentSubmissions(t *testing.T) {
+	rep := sessionReport(t)
+	srv, err := Serve("127.0.0.1:0", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 10; j++ {
+				if err := c.Submit(rep); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if sum := srv.Summary(); sum.Sessions != 60 {
+		t.Errorf("sessions = %d, want 60", sum.Sessions)
+	}
+}
+
+func TestCollectErrors(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.roundTrip(request{Op: "nope"}); err == nil || !strings.Contains(err.Error(), "unknown op") {
+		t.Errorf("unknown op err = %v", err)
+	}
+	if _, err := c.roundTrip(request{Op: "submit"}); err == nil {
+		t.Error("submit without report should error")
+	}
+	// Raw garbage line.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("garbage\n"))
+	buf := make([]byte, 256)
+	n, _ := conn.Read(buf)
+	if !strings.Contains(string(buf[:n]), "bad request") {
+		t.Errorf("garbage response = %q", buf[:n])
+	}
+}
+
+func TestSummaryCloneIsolated(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	sum := srv.Summary()
+	sum.ByManufacturer["EVIL"] = 99
+	if srv.Summary().ByManufacturer["EVIL"] != 0 {
+		t.Error("mutating a returned summary affected the server")
+	}
+}

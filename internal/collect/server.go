@@ -1,0 +1,208 @@
+package collect
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"tangledmass/internal/netalyzr"
+)
+
+// wire messages: {"op":"submit","report":{...}} and {"op":"summary"};
+// responses: {"ok":true,...} with the summary inlined for "summary".
+type request struct {
+	Op     string      `json:"op"`
+	Report *WireReport `json:"report,omitempty"`
+}
+
+type response struct {
+	OK      bool     `json:"ok"`
+	Error   string   `json:"error,omitempty"`
+	Summary *Summary `json:"summary,omitempty"`
+}
+
+// Server is the collection endpoint. Construct with Serve.
+type Server struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	sum     Summary
+	closed  bool
+	reports []WireReport
+	wg      sync.WaitGroup
+	keepAll bool
+}
+
+// Serve starts a collector on addr. If keepReports is true the server
+// retains every submission (for test assertions and offline re-analysis);
+// otherwise it keeps only the aggregate.
+func Serve(addr string, keepReports bool) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("collect: listening on %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, sum: newSummary(), keepAll: keepReports}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the collector.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Summary returns a copy of the live aggregate.
+func (s *Server) Summary() Summary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sum.clone()
+}
+
+// Reports returns retained submissions (empty unless keepReports).
+func (s *Server) Reports() []WireReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]WireReport, len(s.reports))
+	copy(out, s.reports)
+	return out
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 64<<10), 8<<20)
+	enc := json.NewEncoder(conn)
+	for {
+		conn.SetReadDeadline(time.Now().Add(2 * time.Minute))
+		if !scanner.Scan() {
+			return
+		}
+		var req request
+		var resp response
+		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
+			resp = response{Error: "bad request: " + err.Error()}
+		} else {
+			resp = s.dispatch(req)
+		}
+		conn.SetWriteDeadline(time.Now().Add(time.Minute))
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req request) response {
+	switch req.Op {
+	case "submit":
+		if req.Report == nil {
+			return response{Error: "submit: missing report"}
+		}
+		s.mu.Lock()
+		s.sum.absorb(*req.Report)
+		if s.keepAll {
+			s.reports = append(s.reports, *req.Report)
+		}
+		s.mu.Unlock()
+		return response{OK: true}
+	case "summary":
+		sum := s.Summary()
+		return response{OK: true, Summary: &sum}
+	default:
+		return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// Client submits session reports. Sequential use only.
+type Client struct {
+	conn    net.Conn
+	scanner *bufio.Scanner
+	enc     *json.Encoder
+}
+
+// Dial connects to a collector.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("collect: dialing %s: %w", addr, err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), 8<<20)
+	return &Client{conn: conn, scanner: sc, enc: json.NewEncoder(conn)}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req request) (response, error) {
+	c.conn.SetDeadline(time.Now().Add(time.Minute))
+	if err := c.enc.Encode(req); err != nil {
+		return response{}, fmt.Errorf("collect: sending: %w", err)
+	}
+	if !c.scanner.Scan() {
+		return response{}, fmt.Errorf("collect: connection closed")
+	}
+	var resp response
+	if err := json.Unmarshal(c.scanner.Bytes(), &resp); err != nil {
+		return response{}, fmt.Errorf("collect: decoding: %w", err)
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("collect: server error: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Submit sends one session report.
+func (c *Client) Submit(r *netalyzr.Report) error {
+	w := FromReport(r)
+	_, err := c.roundTrip(request{Op: "submit", Report: &w})
+	return err
+}
+
+// SubmitWire sends a pre-converted report.
+func (c *Client) SubmitWire(w WireReport) error {
+	_, err := c.roundTrip(request{Op: "submit", Report: &w})
+	return err
+}
+
+// Summary fetches the collector's aggregate.
+func (c *Client) Summary() (Summary, error) {
+	resp, err := c.roundTrip(request{Op: "summary"})
+	if err != nil {
+		return Summary{}, err
+	}
+	if resp.Summary == nil {
+		return Summary{}, fmt.Errorf("collect: summary missing from response")
+	}
+	return *resp.Summary, nil
+}

@@ -1,0 +1,213 @@
+// Package dataset serializes a device population to disk and back — the
+// interchange layer a real measurement pipeline needs between collection
+// and analysis. A dataset directory holds:
+//
+//	certs.pem       every distinct certificate appearing in any store,
+//	                one PEM block each
+//	handsets.jsonl  one JSON object per handset, referencing certificates
+//	                by SHA-256 fingerprint
+//
+// Sessions are derived from the per-handset session counts on load, exactly
+// as the generator derives them, so a written-and-reloaded dataset yields
+// identical analysis results.
+package dataset
+
+import (
+	"bufio"
+	"crypto/x509"
+	"encoding/json"
+	"encoding/pem"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"tangledmass/internal/cauniverse"
+	"tangledmass/internal/certid"
+	"tangledmass/internal/device"
+	"tangledmass/internal/population"
+	"tangledmass/internal/rootstore"
+)
+
+const (
+	certsFile    = "certs.pem"
+	handsetsFile = "handsets.jsonl"
+)
+
+// HandsetRecord is the JSONL schema for one handset.
+type HandsetRecord struct {
+	ID           int    `json:"id"`
+	Model        string `json:"model"`
+	Manufacturer string `json:"manufacturer"`
+	Operator     string `json:"operator"`
+	Country      string `json:"country"`
+	Version      string `json:"version"`
+	Rooted       bool   `json:"rooted"`
+	// RootedExclusive marks handsets carrying Table 5 rooted-only roots.
+	RootedExclusive bool `json:"rooted_exclusive,omitempty"`
+	Intercepted     bool `json:"intercepted"`
+	Sessions        int  `json:"sessions"`
+	// System and User reference certificates in certs.pem by SHA-256.
+	System []string `json:"system"`
+	User   []string `json:"user,omitempty"`
+}
+
+// Write serializes p into dir, creating it if needed.
+func Write(dir string, p *population.Population) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dataset: creating %s: %w", dir, err)
+	}
+
+	// Collect distinct certificates across all stores.
+	seen := map[string]*x509.Certificate{}
+	collect := func(s *rootstore.Store) []string {
+		fps := make([]string, 0, s.Len())
+		for _, c := range s.Certificates() {
+			fp := certid.SHA256Fingerprint(c)
+			seen[fp] = c
+			fps = append(fps, fp)
+		}
+		return fps
+	}
+
+	hf, err := os.Create(filepath.Join(dir, handsetsFile))
+	if err != nil {
+		return fmt.Errorf("dataset: creating handsets file: %w", err)
+	}
+	defer hf.Close()
+	hw := bufio.NewWriter(hf)
+	enc := json.NewEncoder(hw)
+	for _, h := range p.Handsets {
+		rec := HandsetRecord{
+			ID:              h.ID,
+			Model:           h.Model,
+			Manufacturer:    h.Manufacturer,
+			Operator:        h.Operator,
+			Country:         h.Country,
+			Version:         h.Version,
+			Rooted:          h.Rooted,
+			RootedExclusive: h.RootedExclusive,
+			Intercepted:     h.Intercepted,
+			Sessions:        h.SessionCount,
+			System:          collect(h.Device.SystemStore()),
+			User:            collect(h.Device.UserStore()),
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("dataset: writing handset %d: %w", h.ID, err)
+		}
+	}
+	if err := hw.Flush(); err != nil {
+		return fmt.Errorf("dataset: flushing handsets: %w", err)
+	}
+
+	cf, err := os.Create(filepath.Join(dir, certsFile))
+	if err != nil {
+		return fmt.Errorf("dataset: creating certs file: %w", err)
+	}
+	defer cf.Close()
+	cw := bufio.NewWriter(cf)
+	fps := make([]string, 0, len(seen))
+	for fp := range seen {
+		fps = append(fps, fp)
+	}
+	sort.Strings(fps)
+	for _, fp := range fps {
+		if err := pem.Encode(cw, &pem.Block{Type: "CERTIFICATE", Bytes: seen[fp].Raw}); err != nil {
+			return fmt.Errorf("dataset: writing certificate: %w", err)
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		return fmt.Errorf("dataset: flushing certs: %w", err)
+	}
+	return nil
+}
+
+// Read loads a dataset written by Write, reconstructing live devices and
+// assembling a Population against u (nil means the default universe).
+func Read(dir string, u *cauniverse.Universe) (*population.Population, error) {
+	if u == nil {
+		u = cauniverse.Default()
+	}
+	certData, err := os.ReadFile(filepath.Join(dir, certsFile))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading certs: %w", err)
+	}
+	certs, err := rootstore.ParsePEMCertificates(certData)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: parsing certs: %w", err)
+	}
+	byFP := make(map[string]*x509.Certificate, len(certs))
+	for _, c := range certs {
+		byFP[certid.SHA256Fingerprint(c)] = c
+	}
+	resolve := func(fps []string, what string, id int) ([]*x509.Certificate, error) {
+		out := make([]*x509.Certificate, 0, len(fps))
+		for _, fp := range fps {
+			c, ok := byFP[fp]
+			if !ok {
+				return nil, fmt.Errorf("dataset: handset %d references unknown %s certificate %s", id, what, fp)
+			}
+			out = append(out, c)
+		}
+		return out, nil
+	}
+
+	hf, err := os.Open(filepath.Join(dir, handsetsFile))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: opening handsets: %w", err)
+	}
+	defer hf.Close()
+	scanner := bufio.NewScanner(hf)
+	scanner.Buffer(make([]byte, 64<<10), 8<<20)
+	var handsets []*population.Handset
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec HandsetRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("dataset: handset record: %w", err)
+		}
+		system, err := resolve(rec.System, "system", rec.ID)
+		if err != nil {
+			return nil, err
+		}
+		user, err := resolve(rec.User, "user", rec.ID)
+		if err != nil {
+			return nil, err
+		}
+		prof := device.Profile{
+			Model:        rec.Model,
+			Manufacturer: rec.Manufacturer,
+			Operator:     rec.Operator,
+			Country:      rec.Country,
+			Version:      rec.Version,
+		}
+		// Reconstruct the device: the serialized system store becomes the
+		// base image (an exact snapshot, so no separate additions), user
+		// certificates are re-installed, and rooting is restored.
+		base := rootstore.New(prof.Manufacturer + " " + prof.Model + " system")
+		base.AddAll(system)
+		d := device.New(prof, base, nil)
+		if rec.Rooted {
+			d.Root()
+		}
+		for _, c := range user {
+			d.AddUserCert(c)
+		}
+		handsets = append(handsets, &population.Handset{
+			ID:              rec.ID,
+			Profile:         prof,
+			Rooted:          rec.Rooted,
+			RootedExclusive: rec.RootedExclusive,
+			Device:          d,
+			SessionCount:    rec.Sessions,
+			Intercepted:     rec.Intercepted,
+		})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: scanning handsets: %w", err)
+	}
+	return population.Assemble(u, handsets), nil
+}

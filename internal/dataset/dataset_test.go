@@ -1,0 +1,137 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"tangledmass/internal/analysis"
+	"tangledmass/internal/population"
+	"tangledmass/internal/rootstore"
+)
+
+func genPop(t *testing.T) *population.Population {
+	t.Helper()
+	p, err := population.Generate(population.Config{Seed: 3, SessionScale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	orig := genPop(t)
+	dir := t.TempDir()
+	if err := Write(dir, orig); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{certsFile, handsetsFile} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+	}
+	back, err := Read(dir, orig.Universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Handsets) != len(orig.Handsets) {
+		t.Fatalf("handsets = %d, want %d", len(back.Handsets), len(orig.Handsets))
+	}
+	if back.TotalSessions() != orig.TotalSessions() {
+		t.Errorf("sessions = %d, want %d", back.TotalSessions(), orig.TotalSessions())
+	}
+	for i := range orig.Handsets {
+		a, b := orig.Handsets[i], back.Handsets[i]
+		if a.Profile != b.Profile || a.Rooted != b.Rooted || a.Intercepted != b.Intercepted {
+			t.Fatalf("handset %d metadata differs", a.ID)
+		}
+		if !rootstore.Equal(a.Store, b.Store) {
+			t.Fatalf("handset %d store differs after round-trip", a.ID)
+		}
+		if a.AOSPCount != b.AOSPCount || a.ExtraCount != b.ExtraCount || a.MissingCount != b.MissingCount {
+			t.Fatalf("handset %d counts differ: %d/%d/%d vs %d/%d/%d", a.ID,
+				a.AOSPCount, a.ExtraCount, a.MissingCount, b.AOSPCount, b.ExtraCount, b.MissingCount)
+		}
+	}
+}
+
+func TestAnalysesSurviveRoundTrip(t *testing.T) {
+	orig := genPop(t)
+	dir := t.TempDir()
+	if err := Write(dir, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(dir, orig.Universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha := analysis.ComputeHeadlines(orig)
+	hb := analysis.ComputeHeadlines(back)
+	if !reflect.DeepEqual(ha, hb) {
+		t.Errorf("headlines differ:\n%+v\n%+v", ha, hb)
+	}
+	ta := analysis.Table5(orig)
+	tb := analysis.Table5(back)
+	if !reflect.DeepEqual(ta, tb) {
+		t.Errorf("Table 5 differs across round-trip")
+	}
+	fa := analysis.Figure1(orig)
+	fb := analysis.Figure1(back)
+	if !reflect.DeepEqual(fa, fb) {
+		t.Errorf("Figure 1 differs across round-trip")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(t.TempDir(), nil); err == nil {
+		t.Error("empty dir should error")
+	}
+
+	// Dangling certificate reference.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, certsFile), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec := `{"id":1,"model":"X","manufacturer":"Y","version":"4.4","sessions":1,"system":["deadbeef"]}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, handsetsFile), []byte(rec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(dir, nil); err == nil {
+		t.Error("dangling fingerprint should error")
+	}
+
+	// Corrupt JSON.
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, certsFile), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir2, handsetsFile), []byte("{broken\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(dir2, nil); err == nil {
+		t.Error("corrupt JSONL should error")
+	}
+}
+
+func TestWriteDeterministicCerts(t *testing.T) {
+	p := genPop(t)
+	dirA, dirB := t.TempDir(), t.TempDir()
+	if err := Write(dirA, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(dirB, p); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(filepath.Join(dirA, certsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dirB, certsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("certs.pem should be deterministic for the same population")
+	}
+}

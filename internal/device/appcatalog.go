@@ -1,0 +1,87 @@
+package device
+
+import "crypto/x509"
+
+// The app catalog reproduces the concrete applications the paper names,
+// with the permission sets it reports.
+
+// FreedomApp is the §6 case study: an in-app-purchase bypass requiring root
+// that silently installs the "CRAZY HOUSE" root into the system store.
+// The caller supplies the root certificate (from the CA universe).
+func FreedomApp(crazyHouse *x509.Certificate) App {
+	return App{
+		Name:         "Freedom",
+		RequiresRoot: true,
+		Permissions: []string{
+			"GET_ACCOUNTS",     // "accessing the Google accounts set up on the device"
+			"READ_PHONE_STATE", // "reading phone status and identity"
+			"WRITE_SETTINGS",   // "modifying system settings"
+			"WRITE_SECURE_SETTINGS",
+		},
+		InstallRoots: []*x509.Certificate{crazyHouse},
+	}
+}
+
+// realityMinePermissions is the §7 permission set: network reconfiguration,
+// VPN-based traffic interception, and the broad data access the paper
+// enumerates ("protected storage and the ability to read contacts,
+// calendar, location, text messages, device ID, call information, Web
+// bookmarks and history, and sensitive log data").
+var realityMinePermissions = []string{
+	"CHANGE_NETWORK_STATE",
+	"BIND_VPN_SERVICE",
+	"WRITE_EXTERNAL_STORAGE",
+	"READ_CONTACTS",
+	"READ_CALENDAR",
+	"ACCESS_FINE_LOCATION",
+	"READ_SMS",
+	"READ_PHONE_STATE",
+	"READ_CALL_LOG",
+	"READ_HISTORY_BOOKMARKS",
+	"READ_LOGS",
+}
+
+// MarketingResearchApps are the four §7 apps published by the marketing
+// provider (ConsumerInput Mobile, USA TouchPoints, MediaTrack, AnalyzeMe):
+// VPN-interception clients that require no root-store modification at all.
+func MarketingResearchApps() []App {
+	names := []string{
+		"ConsumerInput Mobile",
+		"USA TouchPoints",
+		"MediaTrack",
+		"AnalyzeMe",
+	}
+	apps := make([]App, len(names))
+	for i, n := range names {
+		perms := make([]string, len(realityMinePermissions))
+		copy(perms, realityMinePermissions)
+		apps[i] = App{
+			Name:            n,
+			Permissions:     perms,
+			VPNInterception: true,
+		}
+	}
+	return apps
+}
+
+// OverreachingPermissions lists the permissions §8 flags as masking
+// malicious intent when requested together ("seemingly helpful permission
+// requests such as traffic interception to enable VPNs").
+var OverreachingPermissions = map[string]bool{
+	"BIND_VPN_SERVICE":       true,
+	"READ_LOGS":              true,
+	"WRITE_SECURE_SETTINGS":  true,
+	"READ_SMS":               true,
+	"READ_HISTORY_BOOKMARKS": true,
+}
+
+// PermissionAudit counts an app's overreaching permissions — the §8 "users
+// must exercise prudence" signal surfaced mechanically.
+func PermissionAudit(app App) (overreaching []string) {
+	for _, p := range app.Permissions {
+		if OverreachingPermissions[p] {
+			overreaching = append(overreaching, p)
+		}
+	}
+	return overreaching
+}

@@ -1,0 +1,244 @@
+package device
+
+import (
+	"crypto/x509"
+	"errors"
+	"testing"
+
+	"tangledmass/internal/cauniverse"
+	"tangledmass/internal/certid"
+)
+
+func newTestDevice(t *testing.T, additions []*x509.Certificate) *Device {
+	t.Helper()
+	u := cauniverse.Default()
+	return New(Profile{
+		Model:        "Nexus 7",
+		Manufacturer: "ASUS",
+		Operator:     "T-MOBILE",
+		Country:      "US",
+		Version:      "4.4",
+	}, u.AOSP("4.4"), additions)
+}
+
+func extraCert(t *testing.T, name string) *x509.Certificate {
+	t.Helper()
+	r := cauniverse.Default().Root(name)
+	if r == nil {
+		t.Fatalf("no such catalog root %q", name)
+	}
+	return r.Issued.Cert
+}
+
+func TestFirmwareComposition(t *testing.T) {
+	adds := []*x509.Certificate{
+		extraCert(t, "Motorola FOTA Root CA"),
+		extraCert(t, "Motorola SUPL Server Root CA"),
+	}
+	d := newTestDevice(t, adds)
+	if d.SystemStore().Len() != 152 {
+		t.Errorf("system store = %d, want 150+2", d.SystemStore().Len())
+	}
+	for _, c := range adds {
+		if !d.SystemStore().Contains(c) {
+			t.Error("firmware addition missing from system store")
+		}
+	}
+	// The base store was cloned, not shared.
+	if cauniverse.Default().AOSP("4.4").Len() != 150 {
+		t.Fatal("firmware composition mutated the AOSP base store")
+	}
+}
+
+func TestSystemStoreReadOnlyUnlessRooted(t *testing.T) {
+	d := newTestDevice(t, nil)
+	crazy := extraCert(t, "CRAZY HOUSE")
+	if err := d.AddSystemCert(crazy); !errors.Is(err, ErrReadOnlyStore) {
+		t.Errorf("AddSystemCert on non-rooted = %v, want ErrReadOnlyStore", err)
+	}
+	someID := certid.IdentityOf(d.SystemStore().Certificates()[0])
+	if err := d.RemoveSystemCert(someID); !errors.Is(err, ErrReadOnlyStore) {
+		t.Errorf("RemoveSystemCert on non-rooted = %v, want ErrReadOnlyStore", err)
+	}
+
+	d.Root()
+	if !d.Rooted() {
+		t.Fatal("Root() did not root the device")
+	}
+	if err := d.AddSystemCert(crazy); err != nil {
+		t.Errorf("AddSystemCert on rooted: %v", err)
+	}
+	if !d.SystemStore().Contains(crazy) {
+		t.Error("cert not added after rooting")
+	}
+	if err := d.RemoveSystemCert(someID); err != nil {
+		t.Errorf("RemoveSystemCert on rooted: %v", err)
+	}
+	if d.SystemStore().ContainsIdentity(someID) {
+		t.Error("cert not removed after rooting")
+	}
+}
+
+func TestUserStoreAlwaysWritable(t *testing.T) {
+	d := newTestDevice(t, nil)
+	vpn := extraCert(t, "USER_X")
+	d.AddUserCert(vpn)
+	if !d.UserStore().Contains(vpn) {
+		t.Error("user cert missing from user store")
+	}
+	if d.SystemStore().Contains(vpn) {
+		t.Error("user cert leaked into system store")
+	}
+	if !d.EffectiveStore().Contains(vpn) {
+		t.Error("user cert missing from effective store")
+	}
+}
+
+func TestDisableEnable(t *testing.T) {
+	d := newTestDevice(t, nil)
+	target := d.SystemStore().Certificates()[3]
+	id := certid.IdentityOf(target)
+	d.DisableCert(id)
+	if !d.Disabled(id) {
+		t.Error("Disabled should report true")
+	}
+	if d.EffectiveStore().ContainsIdentity(id) {
+		t.Error("disabled cert still in effective store")
+	}
+	if !d.SystemStore().ContainsIdentity(id) {
+		t.Error("disable must not delete from system store")
+	}
+	d.EnableCert(id)
+	if !d.EffectiveStore().ContainsIdentity(id) {
+		t.Error("re-enabled cert missing from effective store")
+	}
+}
+
+func TestEffectiveStoreIsACopy(t *testing.T) {
+	d := newTestDevice(t, nil)
+	eff := d.EffectiveStore()
+	eff.Add(extraCert(t, "MIND OVERFLOW"))
+	if d.SystemStore().Contains(extraCert(t, "MIND OVERFLOW")) {
+		t.Error("mutating effective store affected system store")
+	}
+}
+
+func TestFreedomAppRequiresRoot(t *testing.T) {
+	d := newTestDevice(t, nil)
+	freedom := App{
+		Name:         "Freedom",
+		RequiresRoot: true,
+		Permissions:  []string{"ACCESS_GOOGLE_ACCOUNTS", "READ_PHONE_STATE", "WRITE_SETTINGS"},
+		InstallRoots: []*x509.Certificate{extraCert(t, "CRAZY HOUSE")},
+	}
+	if err := d.Install(freedom); !errors.Is(err, ErrNeedsRoot) {
+		t.Errorf("install on non-rooted = %v, want ErrNeedsRoot", err)
+	}
+	if len(d.Apps()) != 0 {
+		t.Error("failed install should not register the app")
+	}
+	if d.SystemStore().Contains(extraCert(t, "CRAZY HOUSE")) {
+		t.Error("failed install should not touch the store")
+	}
+
+	d.Root()
+	if err := d.Install(freedom); err != nil {
+		t.Fatalf("install on rooted: %v", err)
+	}
+	if !d.SystemStore().Contains(extraCert(t, "CRAZY HOUSE")) {
+		t.Error("Freedom should have installed CRAZY HOUSE into the system store")
+	}
+	if len(d.Apps()) != 1 || d.Apps()[0].Name != "Freedom" {
+		t.Error("app not registered")
+	}
+}
+
+func TestAppRemovingRoots(t *testing.T) {
+	d := newTestDevice(t, nil)
+	d.Root()
+	victim := certid.IdentityOf(d.SystemStore().Certificates()[0])
+	evil := App{Name: "StorePruner", RequiresRoot: true, RemoveRoots: []certid.Identity{victim}}
+	if err := d.Install(evil); err != nil {
+		t.Fatal(err)
+	}
+	if d.SystemStore().ContainsIdentity(victim) {
+		t.Error("app should have removed the root")
+	}
+}
+
+func TestVPNAppNeedsNoRoot(t *testing.T) {
+	d := newTestDevice(t, nil)
+	proxyApp := App{
+		Name:            "ConsumerInput Mobile",
+		Permissions:     []string{"CHANGE_NETWORK_STATE", "BIND_VPN_SERVICE"},
+		VPNInterception: true,
+	}
+	if err := d.Install(proxyApp); err != nil {
+		t.Fatalf("VPN app should install without root: %v", err)
+	}
+	before := d.SystemStore().Len()
+	if d.SystemStore().Len() != before {
+		t.Error("VPN interception app must not modify the store")
+	}
+}
+
+func TestEffectiveStoreUnion(t *testing.T) {
+	adds := []*x509.Certificate{extraCert(t, "DoD CLASS 3 Root CA")}
+	d := newTestDevice(t, adds)
+	d.AddUserCert(extraCert(t, "USER_X"))
+	eff := d.EffectiveStore()
+	want := d.SystemStore().Len() + d.UserStore().Len()
+	if eff.Len() != want {
+		t.Errorf("effective = %d, want %d", eff.Len(), want)
+	}
+	// Disabling one system and one user cert shrinks it by two.
+	d.DisableCert(certid.IdentityOf(adds[0]))
+	d.DisableCert(certid.IdentityOf(extraCert(t, "USER_X")))
+	if got := d.EffectiveStore().Len(); got != want-2 {
+		t.Errorf("effective after disable = %d, want %d", got, want-2)
+	}
+}
+
+func TestDeviceProfile(t *testing.T) {
+	d := newTestDevice(t, nil)
+	if d.Manufacturer != "ASUS" || d.Model != "Nexus 7" || d.Version != "4.4" {
+		t.Errorf("profile = %+v", d.Profile)
+	}
+}
+
+func TestAppCatalog(t *testing.T) {
+	crazy := extraCert(t, "CRAZY HOUSE")
+	freedom := FreedomApp(crazy)
+	if !freedom.RequiresRoot || len(freedom.InstallRoots) != 1 {
+		t.Errorf("Freedom app = %+v", freedom)
+	}
+	if over := PermissionAudit(freedom); len(over) == 0 {
+		t.Error("Freedom should trip the permission audit")
+	}
+	apps := MarketingResearchApps()
+	if len(apps) != 4 {
+		t.Fatalf("marketing apps = %d, want 4 (§7)", len(apps))
+	}
+	for _, a := range apps {
+		if a.RequiresRoot {
+			t.Errorf("%s must not require root (§7: no store modification)", a.Name)
+		}
+		if !a.VPNInterception {
+			t.Errorf("%s should be a VPN interception client", a.Name)
+		}
+		over := PermissionAudit(a)
+		if len(over) < 3 {
+			t.Errorf("%s overreaching permissions = %v, want several", a.Name, over)
+		}
+	}
+	// Installing a marketing app on a stock device succeeds and leaves the
+	// store untouched.
+	d := newTestDevice(t, nil)
+	before := d.SystemStore().Len()
+	if err := d.Install(apps[0]); err != nil {
+		t.Fatal(err)
+	}
+	if d.SystemStore().Len() != before {
+		t.Error("marketing app modified the store")
+	}
+}

@@ -1,0 +1,97 @@
+package device
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tangledmass/internal/certid"
+	"tangledmass/internal/rootstore"
+)
+
+// Android's on-disk trust state (§2, footnote 2). The system image carries
+// the read-only store; per-user additions and removals live under /data:
+//
+//	system/etc/security/cacerts/        the system store (hash.N PEM files)
+//	data/misc/keychain/cacerts-added/   user-installed certificates
+//	data/misc/keychain/cacerts-removed/ disabled certificates (any origin)
+//
+// SaveFS and LoadFS serialize a Device to and from this layout, so stores
+// exported here are inspectable with the same tooling as a real device
+// image (and `tangled audit` can point at the system directory).
+const (
+	systemCacertsPath  = "system/etc/security/cacerts"
+	addedCacertsPath   = "data/misc/keychain/cacerts-added"
+	removedCacertsPath = "data/misc/keychain/cacerts-removed"
+	rootedMarkerPath   = "data/.rooted"
+)
+
+// SaveFS writes the device's trust state into dir using the Android layout.
+// The directory is created; existing cacerts files in it are preserved
+// (matching WriteCacertsDir semantics), so callers wanting a clean image
+// should start from an empty directory.
+func (d *Device) SaveFS(dir string) error {
+	if err := rootstore.WriteCacertsDir(filepath.Join(dir, systemCacertsPath), d.system); err != nil {
+		return fmt.Errorf("device: saving system store: %w", err)
+	}
+	if err := rootstore.WriteCacertsDir(filepath.Join(dir, addedCacertsPath), d.user); err != nil {
+		return fmt.Errorf("device: saving user store: %w", err)
+	}
+	// Disabled certificates are stored as copies in cacerts-removed, which
+	// is how Android marks them without touching the system image.
+	removed := rootstore.New("removed")
+	for id := range d.disabled {
+		if c := d.system.Get(id); c != nil {
+			removed.Add(c)
+		} else if c := d.user.Get(id); c != nil {
+			removed.Add(c)
+		}
+	}
+	if err := rootstore.WriteCacertsDir(filepath.Join(dir, removedCacertsPath), removed); err != nil {
+		return fmt.Errorf("device: saving removed store: %w", err)
+	}
+	if d.rooted {
+		if err := os.WriteFile(filepath.Join(dir, rootedMarkerPath), []byte("su\n"), 0o644); err != nil {
+			return fmt.Errorf("device: writing rooted marker: %w", err)
+		}
+	}
+	return nil
+}
+
+// LoadFS reconstructs a Device from an Android-layout directory written by
+// SaveFS (or assembled by hand). The profile is supplied by the caller —
+// the filesystem does not carry it.
+func LoadFS(dir string, profile Profile) (*Device, error) {
+	system, err := rootstore.ReadCacertsDir(filepath.Join(dir, systemCacertsPath))
+	if err != nil {
+		return nil, fmt.Errorf("device: loading system store: %w", err)
+	}
+	d := New(profile, system, nil)
+
+	addedDir := filepath.Join(dir, addedCacertsPath)
+	if _, err := os.Stat(addedDir); err == nil {
+		added, err := rootstore.ReadCacertsDir(addedDir)
+		if err != nil {
+			return nil, fmt.Errorf("device: loading user store: %w", err)
+		}
+		for _, c := range added.Certificates() {
+			d.AddUserCert(c)
+		}
+	}
+
+	removedDir := filepath.Join(dir, removedCacertsPath)
+	if _, err := os.Stat(removedDir); err == nil {
+		removed, err := rootstore.ReadCacertsDir(removedDir)
+		if err != nil {
+			return nil, fmt.Errorf("device: loading removed store: %w", err)
+		}
+		for _, c := range removed.Certificates() {
+			d.DisableCert(certid.IdentityOf(c))
+		}
+	}
+
+	if _, err := os.Stat(filepath.Join(dir, rootedMarkerPath)); err == nil {
+		d.Root()
+	}
+	return d, nil
+}

@@ -1,0 +1,116 @@
+package device
+
+import (
+	"crypto/x509"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tangledmass/internal/cauniverse"
+	"tangledmass/internal/certid"
+	"tangledmass/internal/rootstore"
+)
+
+func TestSaveLoadFSRoundTrip(t *testing.T) {
+	u := cauniverse.Default()
+	adds := []string{"Motorola FOTA Root CA", "Motorola SUPL Server Root CA"}
+	var firmware []*x509.Certificate
+	for _, n := range adds {
+		firmware = append(firmware, u.Root(n).Issued.Cert)
+	}
+	d := New(Profile{Model: "Droid Razr", Manufacturer: "MOTOROLA", Operator: "VERIZON", Country: "US", Version: "4.1"},
+		u.AOSP("4.1"), firmware)
+	d.AddUserCert(u.Root("USER_X").Issued.Cert)
+	disabledID := certid.IdentityOf(d.SystemStore().Certificates()[5])
+	d.DisableCert(disabledID)
+	d.Root()
+
+	dir := t.TempDir()
+	if err := d.SaveFS(dir); err != nil {
+		t.Fatal(err)
+	}
+	// The system store directory is a valid cacerts dir on its own.
+	sys, err := rootstore.ReadCacertsDir(filepath.Join(dir, "system/etc/security/cacerts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Len() != 141 {
+		t.Errorf("system dir = %d certs, want 139+2", sys.Len())
+	}
+
+	back, err := LoadFS(dir, d.Profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rootstore.Equal(back.SystemStore(), d.SystemStore()) {
+		t.Error("system store differs after round-trip")
+	}
+	if !rootstore.Equal(back.UserStore(), d.UserStore()) {
+		t.Error("user store differs after round-trip")
+	}
+	if !back.Disabled(disabledID) {
+		t.Error("disabled set lost in round-trip")
+	}
+	if !back.Rooted() {
+		t.Error("rooted marker lost in round-trip")
+	}
+	if !rootstore.Equal(back.EffectiveStore(), d.EffectiveStore()) {
+		t.Error("effective store differs after round-trip")
+	}
+}
+
+func TestLoadFSMinimalImage(t *testing.T) {
+	// An image with only a system store (no /data) loads as a clean,
+	// non-rooted device.
+	u := cauniverse.Default()
+	d := New(Profile{Model: "Nexus 5", Manufacturer: "LG", Version: "4.4"}, u.AOSP("4.4"), nil)
+	dir := t.TempDir()
+	if err := rootstore.WriteCacertsDir(filepath.Join(dir, "system/etc/security/cacerts"), d.SystemStore()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFS(dir, d.Profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rooted() {
+		t.Error("minimal image should not be rooted")
+	}
+	if back.UserStore().Len() != 0 {
+		t.Error("minimal image should have no user certs")
+	}
+	if back.SystemStore().Len() != 150 {
+		t.Errorf("system = %d", back.SystemStore().Len())
+	}
+}
+
+func TestLoadFSMissingSystemStore(t *testing.T) {
+	if _, err := LoadFS(t.TempDir(), Profile{}); err == nil {
+		t.Error("image without a system store should error")
+	}
+}
+
+func TestSaveFSDisabledUserCert(t *testing.T) {
+	u := cauniverse.Default()
+	d := New(Profile{Model: "X", Manufacturer: "Y", Version: "4.4"}, u.AOSP("4.4"), nil)
+	userCert := u.Root("MIND OVERFLOW").Issued.Cert
+	d.AddUserCert(userCert)
+	d.DisableCert(certid.IdentityOf(userCert))
+	dir := t.TempDir()
+	if err := d.SaveFS(dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "data/misc/keychain/cacerts-removed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("removed dir = %d files, want 1", len(entries))
+	}
+	back, err := LoadFS(dir, d.Profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.EffectiveStore().Contains(userCert) {
+		t.Error("disabled user cert should stay disabled after load")
+	}
+}

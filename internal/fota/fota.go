@@ -1,0 +1,160 @@
+// Package fota simulates the firmware-over-the-air update channel whose
+// root certificates the paper finds in Motorola firmware (§5.1: "The FOTA
+// and SUPL certificates secure firmware updates and location-sensor
+// assistance"). These roots never appear in web traffic — they are the
+// archetype of the Notary's "no record" class — yet they matter: a
+// compromised update channel is a full-device compromise.
+//
+// The subsystem has two halves:
+//
+//   - an update server: a TLS service (authenticated by a FOTA-root-issued
+//     certificate) that serves firmware manifests, each carrying a detached
+//     signature by the FOTA signing key;
+//   - a device-side updater that (1) requires the TLS channel to chain to
+//     the FOTA root in its own store and (2) verifies the manifest
+//     signature — the two independent uses of the same special-purpose
+//     trust anchor.
+package fota
+
+import (
+	"crypto/ecdsa"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/tls"
+	"crypto/x509"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"tangledmass/internal/certgen"
+	"tangledmass/internal/chain"
+	"tangledmass/internal/rootstore"
+)
+
+// Manifest describes one firmware image.
+type Manifest struct {
+	Model   string `json:"model"`
+	Version string `json:"version"`
+	// PayloadSHA256 is the firmware image digest (hex).
+	PayloadSHA256 string `json:"payload_sha256"`
+	// Signature is an ASN.1 ECDSA signature by the FOTA signer over the
+	// canonical JSON of the manifest with Signature empty.
+	Signature []byte `json:"signature"`
+}
+
+// signingBytes returns the bytes the signature covers.
+func (m Manifest) signingBytes() ([]byte, error) {
+	m.Signature = nil
+	b, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("fota: marshaling manifest: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return sum[:], nil
+}
+
+// Signer issues signed manifests. In production this is the vendor's
+// release infrastructure holding the FOTA signing certificate.
+type Signer struct {
+	// Cert chains to the FOTA root; Key signs manifests.
+	Cert *certgen.Issued
+}
+
+// Sign completes a manifest with its signature.
+func (s *Signer) Sign(m Manifest) (Manifest, error) {
+	digest, err := m.signingBytes()
+	if err != nil {
+		return Manifest{}, err
+	}
+	key, ok := s.Cert.Key.(*ecdsa.PrivateKey)
+	if !ok {
+		return Manifest{}, fmt.Errorf("fota: signer key is %T, want ECDSA", s.Cert.Key)
+	}
+	sig, err := ecdsa.SignASN1(rand.Reader, key, digest)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("fota: signing manifest: %w", err)
+	}
+	m.Signature = sig
+	return m, nil
+}
+
+// Errors the updater distinguishes.
+var (
+	// ErrChannelUntrusted means the TLS server certificate does not chain
+	// to the FOTA root in the device store — a stock device, or a MITM.
+	ErrChannelUntrusted = errors.New("fota: update channel does not chain to a trusted FOTA root")
+	// ErrBadSignature means the manifest signature failed verification.
+	ErrBadSignature = errors.New("fota: manifest signature invalid")
+)
+
+// Updater is the device-side client.
+type Updater struct {
+	// Store is the device's effective root store.
+	Store *rootstore.Store
+	// FOTASubject pins which root secures the update channel (by subject
+	// common name); the updater refuses channels anchored elsewhere even if
+	// the device store would trust them for the web.
+	FOTARoot *x509.Certificate
+	// At pins the validation clock.
+	At time.Time
+}
+
+// VerifyChannel checks a presented TLS chain: it must validate against the
+// device store AND terminate at the FOTA root specifically.
+func (u *Updater) VerifyChannel(presented []*x509.Certificate) error {
+	if len(presented) == 0 {
+		return ErrChannelUntrusted
+	}
+	if !u.Store.Contains(u.FOTARoot) {
+		return fmt.Errorf("%w: device store lacks the FOTA root", ErrChannelUntrusted)
+	}
+	v := chain.NewVerifier([]*x509.Certificate{u.FOTARoot}, presented[1:], u.At)
+	if !v.Validates(presented[0]) {
+		return ErrChannelUntrusted
+	}
+	return nil
+}
+
+// VerifyManifest checks the manifest signature against the server
+// certificate's public key (which itself chained to the FOTA root).
+func (u *Updater) VerifyManifest(serverCert *x509.Certificate, m Manifest) error {
+	digest, err := m.signingBytes()
+	if err != nil {
+		return err
+	}
+	pub, ok := serverCert.PublicKey.(*ecdsa.PublicKey)
+	if !ok {
+		return fmt.Errorf("%w: server key is %T", ErrBadSignature, serverCert.PublicKey)
+	}
+	if !ecdsa.VerifyASN1(pub, digest, m.Signature) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Fetch performs the full update check against a live server: TLS
+// handshake, channel verification, manifest retrieval and signature
+// verification. It returns the verified manifest.
+func (u *Updater) Fetch(addr, serverName string) (Manifest, error) {
+	conn, err := tls.Dial("tcp", addr, &tls.Config{
+		ServerName:         serverName,
+		InsecureSkipVerify: true, // verification happens below, against the device store
+	})
+	if err != nil {
+		return Manifest{}, fmt.Errorf("fota: dialing %s: %w", addr, err)
+	}
+	defer conn.Close()
+	presented := conn.ConnectionState().PeerCertificates
+	if err := u.VerifyChannel(presented); err != nil {
+		return Manifest{}, err
+	}
+	var m Manifest
+	if err := json.NewDecoder(conn).Decode(&m); err != nil {
+		return Manifest{}, fmt.Errorf("fota: reading manifest: %w", err)
+	}
+	if err := u.VerifyManifest(presented[0], m); err != nil {
+		return Manifest{}, err
+	}
+	return m, nil
+}

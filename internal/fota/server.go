@@ -1,0 +1,88 @@
+package fota
+
+import (
+	"crypto/tls"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Server is the vendor's update endpoint: a TLS listener authenticated by a
+// FOTA-root-issued certificate that answers every connection with the
+// current signed manifest.
+type Server struct {
+	ln       net.Listener
+	manifest Manifest
+	cred     tls.Certificate
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer starts an update server on 127.0.0.1 (ephemeral port). The
+// signer's certificate doubles as the TLS credential, mirroring vendor
+// practice of one FOTA service identity.
+func NewServer(signer *Signer, manifest Manifest) (*Server, error) {
+	if manifest.Signature == nil {
+		signed, err := signer.Sign(manifest)
+		if err != nil {
+			return nil, err
+		}
+		manifest = signed
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("fota: listening: %w", err)
+	}
+	s := &Server{
+		ln:       ln,
+		manifest: manifest,
+		cred: tls.Certificate{
+			Certificate: [][]byte{signer.Cert.Cert.Raw},
+			PrivateKey:  signer.Cert.Key,
+		},
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns host:port.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			tconn := tls.Server(conn, &tls.Config{Certificates: []tls.Certificate{s.cred}})
+			if err := tconn.Handshake(); err != nil {
+				return
+			}
+			json.NewEncoder(tconn).Encode(s.manifest)
+			tconn.Close()
+		}()
+	}
+}

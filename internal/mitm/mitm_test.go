@@ -1,0 +1,269 @@
+package mitm
+
+import (
+	"crypto/x509"
+	"sync"
+	"testing"
+
+	"tangledmass/internal/cauniverse"
+	"tangledmass/internal/certgen"
+	"tangledmass/internal/device"
+	"tangledmass/internal/netalyzr"
+	"tangledmass/internal/notary"
+	"tangledmass/internal/rootstore"
+	"tangledmass/internal/tlsnet"
+)
+
+var (
+	envOnce  sync.Once
+	envSrv   *tlsnet.Server
+	envSites *tlsnet.Sites
+	envErr   error
+)
+
+func env(t *testing.T) (*tlsnet.Server, *tlsnet.Sites) {
+	t.Helper()
+	envOnce.Do(func() {
+		var w *tlsnet.World
+		w, envErr = tlsnet.NewWorld(tlsnet.Config{Seed: 9, NumLeaves: 10})
+		if envErr != nil {
+			return
+		}
+		envSites, envErr = tlsnet.NewSites(w)
+		if envErr != nil {
+			return
+		}
+		envSrv, envErr = tlsnet.ServeSites(envSites)
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return envSrv, envSites
+}
+
+func newTestProxy(t *testing.T, disableCache bool) *Proxy {
+	t.Helper()
+	srv, _ := env(t)
+	u := cauniverse.Default()
+	p, err := NewProxy(ProxyConfig{
+		CA:               u.InterceptionRoot().Issued,
+		Generator:        u.Generator(),
+		Upstream:         tlsnet.DirectDialer{Server: srv},
+		Whitelist:        tlsnet.WhitelistedDomains,
+		DisableLeafCache: disableCache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func interceptedDevice() *device.Device {
+	u := cauniverse.Default()
+	return device.New(device.Profile{
+		Model: "Nexus 7", Manufacturer: "ASUS", Operator: "WiFi", Country: "US", Version: "4.4",
+	}, u.AOSP("4.4"), nil)
+}
+
+func TestProxyConfigValidation(t *testing.T) {
+	if _, err := NewProxy(ProxyConfig{}); err == nil {
+		t.Error("empty config should error")
+	}
+}
+
+func TestTable6InterceptionSplit(t *testing.T) {
+	proxy := newTestProxy(t, false)
+	u := cauniverse.Default()
+	client := &netalyzr.Client{
+		Device: interceptedDevice(),
+		Dialer: proxy,
+		At:     certgen.Epoch,
+	}
+	rep, err := client.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reference := rootstore.Union("reference", u.AOSP("4.4"), u.Mozilla(), u.IOS7())
+	det := &Detector{Reference: reference, At: certgen.Epoch}
+	intercepted, clean := det.InspectReport(rep)
+
+	wantIntercepted := map[string]bool{}
+	for _, hp := range tlsnet.InterceptedDomains {
+		wantIntercepted[hp.String()] = true
+	}
+	if len(intercepted) != len(tlsnet.InterceptedDomains) {
+		t.Errorf("intercepted = %d, want %d (Table 6)", len(intercepted), len(tlsnet.InterceptedDomains))
+	}
+	for _, f := range intercepted {
+		key := tlsnet.HostPort{Host: f.Host, Port: f.Port}.String()
+		if !wantIntercepted[key] {
+			t.Errorf("%s classified intercepted but is whitelisted", key)
+		}
+	}
+	if len(clean) != len(tlsnet.WhitelistedDomains) {
+		t.Errorf("clean = %d, want %d (Table 6)", len(clean), len(tlsnet.WhitelistedDomains))
+	}
+
+	// Device-side view: intercepted domains fail store validation — the
+	// proxy's root is in no store.
+	if got := len(rep.UntrustedProbes()); got != len(tlsnet.InterceptedDomains) {
+		t.Errorf("untrusted probes = %d, want %d", got, len(tlsnet.InterceptedDomains))
+	}
+}
+
+func TestForgedChainShape(t *testing.T) {
+	proxy := newTestProxy(t, false)
+	client := &netalyzr.Client{
+		Device:  interceptedDevice(),
+		Dialer:  proxy,
+		At:      certgen.Epoch,
+		Targets: []tlsnet.HostPort{{Host: "gmail.com", Port: 443}},
+	}
+	rep, err := client.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rep.Probes[0]
+	if p.Err != nil {
+		t.Fatal(p.Err)
+	}
+	// Forged chain: leaf for the host + interception intermediate,
+	// chaining to the proxy CA (§7: root and intermediate regenerated
+	// on the fly).
+	if len(p.Chain) != 2 {
+		t.Fatalf("forged chain has %d certs, want 2", len(p.Chain))
+	}
+	if p.Chain[0].Subject.CommonName != "gmail.com" {
+		t.Errorf("forged leaf CN = %q", p.Chain[0].Subject.CommonName)
+	}
+	u := cauniverse.Default()
+	caCN := u.InterceptionRoot().Issued.Cert.Subject.CommonName
+	if p.Chain[1].Issuer.CommonName != caCN {
+		t.Errorf("intermediate issuer = %q, want %q", p.Chain[1].Issuer.CommonName, caCN)
+	}
+	if p.DeviceValidated {
+		t.Error("forged chain must not validate against the stock store")
+	}
+}
+
+func TestWhitelistTunnelsPinnedApps(t *testing.T) {
+	proxy := newTestProxy(t, false)
+	client := &netalyzr.Client{
+		Device:  interceptedDevice(),
+		Dialer:  proxy,
+		At:      certgen.Epoch,
+		Targets: []tlsnet.HostPort{{Host: "supl.google.com", Port: 7275}, {Host: "www.facebook.com", Port: 443}},
+	}
+	rep, err := client.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rep.Probes {
+		if p.Err != nil {
+			t.Fatalf("%s: %v", p.Target, p.Err)
+		}
+		if !p.DeviceValidated {
+			t.Errorf("whitelisted %s should present the genuine chain", p.Target)
+		}
+	}
+	st := proxy.Stats()
+	if st.Tunneled != 2 || st.Intercepted != 0 {
+		t.Errorf("stats = %+v, want 2 tunneled / 0 intercepted", st)
+	}
+}
+
+func TestSamePortDifferentiation(t *testing.T) {
+	// orcart.facebook.com is intercepted on 443 but whitelisted on 8883
+	// (Facebook chat) — the proxy distinguishes by port.
+	proxy := newTestProxy(t, false)
+	if proxy.Whitelisted("orcart.facebook.com", 443) {
+		t.Error("orcart.facebook.com:443 should be intercepted")
+	}
+	if !proxy.Whitelisted("orcart.facebook.com", 8883) {
+		t.Error("orcart.facebook.com:8883 should be whitelisted")
+	}
+}
+
+func TestLeafCache(t *testing.T) {
+	cached := newTestProxy(t, false)
+	for i := 0; i < 3; i++ {
+		c, err := cached.forgedLeaf("repeat.example.com")
+		if err != nil || c == nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cached.Stats().LeavesForged; got != 1 {
+		t.Errorf("cached proxy forged %d leaves, want 1", got)
+	}
+
+	uncached := newTestProxy(t, true)
+	for i := 0; i < 3; i++ {
+		if _, err := uncached.forgedLeaf("repeat.example.com"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := uncached.Stats().LeavesForged; got != 3 {
+		t.Errorf("uncached proxy forged %d leaves, want 3", got)
+	}
+}
+
+func TestDetectorVerdictStrings(t *testing.T) {
+	for v, want := range map[Verdict]string{
+		Clean: "clean", Intercepted: "intercepted", Suspicious: "suspicious",
+		Unreachable: "unreachable", Verdict(99): "unknown",
+	} {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q, want %q", v, v.String(), want)
+		}
+	}
+}
+
+func TestDetectorUnreachable(t *testing.T) {
+	u := cauniverse.Default()
+	det := &Detector{Reference: u.AOSP("4.4"), At: certgen.Epoch}
+	f := det.Inspect(netalyzr.ProbeResult{
+		Target: tlsnet.HostPort{Host: "down.example", Port: 443},
+		Err:    errTest,
+	})
+	if f.Verdict != Unreachable {
+		t.Errorf("verdict = %v, want unreachable", f.Verdict)
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test error" }
+
+func TestDetectorSuspiciousVerdict(t *testing.T) {
+	// A chain that anchors in the reference store but whose top cert the
+	// Notary has never seen anywhere → Suspicious.
+	u := cauniverse.Default()
+	ndb := notary.New(certgen.Epoch)
+	// The notary knows nothing (no imports, no traffic).
+	root := u.IssuingRoots()[0]
+	leaf, err := u.Generator().Leaf(root.Issued, "odd.example.com",
+		certgen.WithKeyName("suspicious-leaf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := &Detector{Reference: u.AOSP("4.4"), Notary: ndb, At: certgen.Epoch}
+	f := det.Inspect(netalyzr.ProbeResult{
+		Target: tlsnet.HostPort{Host: "odd.example.com", Port: 443},
+		Chain:  []*x509.Certificate{leaf.Cert, root.Issued.Cert},
+	})
+	if f.Verdict != Suspicious {
+		t.Fatalf("verdict = %v, want suspicious", f.Verdict)
+	}
+	// Once the notary records the signer, the same chain is clean.
+	ndb.ObserveCA(root.Issued.Cert, 443)
+	f = det.Inspect(netalyzr.ProbeResult{
+		Target: tlsnet.HostPort{Host: "odd.example.com", Port: 443},
+		Chain:  []*x509.Certificate{leaf.Cert, root.Issued.Cert},
+	})
+	if f.Verdict != Clean {
+		t.Fatalf("verdict = %v, want clean after the signer is on record", f.Verdict)
+	}
+}

@@ -1,0 +1,176 @@
+// Package mitm implements the §7 TLS interception system: an HTTPS proxy in
+// the style of the marketing-research provider the paper caught in the wild.
+// The proxy terminates TLS for intercepted domains — re-generating an
+// intermediate and leaf certificate on the fly under its own root — while
+// tunneling whitelisted domains (certificate-pinned apps, Google's SUPL
+// port, Facebook chat) untouched. It also provides the detector that
+// classifies observed chains, reproducing Table 6.
+package mitm
+
+import (
+	"crypto/tls"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"tangledmass/internal/certgen"
+	"tangledmass/internal/tlsnet"
+)
+
+// ProxyConfig configures an interception proxy.
+type ProxyConfig struct {
+	// CA is the proxy's signing root (the Reality Mine analogue).
+	CA *certgen.Issued
+	// Generator mints the on-the-fly intermediate and leaf certificates.
+	Generator *certgen.Generator
+	// Upstream reaches the real origin servers.
+	Upstream tlsnet.Dialer
+	// Whitelist lists host:port targets to tunnel instead of intercept.
+	Whitelist []tlsnet.HostPort
+	// DisableLeafCache forces a fresh forged leaf per connection — the
+	// baseline arm of the leaf-cache ablation.
+	DisableLeafCache bool
+}
+
+// Proxy is a man-in-the-middle HTTPS proxy. It implements tlsnet.Dialer, so
+// a measurement client pointed at it transparently probes through it — the
+// same topology as the §7 handset whose tun interface routed all traffic to
+// the marketing proxy.
+type Proxy struct {
+	cfg          ProxyConfig
+	whitelist    map[string]bool
+	intermediate *certgen.Issued
+
+	mu        sync.Mutex
+	leafCache map[string]*tls.Certificate
+	stats     Stats
+}
+
+// Stats counts proxy activity.
+type Stats struct {
+	Intercepted  int64
+	Tunneled     int64
+	LeavesForged int64
+}
+
+// NewProxy builds the proxy and its on-the-fly intermediate.
+func NewProxy(cfg ProxyConfig) (*Proxy, error) {
+	if cfg.CA == nil || cfg.Generator == nil || cfg.Upstream == nil {
+		return nil, fmt.Errorf("mitm: config needs CA, Generator and Upstream")
+	}
+	inter, err := cfg.Generator.Intermediate(cfg.CA,
+		cfg.CA.Cert.Subject.CommonName+" Interception Intermediate")
+	if err != nil {
+		return nil, fmt.Errorf("mitm: issuing intermediate: %w", err)
+	}
+	p := &Proxy{
+		cfg:          cfg,
+		whitelist:    make(map[string]bool, len(cfg.Whitelist)),
+		intermediate: inter,
+		leafCache:    make(map[string]*tls.Certificate),
+	}
+	for _, hp := range cfg.Whitelist {
+		p.whitelist[hp.String()] = true
+	}
+	return p, nil
+}
+
+// Whitelisted reports whether host:port is tunneled rather than intercepted.
+func (p *Proxy) Whitelisted(host string, port int) bool {
+	return p.whitelist[tlsnet.HostPort{Host: host, Port: port}.String()]
+}
+
+// Stats returns a snapshot of proxy counters.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// DialSite implements tlsnet.Dialer. Whitelisted targets pass straight to
+// the upstream; intercepted targets get a pipe whose far end speaks TLS with
+// a forged certificate.
+func (p *Proxy) DialSite(host string, port int) (net.Conn, error) {
+	if p.Whitelisted(host, port) {
+		p.mu.Lock()
+		p.stats.Tunneled++
+		p.mu.Unlock()
+		return p.cfg.Upstream.DialSite(host, port)
+	}
+	p.mu.Lock()
+	p.stats.Intercepted++
+	p.mu.Unlock()
+	client, server := net.Pipe()
+	go p.serve(server, host, port)
+	return client, nil
+}
+
+// serve terminates the client's TLS with a forged certificate, then relays
+// the origin's application data through a second TLS session upstream.
+func (p *Proxy) serve(conn net.Conn, host string, port int) {
+	defer conn.Close()
+	cert, err := p.forgedLeaf(host)
+	if err != nil {
+		return
+	}
+	tconn := tls.Server(conn, &tls.Config{Certificates: []tls.Certificate{*cert}})
+	if err := tconn.Handshake(); err != nil {
+		return
+	}
+	defer tconn.Close()
+
+	// Fetch the origin's response over a real upstream TLS session. The
+	// proxy does not need the origin to be trustworthy — it is the
+	// interception point, exactly as in §7.
+	up, err := p.cfg.Upstream.DialSite(host, port)
+	if err != nil {
+		return
+	}
+	defer up.Close()
+	upTLS := tls.Client(up, &tls.Config{ServerName: host, InsecureSkipVerify: true})
+	if err := upTLS.Handshake(); err != nil {
+		return
+	}
+	defer upTLS.Close()
+
+	// Bidirectional relay; for the banner protocol one copy each way is
+	// plenty, but a general relay keeps the proxy protocol-agnostic.
+	done := make(chan struct{}, 2)
+	go func() { io.Copy(tconn, upTLS); done <- struct{}{} }()
+	go func() { io.Copy(upTLS, tconn); done <- struct{}{} }()
+	<-done
+}
+
+// forgedLeaf returns (minting if needed) the forged certificate for host:
+// a fresh leaf under the proxy's interception intermediate.
+func (p *Proxy) forgedLeaf(host string) (*tls.Certificate, error) {
+	if !p.cfg.DisableLeafCache {
+		p.mu.Lock()
+		if c, ok := p.leafCache[host]; ok {
+			p.mu.Unlock()
+			return c, nil
+		}
+		p.mu.Unlock()
+	}
+	leaf, err := p.cfg.Generator.Leaf(p.intermediate, host,
+		certgen.WithKeyName("mitm-forged-leaf-key"),
+		certgen.WithValidity(certgen.Epoch.AddDate(0, -1, 0), certgen.Epoch.AddDate(1, 0, 0)))
+	if err != nil {
+		return nil, fmt.Errorf("mitm: forging leaf for %s: %w", host, err)
+	}
+	cert := &tls.Certificate{
+		Certificate: [][]byte{leaf.Cert.Raw, p.intermediate.Cert.Raw},
+		PrivateKey:  leaf.Key,
+	}
+	p.mu.Lock()
+	p.stats.LeavesForged++
+	if !p.cfg.DisableLeafCache {
+		p.leafCache[host] = cert
+	}
+	p.mu.Unlock()
+	return cert, nil
+}
+
+// Intermediate exposes the proxy's on-the-fly intermediate certificate.
+func (p *Proxy) Intermediate() *certgen.Issued { return p.intermediate }

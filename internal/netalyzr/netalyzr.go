@@ -1,0 +1,143 @@
+// Package netalyzr reimplements the measurement client of §4.1: it reads a
+// device's root certificate store, probes a list of popular domains over
+// real TLS recording the full presented trust chain, and emits a session
+// report. The paper's dataset is 15,970 such executions; here the client
+// runs against the in-process TLS internet (or through an interception
+// proxy, which is how §7's finding was made).
+package netalyzr
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"fmt"
+	"time"
+
+	"tangledmass/internal/chain"
+	"tangledmass/internal/device"
+	"tangledmass/internal/rootstore"
+	"tangledmass/internal/tlsnet"
+)
+
+// ProbeResult is one domain's TLS trust-chain check.
+type ProbeResult struct {
+	Target tlsnet.HostPort
+	// Chain is the chain the server presented, leaf first. Netalyzr records
+	// it regardless of whether it validates.
+	Chain []*x509.Certificate
+	// DeviceValidated reports whether the presented chain verifies against
+	// the device's effective root store.
+	DeviceValidated bool
+	// Err records a connection or handshake failure.
+	Err error
+}
+
+// Report is one Netalyzr session.
+type Report struct {
+	Profile device.Profile
+	Rooted  bool
+	// Store is the device's effective trust store at probe time.
+	Store *rootstore.Store
+	// Probes holds one result per target, in target order.
+	Probes []ProbeResult
+}
+
+// Client runs measurement sessions. The zero value is not usable; fill all
+// fields.
+type Client struct {
+	// Device is the handset under measurement.
+	Device *device.Device
+	// Dialer provides connectivity — direct to the origin, or through an
+	// interception proxy when the device's traffic is tunneled (§7).
+	Dialer tlsnet.Dialer
+	// Targets are the domains to probe. Nil means tlsnet.ProbeTargets().
+	Targets []tlsnet.HostPort
+	// At pins the validation clock (defaults to the Unix epoch of the
+	// handshake if zero — callers should pass certgen.Epoch).
+	At time.Time
+}
+
+// Run executes one session: store collection plus one probe per target.
+func (c *Client) Run() (*Report, error) {
+	if c.Device == nil || c.Dialer == nil {
+		return nil, fmt.Errorf("netalyzr: client needs a device and a dialer")
+	}
+	targets := c.Targets
+	if targets == nil {
+		targets = tlsnet.ProbeTargets()
+	}
+	rep := &Report{
+		Profile: c.Device.Profile,
+		Rooted:  c.Device.Rooted(),
+		Store:   c.Device.EffectiveStore(),
+	}
+	for _, hp := range targets {
+		rep.Probes = append(rep.Probes, c.probe(rep.Store, hp))
+	}
+	return rep, nil
+}
+
+// probe fetches and evaluates one target's chain.
+func (c *Client) probe(store *rootstore.Store, hp tlsnet.HostPort) ProbeResult {
+	res := ProbeResult{Target: hp}
+	conn, err := c.Dialer.DialSite(hp.Host, hp.Port)
+	if err != nil {
+		res.Err = fmt.Errorf("netalyzr: dialing %s: %w", hp, err)
+		return res
+	}
+	defer conn.Close()
+	// InsecureSkipVerify: the client records whatever the server presents;
+	// trust evaluation happens separately against the device store.
+	tconn := tls.Client(conn, &tls.Config{
+		ServerName:         hp.Host,
+		InsecureSkipVerify: true,
+	})
+	if err := tconn.Handshake(); err != nil {
+		res.Err = fmt.Errorf("netalyzr: handshake with %s: %w", hp, err)
+		return res
+	}
+	defer tconn.Close()
+	res.Chain = tconn.ConnectionState().PeerCertificates
+	res.DeviceValidated = c.validates(store, res.Chain)
+	return res
+}
+
+// validates checks the presented chain against the device store, using the
+// presented intermediates for path building.
+func (c *Client) validates(store *rootstore.Store, presented []*x509.Certificate) bool {
+	if len(presented) == 0 {
+		return false
+	}
+	v := chain.NewVerifier(store.Certificates(), presented[1:], c.At)
+	return v.Validates(presented[0])
+}
+
+// UntrustedProbes returns the probes whose chains failed device validation —
+// the signal that surfaced the §7 interception.
+func (r *Report) UntrustedProbes() []ProbeResult {
+	var out []ProbeResult
+	for _, p := range r.Probes {
+		if p.Err == nil && !p.DeviceValidated {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ChainRootSubjects summarizes the distinct root subjects presented across
+// all probes — a quick fingerprint of who is signing this session's TLS.
+func (r *Report) ChainRootSubjects() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range r.Probes {
+		if len(p.Chain) == 0 {
+			continue
+		}
+		top := p.Chain[len(p.Chain)-1]
+		s := top.Issuer.String()
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,391 @@
+// Package notary reimplements the ICSI Certificate Notary substrate (§4.2):
+// a passive database of certificates observed in live TLS traffic on any
+// port, aggregated with first/last-seen times, plus the validation analyses
+// the paper runs on it — per-store validation totals (Table 3), per-category
+// zero-validation shares (Table 4), and per-root validation counts (the
+// ECDF of Figure 3).
+package notary
+
+import (
+	"crypto/x509"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"tangledmass/internal/certid"
+	"tangledmass/internal/chain"
+	"tangledmass/internal/rootstore"
+)
+
+// Observation is one certificate chain seen on the wire.
+type Observation struct {
+	// Chain is leaf-first, as presented by the server.
+	Chain []*x509.Certificate
+	// Port is the TCP port the session used.
+	Port int
+	// SeenAt is the observation instant; zero means the Notary's reference
+	// time.
+	SeenAt time.Time
+}
+
+// Entry is the Notary's record for one unique certificate (uniqueness by
+// SHA-1 of the DER encoding, the "certificate signature" identity of §4.1).
+type Entry struct {
+	Cert *x509.Certificate
+	// SeenAsLeaf reports whether the certificate ever appeared in leaf
+	// position.
+	SeenAsLeaf bool
+	// FromStore reports whether the certificate was imported from an
+	// official root store rather than observed in traffic.
+	FromStore bool
+	// Sessions counts observations that included this certificate.
+	Sessions int64
+	// Ports is the set of ports the certificate was seen on.
+	Ports map[int]int64
+	// FirstSeen and LastSeen bound the observation window for this
+	// certificate (zero for store-imported entries never seen in traffic).
+	FirstSeen time.Time
+	LastSeen  time.Time
+}
+
+// Notary is the certificate database. Construct with New; safe for
+// concurrent Observe calls.
+type Notary struct {
+	at time.Time
+
+	mu       sync.RWMutex
+	entries  map[string]*Entry // by SHA-1 fingerprint
+	byID     map[certid.Identity]bool
+	sessions int64
+}
+
+// New returns an empty Notary that evaluates expiry at the instant at.
+func New(at time.Time) *Notary {
+	return &Notary{
+		at:      at,
+		entries: make(map[string]*Entry),
+		byID:    make(map[certid.Identity]bool),
+	}
+}
+
+// At returns the Notary's reference time.
+func (n *Notary) At() time.Time { return n.at }
+
+// Observe records one live-traffic chain.
+func (n *Notary) Observe(obs Observation) {
+	if len(obs.Chain) == 0 {
+		return
+	}
+	at := obs.SeenAt
+	if at.IsZero() {
+		at = n.at
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sessions++
+	for i, cert := range obs.Chain {
+		e := n.entry(cert)
+		e.Sessions++
+		e.Ports[obs.Port]++
+		e.touch(at)
+		if i == 0 {
+			e.SeenAsLeaf = true
+		}
+	}
+}
+
+// touch updates an entry's observation window.
+func (e *Entry) touch(at time.Time) {
+	if e.FirstSeen.IsZero() || at.Before(e.FirstSeen) {
+		e.FirstSeen = at
+	}
+	if at.After(e.LastSeen) {
+		e.LastSeen = at
+	}
+}
+
+// ObserveCA records a CA certificate seen inside live traffic without leaf
+// position — e.g. a root served as part of a chain, or gathered by a scan.
+// The certificate becomes "recorded" (HasRecord) but is not a validation
+// subject for the Table 3/4 counting, which runs over leaf certificates.
+func (n *Notary) ObserveCA(cert *x509.Certificate, port int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sessions++
+	e := n.entry(cert)
+	e.Sessions++
+	e.Ports[port]++
+	e.touch(n.at)
+}
+
+// ImportStore loads an official root store's certificates into the database
+// without marking them as traffic (§4.2: the Notary also contains the
+// certificates of the Android, iOS7 and Mozilla root stores).
+func (n *Notary) ImportStore(s *rootstore.Store) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, cert := range s.Certificates() {
+		e := n.entry(cert)
+		e.FromStore = true
+	}
+}
+
+// entry returns (creating if needed) the record for cert. Caller holds mu.
+func (n *Notary) entry(cert *x509.Certificate) *Entry {
+	fp := certid.SHA1Fingerprint(cert)
+	e, ok := n.entries[fp]
+	if !ok {
+		e = &Entry{Cert: cert, Ports: make(map[int]int64)}
+		n.entries[fp] = e
+		n.byID[certid.IdentityOf(cert)] = true
+	}
+	return e
+}
+
+// Lookup returns a copy of the record for cert (matched by exact DER), or
+// nil when the Notary has never stored that encoding.
+func (n *Notary) Lookup(cert *x509.Certificate) *Entry {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	e, ok := n.entries[certid.SHA1Fingerprint(cert)]
+	if !ok {
+		return nil
+	}
+	cp := *e
+	cp.Ports = make(map[int]int64, len(e.Ports))
+	for p, c := range e.Ports {
+		cp.Ports[p] = c
+	}
+	return &cp
+}
+
+// Sessions returns the number of observed TLS sessions.
+func (n *Notary) Sessions() int64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.sessions
+}
+
+// NumUnique returns the number of unique certificates on record.
+func (n *Notary) NumUnique() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.entries)
+}
+
+// NumUnexpired returns how many recorded certificates are valid at the
+// reference time (the paper's "one million have not expired").
+func (n *Notary) NumUnexpired() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	c := 0
+	for _, e := range n.entries {
+		if n.unexpired(e.Cert) {
+			c++
+		}
+	}
+	return c
+}
+
+func (n *Notary) unexpired(c *x509.Certificate) bool {
+	return !n.at.Before(c.NotBefore) && !n.at.After(c.NotAfter)
+}
+
+// HasRecord reports whether the Notary knows the certificate — from traffic
+// or store import — under the paper's identity (subject + key), so re-issued
+// instances match.
+func (n *Notary) HasRecord(cert *x509.Certificate) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.byID[certid.IdentityOf(cert)]
+}
+
+// unexpiredLeaves returns the non-expired certificates seen in leaf
+// position, in deterministic order.
+func (n *Notary) unexpiredLeaves() []*x509.Certificate {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	fps := make([]string, 0, len(n.entries))
+	for fp, e := range n.entries {
+		if e.SeenAsLeaf && n.unexpired(e.Cert) {
+			fps = append(fps, fp)
+		}
+	}
+	sort.Strings(fps)
+	out := make([]*x509.Certificate, len(fps))
+	for i, fp := range fps {
+		out[i] = n.entries[fp].Cert
+	}
+	return out
+}
+
+// observedCAs returns the CA certificates on record (traffic or import) that
+// are not in leaf position — the intermediate pool for path building.
+func (n *Notary) observedCAs() []*x509.Certificate {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var out []*x509.Certificate
+	for _, e := range n.entries {
+		if e.Cert.IsCA {
+			out = append(out, e.Cert)
+		}
+	}
+	return out
+}
+
+// PortCount is one row of the port distribution.
+type PortCount struct {
+	Port     int
+	Sessions int64
+}
+
+// PortDistribution returns per-port observation counts, busiest first —
+// quantifying §4.2's "certificates passively from live upstream traffic to
+// any port".
+func (n *Notary) PortDistribution() []PortCount {
+	n.mu.RLock()
+	agg := map[int]int64{}
+	for _, e := range n.entries {
+		if !e.SeenAsLeaf {
+			continue
+		}
+		for p, c := range e.Ports {
+			agg[p] += c
+		}
+	}
+	n.mu.RUnlock()
+	out := make([]PortCount, 0, len(agg))
+	for p, c := range agg {
+		out = append(out, PortCount{Port: p, Sessions: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sessions != out[j].Sessions {
+			return out[i].Sessions > out[j].Sessions
+		}
+		return out[i].Port < out[j].Port
+	})
+	return out
+}
+
+// StoreReport is the validation result for one root store.
+type StoreReport struct {
+	Store *rootstore.Store
+	// Validated is how many non-expired Notary leaf certificates chain to
+	// at least one root of the store (Table 3).
+	Validated int
+	// PerRoot maps every root identity in the store to the number of
+	// Notary leaves it validates (zero entries included) — the sample
+	// behind Figure 3's ECDFs.
+	PerRoot map[certid.Identity]int
+}
+
+// ZeroValidationFraction returns the share of the store's roots that
+// validate no Notary certificate (the Table 4 percentage and the Figure 3
+// y-offset).
+func (r *StoreReport) ZeroValidationFraction() float64 {
+	if len(r.PerRoot) == 0 {
+		return 0
+	}
+	z := 0
+	for _, c := range r.PerRoot {
+		if c == 0 {
+			z++
+		}
+	}
+	return float64(z) / float64(len(r.PerRoot))
+}
+
+// PerRootCounts returns the per-root validation counts as a float64 sample
+// in deterministic order, ready for ECDF construction.
+func (r *StoreReport) PerRootCounts() []float64 {
+	ids := make([]certid.Identity, 0, len(r.PerRoot))
+	for id := range r.PerRoot {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Subject != ids[j].Subject {
+			return ids[i].Subject < ids[j].Subject
+		}
+		return ids[i].Key < ids[j].Key
+	})
+	out := make([]float64, len(ids))
+	for i, id := range ids {
+		out[i] = float64(r.PerRoot[id])
+	}
+	return out
+}
+
+// Validate runs the paper's validation analysis for every store in one
+// crypto pass: it builds each leaf's chains once against the union of all
+// stores' roots (plus every observed CA as intermediate), attributes leaves
+// to validating roots, then projects the attribution onto each store.
+func (n *Notary) Validate(stores ...*rootstore.Store) []*StoreReport {
+	union := rootstore.Union("union", stores...)
+	verifier := chain.NewVerifier(union.Certificates(), n.observedCAs(), n.at)
+
+	// Path building is the expensive step (one ECDSA verification per new
+	// issuer edge); leaves are independent, so fan them across the CPUs.
+	// The verifier is safe for concurrent use: its indexes are read-only
+	// after construction and the signature cache is lock-protected.
+	leaves := n.unexpiredLeaves()
+	leafRoots := make([][]certid.Identity, len(leaves))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				roots := verifier.ValidatingRoots(leaves[i])
+				ids := make([]certid.Identity, len(roots))
+				for j, r := range roots {
+					ids[j] = certid.IdentityOf(r)
+				}
+				leafRoots[i] = ids
+			}
+		}()
+	}
+	for i := range leaves {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	perRoot := make(map[certid.Identity]int, union.Len())
+	for _, ids := range leafRoots {
+		for _, id := range ids {
+			perRoot[id]++
+		}
+	}
+
+	reports := make([]*StoreReport, len(stores))
+	for si, s := range stores {
+		rep := &StoreReport{Store: s, PerRoot: make(map[certid.Identity]int, s.Len())}
+		for _, id := range s.Identities() {
+			rep.PerRoot[id] = perRoot[id]
+		}
+		for _, ids := range leafRoots {
+			for _, id := range ids {
+				if s.ContainsIdentity(id) {
+					rep.Validated++
+					break
+				}
+			}
+		}
+		reports[si] = rep
+	}
+	return reports
+}
+
+// ValidateOne is Validate for a single store.
+func (n *Notary) ValidateOne(s *rootstore.Store) *StoreReport {
+	return n.Validate(s)[0]
+}
+
+// String summarizes the database.
+func (n *Notary) String() string {
+	return fmt.Sprintf("notary: %d unique certs (%d unexpired), %d sessions",
+		n.NumUnique(), n.NumUnexpired(), n.Sessions())
+}

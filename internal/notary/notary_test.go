@@ -1,0 +1,314 @@
+package notary_test
+
+import (
+	"crypto/x509"
+	"sync"
+	"testing"
+
+	"tangledmass/internal/cauniverse"
+	"tangledmass/internal/certgen"
+	"tangledmass/internal/notary"
+	"tangledmass/internal/rootstore"
+	"tangledmass/internal/tlsnet"
+)
+
+var (
+	fedOnce   sync.Once
+	fedNotary *notary.Notary
+	fedWorld  *tlsnet.World
+	fedErr    error
+)
+
+// fedDB returns a Notary fed from a 4,000-leaf world, cached across tests.
+func fedDB(t *testing.T) (*notary.Notary, *tlsnet.World) {
+	t.Helper()
+	fedOnce.Do(func() {
+		fedWorld, fedErr = tlsnet.NewWorld(tlsnet.Config{Seed: 1, NumLeaves: 4000})
+		if fedErr != nil {
+			return
+		}
+		fedNotary = notary.New(certgen.Epoch)
+		tlsnet.Feed(fedWorld, fedNotary)
+	})
+	if fedErr != nil {
+		t.Fatal(fedErr)
+	}
+	return fedNotary, fedWorld
+}
+
+func TestObserveBasics(t *testing.T) {
+	g := certgen.NewGenerator(50)
+	root, _ := g.SelfSignedCA("Obs Root")
+	leaf, _ := g.Leaf(root, "obs.example.com")
+	n := notary.New(certgen.Epoch)
+	obs := notary.Observation{Chain: []*x509.Certificate{leaf.Cert, root.Cert}, Port: 443}
+	n.Observe(obs)
+	n.Observe(obs)
+	if n.Sessions() != 2 {
+		t.Errorf("sessions = %d, want 2", n.Sessions())
+	}
+	if n.NumUnique() != 2 {
+		t.Errorf("unique = %d, want 2 (leaf + root)", n.NumUnique())
+	}
+	if !n.HasRecord(leaf.Cert) || !n.HasRecord(root.Cert) {
+		t.Error("observed certs should be on record")
+	}
+	n.Observe(notary.Observation{}) // empty chains are ignored
+	if n.Sessions() != 2 {
+		t.Error("empty observation should not count")
+	}
+}
+
+func TestHasRecordByEquivalence(t *testing.T) {
+	g := certgen.NewGenerator(51)
+	root, _ := g.SelfSignedCA("Equiv Obs Root")
+	re, _ := g.Reissue(root, certgen.WithValidity(certgen.Epoch, certgen.Epoch.AddDate(9, 0, 0)))
+	n := notary.New(certgen.Epoch)
+	n.Observe(notary.Observation{Chain: []*x509.Certificate{root.Cert}, Port: 443})
+	if !n.HasRecord(re.Cert) {
+		t.Error("a re-issued instance should match by subject+key identity")
+	}
+}
+
+func TestImportStoreNotTraffic(t *testing.T) {
+	u := cauniverse.Default()
+	n := notary.New(certgen.Epoch)
+	n.ImportStore(u.Mozilla())
+	if n.Sessions() != 0 {
+		t.Error("store import must not count as sessions")
+	}
+	if n.NumUnique() != u.Mozilla().Len() {
+		t.Errorf("unique = %d, want %d", n.NumUnique(), u.Mozilla().Len())
+	}
+	if !n.HasRecord(u.Mozilla().Certificates()[0]) {
+		t.Error("imported certs should be on record")
+	}
+}
+
+func TestExpiredTracking(t *testing.T) {
+	g := certgen.NewGenerator(52)
+	root, _ := g.SelfSignedCA("Exp Track Root")
+	live, _ := g.Leaf(root, "live.example.com")
+	dead, _ := g.Leaf(root, "dead.example.com",
+		certgen.WithValidity(certgen.Epoch.AddDate(-2, 0, 0), certgen.Epoch.AddDate(-1, 0, 0)))
+	n := notary.New(certgen.Epoch)
+	n.Observe(notary.Observation{Chain: []*x509.Certificate{live.Cert, root.Cert}, Port: 443})
+	n.Observe(notary.Observation{Chain: []*x509.Certificate{dead.Cert, root.Cert}, Port: 443})
+	if n.NumUnique() != 3 {
+		t.Fatalf("unique = %d, want 3", n.NumUnique())
+	}
+	if n.NumUnexpired() != 2 {
+		t.Errorf("unexpired = %d, want 2 (live leaf + root)", n.NumUnexpired())
+	}
+}
+
+func TestValidateSingleStore(t *testing.T) {
+	g := certgen.NewGenerator(53)
+	rootA, _ := g.SelfSignedCA("Val Root A")
+	rootB, _ := g.SelfSignedCA("Val Root B")
+	n := notary.New(certgen.Epoch)
+	for i, r := range []*certgen.Issued{rootA, rootA, rootA, rootB} {
+		leaf, _ := g.Leaf(r, "val"+string(rune('0'+i))+".example.com")
+		n.Observe(notary.Observation{Chain: []*x509.Certificate{leaf.Cert, r.Cert}, Port: 443})
+	}
+	storeA := rootstore.New("A-only")
+	storeA.Add(rootA.Cert)
+	rep := n.ValidateOne(storeA)
+	if rep.Validated != 3 {
+		t.Errorf("validated = %d, want 3", rep.Validated)
+	}
+	if len(rep.PerRoot) != 1 {
+		t.Fatalf("per-root entries = %d, want 1", len(rep.PerRoot))
+	}
+	for _, c := range rep.PerRoot {
+		if c != 3 {
+			t.Errorf("rootA count = %d, want 3", c)
+		}
+	}
+	if rep.ZeroValidationFraction() != 0 {
+		t.Error("rootA validates certs; zero fraction should be 0")
+	}
+}
+
+func TestValidateMultiStoreConsistency(t *testing.T) {
+	n, w := fedDB(t)
+	u := w.Universe()
+	reports := n.Validate(u.AOSP("4.1"), u.AOSP("4.4"), u.Mozilla(), u.IOS7())
+	byName := map[string]*notary.StoreReport{}
+	for _, r := range reports {
+		byName[r.Store.Name()] = r
+	}
+	// Table 3's qualitative structure: all stores validate nearly the same
+	// count; iOS7 ≥ AOSP 4.4 ≥ AOSP 4.1; Mozilla close to AOSP.
+	a41, a44 := byName["AOSP 4.1"].Validated, byName["AOSP 4.4"].Validated
+	moz, ios := byName["Mozilla"].Validated, byName["iOS7"].Validated
+	if a44 < a41 {
+		t.Errorf("AOSP 4.4 (%d) should validate at least as many as 4.1 (%d)", a44, a41)
+	}
+	// iOS7 vs AOSP ordering is Zipf-tail noise at this sample size (the
+	// paper's own gap is 0.2%); the near-equality band below is the real
+	// Table 3 claim. Subset orderings, by contrast, are structural.
+	_ = ios
+	for name, rep := range byName {
+		ratio := float64(rep.Validated) / float64(a44)
+		if ratio < 0.97 || ratio > 1.03 {
+			t.Errorf("%s validated %d, >3%% from AOSP 4.4's %d — Table 3 wants near-equality", name, rep.Validated, a44)
+		}
+	}
+	// ≈74% of non-expired leaves validate (Table 3: 744k of ~1M).
+	leaves := 0
+	for _, l := range w.Leaves() {
+		if !l.Expired {
+			leaves++
+		}
+	}
+	share := float64(moz) / float64(leaves)
+	if share < 0.68 || share > 0.80 {
+		t.Errorf("Mozilla validated share = %.3f, want ≈0.74", share)
+	}
+}
+
+func TestZeroValidationFractions(t *testing.T) {
+	n, w := fedDB(t)
+	u := w.Universe()
+	cases := []struct {
+		store *rootstore.Store
+		want  float64
+		tol   float64
+	}{
+		{u.AOSP("4.4"), 0.23, 0.04},
+		{u.AOSP("4.1"), 0.22, 0.04},
+		{u.Mozilla(), 0.22, 0.04},
+		{u.IOS7(), 0.41, 0.04},
+		{u.AggregatedAndroid(), 0.40, 0.05},
+	}
+	stores := make([]*rootstore.Store, len(cases))
+	for i, c := range cases {
+		stores[i] = c.store
+	}
+	reports := n.Validate(stores...)
+	for i, c := range cases {
+		got := reports[i].ZeroValidationFraction()
+		if got < c.want-c.tol || got > c.want+c.tol {
+			t.Errorf("%s zero-validation = %.3f, want %.2f±%.2f (Table 4)",
+				c.store.Name(), got, c.want, c.tol)
+		}
+	}
+}
+
+func TestPerRootCountsShape(t *testing.T) {
+	n, w := fedDB(t)
+	u := w.Universe()
+	rep := n.ValidateOne(u.AOSP("4.4"))
+	counts := rep.PerRootCounts()
+	if len(counts) != 150 {
+		t.Fatalf("per-root sample = %d, want 150", len(counts))
+	}
+	var max, total float64
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		total += c
+	}
+	if max < 50 {
+		t.Errorf("most popular root validates only %v leaves; expected heavy skew", max)
+	}
+	// Deterministic ordering.
+	again := rep.PerRootCounts()
+	for i := range counts {
+		if counts[i] != again[i] {
+			t.Fatal("PerRootCounts not deterministic")
+		}
+	}
+}
+
+func TestExpiredRootValidatesNothing(t *testing.T) {
+	n, w := fedDB(t)
+	u := w.Universe()
+	rep := n.ValidateOne(u.AOSP("4.4"))
+	exp := u.ExpiredRoot()
+	id := exp.Issued.Cert
+	for rid, c := range rep.PerRoot {
+		if rid.Subject == id.Subject.String() && c != 0 {
+			t.Errorf("expired root validates %d certs, want 0", c)
+		}
+	}
+}
+
+func TestUnrecordedExtrasHaveNoRecord(t *testing.T) {
+	n, w := fedDB(t)
+	u := w.Universe()
+	for _, r := range u.Roots() {
+		switch r.Class {
+		case cauniverse.ExtraUnrecorded, cauniverse.RootedOnly, cauniverse.Interception:
+			if n.HasRecord(r.Issued.Cert) {
+				t.Errorf("%s (%v) should not be on record", r.Name, r.Class)
+			}
+		case cauniverse.ExtraAndroidRecorded, cauniverse.SharedByte, cauniverse.ExtraIOSOnly:
+			if !n.HasRecord(r.Issued.Cert) {
+				t.Errorf("%s (%v) should be on record", r.Name, r.Class)
+			}
+		}
+	}
+}
+
+func TestNotaryString(t *testing.T) {
+	n := notary.New(certgen.Epoch)
+	if n.String() == "" {
+		t.Error("String should describe the database")
+	}
+}
+
+func TestPortDistribution(t *testing.T) {
+	n, _ := fedDB(t)
+	dist := n.PortDistribution()
+	if len(dist) < 4 {
+		t.Fatalf("port distribution has %d ports, want several (§4.2: any port)", len(dist))
+	}
+	if dist[0].Port != 443 {
+		t.Errorf("busiest port = %d, want 443", dist[0].Port)
+	}
+	for i := 1; i < len(dist); i++ {
+		if dist[i].Sessions > dist[i-1].Sessions {
+			t.Fatal("distribution not sorted by sessions")
+		}
+	}
+	seen := map[int]bool{}
+	for _, pc := range dist {
+		if seen[pc.Port] {
+			t.Fatalf("duplicate port %d", pc.Port)
+		}
+		seen[pc.Port] = true
+	}
+	for _, want := range []int{993, 7275, 8883} {
+		if !seen[want] {
+			t.Errorf("port %d missing from distribution", want)
+		}
+	}
+}
+
+func TestLookupEntry(t *testing.T) {
+	n, w := fedDB(t)
+	leaf := w.Leaves()[0]
+	e := n.Lookup(leaf.Chain[0])
+	if e == nil {
+		t.Fatal("observed leaf should have an entry")
+	}
+	if !e.SeenAsLeaf || e.Sessions < 1 {
+		t.Errorf("entry = %+v", e)
+	}
+	if e.FirstSeen.IsZero() || e.LastSeen.Before(e.FirstSeen) {
+		t.Errorf("seen window = [%v, %v]", e.FirstSeen, e.LastSeen)
+	}
+	// The returned entry is a copy.
+	e.Ports[99999] = 1
+	if n.Lookup(leaf.Chain[0]).Ports[99999] != 0 {
+		t.Error("Lookup should return an isolated copy")
+	}
+	g := certgen.NewGenerator(990)
+	stranger, _ := g.SelfSignedCA("Never Observed")
+	if n.Lookup(stranger.Cert) != nil {
+		t.Error("unknown cert should have no entry")
+	}
+}

@@ -1,0 +1,139 @@
+package notary
+
+import (
+	"crypto/x509"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// Snapshot is the serialized form of a Notary database. The real Notary
+// aggregates into a central database that outlives any one process (§4.2,
+// "aggregating them into a central database"); Save/Load give the
+// reproduction the same property.
+type snapshot struct {
+	// Version guards the format.
+	Version int
+	At      time.Time
+	// Sessions is the observation count.
+	Sessions int64
+	Entries  []snapshotEntry
+}
+
+type snapshotEntry struct {
+	DER        []byte
+	SeenAsLeaf bool
+	FromStore  bool
+	Sessions   int64
+	FirstSeen  time.Time
+	LastSeen   time.Time
+	// Ports is sorted by port so identical databases serialize
+	// byte-identically (gob map encoding is order-dependent).
+	Ports []portCount
+}
+
+type portCount struct {
+	Port  int
+	Count int64
+}
+
+const snapshotVersion = 1
+
+// Save writes the database to w in a self-describing binary format.
+func (n *Notary) Save(w io.Writer) error {
+	n.mu.RLock()
+	snap := snapshot{Version: snapshotVersion, At: n.at, Sessions: n.sessions}
+	fps := make([]string, 0, len(n.entries))
+	for fp := range n.entries {
+		fps = append(fps, fp)
+	}
+	sort.Strings(fps) // deterministic files for identical databases
+	for _, fp := range fps {
+		e := n.entries[fp]
+		ports := make([]portCount, 0, len(e.Ports))
+		for p, c := range e.Ports {
+			ports = append(ports, portCount{Port: p, Count: c})
+		}
+		sort.Slice(ports, func(i, j int) bool { return ports[i].Port < ports[j].Port })
+		snap.Entries = append(snap.Entries, snapshotEntry{
+			DER:        e.Cert.Raw,
+			SeenAsLeaf: e.SeenAsLeaf,
+			FromStore:  e.FromStore,
+			Sessions:   e.Sessions,
+			FirstSeen:  e.FirstSeen,
+			LastSeen:   e.LastSeen,
+			Ports:      ports,
+		})
+	}
+	n.mu.RUnlock()
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("notary: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load reads a database written by Save. The snapshot's reference time is
+// restored with it.
+func Load(r io.Reader) (*Notary, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("notary: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("notary: unsupported snapshot version %d", snap.Version)
+	}
+	n := New(snap.At)
+	n.sessions = snap.Sessions
+	for _, se := range snap.Entries {
+		cert, err := x509.ParseCertificate(se.DER)
+		if err != nil {
+			return nil, fmt.Errorf("notary: snapshot certificate: %w", err)
+		}
+		e := n.entry(cert)
+		e.SeenAsLeaf = se.SeenAsLeaf
+		e.FromStore = se.FromStore
+		e.Sessions = se.Sessions
+		e.FirstSeen = se.FirstSeen
+		e.LastSeen = se.LastSeen
+		for _, pc := range se.Ports {
+			e.Ports[pc.Port] = pc.Count
+		}
+	}
+	return n, nil
+}
+
+// SaveFile writes the database to path atomically (write + rename).
+func (n *Notary) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("notary: creating %s: %w", tmp, err)
+	}
+	if err := n.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("notary: closing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("notary: renaming snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads a database from path.
+func LoadFile(path string) (*Notary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("notary: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,104 @@
+package notary_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tangledmass/internal/certgen"
+	"tangledmass/internal/notary"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	n, w := fedDB(t)
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := notary.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumUnique() != n.NumUnique() {
+		t.Errorf("unique = %d, want %d", back.NumUnique(), n.NumUnique())
+	}
+	if back.NumUnexpired() != n.NumUnexpired() {
+		t.Errorf("unexpired = %d, want %d", back.NumUnexpired(), n.NumUnexpired())
+	}
+	if back.Sessions() != n.Sessions() {
+		t.Errorf("sessions = %d, want %d", back.Sessions(), n.Sessions())
+	}
+	if !back.At().Equal(n.At()) {
+		t.Error("reference time not restored")
+	}
+	// The restored database answers validation identically.
+	u := w.Universe()
+	a := n.ValidateOne(u.AOSP("4.4"))
+	b := back.ValidateOne(u.AOSP("4.4"))
+	if a.Validated != b.Validated {
+		t.Errorf("restored validate = %d, want %d", b.Validated, a.Validated)
+	}
+	if a.ZeroValidationFraction() != b.ZeroValidationFraction() {
+		t.Error("restored zero-validation fraction differs")
+	}
+	// Record flags survive.
+	for _, r := range u.Roots()[:20] {
+		if n.HasRecord(r.Issued.Cert) != back.HasRecord(r.Issued.Cert) {
+			t.Fatalf("HasRecord(%s) changed across round-trip", r.Name)
+		}
+	}
+}
+
+func TestSaveDeterministic(t *testing.T) {
+	n, _ := fedDB(t)
+	var a, b bytes.Buffer
+	if err := n.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("identical databases should serialize identically")
+	}
+}
+
+func TestSaveFileLoadFile(t *testing.T) {
+	n, _ := fedDB(t)
+	path := filepath.Join(t.TempDir(), "notary.db")
+	if err := n.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := notary.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumUnique() != n.NumUnique() {
+		t.Error("file round-trip lost entries")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := notary.Load(strings.NewReader("not a snapshot")); err == nil {
+		t.Error("garbage snapshot should error")
+	}
+	if _, err := notary.LoadFile(filepath.Join(t.TempDir(), "missing.db")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestSaveEmpty(t *testing.T) {
+	n := notary.New(certgen.Epoch)
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := notary.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumUnique() != 0 || back.Sessions() != 0 {
+		t.Error("empty database round-trip not empty")
+	}
+}

@@ -1,0 +1,117 @@
+package notarynet
+
+import (
+	"bufio"
+	"crypto/x509"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"tangledmass/internal/rootstore"
+)
+
+// Client talks to a notarynet server over one TCP connection. It is safe
+// for sequential use only (the protocol is request/response per line);
+// use one client per goroutine.
+type Client struct {
+	conn    net.Conn
+	scanner *bufio.Scanner
+	enc     *json.Encoder
+	timeout time.Duration
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("notarynet: dialing %s: %w", addr, err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	return &Client{conn: conn, scanner: sc, enc: json.NewEncoder(conn), timeout: time.Minute}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads one response.
+func (c *Client) roundTrip(req Request) (Response, error) {
+	c.conn.SetDeadline(time.Now().Add(c.timeout))
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("notarynet: sending %s: %w", req.Op, err)
+	}
+	if !c.scanner.Scan() {
+		if err := c.scanner.Err(); err != nil {
+			return Response{}, fmt.Errorf("notarynet: reading response: %w", err)
+		}
+		return Response{}, errors.New("notarynet: connection closed by server")
+	}
+	var resp Response
+	if err := json.Unmarshal(c.scanner.Bytes(), &resp); err != nil {
+		return Response{}, fmt.Errorf("notarynet: decoding response: %w", err)
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("notarynet: server error: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Observe submits one observed chain.
+func (c *Client) Observe(chain []*x509.Certificate, port int) error {
+	_, err := c.roundTrip(Request{Op: "observe", Chain: EncodeChain(chain), Port: port})
+	return err
+}
+
+// ObserveCA submits one CA certificate seen in traffic (non-leaf).
+func (c *Client) ObserveCA(cert *x509.Certificate, port int) error {
+	_, err := c.roundTrip(Request{Op: "observe_ca", Cert: EncodeCert(cert), Port: port})
+	return err
+}
+
+// HasRecord queries whether the server knows the certificate.
+func (c *Client) HasRecord(cert *x509.Certificate) (bool, error) {
+	resp, err := c.roundTrip(Request{Op: "has_record", Cert: EncodeCert(cert)})
+	if err != nil {
+		return false, err
+	}
+	return resp.Recorded, nil
+}
+
+// Stats is the server's database summary.
+type Stats struct {
+	Unique    int
+	Unexpired int
+	Sessions  int64
+}
+
+// Stats fetches the database summary.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.roundTrip(Request{Op: "stats"})
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{Unique: resp.Unique, Unexpired: resp.Unexpired, Sessions: resp.Sessions}, nil
+}
+
+// ValidateResult is a remote validation outcome.
+type ValidateResult struct {
+	// Validated is how many Notary leaves chain to the submitted roots.
+	Validated int
+	// PerRoot aligns with the submitted root order.
+	PerRoot []int
+}
+
+// Validate runs the Table 3/4 analysis server-side for the given store.
+func (c *Client) Validate(store *rootstore.Store) (ValidateResult, error) {
+	resp, err := c.roundTrip(Request{
+		Op:        "validate",
+		StoreName: store.Name(),
+		Roots:     EncodeChain(store.Certificates()),
+	})
+	if err != nil {
+		return ValidateResult{}, err
+	}
+	return ValidateResult{Validated: resp.Validated, PerRoot: resp.PerRootCount}, nil
+}

@@ -1,0 +1,91 @@
+// Package notarynet puts the Notary on the network, mirroring the real
+// deployment the paper draws on ("Extracting Certificates from Live
+// Traffic: A Near Real-Time SSL Notary Service"): sensors at participating
+// networks stream observed chains to a central service, and analysis
+// clients query it.
+//
+// The wire protocol is newline-delimited JSON over TCP. Every request
+// carries an "op"; certificates travel as base64 DER. One response line
+// answers each request, so a connection can pipeline.
+package notarynet
+
+import (
+	"crypto/x509"
+	"encoding/base64"
+	"fmt"
+)
+
+// Request is one protocol message from client to server.
+type Request struct {
+	// Op selects the operation: "observe", "observe_ca", "has_record",
+	// "stats", "validate".
+	Op string `json:"op"`
+	// Chain is the observed chain, leaf first, base64 DER (observe).
+	Chain []string `json:"chain,omitempty"`
+	// Cert is a single base64 DER certificate (observe_ca, has_record).
+	Cert string `json:"cert,omitempty"`
+	// Port is the observation port (observe, observe_ca).
+	Port int `json:"port,omitempty"`
+	// Roots is a base64 DER root set (validate).
+	Roots []string `json:"roots,omitempty"`
+	// StoreName labels the validate result.
+	StoreName string `json:"store_name,omitempty"`
+}
+
+// Response is one protocol message from server to client.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+
+	// Stats fields.
+	Unique    int   `json:"unique,omitempty"`
+	Unexpired int   `json:"unexpired,omitempty"`
+	Sessions  int64 `json:"sessions,omitempty"`
+
+	// HasRecord field.
+	Recorded bool `json:"recorded,omitempty"`
+
+	// Validate fields.
+	Validated    int   `json:"validated,omitempty"`
+	PerRootCount []int `json:"per_root_count,omitempty"` // aligned with request root order
+}
+
+// EncodeCert renders a certificate for the wire.
+func EncodeCert(c *x509.Certificate) string {
+	return base64.StdEncoding.EncodeToString(c.Raw)
+}
+
+// DecodeCert parses a wire certificate.
+func DecodeCert(s string) (*x509.Certificate, error) {
+	der, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("notarynet: bad base64: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("notarynet: bad certificate: %w", err)
+	}
+	return cert, nil
+}
+
+// EncodeChain renders a chain for the wire.
+func EncodeChain(chain []*x509.Certificate) []string {
+	out := make([]string, len(chain))
+	for i, c := range chain {
+		out[i] = EncodeCert(c)
+	}
+	return out
+}
+
+// DecodeChain parses a wire chain.
+func DecodeChain(ss []string) ([]*x509.Certificate, error) {
+	out := make([]*x509.Certificate, len(ss))
+	for i, s := range ss {
+		c, err := DecodeCert(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package notarynet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"tangledmass/internal/certid"
+	"tangledmass/internal/notary"
+	"tangledmass/internal/rootstore"
+)
+
+// maxLineBytes bounds one protocol line. Chains of a few certificates fit
+// in well under 64 KiB; a validate request carrying a 262-root store needs
+// more.
+const maxLineBytes = 8 << 20
+
+// Server exposes a Notary over TCP. Construct with Serve; Close stops it.
+type Server struct {
+	n  *notary.Notary
+	ln net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts a server for n on addr ("127.0.0.1:0" for an ephemeral
+// port).
+func Serve(n *notary.Notary, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("notarynet: listening on %s: %w", addr, err)
+	}
+	s := &Server{n: n, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and waits for in-flight connections to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	// Sensors stream for long periods; analysis clients are short-lived.
+	// An idle deadline reaps abandoned connections either way.
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 64<<10), maxLineBytes)
+	enc := json.NewEncoder(conn)
+	for {
+		conn.SetReadDeadline(time.Now().Add(2 * time.Minute))
+		if !scanner.Scan() {
+			return
+		}
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		resp := Response{OK: true}
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp = Response{Error: "bad request: " + err.Error()}
+		} else {
+			resp = s.dispatch(req)
+		}
+		conn.SetWriteDeadline(time.Now().Add(time.Minute))
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req Request) Response {
+	switch req.Op {
+	case "observe":
+		chain, err := DecodeChain(req.Chain)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		if len(chain) == 0 {
+			return Response{Error: "observe: empty chain"}
+		}
+		s.n.Observe(notary.Observation{Chain: chain, Port: req.Port})
+		return Response{OK: true}
+
+	case "observe_ca":
+		cert, err := DecodeCert(req.Cert)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		s.n.ObserveCA(cert, req.Port)
+		return Response{OK: true}
+
+	case "has_record":
+		cert, err := DecodeCert(req.Cert)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true, Recorded: s.n.HasRecord(cert)}
+
+	case "stats":
+		return Response{
+			OK:        true,
+			Unique:    s.n.NumUnique(),
+			Unexpired: s.n.NumUnexpired(),
+			Sessions:  s.n.Sessions(),
+		}
+
+	case "validate":
+		roots, err := DecodeChain(req.Roots)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		if len(roots) == 0 {
+			return Response{Error: "validate: empty root set"}
+		}
+		name := req.StoreName
+		if name == "" {
+			name = "client store"
+		}
+		store := rootstore.New(name)
+		store.AddAll(roots)
+		rep := s.n.ValidateOne(store)
+		counts := make([]int, len(roots))
+		for i, r := range roots {
+			counts[i] = rep.PerRoot[certid.IdentityOf(r)]
+		}
+		return Response{OK: true, Validated: rep.Validated, PerRootCount: counts}
+
+	default:
+		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}

@@ -1,0 +1,54 @@
+package pinning
+
+import (
+	"tangledmass/internal/netalyzr"
+	"tangledmass/internal/tlsnet"
+)
+
+// BuildFromSites constructs the pin store the paper's pinned apps
+// effectively deploy: each pinned host (tlsnet.PinnedHosts — Facebook,
+// Twitter, Google services) pins its issuing CA's key, i.e. the certificate
+// directly above the leaf, so routine leaf rotation keeps working while any
+// re-signing proxy trips the pin.
+func BuildFromSites(sites *tlsnet.Sites) *Store {
+	s := NewStore()
+	for _, site := range sites.All() {
+		if !tlsnet.PinnedHosts[site.Host] {
+			continue
+		}
+		if len(site.Chain) >= 2 {
+			s.Add(site.Host, site.Chain[1])
+		} else {
+			s.Add(site.Host, site.Chain[0])
+		}
+	}
+	return s
+}
+
+// AppVerdict is a pinned app's view of one probed connection.
+type AppVerdict struct {
+	Host string
+	Port int
+	// Pinned reports whether the app pins this host at all.
+	Pinned bool
+	// Violation is non-nil when the presented chain failed the pin check —
+	// the in-app warning of §2 ("certificates which do not chain ... can
+	// evoke a visual warning message in apps implementing cert pinning").
+	Violation error
+}
+
+// EvaluateReport runs the pin check over a Netalyzr session's probes,
+// returning one verdict per probe. This is the app-side complement to the
+// detector in internal/mitm: even without the Notary, a pinned app catches
+// interception of its own traffic.
+func EvaluateReport(s *Store, rep *netalyzr.Report) []AppVerdict {
+	out := make([]AppVerdict, 0, len(rep.Probes))
+	for _, p := range rep.Probes {
+		v := AppVerdict{Host: p.Target.Host, Port: p.Target.Port, Pinned: s.Pinned(p.Target.Host)}
+		if p.Err == nil && v.Pinned {
+			v.Violation = s.Check(p.Target.Host, p.Chain)
+		}
+		out = append(out, v)
+	}
+	return out
+}

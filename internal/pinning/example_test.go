@@ -1,0 +1,33 @@
+package pinning_test
+
+import (
+	"crypto/x509"
+	"fmt"
+
+	"tangledmass/internal/certgen"
+	"tangledmass/internal/pinning"
+)
+
+// An app pins its service's issuing CA: leaf rotation keeps working, but a
+// re-signing proxy trips the pin — the §7 dynamic that forced the marketing
+// proxy to whitelist pinned services.
+func Example() {
+	g := certgen.NewGenerator(7)
+	root, _ := g.SelfSignedCA("Service Root")
+	inter, _ := g.Intermediate(root, "Service Issuing CA")
+	leaf, _ := g.Leaf(inter, "api.service.example")
+
+	pins := pinning.NewStore()
+	pins.Add("api.service.example", inter.Cert)
+
+	genuine := []*x509.Certificate{leaf.Cert, inter.Cert, root.Cert}
+	fmt.Println("genuine chain:", pins.Check("api.service.example", genuine))
+
+	proxyCA, _ := g.SelfSignedCA("Interception Proxy CA")
+	forged, _ := g.Leaf(proxyCA, "api.service.example", certgen.WithKeyName("forged"))
+	mitm := []*x509.Certificate{forged.Cert, proxyCA.Cert}
+	fmt.Println("forged chain ok:", pins.Check("api.service.example", mitm) == nil)
+	// Output:
+	// genuine chain: <nil>
+	// forged chain ok: false
+}

@@ -1,0 +1,224 @@
+package pinning
+
+import (
+	"crypto/x509"
+	"errors"
+	"sync"
+	"testing"
+
+	"tangledmass/internal/cauniverse"
+	"tangledmass/internal/certgen"
+	"tangledmass/internal/device"
+	"tangledmass/internal/mitm"
+	"tangledmass/internal/netalyzr"
+	"tangledmass/internal/tlsnet"
+)
+
+func testChain(t *testing.T) (root, inter, leaf *certgen.Issued) {
+	t.Helper()
+	g := certgen.NewGenerator(80)
+	var err error
+	root, err = g.SelfSignedCA("Pin Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err = g.Intermediate(root, "Pin Intermediate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err = g.Leaf(inter, "pinned.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root, inter, leaf
+}
+
+func TestPinCertificateStableAndKeyed(t *testing.T) {
+	root, inter, _ := testChain(t)
+	if PinCertificate(root.Cert) != PinCertificate(root.Cert) {
+		t.Error("pin must be deterministic")
+	}
+	if PinCertificate(root.Cert) == PinCertificate(inter.Cert) {
+		t.Error("different keys must yield different pins")
+	}
+	// A re-issued cert (same key) keeps its pin.
+	g := certgen.NewGenerator(80)
+	orig, _ := g.SelfSignedCA("Pin Reissue")
+	re, _ := g.Reissue(orig, certgen.WithValidity(certgen.Epoch, certgen.Epoch.AddDate(5, 0, 0)))
+	if PinCertificate(orig.Cert) != PinCertificate(re.Cert) {
+		t.Error("pin must survive reissue (it is a key property)")
+	}
+}
+
+func TestCheckSemantics(t *testing.T) {
+	root, inter, leaf := testChain(t)
+	chain := []*x509.Certificate{leaf.Cert, inter.Cert, root.Cert}
+
+	s := NewStore()
+	// No pins: vacuous pass.
+	if err := s.Check("pinned.example.com", chain); err != nil {
+		t.Errorf("unpinned host should pass: %v", err)
+	}
+	if s.Pinned("pinned.example.com") {
+		t.Error("host should not report pinned")
+	}
+
+	// Pinning the intermediate: pass (chain contains it).
+	s.Add("pinned.example.com", inter.Cert)
+	if !s.Pinned("pinned.example.com") {
+		t.Error("host should report pinned")
+	}
+	if err := s.Check("pinned.example.com", chain); err != nil {
+		t.Errorf("chain containing pinned intermediate should pass: %v", err)
+	}
+
+	// A chain missing the pinned key fails with ErrPinMismatch.
+	g := certgen.NewGenerator(81)
+	otherRoot, _ := g.SelfSignedCA("Other Root")
+	otherLeaf, _ := g.Leaf(otherRoot, "pinned.example.com")
+	bad := []*x509.Certificate{otherLeaf.Cert, otherRoot.Cert}
+	err := s.Check("pinned.example.com", bad)
+	var mismatch *ErrPinMismatch
+	if !errors.As(err, &mismatch) {
+		t.Fatalf("err = %v, want ErrPinMismatch", err)
+	}
+	if mismatch.Host != "pinned.example.com" || len(mismatch.Presented) != 2 {
+		t.Errorf("mismatch detail = %+v", mismatch)
+	}
+	if mismatch.Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+func TestLeafRotationSurvivesIntermediatePin(t *testing.T) {
+	root, inter, _ := testChain(t)
+	s := NewStore()
+	s.Add("pinned.example.com", inter.Cert)
+	// A brand-new leaf under the same intermediate still passes.
+	g := certgen.NewGenerator(80)
+	inter2 := &certgen.Issued{Cert: inter.Cert, Key: inter.Key}
+	fresh, err := g.Leaf(inter2, "pinned.example.com", certgen.WithKeyName("rotated-leaf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := []*x509.Certificate{fresh.Cert, inter.Cert, root.Cert}
+	if err := s.Check("pinned.example.com", chain); err != nil {
+		t.Errorf("rotated leaf under pinned intermediate should pass: %v", err)
+	}
+}
+
+func TestStoreAccessors(t *testing.T) {
+	root, inter, _ := testChain(t)
+	s := NewStore()
+	s.Add("b.example", inter.Cert)
+	s.Add("a.example", root.Cert, inter.Cert)
+	s.AddPin("a.example", Pin("deadbeef"))
+	hosts := s.Hosts()
+	if len(hosts) != 2 || hosts[0] != "a.example" || hosts[1] != "b.example" {
+		t.Errorf("hosts = %v", hosts)
+	}
+	if got := len(s.Pins("a.example")); got != 3 {
+		t.Errorf("a.example pins = %d, want 3", got)
+	}
+	// Idempotent add.
+	s.Add("a.example", root.Cert)
+	if got := len(s.Pins("a.example")); got != 3 {
+		t.Errorf("re-add changed pin count to %d", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	root, _, leaf := testChain(t)
+	s := NewStore()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.Add("c.example", root.Cert)
+				s.Check("c.example", []*x509.Certificate{leaf.Cert, root.Cert})
+				s.Pinned("c.example")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPinnedAppCatchesInterception is the §7 end-to-end: a pinned app's
+// traffic through the marketing proxy. Whitelisted (tunneled) hosts pass the
+// pin check; if the proxy were to intercept a pinned host, the app would
+// raise a violation — which is exactly why the proxy whitelists them.
+func TestPinnedAppCatchesInterception(t *testing.T) {
+	u := cauniverse.Default()
+	world, err := tlsnet.NewWorld(tlsnet.Config{Seed: 13, NumLeaves: 10, Universe: u})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, err := tlsnet.NewSites(world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := tlsnet.ServeSites(sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	pins := BuildFromSites(sites)
+	if len(pins.Hosts()) == 0 {
+		t.Fatal("no pinned hosts built")
+	}
+
+	run := func(whitelist []tlsnet.HostPort) *netalyzr.Report {
+		t.Helper()
+		proxy, err := mitm.NewProxy(mitm.ProxyConfig{
+			CA:        u.InterceptionRoot().Issued,
+			Generator: u.Generator(),
+			Upstream:  tlsnet.DirectDialer{Server: srv},
+			Whitelist: whitelist,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev := device.New(device.Profile{Model: "Nexus 7", Manufacturer: "ASUS", Version: "4.4"},
+			u.AOSP("4.4"), nil)
+		client := &netalyzr.Client{
+			Device: dev, Dialer: proxy, At: certgen.Epoch,
+			Targets: []tlsnet.HostPort{
+				{Host: "www.twitter.com", Port: 443},
+				{Host: "www.facebook.com", Port: 443},
+				{Host: "gmail.com", Port: 443},
+			},
+		}
+		rep, err := client.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	// With the paper's whitelist: pinned hosts tunneled → no violations.
+	rep := run(tlsnet.WhitelistedDomains)
+	for _, v := range EvaluateReport(pins, rep) {
+		if v.Violation != nil {
+			t.Errorf("%s: unexpected pin violation through whitelist: %v", v.Host, v.Violation)
+		}
+	}
+
+	// With an empty whitelist the proxy intercepts the pinned hosts too,
+	// and the apps catch it.
+	rep = run(nil)
+	violations := 0
+	for _, v := range EvaluateReport(pins, rep) {
+		if v.Pinned && v.Violation != nil {
+			violations++
+		}
+		if v.Host == "gmail.com" && v.Pinned {
+			t.Error("gmail.com is not a pinned app host in this scenario")
+		}
+	}
+	if violations != 2 {
+		t.Errorf("pin violations = %d, want 2 (twitter + facebook)", violations)
+	}
+}

@@ -1,0 +1,107 @@
+// Package platformpin models the platform-level certificate pinning Android
+// 4.4 introduced for Google properties (§2: "Android 4.4 detects and
+// prevents the use of fraudulent Google certificates used in secure SSL/TLS
+// communications"). Unlike app pinning (internal/pinning), this check lives
+// in the platform's chain validator: on 4.4+, a chain for a pinned Google
+// domain must contain one of the platform-known Google CA keys even when it
+// otherwise anchors in the device store — which is exactly what defeats a
+// compromised or rogue in-store CA minting gmail.com certificates.
+package platformpin
+
+import (
+	"crypto/x509"
+	"fmt"
+	"strings"
+	"time"
+
+	"tangledmass/internal/chain"
+	"tangledmass/internal/pinning"
+	"tangledmass/internal/rootstore"
+)
+
+// PinnedSuffixes are the Google domain suffixes the 4.4 platform pins.
+var PinnedSuffixes = []string{
+	"google.com",
+	"google.co.uk",
+	"googleapis.com",
+	"gmail.com",
+	"android.com",
+	"youtube.com",
+}
+
+// DomainPinned reports whether host falls under a pinned suffix.
+func DomainPinned(host string) bool {
+	for _, suffix := range PinnedSuffixes {
+		if host == suffix || strings.HasSuffix(host, "."+suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// Validator is the platform chain validator with version-dependent Google
+// pinning. Construct with NewValidator.
+type Validator struct {
+	// Version is the Android version ("4.1".."4.4"); pinning activates on
+	// "4.4" and later.
+	Version string
+	// Store is the device's effective root store.
+	Store *rootstore.Store
+	// GooglePins are the platform-known Google CA pins.
+	GooglePins []pinning.Pin
+	// At pins the validation clock.
+	At time.Time
+
+	pinSet map[pinning.Pin]bool
+}
+
+// NewValidator builds a platform validator.
+func NewValidator(version string, store *rootstore.Store, googlePins []pinning.Pin, at time.Time) *Validator {
+	v := &Validator{Version: version, Store: store, GooglePins: googlePins, At: at,
+		pinSet: make(map[pinning.Pin]bool, len(googlePins))}
+	for _, p := range googlePins {
+		v.pinSet[p] = true
+	}
+	return v
+}
+
+// PinningActive reports whether this platform version enforces Google pins.
+func (v *Validator) PinningActive() bool {
+	return v.Version >= "4.4"
+}
+
+// ErrFraudulentGoogleCert is returned when a chain for a pinned Google
+// domain anchors in the store but matches no platform Google pin — the
+// fraudulent-certificate case 4.4 detects.
+type ErrFraudulentGoogleCert struct {
+	Host   string
+	Anchor string
+}
+
+// Error implements error.
+func (e *ErrFraudulentGoogleCert) Error() string {
+	return fmt.Sprintf("platformpin: chain for pinned domain %s anchors at %q but matches no Google pin", e.Host, e.Anchor)
+}
+
+// Validate checks a presented chain for host. It returns nil when the chain
+// anchors in the device store and — on pin-enforcing versions, for pinned
+// domains — contains a pinned Google key.
+func (v *Validator) Validate(host string, presented []*x509.Certificate) error {
+	if len(presented) == 0 {
+		return fmt.Errorf("platformpin: empty chain for %s", host)
+	}
+	verifier := chain.NewVerifier(v.Store.Certificates(), presented[1:], v.At)
+	if !verifier.Validates(presented[0]) {
+		return fmt.Errorf("platformpin: chain for %s does not anchor in the device store", host)
+	}
+	if !v.PinningActive() || !DomainPinned(host) {
+		return nil
+	}
+	for _, c := range presented {
+		if v.pinSet[pinning.PinCertificate(c)] {
+			return nil
+		}
+	}
+	anchor := presented[len(presented)-1].Issuer.CommonName
+	return &ErrFraudulentGoogleCert{Host: host, Anchor: anchor}
+}

@@ -1,0 +1,157 @@
+package platformpin
+
+import (
+	"crypto/x509"
+	"errors"
+	"sync"
+	"testing"
+
+	"tangledmass/internal/cauniverse"
+	"tangledmass/internal/certgen"
+	"tangledmass/internal/pinning"
+	"tangledmass/internal/rootstore"
+)
+
+type fixture struct {
+	u          *cauniverse.Universe
+	googleRoot *certgen.Issued // the legitimate Google-issuing CA
+	pins       []pinning.Pin
+	genuine    []*x509.Certificate // legitimate gmail.com chain
+	fraudulent []*x509.Certificate // gmail.com chain from a different in-store CA
+	store      *rootstore.Store    // device store trusting BOTH roots
+}
+
+var (
+	fixOnce sync.Once
+	fix     *fixture
+	fixErr  error
+)
+
+func setup(t *testing.T) *fixture {
+	t.Helper()
+	fixOnce.Do(func() {
+		u := cauniverse.Default()
+		gen := u.Generator()
+		issuing := u.IssuingRoots()
+		googleRoot := issuing[0].Issued
+		compromised := issuing[1].Issued
+
+		genuineLeaf, err := gen.Leaf(googleRoot, "gmail.com", certgen.WithKeyName("pp-genuine"))
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fraudLeaf, err := gen.Leaf(compromised, "gmail.com", certgen.WithKeyName("pp-fraud"))
+		if err != nil {
+			fixErr = err
+			return
+		}
+		store := u.AOSP("4.4")
+		fix = &fixture{
+			u:          u,
+			googleRoot: googleRoot,
+			pins:       []pinning.Pin{pinning.PinCertificate(googleRoot.Cert)},
+			genuine:    []*x509.Certificate{genuineLeaf.Cert, googleRoot.Cert},
+			fraudulent: []*x509.Certificate{fraudLeaf.Cert, compromised.Cert},
+			store:      store,
+		}
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fix
+}
+
+func TestDomainPinned(t *testing.T) {
+	for host, want := range map[string]bool{
+		"gmail.com":            true,
+		"mail.google.com":      true,
+		"www.google.co.uk":     true,
+		"play.googleapis.com":  true,
+		"www.youtube.com":      true,
+		"www.facebook.com":     false,
+		"notgoogle.com":        false,
+		"google.com.evil.test": false,
+	} {
+		if got := DomainPinned(host); got != want {
+			t.Errorf("DomainPinned(%q) = %v, want %v", host, got, want)
+		}
+	}
+}
+
+func TestFraudulentGoogleCertDetectedOn44(t *testing.T) {
+	f := setup(t)
+	v44 := NewValidator("4.4", f.store, f.pins, certgen.Epoch)
+	if !v44.PinningActive() {
+		t.Fatal("4.4 should enforce platform pins")
+	}
+	// The genuine chain passes.
+	if err := v44.Validate("gmail.com", f.genuine); err != nil {
+		t.Errorf("genuine chain rejected: %v", err)
+	}
+	// The fraudulent chain anchors in the store — but 4.4 detects it.
+	var fraud *ErrFraudulentGoogleCert
+	err := v44.Validate("gmail.com", f.fraudulent)
+	if !errors.As(err, &fraud) {
+		t.Fatalf("err = %v, want ErrFraudulentGoogleCert", err)
+	}
+	if fraud.Host != "gmail.com" || fraud.Error() == "" {
+		t.Errorf("fraud detail = %+v", fraud)
+	}
+}
+
+func TestPre44AcceptsFraudulentCert(t *testing.T) {
+	f := setup(t)
+	// The §2 point: before 4.4 any in-store CA can mint Google certs.
+	for _, version := range []string{"4.1", "4.2", "4.3"} {
+		v := NewValidator(version, f.store, f.pins, certgen.Epoch)
+		if v.PinningActive() {
+			t.Errorf("%s should not enforce platform pins", version)
+		}
+		if err := v.Validate("gmail.com", f.fraudulent); err != nil {
+			t.Errorf("%s should (problematically) accept the fraudulent chain: %v", version, err)
+		}
+	}
+}
+
+func TestNonGoogleDomainUnaffected(t *testing.T) {
+	f := setup(t)
+	v44 := NewValidator("4.4", f.store, f.pins, certgen.Epoch)
+	// A chain from the "compromised" CA for a non-pinned domain still
+	// passes — platform pinning covers Google properties only.
+	gen := f.u.Generator()
+	leaf, err := gen.Leaf(f.u.IssuingRoots()[1].Issued, "www.example.com",
+		certgen.WithKeyName("pp-other"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := []*x509.Certificate{leaf.Cert, f.u.IssuingRoots()[1].Issued.Cert}
+	if err := v44.Validate("www.example.com", chain); err != nil {
+		t.Errorf("non-pinned domain rejected: %v", err)
+	}
+}
+
+func TestUnanchoredChainStillFails(t *testing.T) {
+	f := setup(t)
+	v44 := NewValidator("4.4", f.store, f.pins, certgen.Epoch)
+	// A chain from the interception CA (in no store) fails anchoring before
+	// pinning even matters.
+	gen := f.u.Generator()
+	leaf, err := gen.Leaf(f.u.InterceptionRoot().Issued, "gmail.com",
+		certgen.WithKeyName("pp-mitm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := []*x509.Certificate{leaf.Cert, f.u.InterceptionRoot().Issued.Cert}
+	err = v44.Validate("gmail.com", chain)
+	if err == nil {
+		t.Fatal("unanchored chain should fail")
+	}
+	var fraud *ErrFraudulentGoogleCert
+	if errors.As(err, &fraud) {
+		t.Error("unanchored chain should fail anchoring, not pinning")
+	}
+	if err := v44.Validate("gmail.com", nil); err == nil {
+		t.Error("empty chain should fail")
+	}
+}

@@ -1,0 +1,250 @@
+package population
+
+import (
+	"crypto/x509"
+
+	"tangledmass/internal/cauniverse"
+	"tangledmass/internal/device"
+	"tangledmass/internal/rootstore"
+	"tangledmass/internal/stats"
+)
+
+// Firmware composition rules, calibrated to §5 and Figures 1–2:
+//
+//   - Nexus models ship the stock AOSP store (they cluster on the dashed
+//     vertical lines of Figure 1);
+//   - HTC, LG and Motorola 4.1/4.2 and Samsung 4.4 images frequently carry
+//     a "legacy bundle" of >40 extra roots;
+//   - Samsung and HTC share a common small base (AddTrust, Deutsche
+//     Telekom, Sonera, DoD) independent of operator;
+//   - Motorola always ships its FOTA and SUPL roots; Verizon Motorola 4.1
+//     images add the CertiSign set and the Dutch postal root; AT&T images a
+//     Microsoft Secure Server root and Cingular legacy roots;
+//   - operators overlay their own service roots (Sprint, Vodafone, Meditel,
+//     Telefonica/Claro, Verizon's Pantech network-API root);
+//   - Sony 4.1 images include one root that later appears in newer AOSP
+//     releases.
+//
+// Bundle probabilities are tuned so ≈39% of sessions carry additional
+// certificates (§5) — asserted by the calibration tests.
+
+var legacyBundle = []string{
+	"Thawte Server CA", "Thawte Premium Server CA", "Thawte Personal Basic CA",
+	"Thawte Personal Freemail CA", "Thawte Personal Premium CA", "Thawte Timestamping CA",
+	"VeriSign (d32e20f0)", "VeriSign Class 1 Public Primary CA (dd84d4b9)",
+	"VeriSign Class 1 Public Primary CA (e519bf6d)", "VeriSign Class 2 Public Primary CA (af0a0dc2)",
+	"VeriSign Class 2 Public Primary CA (b65a8ba3)", "VeriSign Class 3 Public Primary CA",
+	"VeriSign Class 3 Extended Validation SSL SGC CA", "VeriSign Class 3 International Server CA - G3",
+	"VeriSign Class 3 Secure Server CA - G3", "VeriSign Class 3 Secure Server CA",
+	"VeriSign Commercial Software Publishers CA", "VeriSign Individual Software Publishers CA",
+	"VeriSign Trust Network (a7880121)", "VeriSign Trust Network (aad0babe)",
+	"VeriSign Trust Network (cc5ed111)", "VeriSign CPS",
+	"Entrust.net CA", "Entrust.net Client CA (9374b4b6)", "Entrust.net Client CA (c83a995e)",
+	"Entrust.net Secure Server CA", "Entrust CA - L1B", "DST-Entrust GTI CA",
+	"Certplus Class 1 Primary CA", "Certplus Class 3 Primary CA",
+	"Certplus Class 3P Primary CA", "Certplus Class 3TS Primary CA",
+	"IPS CA CLASE1", "IPS CA CLASE3 CA", "IPS CA CLASEA1 CA", "IPS CA CLASEA3",
+	"IPS CA Timestamping CA", "IPS Chained CAs",
+	"FESTE Public Notary Certs", "FESTE Verified Certs",
+	"eSign Imperito Primary Root CA", "eSign Gatekeeper Root CA", "eSign Primary Utility Root CA",
+	"EUnet International Root CA", "RSA Data Security CA",
+	"DST (ANX Network) CA", "DST (NRF) RootCA", "DST (UPS) RootCA",
+	"ABA.ECOM Root CA", "First Data Digital CA", "Free SSL CA",
+	"TrustCenter Class 2 CA", "TrustCenter Class 3 CA", "TC TrustCenter Class 1 CA",
+	"AOL Time Warner Root CA 1", "AOL Time Warner Root CA 2",
+	"Baltimore EZ by DST", "Xcert EZ by DST",
+	"UserTrust Client Auth. and Email", "UserTrust RSA Extended Val. Sec. Server CA",
+	"UserTrust UTN-USERFirst", "Wells Fargo CA 01", "Visa Information Delivery Root CA",
+	"SIA Secure Client CA", "SIA Secure Server CA",
+	"SEVEN Open Channel Primary CA", "GoDaddy Inc", "Starfield Services Root CA",
+	"GlobalSign Root CA", "COMODO RSA CA", "COMODO Secure Certificate Services",
+	"COMODO Trusted Certificate Services",
+}
+
+var (
+	vendorBase = []string{
+		"AddTrust Class 1 CA Root", "AddTrust Public CA Root", "AddTrust Qualified CA Root",
+		"Deutsche Telekom Root CA 1", "Sonera Class1 CA", "DoD CLASS 3 Root CA",
+	}
+	samsungGeoTrust = []string{"GeoTrust CA for UTI"}
+	geoTrustMobile  = []string{
+		"GeoTrust Mobile Device Root", "GeoTrust Mobile Device Root - Privileged",
+		"GeoTrust True Credentials CA 2", "GeoTrust CA for Adobe",
+	}
+	motorolaAlways  = []string{"Motorola FOTA Root CA", "Motorola SUPL Server Root CA"}
+	certiSignSet    = []string{"Certisign AC1S", "Certisign AC2", "Certisign AC3S", "Certisign AC4", "PTT Post Root CA KeyMail"}
+	attSet          = []string{"Microsoft Secure Server Authority", "Cingular Preferred Root CA", "Cingular Trusted Root CA"}
+	sonySet         = []string{"Sony Computer DNAS Root 05", "Sony Ericsson Secure E2E"}
+	sprintSet       = []string{"Sprint Nextel Root Authority", "Sprint XCA01"}
+	vodafoneSet     = []string{"Vodafone (Operator Domain)", "Vodafone (Widget Operator Domain)"}
+	cfcaSet         = []string{"CFCA Root CA", "CFCA Root CA 2", "CFCA Root CA 3", "CFCA Root CA 4"}
+	telefonicaSet   = []string{"Telefonica Root CA 1", "Telefonica Root CA 2"}
+	meditelSet      = []string{"Meditel Root CA"}
+	verizonAPISet   = []string{"Verizon Wireless Network API CA"}
+	venezuelaSet    = []string{"Venezuelan National CA"}
+	huaweiSmall     = []string{"CFCA Root CA"}
+	asusSmall       = []string{"AddTrust Class 1 CA Root", "GlobalSign Root CA"}
+	secureSignSmall = []string{"SecureSign Root CA2 Japan", "SecureSign Root CA3 Japan"}
+)
+
+// isNexus reports whether the model ships a stock Google image.
+func isNexus(model string) bool {
+	switch model {
+	case "Nexus 4", "Nexus 5", "Nexus 7", "Galaxy Nexus":
+		return true
+	}
+	return false
+}
+
+// resolve maps catalog names to certificates, skipping names the universe
+// does not carry (such as the future-AOSP marker, resolved separately).
+func resolve(u *cauniverse.Universe, names []string) []*x509.Certificate {
+	out := make([]*x509.Certificate, 0, len(names))
+	for _, n := range names {
+		if r := u.Root(n); r != nil {
+			out = append(out, r.Issued.Cert)
+		}
+	}
+	return out
+}
+
+// bundleFor decides the firmware additions for a handset. It returns the
+// certificates pre-installed beyond the AOSP base.
+func bundleFor(u *cauniverse.Universe, p device.Profile, src *stats.Source) []*x509.Certificate {
+	if isNexus(p.Model) {
+		return nil
+	}
+	var names []string
+	old := p.Version == "4.1" || p.Version == "4.2"
+
+	switch p.Manufacturer {
+	case "HTC":
+		switch {
+		case old && src.Bool(0.42):
+			names = append(names, vendorBase...)
+			names = append(names, legacyBundle...)
+			names = append(names, geoTrustMobile...)
+		case src.Bool(0.38):
+			names = append(names, vendorBase...)
+		}
+		if src.Bool(0.05) {
+			names = append(names, cfcaSet...)
+		}
+	case "SAMSUNG":
+		switch p.Version {
+		case "4.1":
+			if src.Bool(0.34) {
+				names = append(names, vendorBase...)
+			}
+		case "4.2":
+			if src.Bool(0.34) {
+				names = append(names, vendorBase...)
+				names = append(names, samsungGeoTrust...)
+			}
+		case "4.3":
+			if src.Bool(0.34) {
+				names = append(names, vendorBase...)
+				names = append(names, samsungGeoTrust...)
+				names = append(names, geoTrustMobile...)
+			}
+		case "4.4":
+			if src.Bool(0.38) {
+				names = append(names, vendorBase...)
+				names = append(names, legacyBundle...)
+			}
+		}
+	case "MOTOROLA":
+		names = append(names, motorolaAlways...)
+		if old && src.Bool(0.52) {
+			names = append(names, legacyBundle...)
+		}
+		if p.Version == "4.1" && p.Operator == "VERIZON" && src.Bool(0.65) {
+			names = append(names, certiSignSet...)
+		}
+		if p.Operator == "AT&T" && src.Bool(0.50) {
+			names = append(names, attSet...)
+		}
+		if src.Bool(0.05) {
+			names = append(names, cfcaSet...)
+		}
+	case "LG":
+		switch {
+		case old && src.Bool(0.55):
+			names = append(names, vendorBase...)
+			names = append(names, legacyBundle...)
+		case src.Bool(0.25):
+			names = append(names, vendorBase...)
+		}
+	case "SONY":
+		if src.Bool(0.70) {
+			names = append(names, sonySet...)
+			if p.Version == "4.1" && src.Bool(0.50) {
+				// One root that newer AOSP releases later adopted (§5):
+				// resolved below against the 4.4-only growth set.
+				names = append(names, futureAOSPRootMarker)
+			}
+		}
+	case "ASUS":
+		if src.Bool(0.22) {
+			names = append(names, asusSmall...)
+		}
+	case "HUAWEI":
+		if src.Bool(0.20) {
+			names = append(names, huaweiSmall...)
+		}
+	case "LENOVO":
+		if src.Bool(0.25) {
+			names = append(names, cfcaSet...)
+		}
+	case "COMPAL":
+		if src.Bool(0.40) {
+			names = append(names, venezuelaSet...)
+		}
+	case "PANTECH":
+		if p.Operator == "VERIZON" && p.Version == "4.1" && src.Bool(0.80) {
+			names = append(names, verizonAPISet...)
+		}
+	default:
+		if src.Bool(0.12) {
+			names = append(names, secureSignSmall...)
+		}
+	}
+
+	// Operator overlays apply on top of any manufacturer image.
+	switch p.Operator {
+	case "SPRINT":
+		if src.Bool(0.65) {
+			names = append(names, sprintSet...)
+		}
+	case "VODAFONE":
+		if src.Bool(0.65) {
+			names = append(names, vodafoneSet...)
+		}
+	case "MEDITEL":
+		if p.Manufacturer == "SAMSUNG" && p.Version == "4.1" && src.Bool(0.90) {
+			names = append(names, meditelSet...)
+		}
+	case "TELEFONICA", "CLARO", "MOVISTAR":
+		if p.Manufacturer == "MOTOROLA" && p.Version == "4.1" && src.Bool(0.70) {
+			names = append(names, telefonicaSet...)
+		}
+	}
+
+	certs := resolve(u, names)
+	for _, n := range names {
+		if n == futureAOSPRootMarker {
+			certs = append(certs, futureAOSPRoot(u))
+		}
+	}
+	return certs
+}
+
+// futureAOSPRootMarker stands in for "a root this AOSP version does not yet
+// ship but a newer one does".
+const futureAOSPRootMarker = "\x00future-aosp-root"
+
+// futureAOSPRoot returns one root present in AOSP 4.4 but absent from 4.3.
+func futureAOSPRoot(u *cauniverse.Universe) *x509.Certificate {
+	growth := rootstore.Subtract("growth", u.AOSP("4.4"), u.AOSP("4.3"))
+	return growth.Certificates()[0]
+}

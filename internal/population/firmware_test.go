@@ -1,0 +1,168 @@
+package population
+
+import (
+	"crypto/x509"
+	"testing"
+
+	"tangledmass/internal/cauniverse"
+	"tangledmass/internal/device"
+	"tangledmass/internal/stats"
+)
+
+// containsName reports whether certs include the named universe root.
+func containsName(u *cauniverse.Universe, certs []*x509.Certificate, name string) bool {
+	want := u.Root(name)
+	if want == nil {
+		return false
+	}
+	for _, c := range certs {
+		if string(c.Raw) == string(want.Issued.Cert.Raw) {
+			return true
+		}
+	}
+	return false
+}
+
+// sampleBundles draws n firmware bundles for a profile.
+func sampleBundles(u *cauniverse.Universe, p device.Profile, n int, seed int64) [][]*x509.Certificate {
+	src := stats.NewSource(seed)
+	out := make([][]*x509.Certificate, n)
+	for i := range out {
+		out[i] = bundleFor(u, p, src)
+	}
+	return out
+}
+
+func TestNexusAlwaysStock(t *testing.T) {
+	u := cauniverse.Default()
+	for _, model := range []string{"Nexus 4", "Nexus 5", "Nexus 7", "Galaxy Nexus"} {
+		p := device.Profile{Model: model, Manufacturer: "LG", Operator: "SPRINT", Version: "4.1"}
+		for _, b := range sampleBundles(u, p, 50, 1) {
+			if len(b) != 0 {
+				t.Fatalf("%s got %d firmware additions, want 0", model, len(b))
+			}
+		}
+	}
+}
+
+func TestMotorolaAlwaysFOTASUPL(t *testing.T) {
+	u := cauniverse.Default()
+	p := device.Profile{Model: "MOTOROLA-M001", Manufacturer: "MOTOROLA", Operator: "T-MOBILE", Version: "4.4"}
+	for _, b := range sampleBundles(u, p, 50, 2) {
+		if !containsName(u, b, "Motorola FOTA Root CA") || !containsName(u, b, "Motorola SUPL Server Root CA") {
+			t.Fatal("Motorola bundle missing FOTA/SUPL roots")
+		}
+	}
+}
+
+func TestVerizonMotorola41GetsCertiSign(t *testing.T) {
+	u := cauniverse.Default()
+	p := device.Profile{Model: "MOTOROLA-M001", Manufacturer: "MOTOROLA", Operator: "VERIZON", Version: "4.1"}
+	hits := 0
+	const n = 200
+	for _, b := range sampleBundles(u, p, n, 3) {
+		if containsName(u, b, "Certisign AC1S") {
+			if !containsName(u, b, "PTT Post Root CA KeyMail") {
+				t.Fatal("CertiSign set should include the Dutch postal root")
+			}
+			hits++
+		}
+	}
+	// §5.1: CertiSign on "60 to 70%" of Verizon Motorola 4.1 devices.
+	frac := float64(hits) / n
+	if frac < 0.55 || frac > 0.75 {
+		t.Errorf("CertiSign frequency = %.2f, want ≈0.65", frac)
+	}
+	// Never on non-Verizon Motorola.
+	p.Operator = "T-MOBILE"
+	for _, b := range sampleBundles(u, p, 100, 4) {
+		if containsName(u, b, "Certisign AC1S") {
+			t.Fatal("CertiSign should be Verizon-specific")
+		}
+	}
+}
+
+func TestSamsungVersionsDiffer(t *testing.T) {
+	u := cauniverse.Default()
+	// Samsung 4.2/4.3 carry the GeoTrust UTI root when extended; 4.1 never
+	// does (footnote 3: 4.1 and 4.2 similar, 4.3/4.4 different/extended).
+	seen := func(version string, name string) bool {
+		p := device.Profile{Model: "SAMSUNG-M001", Manufacturer: "SAMSUNG", Operator: "EE", Version: version}
+		for _, b := range sampleBundles(u, p, 200, 5) {
+			if containsName(u, b, name) {
+				return true
+			}
+		}
+		return false
+	}
+	if seen("4.1", "GeoTrust CA for UTI") {
+		t.Error("Samsung 4.1 should not carry GeoTrust UTI")
+	}
+	if !seen("4.2", "GeoTrust CA for UTI") {
+		t.Error("Samsung 4.2 should sometimes carry GeoTrust UTI")
+	}
+	if !seen("4.3", "GeoTrust Mobile Device Root") {
+		t.Error("Samsung 4.3 should sometimes carry the GeoTrust mobile set")
+	}
+	if !seen("4.4", "Thawte Server CA") {
+		t.Error("Samsung 4.4 should sometimes carry the legacy bundle")
+	}
+}
+
+func TestOperatorOverlays(t *testing.T) {
+	u := cauniverse.Default()
+	p := device.Profile{Model: "HTC-M001", Manufacturer: "HTC", Operator: "SPRINT", Version: "4.3"}
+	hits := 0
+	const n = 200
+	for _, b := range sampleBundles(u, p, n, 6) {
+		if containsName(u, b, "Sprint Nextel Root Authority") {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; frac < 0.5 || frac > 0.8 {
+		t.Errorf("Sprint overlay frequency = %.2f, want ≈0.65", frac)
+	}
+
+	p.Operator = "VODAFONE"
+	found := false
+	for _, b := range sampleBundles(u, p, 100, 7) {
+		if containsName(u, b, "Vodafone (Operator Domain)") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("Vodafone overlay never applied")
+	}
+}
+
+func TestSony41FutureAOSPRoot(t *testing.T) {
+	u := cauniverse.Default()
+	growth := futureAOSPRoot(u)
+	if u.AOSP("4.3").Contains(growth) {
+		t.Fatal("future root should not be in AOSP 4.3")
+	}
+	if !u.AOSP("4.4").Contains(growth) {
+		t.Fatal("future root should be in AOSP 4.4")
+	}
+	p := device.Profile{Model: "SONY-M001", Manufacturer: "SONY", Operator: "TELSTRA", Version: "4.1"}
+	found := false
+	for _, b := range sampleBundles(u, p, 300, 8) {
+		for _, c := range b {
+			if string(c.Raw) == string(growth.Raw) {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("Sony 4.1 should sometimes ship a newer-AOSP root (§5)")
+	}
+}
+
+func TestResolveSkipsUnknownNames(t *testing.T) {
+	u := cauniverse.Default()
+	certs := resolve(u, []string{"Motorola FOTA Root CA", "No Such Root", "CFCA Root CA"})
+	if len(certs) != 2 {
+		t.Errorf("resolve returned %d certs, want 2 (unknown skipped)", len(certs))
+	}
+}

@@ -1,0 +1,83 @@
+package population
+
+// Session quotas per (manufacturer, model), calibrated to Table 2 of the
+// paper: Samsung 7,709 sessions (Galaxy SIV 2,762; Galaxy SIII 2,108);
+// LG 2,908 (Nexus 4 1,331; Nexus 5 1,010); ASUS 1,876 (Nexus 7 832);
+// HTC 963; Motorola 837; total 15,970 sessions across 435 device models.
+// Named models carry their exact paper session counts; the remainder of each
+// manufacturer's quota spreads over synthetic models.
+
+type modelQuota struct {
+	manufacturer string
+	model        string // empty: synthetic models fill the quota
+	sessions     int
+	synthModels  int // number of synthetic models when model == ""
+}
+
+var quotas = []modelQuota{
+	{"SAMSUNG", "Galaxy SIV", 2762, 0},
+	{"SAMSUNG", "Galaxy SIII", 2108, 0},
+	{"SAMSUNG", "", 2839, 118},
+	{"LG", "Nexus 4", 1331, 0},
+	{"LG", "Nexus 5", 1010, 0},
+	{"LG", "", 567, 38},
+	{"ASUS", "Nexus 7", 832, 0},
+	{"ASUS", "", 1044, 14},
+	{"HTC", "", 963, 45},
+	{"MOTOROLA", "", 837, 35},
+	{"SONY", "", 500, 40},
+	{"HUAWEI", "", 300, 35},
+	{"LENOVO", "", 200, 25},
+	{"PANTECH", "", 100, 10},
+	{"COMPAL", "", 77, 5},
+	{"ZTE", "", 150, 25},
+	{"ALCATEL", "", 120, 15},
+	{"ACER", "", 80, 10},
+	{"XIAOMI", "", 150, 10},
+}
+
+// TotalPaperSessions is the Netalyzr session count of §4.1.
+const TotalPaperSessions = 15970
+
+// versionWeights gives the Android version mix per manufacturer. Nexus
+// models override this (they track recent releases).
+var versionWeights = map[string][]float64{
+	// order: 4.1, 4.2, 4.3, 4.4
+	"SAMSUNG":  {0.34, 0.25, 0.17, 0.24},
+	"LG":       {0.35, 0.30, 0.15, 0.20},
+	"ASUS":     {0.20, 0.25, 0.25, 0.30},
+	"HTC":      {0.40, 0.28, 0.16, 0.16},
+	"MOTOROLA": {0.45, 0.20, 0.18, 0.17},
+	"SONY":     {0.35, 0.20, 0.30, 0.15},
+	"default":  {0.35, 0.25, 0.15, 0.25},
+}
+
+var versions = []string{"4.1", "4.2", "4.3", "4.4"}
+
+// operatorDef is one mobile network operator with its share of handsets.
+// The operator list mirrors Figure 2's y-axis plus the §5.2 oddball
+// networks.
+type operatorDef struct {
+	name    string
+	country string
+	weight  float64
+}
+
+var operators = []operatorDef{
+	{"AT&T", "US", 0.14},
+	{"VERIZON", "US", 0.15},
+	{"T-MOBILE", "US", 0.10},
+	{"SPRINT", "US", 0.08},
+	{"3", "UK", 0.05},
+	{"EE", "UK", 0.06},
+	{"ORANGE", "FR", 0.07},
+	{"SFR", "FR", 0.05},
+	{"BOUYGUES", "FR", 0.04},
+	{"FREE", "FR", 0.04},
+	{"VODAFONE", "DE", 0.09},
+	{"TELSTRA", "AU", 0.06},
+	{"MEDITEL", "BM", 0.01},
+	{"TELEFONICA", "AR", 0.02},
+	{"CLARO", "CO", 0.02},
+	{"MOVISTAR", "MX", 0.02},
+}

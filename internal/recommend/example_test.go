@@ -1,0 +1,46 @@
+package recommend_test
+
+import (
+	"crypto/x509"
+	"fmt"
+
+	"tangledmass/internal/certgen"
+	"tangledmass/internal/notary"
+	"tangledmass/internal/recommend"
+	"tangledmass/internal/rootstore"
+)
+
+// The §8 pruning workflow on a toy store: two roots carry all observed
+// traffic, a third validates nothing and is proposed for removal — at zero
+// measured breakage.
+func ExampleMinimize() {
+	g := certgen.NewGenerator(42)
+	busyA, _ := g.SelfSignedCA("Example Busy Root A")
+	busyB, _ := g.SelfSignedCA("Example Busy Root B")
+	idle, _ := g.SelfSignedCA("Example Idle Root")
+
+	store := rootstore.New("toy store")
+	store.Add(busyA.Cert)
+	store.Add(busyB.Cert)
+	store.Add(idle.Cert)
+
+	db := notary.New(certgen.Epoch)
+	for i, issuer := range []*certgen.Issued{busyA, busyB, busyA} {
+		leaf, _ := g.Leaf(issuer, fmt.Sprintf("ex%d.example.org", i))
+		db.Observe(notary.Observation{
+			Chain: []*x509.Certificate{leaf.Cert, issuer.Cert},
+			Port:  443,
+		})
+	}
+
+	m := recommend.Minimize(db, store, 1)
+	br := recommend.EvaluateBreakage(db, m)
+	fmt.Printf("remove %d of %d roots, breaking %d validations\n",
+		len(m.Remove), store.Len(), br.Broken)
+	for _, u := range m.Remove {
+		fmt.Println("removable:", u.Identity.Subject)
+	}
+	// Output:
+	// remove 1 of 3 roots, breaking 0 validations
+	// removable: CN=Example Idle Root
+}

@@ -1,0 +1,136 @@
+package recommend
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"tangledmass/internal/cauniverse"
+	"tangledmass/internal/certgen"
+	"tangledmass/internal/notary"
+	"tangledmass/internal/tlsnet"
+)
+
+var (
+	envOnce sync.Once
+	envNot  *notary.Notary
+	envUni  *cauniverse.Universe
+	envErr  error
+)
+
+func env(t *testing.T) (*notary.Notary, *cauniverse.Universe) {
+	t.Helper()
+	envOnce.Do(func() {
+		envUni = cauniverse.Default()
+		var w *tlsnet.World
+		w, envErr = tlsnet.NewWorld(tlsnet.Config{Seed: 1, NumLeaves: 3000, Universe: envUni})
+		if envErr != nil {
+			return
+		}
+		envNot = notary.New(certgen.Epoch)
+		tlsnet.Feed(w, envNot)
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return envNot, envUni
+}
+
+func TestMinimizeAOSP44(t *testing.T) {
+	n, u := env(t)
+	m := Minimize(n, u.AOSP("4.4"), 1)
+	if len(m.Keep)+len(m.Remove) != 150 {
+		t.Fatalf("partition covers %d roots, want 150", len(m.Keep)+len(m.Remove))
+	}
+	// §5.3: 23% of AOSP 4.4 roots validate nothing.
+	if f := m.RemovableFraction(); f < 0.19 || f > 0.28 {
+		t.Errorf("removable fraction = %.3f, want ≈0.23", f)
+	}
+	if m.Pruned.Len() != len(m.Keep) {
+		t.Errorf("pruned store = %d, keep list = %d", m.Pruned.Len(), len(m.Keep))
+	}
+	// The original store is untouched.
+	if u.AOSP("4.4").Len() != 150 {
+		t.Fatal("Minimize mutated the input store")
+	}
+	// Keep is sorted by descending validations.
+	for i := 1; i < len(m.Keep); i++ {
+		if m.Keep[i-1].Validations < m.Keep[i].Validations {
+			t.Fatal("Keep not sorted by validations")
+		}
+	}
+	// Every removed root validates below threshold.
+	for _, u := range m.Remove {
+		if u.Validations >= m.Threshold {
+			t.Fatalf("removed root validates %d ≥ threshold", u.Validations)
+		}
+	}
+	if !strings.Contains(m.String(), "AOSP 4.4") {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+func TestZeroThresholdBreakageIsZero(t *testing.T) {
+	n, u := env(t)
+	m := Minimize(n, u.AOSP("4.4"), 1)
+	br := EvaluateBreakage(n, m)
+	if br.Broken != 0 {
+		t.Errorf("threshold-1 pruning broke %d validations, want 0 (§8's premise)", br.Broken)
+	}
+	if br.Before != br.After {
+		t.Errorf("before=%d after=%d", br.Before, br.After)
+	}
+	if br.BrokenFraction() != 0 {
+		t.Error("broken fraction should be 0")
+	}
+}
+
+func TestHigherThresholdCausesBreakage(t *testing.T) {
+	n, u := env(t)
+	m := Minimize(n, u.AOSP("4.4"), 10)
+	br := EvaluateBreakage(n, m)
+	if br.Broken <= 0 {
+		t.Errorf("threshold-10 pruning broke %d validations, want > 0", br.Broken)
+	}
+	if br.After+br.Broken != br.Before {
+		t.Error("breakage arithmetic inconsistent")
+	}
+}
+
+func TestSweepMonotonic(t *testing.T) {
+	n, u := env(t)
+	pts := Sweep(n, u.AOSP("4.4"), []int{1, 2, 5, 10, 50})
+	if len(pts) != 5 {
+		t.Fatalf("sweep points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Removed < pts[i-1].Removed {
+			t.Error("removed count must be monotone in threshold")
+		}
+		if pts[i].Broken < pts[i-1].Broken {
+			t.Error("breakage must be monotone in threshold")
+		}
+	}
+	if pts[0].Broken != 0 {
+		t.Error("threshold 1 must break nothing")
+	}
+	if last := pts[len(pts)-1]; last.BrokenFrac <= 0 {
+		t.Error("aggressive pruning should break something")
+	}
+}
+
+func TestMinimizeMozillaMatchesTable4(t *testing.T) {
+	n, u := env(t)
+	m := Minimize(n, u.Mozilla(), 1)
+	if f := m.RemovableFraction(); f < 0.18 || f > 0.27 {
+		t.Errorf("Mozilla removable = %.3f, want ≈0.22 (Table 4)", f)
+	}
+}
+
+func TestThresholdFloor(t *testing.T) {
+	n, u := env(t)
+	m := Minimize(n, u.AOSP("4.1"), -3)
+	if m.Threshold != 1 {
+		t.Errorf("threshold floor = %d, want 1", m.Threshold)
+	}
+}

@@ -1,0 +1,82 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"tangledmass/internal/analysis"
+)
+
+// CSV writers produce plot-ready data files for each figure — the form a
+// paper's plotting scripts (the original used R) consume.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("report: writing csv header: %w", err)
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return fmt.Errorf("report: writing csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Figure1CSV writes the scatter points: manufacturer, version, AOSP certs,
+// extra certs, sessions.
+func Figure1CSV(w io.Writer, points []analysis.ScatterPoint) error {
+	rows := make([][]string, len(points))
+	for i, p := range points {
+		rows[i] = []string{
+			p.Manufacturer, p.Version,
+			strconv.Itoa(p.AOSPCerts), strconv.Itoa(p.ExtraCerts), strconv.Itoa(p.Sessions),
+		}
+	}
+	return writeCSV(w, []string{"manufacturer", "version", "aosp_certs", "extra_certs", "sessions"}, rows)
+}
+
+// Figure2CSV writes the attribution cells: group kind, group, certificate,
+// hash, sessions, ratio, presence class.
+func Figure2CSV(w io.Writer, cells []analysis.AttributionCell) error {
+	rows := make([][]string, len(cells))
+	for i, c := range cells {
+		rows[i] = []string{
+			c.GroupKind, c.Group, c.CertName, c.CertHash,
+			strconv.Itoa(c.Sessions), strconv.FormatFloat(c.Ratio, 'f', 4, 64), string(c.Class),
+		}
+	}
+	return writeCSV(w, []string{"group_kind", "group", "certificate", "hash", "sessions", "ratio", "presence"}, rows)
+}
+
+// Figure3CSV writes every category's ECDF series: category, x, y, plus a
+// first row per category carrying the zero offset.
+func Figure3CSV(w io.Writer, cats []analysis.CategoryValidation) error {
+	var rows [][]string
+	for _, c := range cats {
+		for _, pt := range c.ECDF.Series() {
+			rows = append(rows, []string{
+				c.Name,
+				strconv.FormatFloat(pt.X, 'f', 0, 64),
+				strconv.FormatFloat(pt.Y, 'f', 6, 64),
+				strconv.FormatFloat(c.ZeroFraction, 'f', 6, 64),
+			})
+		}
+	}
+	return writeCSV(w, []string{"category", "x", "y", "zero_offset"}, rows)
+}
+
+// Table4CSV writes the per-category validation summary.
+func Table4CSV(w io.Writer, cats []analysis.CategoryValidation) error {
+	rows := make([][]string, len(cats))
+	for i, c := range cats {
+		rows[i] = []string{
+			c.Name, strconv.Itoa(c.TotalRoots),
+			strconv.FormatFloat(c.ZeroFraction, 'f', 4, 64), strconv.Itoa(c.Validated),
+		}
+	}
+	return writeCSV(w, []string{"category", "total_roots", "zero_fraction", "validated"}, rows)
+}

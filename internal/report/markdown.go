@@ -1,0 +1,119 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"tangledmass/internal/analysis"
+	"tangledmass/internal/mitm"
+)
+
+// Markdown renderers mirror the text renderers one-for-one, producing
+// GitHub-flavored tables — the format EXPERIMENTS.md records results in.
+
+func mdTable(header []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString("| " + strings.Join(header, " | ") + " |\n")
+	seps := make([]string, len(header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, r := range rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// Table1Markdown renders store sizes.
+func Table1Markdown(rows []analysis.StoreSize) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Name, fmt.Sprint(r.Certs)}
+	}
+	return mdTable([]string{"Root store", "No. certificates"}, out)
+}
+
+// Table2Markdown renders the top devices and manufacturers side by side.
+func Table2Markdown(devices, manufacturers []analysis.CountRow) string {
+	n := len(devices)
+	if len(manufacturers) > n {
+		n = len(manufacturers)
+	}
+	rows := make([][]string, n)
+	for i := 0; i < n; i++ {
+		row := []string{"", "", "", ""}
+		if i < len(devices) {
+			row[0], row[1] = devices[i].Name, fmt.Sprint(devices[i].Sessions)
+		}
+		if i < len(manufacturers) {
+			row[2], row[3] = manufacturers[i].Name, fmt.Sprint(manufacturers[i].Sessions)
+		}
+		rows[i] = row
+	}
+	return mdTable([]string{"Device model", "Sessions", "Manufacturer", "Sessions"}, rows)
+}
+
+// Table3Markdown renders validation totals.
+func Table3Markdown(rows []analysis.CategoryValidation) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Name, fmt.Sprint(r.Validated)}
+	}
+	return mdTable([]string{"Root store", "No. validated certificates"}, out)
+}
+
+// Table4Markdown renders per-category zero-validation shares.
+func Table4Markdown(rows []analysis.CategoryValidation) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Name, fmt.Sprint(r.TotalRoots), fmt.Sprintf("%.0f%%", r.ZeroFraction*100)}
+	}
+	return mdTable([]string{"Category", "Total root certs", "Zero-validation share"}, out)
+}
+
+// Table5Markdown renders the rooted-device exclusives.
+func Table5Markdown(rows []analysis.RootedExclusive) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Name, fmt.Sprint(r.Devices)}
+	}
+	return mdTable([]string{"Certificate authority", "Total devices"}, out)
+}
+
+// Table6Markdown renders the interception split.
+func Table6Markdown(intercepted, clean []mitm.Finding) string {
+	n := len(intercepted)
+	if len(clean) > n {
+		n = len(clean)
+	}
+	rows := make([][]string, n)
+	for i := 0; i < n; i++ {
+		row := []string{"", ""}
+		if i < len(intercepted) {
+			row[0] = fmt.Sprintf("%s:%d", intercepted[i].Host, intercepted[i].Port)
+		}
+		if i < len(clean) {
+			row[1] = fmt.Sprintf("%s:%d", clean[i].Host, clean[i].Port)
+		}
+		rows[i] = row
+	}
+	return mdTable([]string{"Intercepted domains", "Whitelisted domains"}, rows)
+}
+
+// HeadlinesMarkdown renders the §5/§6 numbers.
+func HeadlinesMarkdown(h analysis.Headlines) string {
+	rows := [][]string{
+		{"Sessions", fmt.Sprint(h.TotalSessions)},
+		{"Handsets", fmt.Sprint(h.Handsets)},
+		{"Device models", fmt.Sprint(h.Models)},
+		{"Unique root certificates", fmt.Sprint(h.UniqueRoots)},
+		{"Sessions with extended stores", fmt.Sprintf("%.1f%%", h.ExtendedFraction*100)},
+		{"Handsets missing AOSP certs", fmt.Sprint(h.MissingHandsets)},
+		{"4.1/4.2 sessions adding >40 certs", fmt.Sprintf("%.1f%%", h.Over40Fraction41_42*100)},
+		{"Sessions on rooted handsets", fmt.Sprintf("%.1f%%", h.RootedFraction*100)},
+		{"Rooted sessions with rooted-only certs", fmt.Sprintf("%.1f%%", h.RootedExclusiveOfRoots*100)},
+		{"TLS-intercepted sessions", fmt.Sprint(h.InterceptedSessions)},
+	}
+	return mdTable([]string{"Metric", "Value"}, rows)
+}

@@ -1,0 +1,87 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"tangledmass/internal/analysis"
+	"tangledmass/internal/mitm"
+	"tangledmass/internal/stats"
+)
+
+// mdWellFormed checks every line is a table row with the same column count.
+func mdWellFormed(t *testing.T, md string, cols int) {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(md, "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("markdown too short:\n%s", md)
+	}
+	for i, line := range lines {
+		if !strings.HasPrefix(line, "| ") || !strings.HasSuffix(line, " |") {
+			t.Fatalf("line %d not a table row: %q", i, line)
+		}
+		if got := strings.Count(line, "|") - 1; got != cols {
+			t.Fatalf("line %d has %d columns, want %d: %q", i, got, cols, line)
+		}
+	}
+}
+
+func TestTable1Markdown(t *testing.T) {
+	md := Table1Markdown([]analysis.StoreSize{{Name: "AOSP 4.4", Certs: 150}})
+	mdWellFormed(t, md, 2)
+	if !strings.Contains(md, "| AOSP 4.4 | 150 |") {
+		t.Errorf("missing row:\n%s", md)
+	}
+}
+
+func TestTable2MarkdownRagged(t *testing.T) {
+	md := Table2Markdown(
+		[]analysis.CountRow{{Name: "Galaxy SIV", Sessions: 2762}},
+		[]analysis.CountRow{{Name: "SAMSUNG", Sessions: 7709}, {Name: "LG", Sessions: 2908}},
+	)
+	mdWellFormed(t, md, 4)
+	if !strings.Contains(md, "LG") {
+		t.Error("missing manufacturer overflow row")
+	}
+}
+
+func TestTable4And5Markdown(t *testing.T) {
+	md := Table4Markdown([]analysis.CategoryValidation{
+		{Name: "AOSP 4.4 certs", TotalRoots: 150, ZeroFraction: 0.23},
+	})
+	mdWellFormed(t, md, 3)
+	if !strings.Contains(md, "23%") {
+		t.Error("missing percentage")
+	}
+	md5 := Table5Markdown([]analysis.RootedExclusive{{Name: "CRAZY HOUSE", Devices: 70}})
+	mdWellFormed(t, md5, 2)
+	if !strings.Contains(md5, "CRAZY HOUSE") {
+		t.Error("missing CA")
+	}
+}
+
+func TestTable6AndHeadlinesMarkdown(t *testing.T) {
+	md := Table6Markdown(
+		[]mitm.Finding{{Host: "gmail.com", Port: 443}},
+		[]mitm.Finding{{Host: "www.google.com", Port: 443}, {Host: "supl.google.com", Port: 7275}},
+	)
+	mdWellFormed(t, md, 2)
+	if !strings.Contains(md, "supl.google.com:7275") {
+		t.Error("missing whitelisted row")
+	}
+	hm := HeadlinesMarkdown(analysis.Headlines{TotalSessions: 15970, ExtendedFraction: 0.39})
+	mdWellFormed(t, hm, 2)
+	if !strings.Contains(hm, "15970") || !strings.Contains(hm, "39.0%") {
+		t.Error("missing headline values")
+	}
+}
+
+func TestTable3Markdown(t *testing.T) {
+	md := Table3Markdown([]analysis.CategoryValidation{
+		{Name: "Mozilla", Validated: 12476, ECDF: stats.NewECDF(nil)},
+	})
+	mdWellFormed(t, md, 2)
+	if !strings.Contains(md, "12476") {
+		t.Error("missing count")
+	}
+}

@@ -1,0 +1,189 @@
+// Package report renders the reproduction's tables and figure data series
+// as aligned text, one renderer per table/figure of the paper. The output is
+// what cmd/paperfigs prints and what EXPERIMENTS.md records.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"tangledmass/internal/analysis"
+	"tangledmass/internal/mitm"
+)
+
+func table(fill func(w *tabwriter.Writer)) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fill(w)
+	w.Flush()
+	return b.String()
+}
+
+// Table1 renders the store-size table.
+func Table1(rows []analysis.StoreSize) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Root store\tNo. certificates")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%d\n", r.Name, r.Certs)
+		}
+	})
+}
+
+// Table2 renders the top devices and manufacturers.
+func Table2(devices, manufacturers []analysis.CountRow) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Device model\tNo. sessions\tManufacturer\tNo. sessions")
+		n := len(devices)
+		if len(manufacturers) > n {
+			n = len(manufacturers)
+		}
+		for i := 0; i < n; i++ {
+			var d, m string
+			if i < len(devices) {
+				d = fmt.Sprintf("%s\t%d", devices[i].Name, devices[i].Sessions)
+			} else {
+				d = "\t"
+			}
+			if i < len(manufacturers) {
+				m = fmt.Sprintf("%s\t%d", manufacturers[i].Name, manufacturers[i].Sessions)
+			} else {
+				m = "\t"
+			}
+			fmt.Fprintf(w, "%s\t%s\n", d, m)
+		}
+	})
+}
+
+// Table3 renders per-store validation totals.
+func Table3(rows []analysis.CategoryValidation) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Root store\tNo. validated certificates")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%d\n", r.Name, r.Validated)
+		}
+	})
+}
+
+// Table4 renders per-category root counts and zero-validation shares.
+func Table4(rows []analysis.CategoryValidation) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Root store category\tTotal root certs\tRoot certs that do not validate Notary certs")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%d\t%.0f%%\n", r.Name, r.TotalRoots, r.ZeroFraction*100)
+		}
+	})
+}
+
+// Table5 renders the rooted-device exclusives.
+func Table5(rows []analysis.RootedExclusive) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Certificate authority\tTotal devices")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%d\n", r.Name, r.Devices)
+		}
+	})
+}
+
+// Table6 renders the interception split.
+func Table6(intercepted, clean []mitm.Finding) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Intercepted domains\tWhitelisted domains")
+		n := len(intercepted)
+		if len(clean) > n {
+			n = len(clean)
+		}
+		for i := 0; i < n; i++ {
+			var a, b string
+			if i < len(intercepted) {
+				a = fmt.Sprintf("%s:%d", intercepted[i].Host, intercepted[i].Port)
+			}
+			if i < len(clean) {
+				b = fmt.Sprintf("%s:%d", clean[i].Host, clean[i].Port)
+			}
+			fmt.Fprintf(w, "%s\t%s\n", a, b)
+		}
+	})
+}
+
+// Figure1 renders the extended-store scatter as grouped rows.
+func Figure1(points []analysis.ScatterPoint) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Manufacturer\tVersion\tAOSP certs\tExtra certs\tSessions")
+		for _, p := range points {
+			fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\n",
+				p.Manufacturer, p.Version, p.AOSPCerts, p.ExtraCerts, p.Sessions)
+		}
+	})
+}
+
+// Figure2 renders the attribution matrix, largest ratios first within each
+// group, capped at maxPerGroup rows per group (0 = unlimited).
+func Figure2(cells []analysis.AttributionCell, maxPerGroup int) string {
+	byGroup := map[string][]analysis.AttributionCell{}
+	var groups []string
+	for _, c := range cells {
+		if _, ok := byGroup[c.Group]; !ok {
+			groups = append(groups, c.Group)
+		}
+		byGroup[c.Group] = append(byGroup[c.Group], c)
+	}
+	sort.Strings(groups)
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Group\tCertificate\tHash\tRatio\tPresence")
+		for _, g := range groups {
+			cs := byGroup[g]
+			sort.Slice(cs, func(i, j int) bool {
+				if cs[i].Ratio != cs[j].Ratio {
+					return cs[i].Ratio > cs[j].Ratio
+				}
+				return cs[i].CertName < cs[j].CertName
+			})
+			if maxPerGroup > 0 && len(cs) > maxPerGroup {
+				cs = cs[:maxPerGroup]
+			}
+			for _, c := range cs {
+				fmt.Fprintf(w, "%s\t%s\t(%s)\t%.2f\t%s\n", g, c.CertName, c.CertHash, c.Ratio, c.Class)
+			}
+		}
+	})
+}
+
+// Figure3 renders each category's ECDF as value:cumfrac pairs sampled at up
+// to maxPoints distinct values, preceded by the zero-validation offset.
+func Figure3(rows []analysis.CategoryValidation, maxPoints int) string {
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s (roots=%d, zero-offset=%.2f)\n", r.Name, r.TotalRoots, r.ZeroFraction)
+		series := r.ECDF.Series()
+		step := 1
+		if maxPoints > 0 && len(series) > maxPoints {
+			step = (len(series) + maxPoints - 1) / maxPoints
+		}
+		for i := 0; i < len(series); i += step {
+			fmt.Fprintf(&b, "  x=%.0f y=%.3f\n", series[i].X, series[i].Y)
+		}
+		if len(series) > 0 && (len(series)-1)%step != 0 {
+			last := series[len(series)-1]
+			fmt.Fprintf(&b, "  x=%.0f y=%.3f\n", last.X, last.Y)
+		}
+	}
+	return b.String()
+}
+
+// Headlines renders the §5/§6 prose numbers.
+func Headlines(h analysis.Headlines) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintf(w, "Sessions\t%d\n", h.TotalSessions)
+		fmt.Fprintf(w, "Handsets\t%d\n", h.Handsets)
+		fmt.Fprintf(w, "Device models\t%d\n", h.Models)
+		fmt.Fprintf(w, "Unique root certificates\t%d\n", h.UniqueRoots)
+		fmt.Fprintf(w, "Sessions with extended stores\t%.1f%%\n", h.ExtendedFraction*100)
+		fmt.Fprintf(w, "Handsets missing AOSP certs\t%d\n", h.MissingHandsets)
+		fmt.Fprintf(w, "4.1/4.2 sessions adding >40 certs\t%.1f%%\n", h.Over40Fraction41_42*100)
+		fmt.Fprintf(w, "Sessions on rooted handsets\t%.1f%%\n", h.RootedFraction*100)
+		fmt.Fprintf(w, "Rooted sessions with rooted-only certs\t%.1f%%\n", h.RootedExclusiveOfRoots*100)
+		fmt.Fprintf(w, "TLS-intercepted sessions\t%d\n", h.InterceptedSessions)
+	})
+}

@@ -1,0 +1,46 @@
+package rootstore_test
+
+import (
+	"fmt"
+
+	"tangledmass/internal/cauniverse"
+	"tangledmass/internal/rootstore"
+)
+
+// Diffing two reference stores under the paper's certificate equivalence.
+func ExampleDiff() {
+	u := cauniverse.Default()
+	d := rootstore.Diff(u.AOSP("4.4"), u.Mozilla())
+	fmt.Printf("shared=%d aosp-only=%d mozilla-only=%d\n", len(d.Both), len(d.OnlyA), len(d.OnlyB))
+	fmt.Printf("byte-identical=%d\n", rootstore.ByteIntersectCount(u.AOSP("4.4"), u.Mozilla()))
+	// Output:
+	// shared=130 aosp-only=20 mozilla-only=23
+	// byte-identical=117
+}
+
+// Store growth across AOSP releases (Table 1).
+func ExampleStore_Len() {
+	u := cauniverse.Default()
+	for _, v := range cauniverse.AOSPVersions() {
+		fmt.Printf("AOSP %s: %d\n", v, u.AOSP(v).Len())
+	}
+	// Output:
+	// AOSP 4.1: 139
+	// AOSP 4.2: 140
+	// AOSP 4.3: 146
+	// AOSP 4.4: 150
+}
+
+// Set operations are defined over subject+key identity, so a vendor image
+// composes as base ∪ additions.
+func ExampleUnion() {
+	u := cauniverse.Default()
+	image := rootstore.New("motorola image")
+	image.AddAll(u.AOSP("4.1").Certificates())
+	image.Add(u.Root("Motorola FOTA Root CA").Issued.Cert)
+	image.Add(u.Root("Motorola SUPL Server Root CA").Issued.Cert)
+	extras := rootstore.Subtract("extras", image, u.AOSP("4.1"))
+	fmt.Printf("image=%d extras=%d\n", image.Len(), extras.Len())
+	// Output:
+	// image=141 extras=2
+}

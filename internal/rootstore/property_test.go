@@ -1,0 +1,133 @@
+package rootstore_test
+
+import (
+	"crypto/x509"
+	"testing"
+	"testing/quick"
+
+	"tangledmass/internal/cauniverse"
+	"tangledmass/internal/certid"
+	"tangledmass/internal/rootstore"
+)
+
+// universeCerts returns a deterministic pool of distinct certificates to
+// drive property tests.
+func universeCerts(t *testing.T) []*x509.Certificate {
+	t.Helper()
+	return cauniverse.Default().AOSP("4.4").Certificates()
+}
+
+// pick builds a store from a bitmask over the first 16 pool certs.
+func pick(pool []*x509.Certificate, mask uint16, name string) *rootstore.Store {
+	s := rootstore.New(name)
+	for i := 0; i < 16; i++ {
+		if mask&(1<<i) != 0 {
+			s.Add(pool[i])
+		}
+	}
+	return s
+}
+
+func TestPropUnionCommutative(t *testing.T) {
+	pool := universeCerts(t)
+	err := quick.Check(func(a, b uint16) bool {
+		sa, sb := pick(pool, a, "a"), pick(pool, b, "b")
+		return rootstore.Equal(rootstore.Union("u1", sa, sb), rootstore.Union("u2", sb, sa))
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropUnionIdempotent(t *testing.T) {
+	pool := universeCerts(t)
+	err := quick.Check(func(a uint16) bool {
+		sa := pick(pool, a, "a")
+		return rootstore.Equal(rootstore.Union("u", sa, sa), sa)
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropIntersectSubset(t *testing.T) {
+	pool := universeCerts(t)
+	err := quick.Check(func(a, b uint16) bool {
+		sa, sb := pick(pool, a, "a"), pick(pool, b, "b")
+		inter := rootstore.Intersect("i", sa, sb)
+		for _, c := range inter.Certificates() {
+			if !sa.Contains(c) || !sb.Contains(c) {
+				return false
+			}
+		}
+		return inter.Len() == pick(pool, a&b, "ab").Len()
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropDiffPartition(t *testing.T) {
+	pool := universeCerts(t)
+	err := quick.Check(func(a, b uint16) bool {
+		sa, sb := pick(pool, a, "a"), pick(pool, b, "b")
+		d := rootstore.Diff(sa, sb)
+		// |OnlyA| + |Both| = |A|; |OnlyB| + |Both| = |B|.
+		return len(d.OnlyA)+len(d.Both) == sa.Len() &&
+			len(d.OnlyB)+len(d.Both) == sb.Len()
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSubtractDisjoint(t *testing.T) {
+	pool := universeCerts(t)
+	err := quick.Check(func(a, b uint16) bool {
+		sa, sb := pick(pool, a, "a"), pick(pool, b, "b")
+		sub := rootstore.Subtract("s", sa, sb)
+		if rootstore.Intersect("i", sub, sb).Len() != 0 {
+			return false
+		}
+		return rootstore.Equal(rootstore.Union("u", sub, rootstore.Intersect("i2", sa, sb)), sa)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropAddRemoveInverse(t *testing.T) {
+	pool := universeCerts(t)
+	err := quick.Check(func(a uint16, idx uint8) bool {
+		sa := pick(pool, a, "a")
+		c := pool[int(idx)%16]
+		had := sa.Contains(c)
+		added := sa.Add(c)
+		if had == added {
+			return false // Add must report the inverse of prior membership
+		}
+		if !had {
+			// Remove restores the original membership.
+			sa.Remove(certid.IdentityOf(c))
+			return !sa.Contains(c)
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropByteIntersectLEEquivalent(t *testing.T) {
+	// Byte-level matching can never find more shared certs than
+	// equivalence matching.
+	u := cauniverse.Default()
+	stores := []*rootstore.Store{u.AOSP("4.1"), u.AOSP("4.4"), u.Mozilla(), u.IOS7(), u.AggregatedAndroid()}
+	for _, a := range stores {
+		for _, b := range stores {
+			if rootstore.ByteIntersectCount(a, b) > rootstore.Intersect("i", a, b).Len() {
+				t.Fatalf("byte intersect > equivalence intersect for %s ∩ %s", a.Name(), b.Name())
+			}
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package rootstore models X.509 root certificate stores: ordered sets of
+// trusted CA certificates with set operations defined over the paper's
+// certificate equivalence (same subject + key) rather than byte equality.
+//
+// A Store corresponds to what the paper calls a "root store population":
+// the AOSP store for a given Android version, Mozilla's store, iOS7's store,
+// or the store observed on one device in the wild. It also reads and writes
+// the on-disk format Android uses (/system/etc/security/cacerts: one PEM file
+// per root named <subject-hash>.<n>).
+package rootstore
+
+import (
+	"crypto/x509"
+	"fmt"
+	"sort"
+
+	"tangledmass/internal/certid"
+)
+
+// Store is a set of root certificates indexed by the paper's certificate
+// identity. Insertion order is preserved for deterministic iteration. The
+// zero value is not usable; construct with New.
+type Store struct {
+	name  string
+	order []certid.Identity
+	byID  map[certid.Identity]*x509.Certificate
+}
+
+// New returns an empty store with the given name.
+func New(name string) *Store {
+	return &Store{name: name, byID: make(map[certid.Identity]*x509.Certificate)}
+}
+
+// Name returns the store's name (e.g. "AOSP 4.4").
+func (s *Store) Name() string { return s.name }
+
+// Len returns the number of distinct (by identity) certificates.
+func (s *Store) Len() int { return len(s.order) }
+
+// Add inserts cert. It returns false if an equivalent certificate (same
+// subject and key) is already present, in which case the store is unchanged:
+// the first-seen instance wins, mirroring how a device's store keeps one
+// file per root.
+func (s *Store) Add(cert *x509.Certificate) bool {
+	id := certid.IdentityOf(cert)
+	if _, ok := s.byID[id]; ok {
+		return false
+	}
+	s.byID[id] = cert
+	s.order = append(s.order, id)
+	return true
+}
+
+// AddAll inserts each certificate, returning how many were new.
+func (s *Store) AddAll(certs []*x509.Certificate) int {
+	n := 0
+	for _, c := range certs {
+		if s.Add(c) {
+			n++
+		}
+	}
+	return n
+}
+
+// Remove deletes the certificate with the given identity, returning whether
+// it was present.
+func (s *Store) Remove(id certid.Identity) bool {
+	if _, ok := s.byID[id]; !ok {
+		return false
+	}
+	delete(s.byID, id)
+	for i, o := range s.order {
+		if o == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Contains reports whether an equivalent certificate is present.
+func (s *Store) Contains(cert *x509.Certificate) bool {
+	_, ok := s.byID[certid.IdentityOf(cert)]
+	return ok
+}
+
+// ContainsIdentity reports whether the identity is present.
+func (s *Store) ContainsIdentity(id certid.Identity) bool {
+	_, ok := s.byID[id]
+	return ok
+}
+
+// Get returns the stored certificate for id, or nil.
+func (s *Store) Get(id certid.Identity) *x509.Certificate {
+	return s.byID[id]
+}
+
+// Certificates returns the certificates in insertion order. The returned
+// slice is freshly allocated; mutating it does not affect the store.
+func (s *Store) Certificates() []*x509.Certificate {
+	out := make([]*x509.Certificate, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.byID[id])
+	}
+	return out
+}
+
+// Identities returns the identity set in insertion order.
+func (s *Store) Identities() []certid.Identity {
+	out := make([]certid.Identity, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Clone returns a deep copy of the membership (certificates themselves are
+// shared, which is safe: x509.Certificate values are treated as immutable).
+func (s *Store) Clone(name string) *Store {
+	c := New(name)
+	for _, id := range s.order {
+		c.byID[id] = s.byID[id]
+		c.order = append(c.order, id)
+	}
+	return c
+}
+
+// Union returns a new store containing every certificate present in any of
+// the inputs (first instance of each identity wins).
+func Union(name string, stores ...*Store) *Store {
+	u := New(name)
+	for _, st := range stores {
+		for _, c := range st.Certificates() {
+			u.Add(c)
+		}
+	}
+	return u
+}
+
+// Intersect returns a new store with the certificates of a whose identities
+// also appear in b.
+func Intersect(name string, a, b *Store) *Store {
+	out := New(name)
+	for _, c := range a.Certificates() {
+		if b.Contains(c) {
+			out.Add(c)
+		}
+	}
+	return out
+}
+
+// Subtract returns a new store with the certificates of a whose identities
+// do not appear in b.
+func Subtract(name string, a, b *Store) *Store {
+	out := New(name)
+	for _, c := range a.Certificates() {
+		if !b.Contains(c) {
+			out.Add(c)
+		}
+	}
+	return out
+}
+
+// DiffResult reports a three-way comparison of two stores under equivalence.
+type DiffResult struct {
+	OnlyA []*x509.Certificate // in a but not b
+	OnlyB []*x509.Certificate // in b but not a
+	Both  []*x509.Certificate // a's instance of certificates present in both
+}
+
+// Diff compares two stores under certificate equivalence.
+func Diff(a, b *Store) DiffResult {
+	var d DiffResult
+	for _, c := range a.Certificates() {
+		if b.Contains(c) {
+			d.Both = append(d.Both, c)
+		} else {
+			d.OnlyA = append(d.OnlyA, c)
+		}
+	}
+	for _, c := range b.Certificates() {
+		if !a.Contains(c) {
+			d.OnlyB = append(d.OnlyB, c)
+		}
+	}
+	return d
+}
+
+// ByteIntersectCount counts the certificates of a that appear byte-identical
+// (same DER encoding) in b. Contrast with Intersect, which matches under the
+// paper's subject+key equivalence: §2 reports 117 byte-shared roots between
+// AOSP 4.4 and Mozilla while Table 4 counts 130 equivalence-shared.
+func ByteIntersectCount(a, b *Store) int {
+	raw := make(map[string]bool, b.Len())
+	for _, c := range b.Certificates() {
+		raw[string(c.Raw)] = true
+	}
+	n := 0
+	for _, c := range a.Certificates() {
+		if raw[string(c.Raw)] {
+			n++
+		}
+	}
+	return n
+}
+
+// Equal reports whether two stores contain exactly the same identities.
+func Equal(a, b *Store) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for _, id := range a.order {
+		if !b.ContainsIdentity(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// SortedSubjects returns the subject strings of the store sorted
+// lexicographically — convenient for deterministic reporting.
+func (s *Store) SortedSubjects() []string {
+	out := make([]string, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, id.Subject)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String summarizes the store.
+func (s *Store) String() string {
+	return fmt.Sprintf("%s (%d roots)", s.name, s.Len())
+}

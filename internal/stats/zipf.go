@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Zipf samples ranks from a Zipf-Mandelbrot distribution: the probability of
+// rank i (0-based) is proportional to 1/(i+1+q)^s. It is used to model the
+// heavily skewed popularity of certificate-issuing roots observed by the
+// Notary: a handful of roots validate most leaves while a long tail validates
+// few or none (Figure 3 of the paper).
+//
+// The sampler precomputes the cumulative mass so a draw is a binary search,
+// which keeps Notary synthesis cheap at large scale.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a sampler over n ranks with exponent s >= 0 and shift q >= 0.
+// It returns an error if n <= 0.
+func NewZipf(n int, s, q float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: zipf needs n > 0, got %d", n)
+	}
+	if s < 0 || q < 0 {
+		return nil, fmt.Errorf("stats: zipf needs s, q >= 0, got s=%v q=%v", s, q)
+	}
+	cdf := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1)+q, -s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	// Guard against floating-point drift: the last entry must be exactly 1.
+	cdf[n-1] = 1
+	return &Zipf{cdf: cdf}, nil
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws a rank in [0, N) using src.
+func (z *Zipf) Sample(src *Source) int {
+	x := src.Float64()
+	// Binary search for the first cdf entry >= x.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Mass returns the probability mass of rank i.
+func (z *Zipf) Mass(i int) float64 {
+	if i < 0 || i >= len(z.cdf) {
+		return 0
+	}
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}

@@ -1,0 +1,108 @@
+package supl
+
+import (
+	"crypto/x509"
+	"errors"
+	"testing"
+
+	"tangledmass/internal/cauniverse"
+	"tangledmass/internal/certgen"
+	"tangledmass/internal/device"
+)
+
+func env(t *testing.T) (*cauniverse.Universe, *Server, *x509.Certificate) {
+	t.Helper()
+	u := cauniverse.Default()
+	suplRoot := u.Root("Motorola SUPL Server Root CA")
+	svc, err := u.Generator().Leaf(suplRoot.Issued, "supl.vendor.example",
+		certgen.WithKeyName("supl-service"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return u, srv, suplRoot.Issued.Cert
+}
+
+func sampleRequest() LocationRequest {
+	return LocationRequest{
+		Cells: []CellID{
+			{MCC: 310, MNC: 4, LAC: 120, Cell: 20033},
+			{MCC: 310, MNC: 4, LAC: 121, Cell: 20034},
+		},
+		WiFiAPs: []string{"aa:bb:cc:dd:ee:01", "aa:bb:cc:dd:ee:02"},
+	}
+}
+
+func TestAssistanceExchange(t *testing.T) {
+	u, srv, suplRoot := env(t)
+	moto := device.New(device.Profile{Model: "Droid Razr", Manufacturer: "MOTOROLA", Version: "4.1"},
+		u.AOSP("4.1"), []*x509.Certificate{suplRoot})
+	c := &Client{Store: moto.EffectiveStore(), SUPLRoot: suplRoot, At: certgen.Epoch}
+	data, err := c.Fetch(srv.Addr(), "supl.vendor.example", sampleRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.EphemerisIDs) == 0 {
+		t.Error("assistance should include ephemeris IDs")
+	}
+	// The operator now knows the device's radio environment — the §5.1
+	// privacy observation.
+	obs := srv.ObservedRequests()
+	if len(obs) != 1 {
+		t.Fatalf("server observed %d requests, want 1", len(obs))
+	}
+	if len(obs[0].Cells) != 2 || len(obs[0].WiFiAPs) != 2 {
+		t.Error("server did not receive the full location context")
+	}
+}
+
+func TestStockDeviceRefusesToLeakLocation(t *testing.T) {
+	u, srv, suplRoot := env(t)
+	stock := device.New(device.Profile{Model: "Nexus 5", Manufacturer: "LG", Version: "4.4"},
+		u.AOSP("4.4"), nil)
+	c := &Client{Store: stock.EffectiveStore(), SUPLRoot: suplRoot, At: certgen.Epoch}
+	_, err := c.Fetch(srv.Addr(), "supl.vendor.example", sampleRequest())
+	if !errors.Is(err, ErrChannelUntrusted) {
+		t.Fatalf("err = %v, want ErrChannelUntrusted", err)
+	}
+	// Crucially: nothing was transmitted before channel verification.
+	if len(srv.ObservedRequests()) != 0 {
+		t.Error("location context leaked over an untrusted channel")
+	}
+}
+
+func TestWebAnchoredChannelRefused(t *testing.T) {
+	u, _, suplRoot := env(t)
+	// A service certificate under a popular web root, not the SUPL root.
+	webRoot := u.IssuingRoots()[0]
+	fake, err := u.Generator().Leaf(webRoot.Issued, "supl.vendor.example",
+		certgen.WithKeyName("fake-supl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := u.AOSP("4.4").Clone("moto")
+	store.Add(suplRoot)
+	c := &Client{Store: store, SUPLRoot: suplRoot, At: certgen.Epoch}
+	if err := c.verifyChannel([]*x509.Certificate{fake.Cert}); !errors.Is(err, ErrChannelUntrusted) {
+		t.Errorf("web-anchored SUPL channel err = %v, want ErrChannelUntrusted", err)
+	}
+	if err := c.verifyChannel(nil); !errors.Is(err, ErrChannelUntrusted) {
+		t.Error("empty chain should be untrusted")
+	}
+}
+
+func TestAssistDeterministic(t *testing.T) {
+	req := sampleRequest()
+	a, b := assist(req), assist(req)
+	if a.ApproxLat != b.ApproxLat || a.ApproxLon != b.ApproxLon {
+		t.Error("assistance should be deterministic for the same context")
+	}
+	empty := assist(LocationRequest{})
+	if empty.ApproxLat != 0 || empty.ApproxLon != 0 {
+		t.Error("empty context should yield the zero position")
+	}
+}

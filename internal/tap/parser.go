@@ -1,0 +1,147 @@
+// Package tap implements the Notary's sensor mechanism (§4.2): passive
+// extraction of certificates from live TLS traffic. A Tap relays TCP bytes
+// between client and server without terminating TLS; a stream parser
+// watches the server-to-client direction, reassembles the TLS record layer
+// and handshake messages, and lifts the server Certificate chain out of the
+// handshake — exactly what the ICSI Notary's network monitors do.
+//
+// The parser understands the TLS 1.0–1.2 wire format. TLS 1.3 encrypts the
+// Certificate message, so passive extraction sees nothing there — the same
+// visibility boundary real passive monitors hit; taps force their observed
+// links to ≤1.2 in tests.
+package tap
+
+import (
+	"crypto/x509"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// TLS record and handshake constants (RFC 5246).
+const (
+	recordTypeHandshake = 22
+	handshakeTypeCert   = 11
+
+	maxRecordLen    = 1<<14 + 2048 // plaintext limit + margin
+	maxHandshakeLen = 1 << 20      // certificate chains stay far below this
+)
+
+// ErrParse reports malformed TLS framing.
+var ErrParse = errors.New("tap: malformed TLS stream")
+
+// StreamParser incrementally consumes one direction of a TCP byte stream
+// and emits the first certificate chain found in a TLS handshake. Feed it
+// with Write-sized chunks in arrival order; it buffers across record and
+// message boundaries.
+type StreamParser struct {
+	// OnChain is invoked once, with the parsed chain leaf-first.
+	OnChain func(chain []*x509.Certificate)
+
+	rec      []byte // pending record-layer bytes
+	hs       []byte // reassembled handshake stream
+	done     bool
+	hardFail bool
+}
+
+// Done reports whether the parser has emitted a chain or given up.
+func (p *StreamParser) Done() bool { return p.done || p.hardFail }
+
+// Feed consumes the next chunk of server-to-client bytes. It returns an
+// error only for unrecoverable framing violations; a finished parser
+// ignores further input.
+func (p *StreamParser) Feed(data []byte) error {
+	if p.Done() {
+		return nil
+	}
+	p.rec = append(p.rec, data...)
+	for !p.Done() {
+		if len(p.rec) < 5 {
+			return nil // need a full record header
+		}
+		typ := p.rec[0]
+		length := int(binary.BigEndian.Uint16(p.rec[3:5]))
+		if length > maxRecordLen {
+			p.hardFail = true
+			return fmt.Errorf("%w: record length %d", ErrParse, length)
+		}
+		if len(p.rec) < 5+length {
+			return nil // record body incomplete
+		}
+		body := p.rec[5 : 5+length]
+		p.rec = p.rec[5+length:]
+		if typ != recordTypeHandshake {
+			// ChangeCipherSpec / alert / application data: after the cipher
+			// change the stream is opaque to a passive observer. A TLS 1.3
+			// server never shows a plaintext Certificate, so these records
+			// are simply skipped until the connection ends.
+			continue
+		}
+		p.hs = append(p.hs, body...)
+		if err := p.drainHandshake(); err != nil {
+			p.hardFail = true
+			return err
+		}
+	}
+	return nil
+}
+
+// drainHandshake parses complete handshake messages from the reassembled
+// stream.
+func (p *StreamParser) drainHandshake() error {
+	for len(p.hs) >= 4 && !p.Done() {
+		msgType := p.hs[0]
+		msgLen := int(p.hs[1])<<16 | int(p.hs[2])<<8 | int(p.hs[3])
+		if msgLen > maxHandshakeLen {
+			return fmt.Errorf("%w: handshake length %d", ErrParse, msgLen)
+		}
+		if len(p.hs) < 4+msgLen {
+			return nil // message spans further records
+		}
+		msg := p.hs[4 : 4+msgLen]
+		p.hs = p.hs[4+msgLen:]
+		if msgType != handshakeTypeCert {
+			continue
+		}
+		chain, err := parseCertificateMessage(msg)
+		if err != nil {
+			return err
+		}
+		p.done = true
+		if p.OnChain != nil && len(chain) > 0 {
+			p.OnChain(chain)
+		}
+	}
+	return nil
+}
+
+// parseCertificateMessage decodes the TLS ≤1.2 Certificate message body:
+// a 3-byte total length, then 3-byte-length-prefixed DER certificates.
+func parseCertificateMessage(msg []byte) ([]*x509.Certificate, error) {
+	if len(msg) < 3 {
+		return nil, fmt.Errorf("%w: short certificate message", ErrParse)
+	}
+	total := int(msg[0])<<16 | int(msg[1])<<8 | int(msg[2])
+	msg = msg[3:]
+	if total != len(msg) {
+		return nil, fmt.Errorf("%w: certificate list length %d != %d", ErrParse, total, len(msg))
+	}
+	var chain []*x509.Certificate
+	for len(msg) > 0 {
+		if len(msg) < 3 {
+			return nil, fmt.Errorf("%w: truncated certificate entry", ErrParse)
+		}
+		n := int(msg[0])<<16 | int(msg[1])<<8 | int(msg[2])
+		msg = msg[3:]
+		if n > len(msg) {
+			return nil, fmt.Errorf("%w: certificate entry overruns message", ErrParse)
+		}
+		cert, err := x509.ParseCertificate(msg[:n])
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad DER: %v", ErrParse, err)
+		}
+		chain = append(chain, cert)
+		msg = msg[n:]
+	}
+	return chain, nil
+}

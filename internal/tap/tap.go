@@ -1,0 +1,131 @@
+package tap
+
+import (
+	"crypto/x509"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"tangledmass/internal/notary"
+)
+
+// Observer receives extracted chains. *notary.Notary satisfies it; tapd
+// fans out to a remote notarynet service through the same interface.
+type Observer interface {
+	Observe(notary.Observation)
+}
+
+// Tap is a passive network monitor: a TCP relay that forwards every byte
+// untouched while the stream parser lifts certificate chains out of the
+// server-to-client direction and hands them to an Observer.
+type Tap struct {
+	ln       net.Listener
+	upstream string
+	notary   Observer
+	port     int
+
+	mu        sync.Mutex
+	closed    bool
+	wg        sync.WaitGroup
+	extracted atomic.Int64
+}
+
+// New starts a tap on 127.0.0.1 (ephemeral port) relaying to upstream.
+// Extracted chains are observed into n as traffic on logicalPort (the
+// service port the monitored link carries, e.g. 443).
+func New(upstream string, n Observer, logicalPort int) (*Tap, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("tap: listening: %w", err)
+	}
+	t := &Tap{ln: ln, upstream: upstream, notary: n, port: logicalPort}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the tap's listening address (clients connect here instead of
+// the upstream; a real deployment mirrors packets instead).
+func (t *Tap) Addr() string { return t.ln.Addr().String() }
+
+// Extracted returns how many chains the tap has lifted so far.
+func (t *Tap) Extracted() int64 { return t.extracted.Load() }
+
+// Close stops the tap.
+func (t *Tap) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	err := t.ln.Close()
+	t.wg.Wait()
+	return err
+}
+
+func (t *Tap) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.relay(conn)
+		}()
+	}
+}
+
+// relay forwards bytes both ways; the server→client leg runs through the
+// stream parser.
+func (t *Tap) relay(client net.Conn) {
+	defer client.Close()
+	server, err := net.Dial("tcp", t.upstream)
+	if err != nil {
+		return
+	}
+	defer server.Close()
+
+	parser := &StreamParser{OnChain: func(chain []*x509.Certificate) {
+		t.extracted.Add(1)
+		t.notary.Observe(notary.Observation{Chain: chain, Port: t.port})
+	}}
+
+	done := make(chan struct{}, 2)
+	// client → server: pure relay.
+	go func() {
+		io.Copy(server, client)
+		server.(*net.TCPConn).CloseWrite()
+		done <- struct{}{}
+	}()
+	// server → client: relay + parse.
+	go func() {
+		buf := make([]byte, 32<<10)
+		for {
+			n, err := server.Read(buf)
+			if n > 0 {
+				// Parse first (errors are logged by dropping the parser,
+				// never by disturbing the relay), then forward.
+				parser.Feed(buf[:n])
+				if _, werr := client.Write(buf[:n]); werr != nil {
+					break
+				}
+			}
+			if err != nil {
+				break
+			}
+		}
+		if cw, ok := client.(*net.TCPConn); ok {
+			cw.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}

@@ -1,0 +1,253 @@
+package tap
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tangledmass/internal/certgen"
+	"tangledmass/internal/notary"
+	"tangledmass/internal/rootstore"
+	"tangledmass/internal/tlsnet"
+)
+
+// env runs an origin TLS server (sites world) for tap tests.
+func env(t *testing.T) (*tlsnet.Server, *tlsnet.Sites) {
+	t.Helper()
+	w, err := tlsnet.NewWorld(tlsnet.Config{Seed: 77, NumLeaves: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, err := tlsnet.NewSites(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := tlsnet.ServeSites(sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, sites
+}
+
+// dialThroughTap handshakes with host via the tap, forcing TLS 1.2 so the
+// Certificate message is visible on the wire.
+func dialThroughTap(t *testing.T, tp *Tap, host string) []*x509.Certificate {
+	t.Helper()
+	conn, err := tls.Dial("tcp", tp.Addr(), &tls.Config{
+		ServerName:         host,
+		InsecureSkipVerify: true,
+		MaxVersion:         tls.VersionTLS12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Read the banner to let the relay settle.
+	buf := make([]byte, 4)
+	io.ReadFull(conn, buf)
+	return conn.ConnectionState().PeerCertificates
+}
+
+func TestPassiveExtraction(t *testing.T) {
+	srv, sites := env(t)
+	n := notary.New(certgen.Epoch)
+	tp, err := New(srv.Addr(), n, 443)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+
+	hosts := []string{"gmail.com", "www.google.com", "www.twitter.com"}
+	for _, host := range hosts {
+		presented := dialThroughTap(t, tp, host)
+		if len(presented) == 0 {
+			t.Fatalf("%s: no chain presented", host)
+		}
+	}
+	// The tap may record asynchronously relative to our reads; allow it to
+	// settle.
+	deadline := time.Now().Add(2 * time.Second)
+	for tp.Extracted() < int64(len(hosts)) && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := tp.Extracted(); got != int64(len(hosts)) {
+		t.Fatalf("extracted %d chains, want %d", got, len(hosts))
+	}
+	if n.Sessions() != int64(len(hosts)) {
+		t.Errorf("notary sessions = %d", n.Sessions())
+	}
+	// The passively extracted leaves match what the sites actually serve.
+	for _, host := range hosts {
+		site := sites.LookupHost(host)
+		if !n.HasRecord(site.Chain[0]) {
+			t.Errorf("notary missing passively-extracted leaf for %s", host)
+		}
+	}
+	// And they were seen in leaf position, so they count for validation.
+	rep := n.ValidateOne(storeOf(t, sites, hosts))
+	if rep.Validated != len(hosts) {
+		t.Errorf("validated %d of %d extracted leaves", rep.Validated, len(hosts))
+	}
+}
+
+// storeOf builds a store of the issuing roots for the given hosts.
+func storeOf(t *testing.T, sites *tlsnet.Sites, hosts []string) *rootstore.Store {
+	t.Helper()
+	s := rootstore.New("tap roots")
+	for _, h := range hosts {
+		chain := sites.LookupHost(h).Chain
+		s.Add(chain[len(chain)-1])
+	}
+	return s
+}
+
+func TestTLS13HidesCertificates(t *testing.T) {
+	srv, _ := env(t)
+	n := notary.New(certgen.Epoch)
+	tp, err := New(srv.Addr(), n, 443)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+	conn, err := tls.Dial("tcp", tp.Addr(), &tls.Config{
+		ServerName:         "gmail.com",
+		InsecureSkipVerify: true,
+		MinVersion:         tls.VersionTLS13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	io.ReadFull(conn, buf)
+	conn.Close()
+	time.Sleep(50 * time.Millisecond)
+	if tp.Extracted() != 0 {
+		t.Error("TLS 1.3 certificates are encrypted; passive extraction must see nothing")
+	}
+}
+
+func TestRelayTransparency(t *testing.T) {
+	// The client's view through the tap is byte-identical to a direct
+	// connection: same chain, working application data.
+	srv, sites := env(t)
+	n := notary.New(certgen.Epoch)
+	tp, err := New(srv.Addr(), n, 443)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+	viaTap := dialThroughTap(t, tp, "www.google.com")
+	site := sites.LookupHost("www.google.com")
+	if string(viaTap[0].Raw) != string(site.Chain[0].Raw) {
+		t.Error("tap altered the presented leaf")
+	}
+}
+
+func TestParserDirect(t *testing.T) {
+	// Feed a hand-built Certificate handshake split across records and
+	// chunk boundaries.
+	g := certgen.NewGenerator(170)
+	root, _ := g.SelfSignedCA("Tap Parser Root")
+	leaf, _ := g.Leaf(root, "tap.example.com")
+	msg := buildCertMessage([][]byte{leaf.Cert.Raw, root.Cert.Raw})
+
+	// Split the handshake message across two TLS records.
+	half := len(msg) / 2
+	stream := append(record(msg[:half]), record(msg[half:])...)
+
+	var got []*x509.Certificate
+	p := &StreamParser{OnChain: func(c []*x509.Certificate) { got = c }}
+	// Feed byte-by-byte to exercise every reassembly path.
+	for _, b := range stream {
+		if err := p.Feed([]byte{b}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !p.Done() || len(got) != 2 {
+		t.Fatalf("parsed %d certs, done=%v", len(got), p.Done())
+	}
+	if got[0].Subject.CommonName != "tap.example.com" {
+		t.Errorf("leaf CN = %s", got[0].Subject.CommonName)
+	}
+}
+
+func TestParserRejectsGarbage(t *testing.T) {
+	// Oversized record length.
+	p := &StreamParser{}
+	if err := p.Feed([]byte{22, 3, 3, 0xff, 0xff, 0}); err == nil {
+		t.Error("oversized record should error")
+	}
+	// Bad certificate DER inside a well-framed message.
+	p2 := &StreamParser{}
+	msg := []byte{0, 0, 7, 0, 0, 4, 'j', 'u', 'n', 'k'}
+	full := append([]byte{handshakeTypeCert, 0, 0, byte(len(msg))}, msg...)
+	if err := p2.Feed(record(full)); err == nil {
+		t.Error("junk DER should error")
+	}
+}
+
+func TestParserFuzz(t *testing.T) {
+	// Property: arbitrary bytes never panic the parser.
+	err := quick.Check(func(chunks [][]byte) bool {
+		p := &StreamParser{}
+		for _, c := range chunks {
+			p.Feed(c) // errors fine; panics are not
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// record wraps payload in one TLS 1.2 handshake record.
+func record(payload []byte) []byte {
+	hdr := []byte{recordTypeHandshake, 3, 3, byte(len(payload) >> 8), byte(len(payload))}
+	return append(hdr, payload...)
+}
+
+// buildCertMessage builds a full Certificate handshake message.
+func buildCertMessage(ders [][]byte) []byte {
+	var list []byte
+	for _, der := range ders {
+		list = append(list, byte(len(der)>>16), byte(len(der)>>8), byte(len(der)))
+		list = append(list, der...)
+	}
+	body := append([]byte{byte(len(list) >> 16), byte(len(list) >> 8), byte(len(list))}, list...)
+	return append([]byte{handshakeTypeCert, byte(len(body) >> 16), byte(len(body) >> 8), byte(len(body))}, body...)
+}
+
+func TestTapUpstreamUnreachable(t *testing.T) {
+	n := notary.New(certgen.Epoch)
+	tp, err := New("127.0.0.1:1", n, 443) // nothing listens on port 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+	conn, err := tls.Dial("tcp", tp.Addr(), &tls.Config{InsecureSkipVerify: true})
+	if err == nil {
+		conn.Close()
+		t.Error("handshake through a dead upstream should fail")
+	}
+	if tp.Extracted() != 0 {
+		t.Error("nothing should be extracted")
+	}
+}
+
+func TestTapCloseIdempotent(t *testing.T) {
+	n := notary.New(certgen.Epoch)
+	tp, err := New("127.0.0.1:1", n, 443)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}

@@ -1,0 +1,31 @@
+package tlsnet
+
+import (
+	"tangledmass/internal/cauniverse"
+	"tangledmass/internal/notary"
+)
+
+// Feed streams the world's traffic into a Notary and imports the official
+// root stores, reproducing the §4.2 database construction:
+//
+//   - every leaf chain is observed on its port;
+//   - the AOSP 4.4, Mozilla and iOS7 stores are imported (the Notary
+//     carries the official store certificates);
+//   - "Only Android" extras (Figure 2's recorded-but-store-less class) are
+//     observed once in traffic, so the Notary has them on record;
+//   - unrecorded extras, rooted-only roots and the interception root never
+//     reach the Notary.
+func Feed(w *World, n *notary.Notary) {
+	for _, leaf := range w.Leaves() {
+		n.Observe(notary.Observation{Chain: leaf.Chain, Port: leaf.Port, SeenAt: leaf.SeenAt})
+	}
+	u := w.Universe()
+	n.ImportStore(u.AOSP("4.4"))
+	n.ImportStore(u.Mozilla())
+	n.ImportStore(u.IOS7())
+	for _, r := range u.Roots() {
+		if r.Class == cauniverse.ExtraAndroidRecorded {
+			n.ObserveCA(r.Issued.Cert, 443)
+		}
+	}
+}

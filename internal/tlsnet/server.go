@@ -1,0 +1,105 @@
+package tlsnet
+
+import (
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Server is the in-process TLS origin for every named site: one loopback
+// listener that selects the serving certificate by SNI, so a client can
+// reach any site through a single address. It stands in for "the internet"
+// when the measurement client or the interception proxy dials out.
+type Server struct {
+	ln    net.Listener
+	sites *Sites
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ServeSites starts a TLS server on 127.0.0.1 (ephemeral port) serving every
+// site in sites, chosen by SNI. Close must be called to release it.
+func ServeSites(sites *Sites) (*Server, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("tlsnet: listening: %w", err)
+	}
+	s := &Server{ln: ln, sites: sites}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's host:port.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+var errUnknownSite = errors.New("tlsnet: no certificate for requested server name")
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	tconn := tls.Server(conn, &tls.Config{
+		GetCertificate: func(hello *tls.ClientHelloInfo) (*tls.Certificate, error) {
+			site := s.sites.LookupHost(hello.ServerName)
+			if site == nil {
+				return nil, fmt.Errorf("%w: %q", errUnknownSite, hello.ServerName)
+			}
+			return &site.Credential, nil
+		},
+	})
+	if err := tconn.Handshake(); err != nil {
+		return
+	}
+	// A one-line banner; enough for clients that read after handshaking.
+	fmt.Fprintf(tconn, "220 %s tangledmass-tls ready\r\n", tconn.ConnectionState().ServerName)
+}
+
+// Dialer connects to a named service. The direct implementation goes
+// straight to the origin Server; the interception proxy wraps one.
+type Dialer interface {
+	// DialSite opens a TCP connection intended for host:port. The caller
+	// performs the TLS handshake (with SNI = host) on the returned conn.
+	DialSite(host string, port int) (net.Conn, error)
+}
+
+// DirectDialer routes every site to the origin server.
+type DirectDialer struct {
+	Server *Server
+}
+
+// DialSite implements Dialer.
+func (d DirectDialer) DialSite(host string, port int) (net.Conn, error) {
+	return net.Dial("tcp", d.Server.Addr())
+}

@@ -1,0 +1,137 @@
+// Package x509scan implements an active certificate collector in the style
+// of the EFF SSL Observatory, which §4.2 contrasts with the ICSI Notary's
+// passive collection: instead of watching live traffic, a scanner connects
+// out to a target list, records each presented chain, and feeds the same
+// database. Active scans see services passive taps miss (and vice versa),
+// so real deployments run both.
+package x509scan
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"fmt"
+	"sync"
+	"time"
+
+	"tangledmass/internal/notary"
+	"tangledmass/internal/tlsnet"
+)
+
+// Result is one scanned target.
+type Result struct {
+	Target tlsnet.HostPort
+	// Chain is the presented chain, leaf first; nil when Err is set.
+	Chain []*x509.Certificate
+	// Elapsed is the connect+handshake duration.
+	Elapsed time.Duration
+	Err     error
+}
+
+// Scanner scans target lists concurrently. The zero value is not usable;
+// set Dialer at minimum.
+type Scanner struct {
+	// Dialer provides connectivity to targets.
+	Dialer tlsnet.Dialer
+	// Concurrency bounds parallel handshakes. Values < 1 mean 8.
+	Concurrency int
+	// Timeout bounds one target's connect+handshake. Zero means 10s.
+	Timeout time.Duration
+}
+
+// Scan probes every target and returns results in target order.
+func (s *Scanner) Scan(targets []tlsnet.HostPort) ([]Result, error) {
+	if s.Dialer == nil {
+		return nil, fmt.Errorf("x509scan: scanner needs a dialer")
+	}
+	conc := s.Concurrency
+	if conc < 1 {
+		conc = 8
+	}
+	timeout := s.Timeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	results := make([]Result, len(targets))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = s.scanOne(targets[i], timeout)
+			}
+		}()
+	}
+	for i := range targets {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results, nil
+}
+
+func (s *Scanner) scanOne(hp tlsnet.HostPort, timeout time.Duration) (res Result) {
+	res = Result{Target: hp}
+	start := time.Now()
+	// Named result: the deferred assignment must reach the caller on every
+	// return path.
+	defer func() { res.Elapsed = time.Since(start) }()
+
+	conn, err := s.Dialer.DialSite(hp.Host, hp.Port)
+	if err != nil {
+		res.Err = fmt.Errorf("x509scan: dialing %s: %w", hp, err)
+		return res
+	}
+	defer conn.Close()
+	conn.SetDeadline(start.Add(timeout))
+	// Like the Netalyzr probe, the scanner records whatever is presented.
+	tconn := tls.Client(conn, &tls.Config{ServerName: hp.Host, InsecureSkipVerify: true})
+	if err := tconn.Handshake(); err != nil {
+		res.Err = fmt.Errorf("x509scan: handshake with %s: %w", hp, err)
+		return res
+	}
+	defer tconn.Close()
+	res.Chain = tconn.ConnectionState().PeerCertificates
+	return res
+}
+
+// FeedNotary observes every successful scan result into the database,
+// returning how many chains were fed.
+func FeedNotary(n *notary.Notary, results []Result) int {
+	fed := 0
+	for _, r := range results {
+		if r.Err != nil || len(r.Chain) == 0 {
+			continue
+		}
+		n.Observe(notary.Observation{Chain: r.Chain, Port: r.Target.Port})
+		fed++
+	}
+	return fed
+}
+
+// Summary aggregates a scan run.
+type Summary struct {
+	Targets   int
+	Succeeded int
+	Failed    int
+	// DistinctRoots counts distinct top-of-chain subjects observed.
+	DistinctRoots int
+}
+
+// Summarize computes the scan summary.
+func Summarize(results []Result) Summary {
+	sum := Summary{Targets: len(results)}
+	roots := map[string]bool{}
+	for _, r := range results {
+		if r.Err != nil || len(r.Chain) == 0 {
+			sum.Failed++
+			continue
+		}
+		sum.Succeeded++
+		top := r.Chain[len(r.Chain)-1]
+		roots[string(top.RawSubject)] = true
+	}
+	sum.DistinctRoots = len(roots)
+	return sum
+}

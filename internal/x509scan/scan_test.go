@@ -1,0 +1,135 @@
+package x509scan
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"tangledmass/internal/certgen"
+	"tangledmass/internal/notary"
+	"tangledmass/internal/tlsnet"
+)
+
+var (
+	envOnce  sync.Once
+	envSrv   *tlsnet.Server
+	envSites *tlsnet.Sites
+	envErr   error
+)
+
+func env(t *testing.T) (*tlsnet.Server, *tlsnet.Sites) {
+	t.Helper()
+	envOnce.Do(func() {
+		var w *tlsnet.World
+		w, envErr = tlsnet.NewWorld(tlsnet.Config{Seed: 17, NumLeaves: 10})
+		if envErr != nil {
+			return
+		}
+		envSites, envErr = tlsnet.NewSites(w)
+		if envErr != nil {
+			return
+		}
+		envSrv, envErr = tlsnet.ServeSites(envSites)
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return envSrv, envSites
+}
+
+func TestScanAllTargets(t *testing.T) {
+	srv, _ := env(t)
+	s := &Scanner{Dialer: tlsnet.DirectDialer{Server: srv}, Concurrency: 4}
+	targets := tlsnet.ProbeTargets()
+	results, err := s.Scan(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(targets) {
+		t.Fatalf("results = %d, want %d", len(results), len(targets))
+	}
+	for i, r := range results {
+		if r.Target != targets[i] {
+			t.Fatal("results not in target order")
+		}
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Target, r.Err)
+		}
+		if len(r.Chain) < 2 {
+			t.Errorf("%s: chain too short", r.Target)
+		}
+		if r.Elapsed <= 0 {
+			t.Errorf("%s: elapsed not recorded", r.Target)
+		}
+	}
+	sum := Summarize(results)
+	if sum.Succeeded != len(targets) || sum.Failed != 0 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if sum.DistinctRoots < 5 {
+		t.Errorf("distinct roots = %d, want several (sites rotate issuers)", sum.DistinctRoots)
+	}
+}
+
+func TestScanFeedsNotary(t *testing.T) {
+	srv, _ := env(t)
+	s := &Scanner{Dialer: tlsnet.DirectDialer{Server: srv}}
+	results, err := s.Scan(tlsnet.ProbeTargets()[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := notary.New(certgen.Epoch)
+	if fed := FeedNotary(n, results); fed != 5 {
+		t.Errorf("fed = %d, want 5", fed)
+	}
+	if n.Sessions() != 5 {
+		t.Errorf("sessions = %d", n.Sessions())
+	}
+	if !n.HasRecord(results[0].Chain[0]) {
+		t.Error("scanned leaf should be on record")
+	}
+}
+
+func TestScanFailuresSurface(t *testing.T) {
+	s := &Scanner{Dialer: failingDialer{}, Timeout: time.Second}
+	results, err := s.Scan([]tlsnet.HostPort{{Host: "down.example", Port: 443}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil {
+		t.Error("dial failure should surface")
+	}
+	sum := Summarize(results)
+	if sum.Failed != 1 || sum.Succeeded != 0 {
+		t.Errorf("summary = %+v", sum)
+	}
+	n := notary.New(certgen.Epoch)
+	if fed := FeedNotary(n, results); fed != 0 {
+		t.Errorf("failed scans must not feed the notary, fed %d", fed)
+	}
+}
+
+func TestScannerNeedsDialer(t *testing.T) {
+	if _, err := (&Scanner{}).Scan(nil); err == nil {
+		t.Error("scanner without dialer should error")
+	}
+}
+
+func TestScanEmptyTargets(t *testing.T) {
+	srv, _ := env(t)
+	s := &Scanner{Dialer: tlsnet.DirectDialer{Server: srv}}
+	results, err := s.Scan(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Error("empty scan should be empty")
+	}
+}
+
+type failingDialer struct{}
+
+func (failingDialer) DialSite(host string, port int) (net.Conn, error) {
+	return nil, net.ErrClosed
+}
