@@ -1,0 +1,22 @@
+# Build and verification entry points. `make verify` is the tier-1 gate:
+# it chains build, vet, the tangledlint static-analysis suite, and the
+# race-enabled tests via verify.sh.
+
+GO ?= go
+
+.PHONY: build test lint vet verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/tangledlint ./...
+
+test:
+	$(GO) test -race ./...
+
+verify:
+	./verify.sh

@@ -10,12 +10,13 @@ package main
 import (
 	"encoding/json"
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
-)
 
-import "tangledmass/internal/collect"
+	"tangledmass/internal/collect"
+)
 
 func main() {
 	log.SetFlags(0)
@@ -25,10 +26,15 @@ func main() {
 		keep = flag.Bool("keep", false, "retain full reports in memory (not just aggregates)")
 	)
 	flag.Parse()
-
-	srv, err := collect.Serve(*addr, *keep)
-	if err != nil {
+	if err := run(*addr, *keep); err != nil {
 		log.Fatal(err)
+	}
+}
+
+func run(addr string, keep bool) error {
+	srv, err := collect.Serve(addr, keep)
+	if err != nil {
+		return err
 	}
 	log.Printf("collecting on %s", srv.Addr())
 
@@ -36,9 +42,10 @@ func main() {
 	signal.Notify(stop, os.Interrupt)
 	<-stop
 	sum := srv.Summary()
-	out, _ := json.MarshalIndent(sum, "", "  ")
-	log.Printf("final aggregate:\n%s", out)
-	if err := srv.Close(); err != nil {
-		log.Fatal(err)
+	out, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshaling final aggregate: %w", err)
 	}
+	log.Printf("final aggregate:\n%s", out)
+	return srv.Close()
 }

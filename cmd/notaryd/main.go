@@ -32,21 +32,26 @@ func main() {
 		seed    = flag.Int64("seed", 1, "seed for the pre-feed world")
 	)
 	flag.Parse()
+	if err := run(*addr, *prefeed, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run(addr string, prefeed int, seed int64) error {
 	n := notary.New(certgen.Epoch)
-	if *prefeed > 0 {
-		log.Printf("pre-feeding from a %d-leaf simulated TLS internet (seed %d)...", *prefeed, *seed)
-		world, err := tlsnet.NewWorld(tlsnet.Config{Seed: *seed, NumLeaves: *prefeed})
+	if prefeed > 0 {
+		log.Printf("pre-feeding from a %d-leaf simulated TLS internet (seed %d)...", prefeed, seed)
+		world, err := tlsnet.NewWorld(tlsnet.Config{Seed: seed, NumLeaves: prefeed})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		tlsnet.Feed(world, n)
 		log.Print(n.String())
 	}
 
-	srv, err := notarynet.Serve(n, *addr)
+	srv, err := notarynet.Serve(n, addr)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	log.Printf("serving on %s", srv.Addr())
 
@@ -54,7 +59,5 @@ func main() {
 	signal.Notify(stop, os.Interrupt)
 	<-stop
 	log.Print("shutting down")
-	if err := srv.Close(); err != nil {
-		log.Fatal(err)
-	}
+	return srv.Close()
 }

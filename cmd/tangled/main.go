@@ -16,6 +16,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -29,41 +30,49 @@ import (
 	"tangledmass/internal/rootstore"
 )
 
+// errUsage signals a command-line mistake; main prints usage and exits 2.
+var errUsage = errors.New("usage error")
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tangled: ")
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	if err := run(os.Args[1:]); err != nil {
+		if errors.Is(err, errUsage) {
+			usage()
+			os.Exit(2)
+		}
+		log.Fatal(err)
 	}
-	var err error
-	switch os.Args[1] {
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return errUsage
+	}
+	switch args[0] {
 	case "stores":
-		err = cmdStores()
+		return cmdStores()
 	case "diff":
-		err = cmdDiff(os.Args[2:])
+		return cmdDiff(args[1:])
 	case "export":
-		err = cmdExport(os.Args[2:])
+		return cmdExport(args[1:])
 	case "audit":
-		err = cmdAudit(os.Args[2:])
+		return cmdAudit(args[1:])
 	case "classify":
-		err = cmdClassify(os.Args[2:])
+		return cmdClassify(args[1:])
 	case "minimize":
-		err = cmdMinimize(os.Args[2:])
+		return cmdMinimize(args[1:])
 	case "surface":
-		err = cmdSurface(os.Args[2:])
+		return cmdSurface(args[1:])
 	case "fleet":
-		err = cmdFleet(os.Args[2:])
+		return cmdFleet(args[1:])
 	case "show":
-		err = cmdShow(os.Args[2:])
+		return cmdShow(args[1:])
 	case "-h", "--help", "help":
 		usage()
+		return nil
 	default:
-		usage()
-		os.Exit(2)
-	}
-	if err != nil {
-		log.Fatal(err)
+		return errUsage
 	}
 }
 

@@ -1,0 +1,100 @@
+// Command tangledlint runs the repo-aware static-analysis suite over the
+// module. It is one of the three correctness gates verify.sh chains (with
+// go vet and go test -race): the paper's identity, determinism, locking,
+// and error-handling invariants are enforced here, mechanically, on every
+// build.
+//
+// Usage:
+//
+//	tangledlint [./... | <module-dir>]
+//
+// With no argument or "./...", the module containing the current directory
+// is analyzed. Findings print as "file:line: [rule] message"; the exit code
+// is 1 when there are findings, 2 on usage or load errors, 0 when clean.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"tangledmass/internal/lint"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tangledlint: ")
+	findings, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	if findings > 0 {
+		os.Exit(1)
+	}
+}
+
+// run executes the driver and returns the number of findings printed.
+func run(args []string, out io.Writer) (int, error) {
+	root := "."
+	switch len(args) {
+	case 0:
+		// module at the current directory
+	case 1:
+		if args[0] != "./..." {
+			root = args[0]
+		}
+	default:
+		return 0, fmt.Errorf("usage: tangledlint [./... | <module-dir>]")
+	}
+	root, err := findModuleRoot(root)
+	if err != nil {
+		return 0, err
+	}
+	m, err := lint.LoadModule(root)
+	if err != nil {
+		return 0, err
+	}
+	findings := lint.Run(m, lint.Analyzers())
+	for _, f := range findings {
+		if _, err := fmt.Fprintln(out, relativize(f).String()); err != nil {
+			return 0, fmt.Errorf("writing findings: %w", err)
+		}
+	}
+	return len(findings), nil
+}
+
+// findModuleRoot walks up from dir to the nearest directory with a go.mod.
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod at or above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// relativize rewrites the finding's file path relative to the working
+// directory when possible, matching compiler diagnostics.
+func relativize(f lint.Finding) lint.Finding {
+	wd, err := os.Getwd()
+	if err != nil {
+		return f
+	}
+	rel, err := filepath.Rel(wd, f.Pos.Filename)
+	if err != nil || len(rel) >= len(f.Pos.Filename) {
+		return f
+	}
+	f.Pos.Filename = rel
+	return f
+}

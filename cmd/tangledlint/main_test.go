@@ -1,0 +1,62 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunFixtureModule points the driver at the analyzer fixture module and
+// checks the reporting contract: one "file:line: [rule] message" line per
+// finding and a positive count.
+func TestRunFixtureModule(t *testing.T) {
+	fixture := filepath.Join("..", "..", "internal", "lint", "testdata", "src")
+	var out strings.Builder
+	n, err := run([]string{fixture}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("fixture module produced no findings")
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != n {
+		t.Fatalf("printed %d lines, reported %d findings", len(lines), n)
+	}
+	for _, l := range lines {
+		rest := l[strings.IndexByte(l, ':')+1:]
+		if !strings.Contains(rest, ": [") || !strings.Contains(rest, "] ") {
+			t.Errorf("malformed finding line: %q", l)
+		}
+	}
+}
+
+// TestRunSelf runs the driver over its own module, which must stay clean:
+// the lint gate in verify.sh depends on it.
+func TestRunSelf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checking the full module is slow")
+	}
+	var out strings.Builder
+	n, err := run([]string{"./..."}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("module is not lint-clean:\n%s", out.String())
+	}
+}
+
+// TestRunUsage rejects extra arguments.
+func TestRunUsage(t *testing.T) {
+	if _, err := run([]string{"a", "b"}, &strings.Builder{}); err == nil {
+		t.Fatal("want usage error for two arguments")
+	}
+}
+
+// TestRunNoModule reports a load error for a directory outside any module.
+func TestRunNoModule(t *testing.T) {
+	if _, err := run([]string{t.TempDir()}, &strings.Builder{}); err == nil {
+		t.Fatal("want error for directory without go.mod")
+	}
+}

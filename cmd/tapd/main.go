@@ -36,30 +36,33 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if err := run(*upstream, *notaryAddr, *port); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run(upstream, notaryAddr string, port int) error {
 	sink := &fanout{local: notary.New(certgen.Epoch)}
-	if *notaryAddr != "" {
-		remote, err := notarynet.Dial(*notaryAddr)
+	if notaryAddr != "" {
+		remote, err := notarynet.Dial(notaryAddr)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer remote.Close()
 		sink.remote = remote
 	}
 
-	t, err := tap.New(*upstream, sink, *port)
+	t, err := tap.New(upstream, sink, port)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	log.Printf("tapping %s on %s", *upstream, t.Addr())
+	log.Printf("tapping %s on %s", upstream, t.Addr())
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
 	<-stop
 	log.Printf("extracted %d chains; %s", t.Extracted(), sink.local)
-	if err := t.Close(); err != nil {
-		log.Fatal(err)
-	}
+	return t.Close()
 }
 
 // fanout observes into the local database and forwards to the remote

@@ -1,5 +1,7 @@
 package certgen
 
+//lint:file-ignore errwrap hash.Hash.Write is documented to never return an error
+
 import (
 	"crypto/sha256"
 	"encoding/binary"

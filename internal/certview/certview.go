@@ -32,7 +32,7 @@ type Options struct {
 // Render produces the text form of one certificate.
 func Render(cert *x509.Certificate, opts Options) string {
 	var b strings.Builder
-	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+	w := func(format string, args ...any) { b.WriteString(fmt.Sprintf(format+"\n", args...)) }
 
 	w("Certificate:")
 	w("    Serial Number: %s", cert.SerialNumber)
@@ -89,7 +89,7 @@ func RenderChain(chain []*x509.Certificate, opts Options) string {
 		case i == len(chain)-1:
 			role = "root"
 		}
-		fmt.Fprintf(&b, "--- chain[%d] (%s) ---\n", i, role)
+		b.WriteString(fmt.Sprintf("--- chain[%d] (%s) ---\n", i, role))
 		b.WriteString(Render(c, opts))
 	}
 	return b.String()

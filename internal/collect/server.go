@@ -104,7 +104,9 @@ func (s *Server) handle(conn net.Conn) {
 	scanner.Buffer(make([]byte, 64<<10), 8<<20)
 	enc := json.NewEncoder(conn)
 	for {
-		conn.SetReadDeadline(time.Now().Add(2 * time.Minute))
+		if err := conn.SetReadDeadline(time.Now().Add(2 * time.Minute)); err != nil {
+			return
+		}
 		if !scanner.Scan() {
 			return
 		}
@@ -115,7 +117,9 @@ func (s *Server) handle(conn net.Conn) {
 		} else {
 			resp = s.dispatch(req)
 		}
-		conn.SetWriteDeadline(time.Now().Add(time.Minute))
+		if err := conn.SetWriteDeadline(time.Now().Add(time.Minute)); err != nil {
+			return
+		}
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
@@ -165,7 +169,9 @@ func Dial(addr string) (*Client, error) {
 func (c *Client) Close() error { return c.conn.Close() }
 
 func (c *Client) roundTrip(req request) (response, error) {
-	c.conn.SetDeadline(time.Now().Add(time.Minute))
+	if err := c.conn.SetDeadline(time.Now().Add(time.Minute)); err != nil {
+		return response{}, fmt.Errorf("collect: setting deadline: %w", err)
+	}
 	if err := c.enc.Encode(req); err != nil {
 		return response{}, fmt.Errorf("collect: sending: %w", err)
 	}

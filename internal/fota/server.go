@@ -81,8 +81,11 @@ func (s *Server) acceptLoop() {
 			if err := tconn.Handshake(); err != nil {
 				return
 			}
-			json.NewEncoder(tconn).Encode(s.manifest)
-			tconn.Close()
+			if err := json.NewEncoder(tconn).Encode(s.manifest); err != nil {
+				return
+			}
+			// Best-effort close_notify; the raw conn close is deferred.
+			_ = tconn.Close()
 		}()
 	}
 }

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CertCompare enforces the paper's certificate-identity rule (§4): root
+// certificates are equivalent when subject and key material match, so
+// comparing *x509.Certificate values by pointer, or their DER bytes with
+// bytes.Equal on .Raw, silently diverges from the published methodology the
+// moment a CA re-issues a root. Only internal/certid — the package that
+// defines identity — may look at raw equality.
+var CertCompare = &Analyzer{
+	Name: "certcompare",
+	Doc:  "flag pointer or raw-DER comparison of *x509.Certificate outside internal/certid",
+	Run:  runCertCompare,
+}
+
+func runCertCompare(p *Pass) {
+	if p.Pkg.Base() == "certid" {
+		return // the identity package defines byte-level identity itself
+	}
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				x, y := p.TypeOf(n.X), p.TypeOf(n.Y)
+				// Comparing against nil is presence, not identity.
+				if isUntypedNil(p, n.X) || isUntypedNil(p, n.Y) {
+					return true
+				}
+				if isCertPtr(x) || isCertPtr(y) {
+					p.Reportf(n.OpPos,
+						"*x509.Certificate compared with %s; compare identities with certid.Equivalent or certid.IdentityOf", n.Op)
+				}
+			case *ast.CallExpr:
+				if p.CalleeName(n) != "bytes.Equal" || len(n.Args) != 2 {
+					return true
+				}
+				for _, arg := range n.Args {
+					if sel, ok := ast.Unparen(arg).(*ast.SelectorExpr); ok &&
+						sel.Sel.Name == "Raw" && isCert(p.TypeOf(sel.X)) {
+						p.Reportf(n.Pos(),
+							"bytes.Equal on x509.Certificate.Raw; compare identities with certid.Equivalent or fingerprints via certid")
+						return true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isUntypedNil reports whether e is the predeclared nil.
+func isUntypedNil(p *Pass, e ast.Expr) bool {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok && id.Name == "nil" {
+		if _, isNil := p.ObjectOf(id).(*types.Nil); isNil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strconv"
+)
+
+// DetRand keeps the synthetic substrates deterministic. The CA universe,
+// device population, certificate generator, and their statistics are
+// calibrated to the paper's published aggregates; any wall-clock read or
+// unseeded randomness desynchronizes them between runs and invalidates the
+// calibration. All randomness must flow through the sanctioned seeded
+// entry points: stats/rand.go (the seeded source) and certgen/drbg.go (the
+// deterministic byte stream key generation consumes).
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "flag math/rand, crypto/rand, and time.Now in deterministic simulation packages outside the seeded entry points",
+	Run:  runDetRand,
+}
+
+// detRandPackages are the simulation packages that must stay deterministic,
+// by package base name.
+var detRandPackages = map[string]bool{
+	"cauniverse": true,
+	"population": true,
+	"certgen":    true,
+	"stats":      true,
+}
+
+// detRandSanctioned are the package/file pairs allowed to touch
+// nondeterminism primitives: they are the seeded sources everything else is
+// forced through.
+var detRandSanctioned = map[string]map[string]bool{
+	"stats":   {"rand.go": true},
+	"certgen": {"drbg.go": true},
+}
+
+func runDetRand(p *Pass) {
+	base := p.Pkg.Base()
+	if !detRandPackages[base] {
+		return
+	}
+	sanctioned := detRandSanctioned[base]
+	for _, file := range p.Pkg.Files {
+		filename := filepath.Base(p.Module.Fset.Position(file.Pos()).Filename)
+		if sanctioned[filename] {
+			continue
+		}
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			switch path {
+			case "math/rand", "math/rand/v2":
+				p.Reportf(imp.Pos(),
+					"%s imported in deterministic package %s; draw randomness from the seeded stats.Source", path, base)
+			case "crypto/rand":
+				p.Reportf(imp.Pos(),
+					"crypto/rand imported in deterministic package %s; consume the certgen DRBG stream instead", base)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if p.CalleeName(call) == "time.Now" {
+				p.Reportf(call.Pos(),
+					"time.Now in deterministic package %s; thread the simulation epoch through explicitly", base)
+			}
+			return true
+		})
+	}
+}

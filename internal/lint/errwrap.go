@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ErrWrap flags errors that vanish. A call used as a bare statement whose
+// results include an error discards it — deadline failures, short writes,
+// and encode errors all disappear this way. It also flags fmt.Errorf calls
+// that stringify an error operand without the %w verb, which severs the
+// errors.Is/As chain callers rely on.
+//
+// Sanctioned discards: assigning the error to _ explicitly, deferred and
+// go'd calls (no frame left to handle the error), fmt.Print/Printf/Println
+// and Fprint* to os.Stdout/os.Stderr (terminal diagnostics), and methods on
+// strings.Builder and bytes.Buffer, which are documented never to fail.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "flag dropped error returns and fmt.Errorf calls that lose an error operand without %w",
+	Run:  runErrWrap,
+}
+
+// errwrapExemptCallees never meaningfully fail or are pure diagnostics.
+var errwrapExemptCallees = map[string]bool{
+	"fmt.Print":   true,
+	"fmt.Printf":  true,
+	"fmt.Println": true,
+}
+
+// errwrapExemptReceivers are types whose Write* methods are documented to
+// never return a non-nil error.
+var errwrapExemptReceivers = [][2]string{
+	{"strings", "Builder"},
+	{"bytes", "Buffer"},
+}
+
+func runErrWrap(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := ast.Unparen(n.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkDropped(p, call)
+			case *ast.CallExpr:
+				if p.CalleeName(n) == "fmt.Errorf" {
+					checkErrorf(p, n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkDropped reports a statement-position call that returns an error.
+func checkDropped(p *Pass, call *ast.CallExpr) {
+	t := p.TypeOf(call)
+	if t == nil || !resultHasError(t) {
+		return
+	}
+	name := p.CalleeName(call)
+	if errwrapExemptCallees[name] {
+		return
+	}
+	if strings.HasPrefix(name, "fmt.Fprint") && len(call.Args) > 0 && isStdStream(p, call.Args[0]) {
+		return
+	}
+	if recv := calleeReceiver(p, call); recv != nil {
+		for _, ex := range errwrapExemptReceivers {
+			if namedIn(deref(recv), ex[0], ex[1]) {
+				return
+			}
+		}
+	}
+	if name == "" {
+		name = "call"
+	}
+	p.Reportf(call.Pos(), "error returned by %s is dropped; handle it or assign it to _ deliberately", name)
+}
+
+// checkErrorf reports fmt.Errorf calls with an error operand but no %w.
+func checkErrorf(p *Pass, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := p.Pkg.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // non-constant format string: nothing to inspect
+	}
+	format := constant.StringVal(tv.Value)
+	if strings.Contains(strings.ReplaceAll(format, "%%", ""), "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if isErrorType(p.TypeOf(arg)) {
+			p.Reportf(call.Pos(), "fmt.Errorf has an error operand but no %%w verb; wrap it so errors.Is/As keep working")
+			return
+		}
+	}
+}
+
+// resultHasError reports whether a call result type includes an error.
+func resultHasError(t types.Type) bool {
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+// calleeReceiver returns the receiver type of a method call, or nil.
+func calleeReceiver(p *Pass, call *ast.CallExpr) types.Type {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return sig.Recv().Type()
+		}
+	}
+	return nil
+}
+
+// isStdStream reports whether e is os.Stdout or os.Stderr.
+func isStdStream(p *Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "os" && (obj.Name() == "Stdout" || obj.Name() == "Stderr")
+}
+
+// deref unwraps one level of pointer.
+func deref(t types.Type) types.Type {
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		return ptr.Elem()
+	}
+	return t
+}

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"strings"
+)
+
+// ignorePrefix introduces an inline suppression: the directive suppresses
+// matching findings on its own line and on the following line, so it works
+// both as a trailing comment and as a comment immediately above the code.
+const ignorePrefix = "//lint:ignore "
+
+// fileIgnorePrefix suppresses a rule for the whole file.
+const fileIgnorePrefix = "//lint:file-ignore "
+
+// ignoreIndex records which (file, line, rule) and (file, rule) pairs are
+// suppressed.
+type ignoreIndex struct {
+	byLine map[string]map[int]map[string]bool
+	byFile map[string]map[string]bool
+}
+
+func (idx *ignoreIndex) suppressed(f Finding) bool {
+	if f.Rule == DirectiveRule {
+		return false
+	}
+	if rules := idx.byFile[f.Pos.Filename]; rules[f.Rule] {
+		return true
+	}
+	lines := idx.byLine[f.Pos.Filename]
+	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
+		if lines[line][f.Rule] {
+			return true
+		}
+	}
+	return false
+}
+
+// buildIgnoreIndex scans every comment of the module for lint directives.
+// Malformed directives — a missing reason, or a rule name no analyzer
+// registers — come back as findings so a typo cannot silently disable a
+// gate.
+func buildIgnoreIndex(m *Module) (*ignoreIndex, []Finding) {
+	idx := &ignoreIndex{
+		byLine: make(map[string]map[int]map[string]bool),
+		byFile: make(map[string]map[string]bool),
+	}
+	known := KnownRules()
+	var bad []Finding
+	report := func(f Finding) { bad = append(bad, f) }
+
+	for _, pkg := range m.Packages {
+		for _, file := range pkg.Files {
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					text := c.Text
+					var prefix string
+					switch {
+					case strings.HasPrefix(text, ignorePrefix):
+						prefix = ignorePrefix
+					case strings.HasPrefix(text, fileIgnorePrefix):
+						prefix = fileIgnorePrefix
+					case strings.HasPrefix(text, "//lint:"):
+						report(Finding{
+							Pos:  m.Fset.Position(c.Pos()),
+							Rule: DirectiveRule,
+							Msg:  "unknown lint directive; want //lint:ignore or //lint:file-ignore",
+						})
+						continue
+					default:
+						continue
+					}
+					pos := m.Fset.Position(c.Pos())
+					rules, ok := parseDirective(strings.TrimPrefix(text, prefix), known)
+					if !ok {
+						report(Finding{
+							Pos:  pos,
+							Rule: DirectiveRule,
+							Msg:  "malformed directive: want " + strings.TrimSpace(prefix) + " rule[,rule...] reason, with registered rule names",
+						})
+						continue
+					}
+					end := m.Fset.Position(c.End())
+					for _, rule := range rules {
+						if prefix == fileIgnorePrefix {
+							if idx.byFile[pos.Filename] == nil {
+								idx.byFile[pos.Filename] = make(map[string]bool)
+							}
+							idx.byFile[pos.Filename][rule] = true
+							continue
+						}
+						if idx.byLine[pos.Filename] == nil {
+							idx.byLine[pos.Filename] = make(map[int]map[string]bool)
+						}
+						if idx.byLine[pos.Filename][end.Line] == nil {
+							idx.byLine[pos.Filename][end.Line] = make(map[string]bool)
+						}
+						idx.byLine[pos.Filename][end.Line][rule] = true
+					}
+				}
+			}
+		}
+	}
+	return idx, bad
+}
+
+// parseDirective splits "rule1,rule2 reason..." and validates the rule
+// names and the presence of a reason.
+func parseDirective(rest string, known map[string]bool) ([]string, bool) {
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return nil, false // no reason given
+	}
+	var rules []string
+	for _, rule := range strings.Split(fields[0], ",") {
+		rule = strings.TrimSpace(rule)
+		if rule == "" || !known[rule] {
+			return nil, false
+		}
+		rules = append(rules, rule)
+	}
+	return rules, true
+}

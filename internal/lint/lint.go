@@ -1,0 +1,228 @@
+// Package lint is a repo-aware static-analysis suite for the tangledmass
+// module. The paper's results hinge on invariants the type system cannot
+// express — root certificates must be compared by identity rather than by
+// pointer or raw DER bytes, the synthetic datasets must stay deterministic,
+// long-running collectors must not block forever on the network — so this
+// package enforces them mechanically over every package in the module.
+//
+// The suite is zero-dependency: packages are discovered and parsed with
+// go/parser, type-checked with go/types, and stdlib imports are resolved by
+// the stdlib source importer. cmd/tangledlint is the command-line driver;
+// verify.sh runs it as a build gate.
+//
+// A finding can be suppressed with an inline directive on the same or the
+// preceding line:
+//
+//	//lint:ignore rule[,rule...] reason
+//
+// or for a whole file (anywhere in the file, conventionally at the top):
+//
+//	//lint:file-ignore rule[,rule...] reason
+//
+// The reason is mandatory and the rule names must be registered; malformed
+// directives are themselves reported under the "lintdirective" rule.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer report, rendered as "file:line: [rule] message".
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders the finding in the canonical driver output format.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+}
+
+// Package is one type-checked package of the loaded module.
+type Package struct {
+	// Path is the package import path ("tangledmass/internal/rootstore").
+	Path string
+	// Dir is the directory the package was loaded from.
+	Dir string
+	// Files are the parsed non-test source files.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checker's expression and identifier facts.
+	Info *types.Info
+}
+
+// Base returns the last path element of the package import path, which is
+// how the repo-aware analyzers recognize the packages they apply to.
+func (p *Package) Base() string {
+	if i := strings.LastIndexByte(p.Path, '/'); i >= 0 {
+		return p.Path[i+1:]
+	}
+	return p.Path
+}
+
+// Pass carries one analyzer's run over one package.
+type Pass struct {
+	Module *Module
+	Pkg    *Package
+
+	rule     string
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:  p.Module.Fset.Position(pos),
+		Rule: p.rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of an expression, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Pkg.Info.TypeOf(e)
+}
+
+// ObjectOf returns the object an identifier denotes, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.Pkg.Info.ObjectOf(id)
+}
+
+// CalleeName resolves a call expression to the full name of the called
+// function or method — "bytes.Equal", "os.Exit",
+// "(*strings.Builder).WriteString" — or "" when the callee is not a named
+// function (a conversion, a function-typed variable, a builtin).
+func (p *Pass) CalleeName(call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	if fn, ok := p.Pkg.Info.Uses[id].(*types.Func); ok {
+		return fn.FullName()
+	}
+	return ""
+}
+
+// Analyzer is one named rule over a package.
+type Analyzer struct {
+	// Name is the rule name used in output and in ignore directives.
+	Name string
+	// Doc is a one-line description of the rule.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// DirectiveRule is the pseudo-rule malformed //lint: directives are reported
+// under. It is always checked and cannot be suppressed.
+const DirectiveRule = "lintdirective"
+
+// Analyzers returns the full registered suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		CertCompare,
+		DetRand,
+		LockSafe,
+		ErrWrap,
+		NoExit,
+		CtxHTTP,
+	}
+}
+
+// KnownRules returns every valid rule name for directive validation,
+// independent of which analyzers a particular run enables.
+func KnownRules() map[string]bool {
+	rules := map[string]bool{DirectiveRule: true}
+	for _, a := range Analyzers() {
+		rules[a.Name] = true
+	}
+	return rules
+}
+
+// Run applies the analyzers to every package of the module, filters findings
+// through //lint:ignore directives, and returns the surviving findings plus
+// any malformed-directive findings, sorted by position then rule.
+func Run(m *Module, analyzers []*Analyzer) []Finding {
+	var raw []Finding
+	for _, pkg := range m.Packages {
+		for _, a := range analyzers {
+			pass := &Pass{Module: m, Pkg: pkg, rule: a.Name, findings: &raw}
+			a.Run(pass)
+		}
+	}
+
+	idx, bad := buildIgnoreIndex(m)
+	findings := bad
+	for _, f := range raw {
+		if idx.suppressed(f) {
+			continue
+		}
+		findings = append(findings, f)
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return findings
+}
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t is or implements error.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Identical(t, errorType) || types.Implements(t, errorType)
+}
+
+// namedIn reports whether t (after unwrapping aliases) is the named type
+// pkgPath.name.
+func namedIn(t types.Type, pkgPath, name string) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isCertPtr reports whether t is *crypto/x509.Certificate.
+func isCertPtr(t types.Type) bool {
+	ptr, ok := types.Unalias(t).(*types.Pointer)
+	return ok && namedIn(ptr.Elem(), "crypto/x509", "Certificate")
+}
+
+// isCert reports whether t is crypto/x509.Certificate or a pointer to it.
+func isCert(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	return namedIn(t, "crypto/x509", "Certificate")
+}

@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Module is a loaded, type-checked Go module.
+type Module struct {
+	// Root is the directory containing go.mod, as passed to LoadModule.
+	Root string
+	// Path is the module path declared in go.mod.
+	Path string
+	// Fset positions every parsed file.
+	Fset *token.FileSet
+	// Packages lists every package in dependency order.
+	Packages []*Package
+}
+
+var moduleLineRE = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// LoadModule discovers, parses, and type-checks every package under root,
+// which must contain a go.mod. Test files (_test.go) are skipped: the suite
+// polices production invariants, and tests legitimately use wall clocks and
+// unchecked errors. Directories named testdata or vendor, and hidden or
+// underscore-prefixed directories, are skipped just as the go tool does.
+//
+// Stdlib imports are type-checked from GOROOT source by the stdlib source
+// importer; module-local imports are served from the packages loaded here,
+// so the loader has no dependencies outside the standard library.
+func LoadModule(root string) (*Module, error) {
+	modData, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading module file: %w", err)
+	}
+	match := moduleLineRE.FindSubmatch(modData)
+	if match == nil {
+		return nil, fmt.Errorf("lint: no module line in %s", filepath.Join(root, "go.mod"))
+	}
+	m := &Module{Root: root, Path: string(match[1]), Fset: token.NewFileSet()}
+
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+
+	type parsed struct {
+		pkg     *Package
+		imports []string // module-local import paths
+	}
+	byPath := make(map[string]*parsed)
+	var order []string
+	for _, dir := range dirs {
+		pkg, imports, err := m.parseDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // no buildable Go files
+		}
+		byPath[pkg.Path] = &parsed{pkg: pkg, imports: imports}
+		order = append(order, pkg.Path)
+	}
+	sort.Strings(order)
+
+	// Type-check in dependency order so module-local imports resolve from
+	// packages already checked.
+	checked := make(map[string]*types.Package)
+	imp := &moduleImporter{
+		local:  checked,
+		stdlib: importer.ForCompiler(m.Fset, "source", nil),
+	}
+	var visit func(path string, stack []string) error
+	state := make(map[string]int) // 0 unvisited, 1 in progress, 2 done
+	visit = func(path string, stack []string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("lint: import cycle: %s", strings.Join(append(stack, path), " -> "))
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		p := byPath[path]
+		for _, dep := range p.imports {
+			if _, ok := byPath[dep]; !ok {
+				return fmt.Errorf("lint: %s imports %s, which has no source under %s", path, dep, root)
+			}
+			if err := visit(dep, append(stack, path)); err != nil {
+				return err
+			}
+		}
+		if err := m.typeCheck(p.pkg, imp); err != nil {
+			return err
+		}
+		checked[path] = p.pkg.Types
+		m.Packages = append(m.Packages, p.pkg)
+		state[path] = 2
+		return nil
+	}
+	for _, path := range order {
+		if err := visit(path, nil); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// packageDirs walks root collecting directories that may hold a package.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lint: walking %s: %w", root, err)
+	}
+	return dirs, nil
+}
+
+// parseDir parses the non-test Go files of one directory and returns the
+// package plus its module-local imports. Returns a nil package when the
+// directory holds no Go files.
+func (m *Module) parseDir(dir string) (*Package, []string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: reading %s: %w", dir, err)
+	}
+	var files []*ast.File
+	importSet := make(map[string]bool)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, fmt.Errorf("lint: parsing: %w", err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == m.Path || strings.HasPrefix(path, m.Path+"/") {
+				importSet[path] = true
+			}
+		}
+	}
+	if len(files) == 0 {
+		return nil, nil, nil
+	}
+	rel, err := filepath.Rel(m.Root, dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: relativizing %s: %w", dir, err)
+	}
+	pkgPath := m.Path
+	if rel != "." {
+		pkgPath = m.Path + "/" + filepath.ToSlash(rel)
+	}
+	var imports []string
+	for p := range importSet {
+		if p != pkgPath {
+			imports = append(imports, p)
+		}
+	}
+	sort.Strings(imports)
+	return &Package{Path: pkgPath, Dir: dir, Files: files}, imports, nil
+}
+
+// typeCheck runs go/types over one parsed package.
+func (m *Module) typeCheck(pkg *Package, imp types.Importer) error {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkg.Path, m.Fset, pkg.Files, info)
+	if err != nil {
+		return fmt.Errorf("lint: type-checking %s: %w", pkg.Path, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return nil
+}
+
+// moduleImporter serves module-local packages from the already-checked set
+// and everything else from the stdlib source importer.
+type moduleImporter struct {
+	local  map[string]*types.Package
+	stdlib types.Importer
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := mi.local[path]; ok {
+		return pkg, nil
+	}
+	return mi.stdlib.Import(path)
+}

@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockSafe polices the two lock mistakes the race detector only catches
+// when a test happens to hit them. First, a method with a value receiver on
+// a mutex-holding struct copies the lock, so the method synchronizes on a
+// private copy and excludes nobody. Second, an exported field that sits
+// next to a sync.Mutex in a struct is, by this repo's convention, guarded
+// by that mutex; a method touching the field without taking the lock in the
+// same function body is a latent race. Helper methods that document a
+// held-lock precondition by the *Locked naming convention are exempt.
+var LockSafe = &Analyzer{
+	Name: "locksafe",
+	Doc:  "flag value receivers on mutex-holding structs and unlocked access to mutex-guarded exported fields",
+	Run:  runLockSafe,
+}
+
+// lockStruct describes a struct type declared in the package under
+// analysis that holds at least one sync.Mutex/sync.RWMutex field.
+type lockStruct struct {
+	mutexes []string // mutex field names
+	guarded []string // exported sibling field names
+}
+
+func runLockSafe(p *Pass) {
+	structs := collectLockStructs(p)
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || len(fn.Recv.List) != 1 {
+				continue
+			}
+			recvField := fn.Recv.List[0]
+			recvType := ast.Unparen(recvField.Type)
+			ptr := false
+			if star, ok := recvType.(*ast.StarExpr); ok {
+				ptr = true
+				recvType = ast.Unparen(star.X)
+			}
+			name, ok := recvType.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			info := structs[name.Name]
+			if info == nil {
+				if !ptr && containsLock(p.TypeOf(recvType)) {
+					p.Reportf(fn.Pos(),
+						"method %s copies the lock of %s; use a pointer receiver", fn.Name.Name, name.Name)
+				}
+				continue
+			}
+			if !ptr {
+				p.Reportf(fn.Pos(),
+					"method %s copies the lock of %s; use a pointer receiver", fn.Name.Name, name.Name)
+				continue
+			}
+			if fn.Body == nil || len(recvField.Names) != 1 || recvField.Names[0].Name == "_" {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue // documents a held-lock precondition
+			}
+			checkGuardedAccess(p, fn, recvField.Names[0], name.Name, info)
+		}
+	}
+}
+
+// collectLockStructs finds package-local struct types with mutex fields and
+// exported sibling fields worth guarding.
+func collectLockStructs(p *Pass) map[string]*lockStruct {
+	structs := make(map[string]*lockStruct)
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			gen, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gen.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				info := &lockStruct{}
+				for _, field := range st.Fields.List {
+					t := p.TypeOf(field.Type)
+					isMutex := namedIn(t, "sync", "Mutex") || namedIn(t, "sync", "RWMutex")
+					for _, fname := range field.Names {
+						switch {
+						case isMutex:
+							info.mutexes = append(info.mutexes, fname.Name)
+						case fname.IsExported():
+							info.guarded = append(info.guarded, fname.Name)
+						}
+					}
+				}
+				if len(info.mutexes) > 0 && len(info.guarded) > 0 {
+					structs[ts.Name.Name] = info
+				}
+			}
+		}
+	}
+	return structs
+}
+
+// checkGuardedAccess reports accesses to guarded fields through recv in a
+// method body that never takes any of the struct's mutexes.
+func checkGuardedAccess(p *Pass, fn *ast.FuncDecl, recvIdent *ast.Ident, typeName string, info *lockStruct) {
+	recvObj := p.Pkg.Info.Defs[recvIdent]
+	if recvObj == nil {
+		return
+	}
+	locked := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok || !isReceiver(p, inner.X, recvObj) {
+			return true
+		}
+		for _, mu := range info.mutexes {
+			if inner.Sel.Name == mu {
+				locked = true
+			}
+		}
+		return true
+	})
+	if locked {
+		return
+	}
+	reported := make(map[string]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !isReceiver(p, sel.X, recvObj) {
+			return true
+		}
+		for _, g := range info.guarded {
+			if sel.Sel.Name == g && !reported[g] {
+				reported[g] = true
+				p.Reportf(sel.Pos(),
+					"field %s.%s is guarded by %s.%s but method %s accesses it without locking",
+					typeName, g, typeName, strings.Join(info.mutexes, "/"), fn.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// isReceiver reports whether e is an identifier bound to the receiver.
+func isReceiver(p *Pass, e ast.Expr, recvObj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && p.Pkg.Info.Uses[id] == recvObj
+}
+
+// containsLock reports whether a value of type t embeds synchronization
+// state that must not be copied.
+func containsLock(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	seen := make(map[types.Type]bool)
+	var walk func(t types.Type) bool
+	walk = func(t types.Type) bool {
+		t = types.Unalias(t)
+		if seen[t] {
+			return false
+		}
+		seen[t] = true
+		if namedIn(t, "sync", "Mutex") || namedIn(t, "sync", "RWMutex") ||
+			namedIn(t, "sync", "WaitGroup") || namedIn(t, "sync", "Once") ||
+			namedIn(t, "sync", "Cond") {
+			return true
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if walk(u.Field(i).Type()) {
+					return true
+				}
+			}
+		case *types.Array:
+			return walk(u.Elem())
+		}
+		return false
+	}
+	return walk(t)
+}

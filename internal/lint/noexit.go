@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NoExit keeps process termination at the top of the call stack. A library
+// that calls os.Exit or log.Fatal takes the decision away from its caller,
+// skips deferred cleanup (listeners, temp dirs, partially written reports),
+// and is untestable. The only sanctioned site is func main of a main
+// package, which enforces the repo's single `run() error` shape: parse
+// flags, call run, report, exit.
+var NoExit = &Analyzer{
+	Name: "noexit",
+	Doc:  "flag os.Exit/log.Fatal/log.Panic outside func main of a main package",
+	Run:  runNoExit,
+}
+
+// noExitCallees terminate or unwind the process.
+var noExitCallees = map[string]bool{
+	"os.Exit":     true,
+	"log.Fatal":   true,
+	"log.Fatalf":  true,
+	"log.Fatalln": true,
+	"log.Panic":   true,
+	"log.Panicf":  true,
+	"log.Panicln": true,
+}
+
+func runNoExit(p *Pass) {
+	isMainPkg := p.Pkg.Types.Name() == "main"
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if isMainPkg && fn.Recv == nil && fn.Name.Name == "main" {
+				// The one sanctioned termination site — but literals
+				// defined inside main run on arbitrary stacks (goroutines,
+				// handlers), so check those.
+				for _, lit := range funcLits(fn.Body) {
+					checkNoExit(p, lit.Body, isMainPkg)
+				}
+				continue
+			}
+			checkNoExit(p, fn.Body, isMainPkg)
+		}
+	}
+}
+
+// checkNoExit reports terminating calls inside body.
+func checkNoExit(p *Pass, body *ast.BlockStmt, isMainPkg bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := p.CalleeName(call)
+		if !noExitCallees[name] {
+			return true
+		}
+		where := "outside cmd mains"
+		if isMainPkg {
+			where = "outside func main"
+		}
+		p.Reportf(call.Pos(),
+			"%s called %s; return an error and let main decide the exit code",
+			strings.TrimPrefix(name, "log."), where)
+		return true
+	})
+}
+
+// funcLits collects every function literal under body, including nested
+// ones.
+func funcLits(body *ast.BlockStmt) []*ast.FuncLit {
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+			return false // checkNoExit walks nested literals itself
+		}
+		return true
+	})
+	return lits
+}

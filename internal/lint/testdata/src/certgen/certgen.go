@@ -1,0 +1,18 @@
+// Package certgen triggers detrand: nondeterminism in a deterministic
+// simulation package, outside the sanctioned drbg.go entry point.
+package certgen
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter draws from the global unseeded source.
+func Jitter() time.Duration {
+	return time.Duration(rand.Int63())
+}
+
+// Stamp reads the wall clock.
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,10 @@
+// drbg.go is the sanctioned deterministic entry point: its math/rand use
+// must not be flagged.
+package certgen
+
+import "math/rand"
+
+// Seeded returns a reproducible source.
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,14 @@
+// Package certid mirrors the real identity package: it is the one place
+// allowed to look at pointer and raw-DER equality, so certcompare must stay
+// quiet here.
+package certid
+
+import (
+	"bytes"
+	"crypto/x509"
+)
+
+// SameCert may compare raw bytes: this package defines identity.
+func SameCert(a, b *x509.Certificate) bool {
+	return a == b || bytes.Equal(a.Raw, b.Raw)
+}

@@ -1,0 +1,33 @@
+// Package chainfix triggers certcompare: certificate identity decided by
+// pointer or raw DER equality outside the identity package.
+package chainfix
+
+import (
+	"bytes"
+	"crypto/x509"
+)
+
+// PointerEqual compares by pointer.
+func PointerEqual(a, b *x509.Certificate) bool {
+	return a == b
+}
+
+// PointerNotEqual compares by pointer, negated.
+func PointerNotEqual(a, b *x509.Certificate) bool {
+	return a != b
+}
+
+// RawEqual compares DER bytes.
+func RawEqual(a, b *x509.Certificate) bool {
+	return bytes.Equal(a.Raw, b.Raw)
+}
+
+// NilCheck is presence, not identity: allowed.
+func NilCheck(a *x509.Certificate) bool {
+	return a == nil
+}
+
+// SubjectBytes compares subject DER, not the certificate: allowed.
+func SubjectBytes(a *x509.Certificate, der []byte) bool {
+	return bytes.Equal(a.RawSubject, der)
+}

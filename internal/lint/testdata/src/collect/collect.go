@@ -1,0 +1,28 @@
+// Package collect triggers ctxhttp: unbounded dials and default-client
+// requests in a long-running server package.
+package collect
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// Fetch uses the zero-timeout default client.
+func Fetch(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// Dial has no bound at all.
+func Dial(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr)
+}
+
+// DialBounded is allowed.
+func DialBounded(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, 5*time.Second)
+}

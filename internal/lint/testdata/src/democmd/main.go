@@ -1,0 +1,25 @@
+// Command democmd exercises noexit's sanctioned path: exits are allowed in
+// func main itself but nowhere else, including goroutines started by main.
+package main
+
+import (
+	"errors"
+	"log"
+	"os"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		os.Exit(3)
+	}()
+}
+
+func run() error {
+	if os.Getenv("DEMO_DIE") != "" {
+		log.Fatalln("nope")
+	}
+	return errors.New("always fails")
+}

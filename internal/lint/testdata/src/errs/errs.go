@@ -1,0 +1,55 @@
+// Package errs triggers errwrap: dropped error returns and fmt.Errorf
+// calls that stringify an error without %w.
+package errs
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func work() error { return nil }
+
+// Drop discards work's error.
+func Drop() {
+	work()
+}
+
+// Blank acknowledges the discard explicitly: allowed.
+func Blank() {
+	_ = work()
+}
+
+// Cleanup defers the close: deferred calls are exempt.
+func Cleanup() error {
+	f, err := os.Open("x")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}
+
+// Wrap severs the error chain with %v.
+func Wrap(err error) error {
+	return fmt.Errorf("doing thing: %v", err)
+}
+
+// Good wraps with %w: allowed.
+func Good(err error) error {
+	return fmt.Errorf("doing thing: %w", err)
+}
+
+// Percent does not treat %%w as a wrap verb.
+func Percent(err error) error {
+	return fmt.Errorf("literal %%w: %v", err)
+}
+
+// Diagnostics and in-memory writers are exempt.
+func Diagnostics() string {
+	fmt.Println("hello")
+	fmt.Fprintf(os.Stderr, "oops\n")
+	var b strings.Builder
+	b.WriteString("x")
+	return b.String()
+}

@@ -1,0 +1,15 @@
+// Package exits triggers noexit: process termination from library code.
+package exits
+
+import (
+	"log"
+	"os"
+)
+
+// Die terminates the process from a library.
+func Die(code int) {
+	if code > 0 {
+		os.Exit(code)
+	}
+	log.Fatal("boom")
+}

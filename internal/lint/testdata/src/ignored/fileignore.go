@@ -1,0 +1,12 @@
+// fileignore.go demos //lint:file-ignore: every noexit finding in this
+// file is suppressed.
+package ignored
+
+//lint:file-ignore noexit this file demos file-wide suppression
+
+import "os"
+
+// Leave would be a noexit finding without the file-wide directive.
+func Leave() {
+	os.Exit(5)
+}

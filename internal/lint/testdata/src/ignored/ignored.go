@@ -1,0 +1,35 @@
+// Package ignored exercises the suppression directives: well-formed ones
+// silence findings, malformed ones are findings themselves.
+package ignored
+
+import (
+	"log"
+	"os"
+)
+
+// Quit is suppressed by a trailing directive.
+func Quit() {
+	os.Exit(1) //lint:ignore noexit demo of a trailing suppression
+}
+
+// Abort is suppressed by the preceding-line form.
+func Abort() {
+	//lint:ignore noexit demo of the preceding-line form
+	log.Fatal("abort")
+}
+
+// MissingReason's directive is malformed (no reason), so the directive is
+// reported and the exit stays flagged.
+func MissingReason() {
+	os.Exit(2) //lint:ignore noexit
+}
+
+// UnknownRule's directive names an unregistered rule: same treatment.
+func UnknownRule() {
+	os.Exit(3) //lint:ignore nosuchrule because reasons
+}
+
+// UnknownVerb uses a directive form that does not exist.
+func UnknownVerb() {
+	os.Exit(4) //lint:disable noexit just no
+}

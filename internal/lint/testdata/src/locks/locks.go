@@ -1,0 +1,60 @@
+// Package locks triggers locksafe: lock-copying value receivers and
+// unlocked access to mutex-guarded exported fields.
+package locks
+
+import "sync"
+
+// Counter guards its exported fields with mu.
+type Counter struct {
+	mu    sync.Mutex
+	Hits  int
+	Total int
+}
+
+// Incr takes the lock: allowed.
+func (c *Counter) Incr() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Hits++
+	c.Total++
+}
+
+// Peek reads Hits without the lock.
+func (c *Counter) Peek() int {
+	return c.Hits
+}
+
+// Snapshot copies the lock via its value receiver.
+func (c Counter) Snapshot() int {
+	return c.Total
+}
+
+// resetLocked documents a held-lock precondition: exempt by convention.
+func (c *Counter) resetLocked() {
+	c.Hits = 0
+	c.Total = 0
+}
+
+// Meter shows the read path: RLock counts as holding the lock.
+type Meter struct {
+	mu  sync.RWMutex
+	Val int
+}
+
+// Get takes the read lock: allowed.
+func (m *Meter) Get() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.Val
+}
+
+// Gauge has a lock but no exported siblings; copying it is still wrong.
+type Gauge struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Read copies the lock via its value receiver.
+func (g Gauge) Read() int {
+	return g.n
+}

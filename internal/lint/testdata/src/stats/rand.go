@@ -1,0 +1,10 @@
+// rand.go is the sanctioned seeded-source entry point: its math/rand use
+// must not be flagged.
+package stats
+
+import "math/rand"
+
+// Source wraps the seeded source everything else must draw from.
+type Source struct {
+	*rand.Rand
+}

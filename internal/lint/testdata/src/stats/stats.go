@@ -1,0 +1,20 @@
+// stats.go triggers detrand outside the sanctioned file: crypto/rand and
+// the wall clock both desynchronize the calibrated datasets.
+package stats
+
+import (
+	crand "crypto/rand"
+	"time"
+)
+
+// Entropy reads the system entropy pool.
+func Entropy() ([]byte, error) {
+	b := make([]byte, 8)
+	_, err := crand.Read(b)
+	return b, err
+}
+
+// Now reads the wall clock.
+func Now() time.Time {
+	return time.Now()
+}

@@ -136,9 +136,11 @@ func (p *Proxy) serve(conn net.Conn, host string, port int) {
 
 	// Bidirectional relay; for the banner protocol one copy each way is
 	// plenty, but a general relay keeps the proxy protocol-agnostic.
+	// Copy errors just mean one side hung up; the deferred closes tear the
+	// other side down.
 	done := make(chan struct{}, 2)
-	go func() { io.Copy(tconn, upTLS); done <- struct{}{} }()
-	go func() { io.Copy(upTLS, tconn); done <- struct{}{} }()
+	go func() { _, _ = io.Copy(tconn, upTLS); done <- struct{}{} }()
+	go func() { _, _ = io.Copy(upTLS, tconn); done <- struct{}{} }()
 	<-done
 }
 

@@ -113,16 +113,16 @@ func (n *Notary) SaveFile(path string) error {
 		return fmt.Errorf("notary: creating %s: %w", tmp, err)
 	}
 	if err := n.Save(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()   // best-effort cleanup: the Save error wins
+		_ = os.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return fmt.Errorf("notary: closing %s: %w", tmp, err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return fmt.Errorf("notary: renaming snapshot: %w", err)
 	}
 	return nil

@@ -38,7 +38,9 @@ func (c *Client) Close() error { return c.conn.Close() }
 
 // roundTrip sends one request and reads one response.
 func (c *Client) roundTrip(req Request) (Response, error) {
-	c.conn.SetDeadline(time.Now().Add(c.timeout))
+	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		return Response{}, fmt.Errorf("notarynet: setting deadline: %w", err)
+	}
 	if err := c.enc.Encode(req); err != nil {
 		return Response{}, fmt.Errorf("notarynet: sending %s: %w", req.Op, err)
 	}

@@ -81,7 +81,9 @@ func (s *Server) handle(conn net.Conn) {
 	scanner.Buffer(make([]byte, 64<<10), maxLineBytes)
 	enc := json.NewEncoder(conn)
 	for {
-		conn.SetReadDeadline(time.Now().Add(2 * time.Minute))
+		if err := conn.SetReadDeadline(time.Now().Add(2 * time.Minute)); err != nil {
+			return
+		}
 		if !scanner.Scan() {
 			return
 		}
@@ -96,7 +98,9 @@ func (s *Server) handle(conn net.Conn) {
 		} else {
 			resp = s.dispatch(req)
 		}
-		conn.SetWriteDeadline(time.Now().Add(time.Minute))
+		if err := conn.SetWriteDeadline(time.Now().Add(time.Minute)); err != nil {
+			return
+		}
 		if err := enc.Encode(resp); err != nil {
 			return
 		}

@@ -147,7 +147,9 @@ func Generate(cfg Config) (*Population, error) {
 	}
 
 	p.placeRootedExclusives(u, src)
-	p.placeInterception(src)
+	if err := p.placeInterception(src); err != nil {
+		return nil, err
+	}
 	p.rebalanceSessions(quotaTargets)
 	p.finalizeHandsets(u)
 	p.emitSessions()
@@ -346,19 +348,22 @@ func (p *Population) placeRootedExclusives(u *cauniverse.Universe, src *stats.So
 
 // placeInterception marks one 4.4 Nexus 7 handset as sitting behind the
 // marketing-research HTTPS proxy (§7). The proxy needs no root-store change.
-func (p *Population) placeInterception(src *stats.Source) {
+func (p *Population) placeInterception(src *stats.Source) error {
 	for _, h := range p.Handsets {
 		if h.Model == "Nexus 7" && h.Version == "4.4" && !h.Rooted {
 			h.Intercepted = true
 			h.SessionCount = 1
-			h.Device.Install(device.App{
+			if err := h.Device.Install(device.App{
 				Name:            "ConsumerInput Mobile",
 				Permissions:     []string{"CHANGE_NETWORK_STATE", "BIND_VPN_SERVICE", "READ_CONTACTS", "READ_CALENDAR", "ACCESS_FINE_LOCATION", "READ_SMS", "READ_LOGS"},
 				VPNInterception: true,
-			})
-			return
+			}); err != nil {
+				return fmt.Errorf("population: placing interception app: %w", err)
+			}
+			return nil
 		}
 	}
+	return nil
 }
 
 // finalizeHandsets captures each handset's effective store and the Figure 1

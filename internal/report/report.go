@@ -13,28 +13,48 @@ import (
 	"tangledmass/internal/mitm"
 )
 
-func table(fill func(w *tabwriter.Writer)) string {
+// rowPrinter writes rows into a tab writer backed by an in-memory builder.
+// Such writes cannot fail, so the methods absorb the impossible error once,
+// here, instead of at every renderer call site; a failure would mean the
+// in-memory sink itself broke, which is worth crashing over.
+type rowPrinter struct {
+	w *tabwriter.Writer
+}
+
+func (p rowPrinter) printf(format string, args ...any) {
+	if _, err := fmt.Fprintf(p.w, format, args...); err != nil {
+		panic("report: writing table row: " + err.Error())
+	}
+}
+
+func (p rowPrinter) println(line string) {
+	p.printf("%s\n", line)
+}
+
+func table(fill func(p rowPrinter)) string {
 	var b strings.Builder
 	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
-	fill(w)
-	w.Flush()
+	fill(rowPrinter{w})
+	if err := w.Flush(); err != nil {
+		panic("report: flushing table: " + err.Error())
+	}
 	return b.String()
 }
 
 // Table1 renders the store-size table.
 func Table1(rows []analysis.StoreSize) string {
-	return table(func(w *tabwriter.Writer) {
-		fmt.Fprintln(w, "Root store\tNo. certificates")
+	return table(func(p rowPrinter) {
+		p.println("Root store\tNo. certificates")
 		for _, r := range rows {
-			fmt.Fprintf(w, "%s\t%d\n", r.Name, r.Certs)
+			p.printf("%s\t%d\n", r.Name, r.Certs)
 		}
 	})
 }
 
 // Table2 renders the top devices and manufacturers.
 func Table2(devices, manufacturers []analysis.CountRow) string {
-	return table(func(w *tabwriter.Writer) {
-		fmt.Fprintln(w, "Device model\tNo. sessions\tManufacturer\tNo. sessions")
+	return table(func(p rowPrinter) {
+		p.println("Device model\tNo. sessions\tManufacturer\tNo. sessions")
 		n := len(devices)
 		if len(manufacturers) > n {
 			n = len(manufacturers)
@@ -51,45 +71,45 @@ func Table2(devices, manufacturers []analysis.CountRow) string {
 			} else {
 				m = "\t"
 			}
-			fmt.Fprintf(w, "%s\t%s\n", d, m)
+			p.printf("%s\t%s\n", d, m)
 		}
 	})
 }
 
 // Table3 renders per-store validation totals.
 func Table3(rows []analysis.CategoryValidation) string {
-	return table(func(w *tabwriter.Writer) {
-		fmt.Fprintln(w, "Root store\tNo. validated certificates")
+	return table(func(p rowPrinter) {
+		p.println("Root store\tNo. validated certificates")
 		for _, r := range rows {
-			fmt.Fprintf(w, "%s\t%d\n", r.Name, r.Validated)
+			p.printf("%s\t%d\n", r.Name, r.Validated)
 		}
 	})
 }
 
 // Table4 renders per-category root counts and zero-validation shares.
 func Table4(rows []analysis.CategoryValidation) string {
-	return table(func(w *tabwriter.Writer) {
-		fmt.Fprintln(w, "Root store category\tTotal root certs\tRoot certs that do not validate Notary certs")
+	return table(func(p rowPrinter) {
+		p.println("Root store category\tTotal root certs\tRoot certs that do not validate Notary certs")
 		for _, r := range rows {
-			fmt.Fprintf(w, "%s\t%d\t%.0f%%\n", r.Name, r.TotalRoots, r.ZeroFraction*100)
+			p.printf("%s\t%d\t%.0f%%\n", r.Name, r.TotalRoots, r.ZeroFraction*100)
 		}
 	})
 }
 
 // Table5 renders the rooted-device exclusives.
 func Table5(rows []analysis.RootedExclusive) string {
-	return table(func(w *tabwriter.Writer) {
-		fmt.Fprintln(w, "Certificate authority\tTotal devices")
+	return table(func(p rowPrinter) {
+		p.println("Certificate authority\tTotal devices")
 		for _, r := range rows {
-			fmt.Fprintf(w, "%s\t%d\n", r.Name, r.Devices)
+			p.printf("%s\t%d\n", r.Name, r.Devices)
 		}
 	})
 }
 
 // Table6 renders the interception split.
 func Table6(intercepted, clean []mitm.Finding) string {
-	return table(func(w *tabwriter.Writer) {
-		fmt.Fprintln(w, "Intercepted domains\tWhitelisted domains")
+	return table(func(p rowPrinter) {
+		p.println("Intercepted domains\tWhitelisted domains")
 		n := len(intercepted)
 		if len(clean) > n {
 			n = len(clean)
@@ -102,18 +122,18 @@ func Table6(intercepted, clean []mitm.Finding) string {
 			if i < len(clean) {
 				b = fmt.Sprintf("%s:%d", clean[i].Host, clean[i].Port)
 			}
-			fmt.Fprintf(w, "%s\t%s\n", a, b)
+			p.printf("%s\t%s\n", a, b)
 		}
 	})
 }
 
 // Figure1 renders the extended-store scatter as grouped rows.
 func Figure1(points []analysis.ScatterPoint) string {
-	return table(func(w *tabwriter.Writer) {
-		fmt.Fprintln(w, "Manufacturer\tVersion\tAOSP certs\tExtra certs\tSessions")
-		for _, p := range points {
-			fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\n",
-				p.Manufacturer, p.Version, p.AOSPCerts, p.ExtraCerts, p.Sessions)
+	return table(func(p rowPrinter) {
+		p.println("Manufacturer\tVersion\tAOSP certs\tExtra certs\tSessions")
+		for _, pt := range points {
+			p.printf("%s\t%s\t%d\t%d\t%d\n",
+				pt.Manufacturer, pt.Version, pt.AOSPCerts, pt.ExtraCerts, pt.Sessions)
 		}
 	})
 }
@@ -130,8 +150,8 @@ func Figure2(cells []analysis.AttributionCell, maxPerGroup int) string {
 		byGroup[c.Group] = append(byGroup[c.Group], c)
 	}
 	sort.Strings(groups)
-	return table(func(w *tabwriter.Writer) {
-		fmt.Fprintln(w, "Group\tCertificate\tHash\tRatio\tPresence")
+	return table(func(p rowPrinter) {
+		p.println("Group\tCertificate\tHash\tRatio\tPresence")
 		for _, g := range groups {
 			cs := byGroup[g]
 			sort.Slice(cs, func(i, j int) bool {
@@ -144,7 +164,7 @@ func Figure2(cells []analysis.AttributionCell, maxPerGroup int) string {
 				cs = cs[:maxPerGroup]
 			}
 			for _, c := range cs {
-				fmt.Fprintf(w, "%s\t%s\t(%s)\t%.2f\t%s\n", g, c.CertName, c.CertHash, c.Ratio, c.Class)
+				p.printf("%s\t%s\t(%s)\t%.2f\t%s\n", g, c.CertName, c.CertHash, c.Ratio, c.Class)
 			}
 		}
 	})
@@ -155,18 +175,18 @@ func Figure2(cells []analysis.AttributionCell, maxPerGroup int) string {
 func Figure3(rows []analysis.CategoryValidation, maxPoints int) string {
 	var b strings.Builder
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%s (roots=%d, zero-offset=%.2f)\n", r.Name, r.TotalRoots, r.ZeroFraction)
+		b.WriteString(fmt.Sprintf("%s (roots=%d, zero-offset=%.2f)\n", r.Name, r.TotalRoots, r.ZeroFraction))
 		series := r.ECDF.Series()
 		step := 1
 		if maxPoints > 0 && len(series) > maxPoints {
 			step = (len(series) + maxPoints - 1) / maxPoints
 		}
 		for i := 0; i < len(series); i += step {
-			fmt.Fprintf(&b, "  x=%.0f y=%.3f\n", series[i].X, series[i].Y)
+			b.WriteString(fmt.Sprintf("  x=%.0f y=%.3f\n", series[i].X, series[i].Y))
 		}
 		if len(series) > 0 && (len(series)-1)%step != 0 {
 			last := series[len(series)-1]
-			fmt.Fprintf(&b, "  x=%.0f y=%.3f\n", last.X, last.Y)
+			b.WriteString(fmt.Sprintf("  x=%.0f y=%.3f\n", last.X, last.Y))
 		}
 	}
 	return b.String()
@@ -174,16 +194,16 @@ func Figure3(rows []analysis.CategoryValidation, maxPoints int) string {
 
 // Headlines renders the §5/§6 prose numbers.
 func Headlines(h analysis.Headlines) string {
-	return table(func(w *tabwriter.Writer) {
-		fmt.Fprintf(w, "Sessions\t%d\n", h.TotalSessions)
-		fmt.Fprintf(w, "Handsets\t%d\n", h.Handsets)
-		fmt.Fprintf(w, "Device models\t%d\n", h.Models)
-		fmt.Fprintf(w, "Unique root certificates\t%d\n", h.UniqueRoots)
-		fmt.Fprintf(w, "Sessions with extended stores\t%.1f%%\n", h.ExtendedFraction*100)
-		fmt.Fprintf(w, "Handsets missing AOSP certs\t%d\n", h.MissingHandsets)
-		fmt.Fprintf(w, "4.1/4.2 sessions adding >40 certs\t%.1f%%\n", h.Over40Fraction41_42*100)
-		fmt.Fprintf(w, "Sessions on rooted handsets\t%.1f%%\n", h.RootedFraction*100)
-		fmt.Fprintf(w, "Rooted sessions with rooted-only certs\t%.1f%%\n", h.RootedExclusiveOfRoots*100)
-		fmt.Fprintf(w, "TLS-intercepted sessions\t%d\n", h.InterceptedSessions)
+	return table(func(p rowPrinter) {
+		p.printf("Sessions\t%d\n", h.TotalSessions)
+		p.printf("Handsets\t%d\n", h.Handsets)
+		p.printf("Device models\t%d\n", h.Models)
+		p.printf("Unique root certificates\t%d\n", h.UniqueRoots)
+		p.printf("Sessions with extended stores\t%.1f%%\n", h.ExtendedFraction*100)
+		p.printf("Handsets missing AOSP certs\t%d\n", h.MissingHandsets)
+		p.printf("4.1/4.2 sessions adding >40 certs\t%.1f%%\n", h.Over40Fraction41_42*100)
+		p.printf("Sessions on rooted handsets\t%.1f%%\n", h.RootedFraction*100)
+		p.printf("Rooted sessions with rooted-only certs\t%.1f%%\n", h.RootedExclusiveOfRoots*100)
+		p.printf("TLS-intercepted sessions\t%d\n", h.InterceptedSessions)
 	})
 }

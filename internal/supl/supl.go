@@ -126,7 +126,9 @@ func (s *Server) acceptLoop() {
 		go func() {
 			defer s.wg.Done()
 			defer conn.Close()
-			conn.SetDeadline(time.Now().Add(30 * time.Second))
+			if err := conn.SetDeadline(time.Now().Add(30 * time.Second)); err != nil {
+				return
+			}
 			tconn := tls.Server(conn, &tls.Config{Certificates: []tls.Certificate{s.cred}})
 			if err := tconn.Handshake(); err != nil {
 				return
@@ -138,8 +140,11 @@ func (s *Server) acceptLoop() {
 			s.reqMu.Lock()
 			s.requests = append(s.requests, req)
 			s.reqMu.Unlock()
-			json.NewEncoder(tconn).Encode(assist(req))
-			tconn.Close()
+			if err := json.NewEncoder(tconn).Encode(assist(req)); err != nil {
+				return
+			}
+			// Best-effort close_notify; the raw conn close is deferred.
+			_ = tconn.Close()
 		}()
 	}
 }

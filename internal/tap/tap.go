@@ -98,10 +98,11 @@ func (t *Tap) relay(client net.Conn) {
 	}}
 
 	done := make(chan struct{}, 2)
-	// client → server: pure relay.
+	// client → server: pure relay. Copy errors mean a side hung up; the
+	// half-close tells the server the client is done sending.
 	go func() {
-		io.Copy(server, client)
-		server.(*net.TCPConn).CloseWrite()
+		_, _ = io.Copy(server, client)
+		_ = server.(*net.TCPConn).CloseWrite()
 		done <- struct{}{}
 	}()
 	// server → client: relay + parse.
@@ -110,9 +111,12 @@ func (t *Tap) relay(client net.Conn) {
 		for {
 			n, err := server.Read(buf)
 			if n > 0 {
-				// Parse first (errors are logged by dropping the parser,
-				// never by disturbing the relay), then forward.
-				parser.Feed(buf[:n])
+				// Parse first, then forward. A parse error (malformed or
+				// unsupported TLS) drops the parser for the rest of the
+				// connection but never disturbs the relay.
+				if parser != nil && parser.Feed(buf[:n]) != nil {
+					parser = nil
+				}
 				if _, werr := client.Write(buf[:n]); werr != nil {
 					break
 				}
@@ -122,7 +126,7 @@ func (t *Tap) relay(client net.Conn) {
 			}
 		}
 		if cw, ok := client.(*net.TCPConn); ok {
-			cw.CloseWrite()
+			_ = cw.CloseWrite()
 		}
 		done <- struct{}{}
 	}()

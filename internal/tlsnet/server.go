@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // Server is the in-process TLS origin for every named site: one loopback
@@ -83,7 +84,8 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 	// A one-line banner; enough for clients that read after handshaking.
-	fmt.Fprintf(tconn, "220 %s tangledmass-tls ready\r\n", tconn.ConnectionState().ServerName)
+	// The handler ends here either way, so a failed write needs no handling.
+	_, _ = fmt.Fprintf(tconn, "220 %s tangledmass-tls ready\r\n", tconn.ConnectionState().ServerName)
 }
 
 // Dialer connects to a named service. The direct implementation goes
@@ -101,5 +103,5 @@ type DirectDialer struct {
 
 // DialSite implements Dialer.
 func (d DirectDialer) DialSite(host string, port int) (net.Conn, error) {
-	return net.Dial("tcp", d.Server.Addr())
+	return net.DialTimeout("tcp", d.Server.Addr(), 10*time.Second)
 }

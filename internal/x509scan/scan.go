@@ -84,7 +84,10 @@ func (s *Scanner) scanOne(hp tlsnet.HostPort, timeout time.Duration) (res Result
 		return res
 	}
 	defer conn.Close()
-	conn.SetDeadline(start.Add(timeout))
+	if err := conn.SetDeadline(start.Add(timeout)); err != nil {
+		res.Err = fmt.Errorf("x509scan: setting deadline for %s: %w", hp, err)
+		return res
+	}
 	// Like the Netalyzr probe, the scanner records whatever is presented.
 	tconn := tls.Client(conn, &tls.Config{ServerName: hp.Host, InsecureSkipVerify: true})
 	if err := tconn.Handshake(); err != nil {

@@ -1,0 +1,22 @@
+#!/bin/sh
+# verify.sh is the repo's correctness gate: build, vet, the repo-aware
+# static-analysis suite, and the race-enabled tests, in that order. Each
+# stage must pass before the next runs; the script fails on the first
+# broken stage.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> tangledlint ./..."
+go run ./cmd/tangledlint ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "verify: all gates passed"
