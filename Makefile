@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test lint vet verify
+.PHONY: build test lint vet chaos verify
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,11 @@ lint:
 
 test:
 	$(GO) test -race ./...
+
+# The chaos gate: the full pipeline under an injected fault plan, asserting
+# determinism, graceful degradation, and unskewed aggregates.
+chaos:
+	$(GO) test -race -v -run TestChaosCampaignDeterministic ./internal/campaign/
 
 verify:
 	./verify.sh

@@ -1,20 +1,26 @@
 // Package campaign drives the complete measurement pipeline end-to-end: for
 // every session of a device population it runs a real Netalyzr execution —
 // store collection plus TLS probes over loopback — routes the §7 handset's
-// traffic through the interception proxy, and submits every report to the
-// collection back end. It is the integration harness proving that the
-// substrates compose: population → device → netalyzr → (mitm) → collect.
+// traffic through the interception proxy, submits every report to the
+// collection back end and streams observed chains to the notary. It is the
+// integration harness proving that the substrates compose: population →
+// device → netalyzr → (mitm) → collect/notarynet — including under injected
+// network faults.
 package campaign
 
 import (
 	"fmt"
+	"net"
 	"sync"
 	"time"
 
 	"tangledmass/internal/collect"
+	"tangledmass/internal/faultnet"
 	"tangledmass/internal/mitm"
 	"tangledmass/internal/netalyzr"
+	"tangledmass/internal/notarynet"
 	"tangledmass/internal/population"
+	"tangledmass/internal/resilient"
 	"tangledmass/internal/tlsnet"
 )
 
@@ -26,6 +32,9 @@ type Config struct {
 	Origin *tlsnet.Server
 	// CollectorAddr is the collection back end to submit to.
 	CollectorAddr string
+	// NotaryAddr, when non-empty, streams every successful probe's chain to
+	// a notarynet server — one sensor connection per session, as deployed.
+	NotaryAddr string
 	// Proxy, when non-nil, carries the traffic of intercepted handsets.
 	Proxy *mitm.Proxy
 	// Targets are the domains each session probes. Nil means the full
@@ -35,18 +44,42 @@ type Config struct {
 	Concurrency int
 	// At pins the validation clock.
 	At time.Time
+
+	// Faults, when non-nil, injects its plan into every session's network
+	// path — probes, collector submissions, notary observations. Each
+	// session gets its own decision scope keyed by session ID, so the fault
+	// ledger and the aggregates are identical across runs with the same
+	// plan seed regardless of worker interleaving.
+	Faults *faultnet.Injector
+	// ProbeTimeout bounds one probe attempt (see netalyzr.Client).
+	ProbeTimeout time.Duration
+	// ProbeRetry overrides the per-probe retry policy.
+	ProbeRetry *resilient.Retrier
+	// SubmitRetry overrides the collector/notary retry policy.
+	SubmitRetry *resilient.Retrier
 }
 
 // Stats summarizes a campaign.
 type Stats struct {
-	Sessions        int
-	Failed          int
+	Sessions int
+	// Failed counts sessions that could not execute at all.
+	Failed int
+	// SubmitFailed counts session reports lost even after retries — the
+	// campaign degrades and carries on rather than aborting.
+	SubmitFailed int
+	// ObserveFailed counts notary observations lost even after retries.
+	ObserveFailed   int
 	UntrustedProbes int
-	Elapsed         time.Duration
+	// ProbeFaults tallies failed probes across all sessions by their typed
+	// kind ("refused", "reset", "timeout", …).
+	ProbeFaults map[string]int
+	Elapsed     time.Duration
 }
 
 // Run executes the campaign. Sessions are independent, so they run on a
-// worker pool; each worker holds its own collector connection.
+// worker pool; each session submits over its own collector and notary
+// connections — the deployment shape, where every handset execution is an
+// independent network client.
 func Run(cfg Config) (Stats, error) {
 	if cfg.Population == nil || cfg.Origin == nil || cfg.CollectorAddr == "" {
 		return Stats{}, fmt.Errorf("campaign: config needs Population, Origin and CollectorAddr")
@@ -57,68 +90,149 @@ func Run(cfg Config) (Stats, error) {
 	}
 	start := time.Now()
 
-	sessions := cfg.Population.Sessions
 	jobs := make(chan *population.Session)
 	var (
 		mu    sync.Mutex
 		stats Stats
 		wg    sync.WaitGroup
 	)
-	errs := make(chan error, conc)
+	stats.ProbeFaults = make(map[string]int)
 	for w := 0; w < conc; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			cl, err := collect.Dial(cfg.CollectorAddr)
-			if err != nil {
-				errs <- err
-				return
-			}
-			defer cl.Close()
 			for s := range jobs {
-				rep, err := cfg.runSession(s)
+				res := cfg.session(s)
 				mu.Lock()
 				stats.Sessions++
-				if err != nil {
+				if res.failed {
 					stats.Failed++
-					mu.Unlock()
-					continue
 				}
-				stats.UntrustedProbes += len(rep.UntrustedProbes())
+				if res.submitFailed {
+					stats.SubmitFailed++
+				}
+				stats.ObserveFailed += res.observeFailed
+				stats.UntrustedProbes += res.untrusted
+				for kind, n := range res.faults {
+					stats.ProbeFaults[kind] += n
+				}
 				mu.Unlock()
-				if err := cl.Submit(rep); err != nil {
-					errs <- err
-					return
-				}
 			}
 		}()
 	}
-	for _, s := range sessions {
+	for _, s := range cfg.Population.Sessions {
 		jobs <- s
 	}
 	close(jobs)
 	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			return stats, err
-		}
-	}
 	stats.Elapsed = time.Since(start)
 	return stats, nil
 }
 
+// sessionResult is one session's contribution to the campaign stats.
+type sessionResult struct {
+	failed        bool
+	submitFailed  bool
+	observeFailed int
+	untrusted     int
+	faults        map[string]int
+}
+
+// netDial is the plain TCP transport for collector and notary connections.
+func netDial(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, 10*time.Second)
+}
+
+// session executes one Netalyzr session end to end: probe, submit, observe.
+func (cfg Config) session(s *population.Session) sessionResult {
+	scope := fmt.Sprintf("session-%d", s.ID)
+	rep, err := cfg.runSession(s, scope)
+	if err != nil {
+		return sessionResult{failed: true}
+	}
+	res := sessionResult{
+		untrusted: len(rep.UntrustedProbes()),
+		faults:    rep.FaultTally(),
+	}
+	if err := cfg.submit(rep, scope); err != nil {
+		res.submitFailed = true
+	}
+	res.observeFailed = cfg.observe(rep, scope)
+	return res
+}
+
 // runSession executes one Netalyzr session for one fleet session record.
-func (cfg Config) runSession(s *population.Session) (*netalyzr.Report, error) {
+func (cfg Config) runSession(s *population.Session, scope string) (*netalyzr.Report, error) {
 	var dialer tlsnet.Dialer = tlsnet.DirectDialer{Server: cfg.Origin}
 	if s.Intercepted && cfg.Proxy != nil {
 		dialer = cfg.Proxy
 	}
+	if cfg.Faults != nil {
+		dialer = cfg.Faults.SiteDialer(dialer, scope)
+	}
 	client := &netalyzr.Client{
-		Device:  s.Handset.Device,
-		Dialer:  dialer,
-		Targets: cfg.Targets,
-		At:      cfg.At,
+		Device:       s.Handset.Device,
+		Dialer:       dialer,
+		Targets:      cfg.Targets,
+		At:           cfg.At,
+		ProbeTimeout: cfg.ProbeTimeout,
+		Retry:        cfg.ProbeRetry,
 	}
 	return client.Run()
+}
+
+// clientDial wraps the plain transport in the fault plan under this
+// session's scope and the given logical key.
+func (cfg Config) clientDial(scope, key string) func(addr string) (net.Conn, error) {
+	if cfg.Faults == nil {
+		return netDial
+	}
+	return cfg.Faults.DialFunc(scope, key, netDial)
+}
+
+// submit delivers one report over a fresh collector connection.
+func (cfg Config) submit(rep *netalyzr.Report, scope string) error {
+	cl, err := collect.DialOptions(cfg.CollectorAddr, collect.Options{
+		Retry: cfg.SubmitRetry,
+		Dial:  cfg.clientDial(scope, "collector"),
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	return cl.Submit(rep)
+}
+
+// observe streams the session's successfully captured chains to the notary,
+// returning how many observations were lost after retries. The breaker is
+// disabled: its cooldown is wall-clock, which would make outcomes depend on
+// scheduling rather than the fault plan.
+func (cfg Config) observe(rep *netalyzr.Report, scope string) (lost int) {
+	if cfg.NotaryAddr == "" {
+		return 0
+	}
+	var captured []netalyzr.ProbeResult
+	for _, p := range rep.Probes {
+		if p.Err == nil && len(p.Chain) > 0 {
+			captured = append(captured, p)
+		}
+	}
+	if len(captured) == 0 {
+		return 0
+	}
+	nc, err := notarynet.DialOptions(cfg.NotaryAddr, notarynet.Options{
+		Retry:          cfg.SubmitRetry,
+		DisableBreaker: true,
+		Dial:           cfg.clientDial(scope, "notary"),
+	})
+	if err != nil {
+		return len(captured)
+	}
+	defer nc.Close()
+	for _, p := range captured {
+		if err := nc.Observe(p.Chain, p.Target.Port); err != nil {
+			lost++
+		}
+	}
+	return lost
 }

@@ -1,0 +1,261 @@
+package campaign
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"tangledmass/internal/cauniverse"
+	"tangledmass/internal/certgen"
+	"tangledmass/internal/collect"
+	"tangledmass/internal/faultnet"
+	"tangledmass/internal/mitm"
+	"tangledmass/internal/notary"
+	"tangledmass/internal/notarynet"
+	"tangledmass/internal/population"
+	"tangledmass/internal/resilient"
+	"tangledmass/internal/tlsnet"
+)
+
+// chaosPlan is the fault schedule the chaos run executes: roughly a quarter
+// of all dials are disturbed, covering every fault kind.
+func chaosPlan(seed int64) *faultnet.Plan {
+	return &faultnet.Plan{
+		Seed:               seed,
+		RefuseProb:         0.08,
+		ResetProb:          0.06,
+		TruncateProb:       0.04,
+		CorruptProb:        0.03,
+		StallProb:          0.04,
+		LatencyProb:        0.05,
+		LatencyAmount:      time.Millisecond,
+		StallFor:           2 * time.Millisecond,
+		ResetAfterBytes:    24,
+		TruncateAfterBytes: 12,
+	}
+}
+
+// chaosOutcome captures everything two identical chaos runs must agree on.
+type chaosOutcome struct {
+	stats      Stats
+	summary    collect.Summary
+	ledger     string
+	faultTotal int
+	dialTotal  int
+	validated  notarynet.ValidateResult
+	successful int
+	validCount int
+}
+
+// deviceValidationRate is the fraction of successful probes that validated
+// against the device store — the aggregate faults must not skew.
+func (o chaosOutcome) deviceValidationRate() float64 {
+	if o.successful == 0 {
+		return 0
+	}
+	return float64(o.validCount) / float64(o.successful)
+}
+
+// runChaosCampaign executes the full pipeline — tlsnet world → netalyzr
+// sessions (the §7 handset through the proxy) → collect → notary validation
+// — under the given fault plan (nil means fault-free baseline).
+func runChaosCampaign(t *testing.T, plan *faultnet.Plan) chaosOutcome {
+	t.Helper()
+	u := cauniverse.Default()
+	pop, err := population.Generate(population.Config{Seed: 2, Universe: u, SessionScale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	world, err := tlsnet.NewWorld(tlsnet.Config{Seed: 2, Universe: u, NumLeaves: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, err := tlsnet.NewSites(world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin, err := tlsnet.ServeSites(sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer origin.Close()
+	proxy, err := mitm.NewProxy(mitm.ProxyConfig{
+		CA:        u.InterceptionRoot().Issued,
+		Generator: u.Generator(),
+		Upstream:  tlsnet.DirectDialer{Server: origin},
+		Whitelist: tlsnet.WhitelistedDomains,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collector, err := collect.Serve("127.0.0.1:0", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer collector.Close()
+	nsrv, err := notarynet.Serve(notary.New(certgen.Epoch), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nsrv.Close()
+
+	var inj *faultnet.Injector
+	if plan != nil {
+		inj = faultnet.New(*plan)
+	}
+	seed := int64(0)
+	if plan != nil {
+		seed = plan.Seed
+	}
+	stats, err := Run(Config{
+		Population:    pop,
+		Origin:        origin,
+		CollectorAddr: collector.Addr(),
+		NotaryAddr:    nsrv.Addr(),
+		Proxy:         proxy,
+		Targets: []tlsnet.HostPort{
+			{Host: "gmail.com", Port: 443},
+			{Host: "www.google.com", Port: 443},
+			{Host: "www.twitter.com", Port: 443},
+		},
+		Concurrency:  8,
+		At:           certgen.Epoch,
+		Faults:       inj,
+		ProbeTimeout: 2 * time.Second,
+		ProbeRetry: resilient.NewRetrier(resilient.Policy{
+			MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
+		}, seed),
+		SubmitRetry: resilient.NewRetrier(resilient.Policy{
+			MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
+		}, seed),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out := chaosOutcome{stats: stats, summary: collector.Summary()}
+	out.stats.Elapsed = 0 // wall-clock, excluded from determinism checks
+	for _, rep := range collector.Reports() {
+		for _, p := range rep.Probes {
+			if p.Err != "" {
+				continue
+			}
+			out.successful++
+			if p.DeviceValidated {
+				out.validCount++
+			}
+		}
+	}
+	if inj != nil {
+		out.ledger = inj.String()
+		out.faultTotal = inj.Total()
+		for _, e := range inj.Dials() {
+			out.dialTotal += e.Count
+		}
+	}
+	// Server-side notary validation (Table 3/4 path) over what the chaos
+	// run managed to observe.
+	nc, err := notarynet.Dial(nsrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	out.validated, err = nc.Validate(u.AggregatedAndroid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// baseline plus slack, failing the test if it never does — a leaked relay
+// or handler goroutine would show up here.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline+4 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d now vs %d at baseline\n%s",
+				n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestChaosCampaignDeterministic is the capstone: the full pipeline under a
+// faultnet plan, run twice with the same seed, must produce identical fault
+// ledgers and identical aggregates — and the faults must not skew what the
+// measurement concludes, only how much of it survives.
+func TestChaosCampaignDeterministic(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	clean := runChaosCampaign(t, nil)
+	a := runChaosCampaign(t, chaosPlan(1729))
+	b := runChaosCampaign(t, chaosPlan(1729))
+	waitGoroutines(t, baseline)
+
+	// Same seed → byte-identical fault ledger.
+	if a.ledger != b.ledger {
+		t.Errorf("fault ledgers diverged across identical runs:\n%s\nvs\n%s", a.ledger, b.ledger)
+	}
+	// …and identical aggregates, wall-clock aside.
+	if !reflect.DeepEqual(a.stats, b.stats) {
+		t.Errorf("stats diverged:\n%+v\nvs\n%+v", a.stats, b.stats)
+	}
+	if !reflect.DeepEqual(a.summary, b.summary) {
+		t.Errorf("collector summaries diverged:\n%+v\nvs\n%+v", a.summary, b.summary)
+	}
+	if !reflect.DeepEqual(a.validated, b.validated) {
+		t.Errorf("notary validation diverged: %+v vs %+v", a.validated, b.validated)
+	}
+
+	// The plan actually disturbed the run: at least 10% of dials faulted.
+	if a.dialTotal == 0 || a.faultTotal == 0 {
+		t.Fatalf("no fault activity recorded (dials=%d faults=%d)", a.dialTotal, a.faultTotal)
+	}
+	if rate := float64(a.faultTotal) / float64(a.dialTotal); rate < 0.10 {
+		t.Errorf("fault rate = %.3f, want >= 0.10\n%s", rate, a.ledger)
+	}
+
+	// Graceful degradation: every session ran, and the collector heard from
+	// almost all of them despite the faults.
+	if a.stats.Sessions != clean.stats.Sessions || a.stats.Failed != 0 {
+		t.Errorf("chaos stats = %+v, want all %d sessions to run", a.stats, clean.stats.Sessions)
+	}
+	if a.summary.Sessions == 0 {
+		t.Fatal("collector heard nothing under faults")
+	}
+	lost := float64(a.stats.SubmitFailed) / float64(a.stats.Sessions)
+	if lost > 0.05 {
+		t.Errorf("%.1f%% of submissions lost — retries are not absorbing the plan", 100*lost)
+	}
+
+	// The faults cost coverage, not correctness: the device-validation rate
+	// over surviving probes stays within 2 points of the fault-free run.
+	cleanRate := clean.deviceValidationRate()
+	chaosRate := a.deviceValidationRate()
+	if math.Abs(cleanRate-chaosRate) > 0.02 {
+		t.Errorf("validation rate skewed: %.4f fault-free vs %.4f under faults", cleanRate, chaosRate)
+	}
+	if clean.successful == a.successful && a.faultTotal > 0 {
+		t.Logf("note: all probes survived despite %d faults (retries absorbed everything)", a.faultTotal)
+	}
+
+	// Fault tallies reached the collector as typed kinds, never free text
+	// only (the summary's map keys are resilient.Kind labels).
+	for kind := range a.summary.ProbeFaults {
+		switch kind {
+		case "refused", "reset", "timeout", "eof", "transient", "breaker", "error":
+		default:
+			t.Errorf("collector saw unexpected fault kind %q", kind)
+		}
+	}
+	t.Logf("chaos ledger:\n%s", a.ledger)
+}

@@ -21,6 +21,10 @@ type WireProbe struct {
 	TopHash         string `json:"top_hash,omitempty"`
 	DeviceValidated bool   `json:"device_validated"`
 	Err             string `json:"err,omitempty"`
+	// ErrKind is the stable resilient.Kind label for Err ("refused",
+	// "reset", "timeout", …) — what the collector's fault aggregate counts
+	// by, since Err itself carries unstable detail like addresses.
+	ErrKind string `json:"err_kind,omitempty"`
 }
 
 // WireReport is one session in wire form. Store contents travel as subject
@@ -62,6 +66,7 @@ func FromReport(r *netalyzr.Report) WireReport {
 		}
 		if p.Err != nil {
 			wp.Err = p.Err.Error()
+			wp.ErrKind = p.ErrKind
 		}
 		for _, c := range p.Chain {
 			wp.ChainSubjects = append(wp.ChainSubjects, certid.SubjectString(c))
@@ -81,6 +86,10 @@ type Summary struct {
 	UntrustedProbes int64            `json:"untrusted_probes"`
 	ByManufacturer  map[string]int64 `json:"by_manufacturer"`
 	ByVersion       map[string]int64 `json:"by_version"`
+	// ProbeFaults counts failed probes across all sessions by their typed
+	// ErrKind — the collector-side view of how lossy the measured networks
+	// were. Probes with an error but no kind count under "error".
+	ProbeFaults map[string]int64 `json:"probe_faults,omitempty"`
 	// StoreSizeMin/Max/Sum summarize the store-size distribution.
 	StoreSizeMin int   `json:"store_size_min"`
 	StoreSizeMax int   `json:"store_size_max"`
@@ -100,6 +109,7 @@ func newSummary() Summary {
 	return Summary{
 		ByManufacturer: make(map[string]int64),
 		ByVersion:      make(map[string]int64),
+		ProbeFaults:    make(map[string]int64),
 		StoreSizeMin:   -1,
 	}
 }
@@ -115,6 +125,13 @@ func (s *Summary) absorb(w WireReport) {
 	for _, p := range w.Probes {
 		if p.Err == "" && !p.DeviceValidated {
 			s.UntrustedProbes++
+		}
+		if p.Err != "" {
+			kind := p.ErrKind
+			if kind == "" {
+				kind = "error"
+			}
+			s.ProbeFaults[kind]++
 		}
 	}
 	if s.StoreSizeMin < 0 || w.StoreSize < s.StoreSizeMin {
@@ -136,6 +153,10 @@ func (s Summary) clone() Summary {
 	out.ByVersion = make(map[string]int64, len(s.ByVersion))
 	for k, v := range s.ByVersion {
 		out.ByVersion[k] = v
+	}
+	out.ProbeFaults = make(map[string]int64, len(s.ProbeFaults))
+	for k, v := range s.ProbeFaults {
+		out.ProbeFaults[k] = v
 	}
 	return out
 }

@@ -218,6 +218,101 @@ func TestCollectErrors(t *testing.T) {
 	}
 }
 
+func TestSubmitAfterCloseCleanError(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	w := WireReport{Manufacturer: "HTC", Version: "4.0", StoreSize: 140}
+	if err := c.SubmitWire(w); err != nil {
+		t.Fatal(err)
+	}
+	// Close returns even though c's connection is still open: the server
+	// expires its pending read instead of waiting out the idle deadline.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A submission racing the shutdown gets a clean protocol error and is
+	// not absorbed into the frozen aggregate.
+	resp := srv.dispatch(request{Op: "submit", Report: &w})
+	if resp.OK || !strings.Contains(resp.Error, "collector closed") {
+		t.Errorf("post-close dispatch = %+v, want collector closed error", resp)
+	}
+	if err := c.SubmitWire(w); err == nil {
+		t.Error("submit to a closed collector should fail")
+	}
+	if sum := srv.Summary(); sum.Sessions != 1 {
+		t.Errorf("sessions = %d, want aggregate frozen at 1", sum.Sessions)
+	}
+}
+
+func TestDuplicateSubmitsNotDoubleCounted(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	w := WireReport{Manufacturer: "HTC", Version: "4.0", StoreSize: 140}
+	// The same idempotency ID re-sent — the retry-after-lost-response shape —
+	// must be acknowledged without counting twice.
+	for i := 0; i < 2; i++ {
+		resp := srv.dispatch(request{Op: "submit", ID: "retry-0", Report: &w})
+		if !resp.OK {
+			t.Fatalf("send %d: %+v", i, resp)
+		}
+	}
+	if sum := srv.Summary(); sum.Sessions != 1 {
+		t.Errorf("sessions = %d, want 1 (duplicate ID deduplicated)", sum.Sessions)
+	}
+	if got := len(srv.Reports()); got != 1 {
+		t.Errorf("retained reports = %d, want 1", got)
+	}
+}
+
+func TestProbeFaultAggregation(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	w := WireReport{
+		Manufacturer: "ASUS", Version: "4.4", StoreSize: 150,
+		Probes: []WireProbe{
+			{Host: "a.example", Port: 443, DeviceValidated: true},
+			{Host: "b.example", Port: 443, Err: "dial refused", ErrKind: "refused"},
+			{Host: "c.example", Port: 443, Err: "read reset", ErrKind: "reset"},
+			{Host: "d.example", Port: 443, Err: "reset again", ErrKind: "reset"},
+			{Host: "e.example", Port: 443, Err: "mystery"},
+		},
+	}
+	if err := c.SubmitWire(w); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := c.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{"refused": 1, "reset": 2, "error": 1}
+	for kind, n := range want {
+		if sum.ProbeFaults[kind] != n {
+			t.Errorf("ProbeFaults[%q] = %d, want %d", kind, sum.ProbeFaults[kind], n)
+		}
+	}
+	if len(sum.ProbeFaults) != len(want) {
+		t.Errorf("ProbeFaults = %v, want %v", sum.ProbeFaults, want)
+	}
+}
+
 func TestSummaryCloneIsolated(t *testing.T) {
 	srv, err := Serve("127.0.0.1:0", false)
 	if err != nil {

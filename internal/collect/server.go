@@ -2,19 +2,26 @@ package collect
 
 import (
 	"bufio"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
 	"tangledmass/internal/netalyzr"
+	"tangledmass/internal/resilient"
 )
 
 // wire messages: {"op":"submit","report":{...}} and {"op":"summary"};
 // responses: {"ok":true,...} with the summary inlined for "summary".
 type request struct {
-	Op     string      `json:"op"`
+	Op string `json:"op"`
+	// ID is a client-unique idempotency token: a submit re-sent after a
+	// lost response keeps its ID and is acknowledged without counting twice.
+	ID     string      `json:"id,omitempty"`
 	Report *WireReport `json:"report,omitempty"`
 }
 
@@ -24,16 +31,23 @@ type response struct {
 	Summary *Summary `json:"summary,omitempty"`
 }
 
+// seenCap bounds the idempotency-ID window; retries follow failures within
+// seconds, so a few thousand recent IDs is plenty.
+const seenCap = 4096
+
 // Server is the collection endpoint. Construct with Serve.
 type Server struct {
 	ln net.Listener
 
-	mu      sync.Mutex
-	sum     Summary
-	closed  bool
-	reports []WireReport
-	wg      sync.WaitGroup
-	keepAll bool
+	mu        sync.Mutex
+	sum       Summary
+	closed    bool
+	reports   []WireReport
+	wg        sync.WaitGroup
+	keepAll   bool
+	conns     map[net.Conn]bool
+	seen      map[string]bool
+	seenOrder []string
 }
 
 // Serve starts a collector on addr. If keepReports is true the server
@@ -44,7 +58,13 @@ func Serve(addr string, keepReports bool) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("collect: listening on %s: %w", addr, err)
 	}
-	s := &Server{ln: ln, sum: newSummary(), keepAll: keepReports}
+	s := &Server{
+		ln:      ln,
+		sum:     newSummary(),
+		keepAll: keepReports,
+		conns:   make(map[net.Conn]bool),
+		seen:    make(map[string]bool),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -53,7 +73,10 @@ func Serve(addr string, keepReports bool) (*Server, error) {
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the collector.
+// Close stops the collector and freezes the aggregate. Requests already in
+// flight get a clean "collector closed" protocol error instead of racing
+// the shutdown; idle connections are unblocked so Close does not wait out
+// their read deadlines.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -61,6 +84,10 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	for conn := range s.conns {
+		// Expire pending reads now; handlers drain and exit.
+		_ = conn.SetReadDeadline(time.Unix(1, 0))
+	}
 	s.mu.Unlock()
 	err := s.ln.Close()
 	s.wg.Wait()
@@ -98,13 +125,38 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// armRead sets the idle deadline for the next request, or reports false if
+// the server has closed — the deadline and the closed flag share the mutex
+// so Close cannot re-arm a connection it just expired.
+func (s *Server) armRead(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	return conn.SetReadDeadline(time.Now().Add(2*time.Minute)) == nil
+}
+
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.conns[conn] = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
 	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(make([]byte, 64<<10), 8<<20)
 	enc := json.NewEncoder(conn)
 	for {
-		if err := conn.SetReadDeadline(time.Now().Add(2 * time.Minute)); err != nil {
+		if !s.armRead(conn) {
 			return
 		}
 		if !scanner.Scan() {
@@ -126,6 +178,24 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// duplicateLocked records id and reports whether it was already seen.
+// Requests without an ID are never deduplicated. Callers hold s.mu.
+func (s *Server) duplicateLocked(id string) bool {
+	if id == "" {
+		return false
+	}
+	if s.seen[id] {
+		return true
+	}
+	s.seen[id] = true
+	s.seenOrder = append(s.seenOrder, id)
+	if len(s.seenOrder) > seenCap {
+		delete(s.seen, s.seenOrder[0])
+		s.seenOrder = s.seenOrder[1:]
+	}
+	return false
+}
+
 func (s *Server) dispatch(req request) response {
 	switch req.Op {
 	case "submit":
@@ -133,11 +203,21 @@ func (s *Server) dispatch(req request) response {
 			return response{Error: "submit: missing report"}
 		}
 		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.closed {
+			// The aggregate froze at Close; refuse cleanly rather than
+			// absorbing a submission the summary reader will never see.
+			return response{Error: "collector closed"}
+		}
+		// Acknowledge a re-sent submission whose response was lost without
+		// double-counting it.
+		if s.duplicateLocked(req.ID) {
+			return response{OK: true}
+		}
 		s.sum.absorb(*req.Report)
 		if s.keepAll {
 			s.reports = append(s.reports, *req.Report)
 		}
-		s.mu.Unlock()
 		return response{OK: true}
 	case "summary":
 		sum := s.Summary()
@@ -147,43 +227,164 @@ func (s *Server) dispatch(req request) response {
 	}
 }
 
-// Client submits session reports. Sequential use only.
+// Client submits session reports. Sequential use only. Transient transport
+// failures retry on a fresh connection: after any mid-exchange failure the
+// transport is marked broken and never reused (a half-read response would
+// desync the framing), and submits carry idempotency IDs the server
+// deduplicates, so a retry after a lost response does not double-count.
 type Client struct {
+	addr    string
+	timeout time.Duration
+	dial    func(addr string) (net.Conn, error)
+	retry   *resilient.Retrier
+
+	nonce string
+	seq   uint64
+
 	conn    net.Conn
 	scanner *bufio.Scanner
 	enc     *json.Encoder
+	broken  bool
 }
 
-// Dial connects to a collector.
+// Options tunes client resilience. The zero value gives the defaults noted
+// per field.
+type Options struct {
+	// Timeout bounds one round trip. Zero means one minute.
+	Timeout time.Duration
+	// Retry overrides the retry policy. Nil means 4 attempts with short
+	// jittered backoff.
+	Retry *resilient.Retrier
+	// Dial overrides the transport dialer — the fault-injection harness
+	// hooks in here. Nil means TCP with a 10s connect timeout.
+	Dial func(addr string) (net.Conn, error)
+}
+
+// Dial connects to a collector with default resilience.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	return DialOptions(addr, Options{})
+}
+
+// DialOptions connects to a collector under explicit resilience options.
+// The initial connect already runs under the retry policy.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	c := &Client{
+		addr:    addr,
+		timeout: opts.Timeout,
+		dial:    opts.Dial,
+		retry:   opts.Retry,
+		nonce:   newNonce(),
+	}
+	if c.timeout <= 0 {
+		c.timeout = time.Minute
+	}
+	if c.dial == nil {
+		c.dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 10*time.Second)
+		}
+	}
+	if c.retry == nil {
+		c.retry = resilient.NewRetrier(resilient.Policy{
+			MaxAttempts: 4,
+			BaseDelay:   20 * time.Millisecond,
+			MaxDelay:    500 * time.Millisecond,
+		}, 0)
+	}
+	if err := c.retry.Do(func(int) error { return c.connect() }); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// newNonce labels this client's idempotency IDs. Uniqueness, not
+// unpredictability, is what matters; an entropy-pool failure is not
+// recoverable.
+func newNonce() string {
+	b := make([]byte, 6)
+	if _, err := rand.Read(b); err != nil {
+		panic(fmt.Sprintf("collect: reading nonce entropy: %v", err))
+	}
+	return hex.EncodeToString(b)
+}
+
+// connect establishes a fresh transport, replacing any broken one.
+func (c *Client) connect() error {
+	conn, err := c.dial(c.addr)
 	if err != nil {
-		return nil, fmt.Errorf("collect: dialing %s: %w", addr, err)
+		return fmt.Errorf("collect: dialing %s: %w", c.addr, err)
 	}
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 64<<10), 8<<20)
-	return &Client{conn: conn, scanner: sc, enc: json.NewEncoder(conn)}, nil
+	c.conn, c.scanner, c.enc, c.broken = conn, sc, json.NewEncoder(conn), false
+	return nil
+}
+
+// markBroken poisons the transport after a mid-exchange failure so the
+// next attempt starts on a fresh connection.
+func (c *Client) markBroken() {
+	c.broken = true
+	if c.conn != nil {
+		_ = c.conn.Close()
+	}
 }
 
 // Close releases the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	return c.conn.Close()
+}
 
+// roundTrip sends one request and reads one response, reconnecting and
+// retrying transient failures.
 func (c *Client) roundTrip(req request) (response, error) {
-	if err := c.conn.SetDeadline(time.Now().Add(time.Minute)); err != nil {
+	req.ID = fmt.Sprintf("%s-%d", c.nonce, c.seq)
+	c.seq++
+	var resp response
+	err := c.retry.Do(func(int) error {
+		r, err := c.attempt(req)
+		if err != nil {
+			return err
+		}
+		resp = r
+		return nil
+	})
+	return resp, err
+}
+
+// attempt runs one exchange on the current transport.
+func (c *Client) attempt(req request) (response, error) {
+	if c.broken || c.conn == nil {
+		if err := c.connect(); err != nil {
+			return response{}, err
+		}
+	}
+	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		c.markBroken()
 		return response{}, fmt.Errorf("collect: setting deadline: %w", err)
 	}
 	if err := c.enc.Encode(req); err != nil {
-		return response{}, fmt.Errorf("collect: sending: %w", err)
+		c.markBroken()
+		return response{}, fmt.Errorf("collect: sending %s: %w", req.Op, err)
 	}
 	if !c.scanner.Scan() {
-		return response{}, fmt.Errorf("collect: connection closed")
+		err := c.scanner.Err()
+		c.markBroken()
+		if err != nil {
+			return response{}, fmt.Errorf("collect: reading response: %w", err)
+		}
+		return response{}, resilient.MarkTransient(errors.New("collect: connection closed"))
 	}
 	var resp response
 	if err := json.Unmarshal(c.scanner.Bytes(), &resp); err != nil {
-		return response{}, fmt.Errorf("collect: decoding: %w", err)
+		// Corrupted or truncated line: the framing is no longer trustworthy.
+		c.markBroken()
+		return response{}, resilient.MarkTransient(fmt.Errorf("collect: decoding response: %w", err))
 	}
 	if !resp.OK {
-		return resp, fmt.Errorf("collect: server error: %s", resp.Error)
+		// Protocol-level rejection over a healthy transport: not retryable.
+		return resp, resilient.MarkPermanent(fmt.Errorf("collect: server error: %s", resp.Error))
 	}
 	return resp, nil
 }

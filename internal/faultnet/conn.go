@@ -1,0 +1,112 @@
+package faultnet
+
+import (
+	"io"
+	"net"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// faultConn wraps a live connection and executes exactly one fault kind.
+// Latency delays the first read and first write; Reset and Truncate spend a
+// byte budget on the read side then kill the stream; Corrupt flips one byte
+// of the first read; Stall blocks the next read, then surfaces a timeout.
+// Deadlines, writes and Close pass through to the underlying connection.
+type faultConn struct {
+	net.Conn
+	in   *Injector
+	kind Kind
+
+	mu        sync.Mutex
+	remaining int  // Reset/Truncate byte budget
+	readSlept bool // Latency already applied to reads
+	writSlept bool // Latency already applied to writes
+	corrupted bool // Corrupt already applied
+	dead      bool // Reset/Stall already fired
+}
+
+// injectedTimeout builds the stall error: a net.OpError whose Timeout()
+// reports true, exactly what a deadline expiry on a real conn produces.
+func injectedTimeout() error {
+	return &net.OpError{Op: "read", Net: "tcp", Err: os.ErrDeadlineExceeded}
+}
+
+// injectedReset builds the mid-stream reset error.
+func injectedReset() error {
+	return &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	switch c.kind {
+	case Latency:
+		c.mu.Lock()
+		first := !c.readSlept
+		c.readSlept = true
+		c.mu.Unlock()
+		if first {
+			c.in.sleep(c.in.plan.LatencyAmount)
+		}
+		return c.Conn.Read(p)
+
+	case Stall:
+		c.mu.Lock()
+		dead := c.dead
+		c.dead = true
+		c.mu.Unlock()
+		if !dead {
+			c.in.sleep(c.in.plan.StallFor)
+		}
+		return 0, injectedTimeout()
+
+	case Corrupt:
+		n, err := c.Conn.Read(p)
+		c.mu.Lock()
+		flip := !c.corrupted && n > 0
+		if flip {
+			c.corrupted = true
+		}
+		c.mu.Unlock()
+		if flip {
+			p[0] ^= 0xFF
+		}
+		return n, err
+
+	case Reset, Truncate:
+		c.mu.Lock()
+		budget := c.remaining
+		c.mu.Unlock()
+		if budget <= 0 {
+			// Budget spent: kill the transport so the peer unblocks too.
+			_ = c.Conn.Close()
+			if c.kind == Reset {
+				return 0, injectedReset()
+			}
+			return 0, io.EOF
+		}
+		if len(p) > budget {
+			p = p[:budget]
+		}
+		n, err := c.Conn.Read(p)
+		c.mu.Lock()
+		c.remaining -= n
+		c.mu.Unlock()
+		return n, err
+
+	default:
+		return c.Conn.Read(p)
+	}
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if c.kind == Latency {
+		c.mu.Lock()
+		first := !c.writSlept
+		c.writSlept = true
+		c.mu.Unlock()
+		if first {
+			c.in.sleep(c.in.plan.LatencyAmount)
+		}
+	}
+	return c.Conn.Write(p)
+}

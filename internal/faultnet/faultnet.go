@@ -1,0 +1,263 @@
+// Package faultnet is a deterministic, seed-driven network fault injector:
+// a Dialer/net.Conn wrapper that executes a seeded Plan of connect
+// refusals, added latency, mid-stream resets, response truncation, byte
+// corruption and stalls. It models the lossy mobile networks behind the
+// paper's 15,970 Netalyzr sessions, where half-finished handshakes and
+// truncated submissions are the normal case, and lets the chaos harness
+// prove every client survives them.
+//
+// Determinism is the load-bearing property. The fault decision for the
+// n-th dial of a flow is a pure function of (plan seed, scope, target
+// key, n): no shared PRNG stream is consumed across flows, so goroutine
+// interleaving cannot perturb outcomes. Give each session its own scope
+// and a campaign run under concurrency produces the same per-target fault
+// ledger and the same aggregates on every run with the same seed. All
+// randomness flows through the seeded stats.Source (the detrand rule holds
+// this package to it) and no wall-clock is read — injected delays go
+// through a substitutable sleep function.
+package faultnet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+
+	"tangledmass/internal/stats"
+	"tangledmass/internal/tlsnet"
+)
+
+// Kind names one injectable fault.
+type Kind string
+
+const (
+	// None means the connection proceeds untouched.
+	None Kind = ""
+	// Refuse fails the dial immediately with ECONNREFUSED.
+	Refuse Kind = "refuse"
+	// Latency delays the connection's first read and first write.
+	Latency Kind = "latency"
+	// Reset tears the connection down with ECONNRESET after
+	// ResetAfterBytes bytes have been read.
+	Reset Kind = "reset"
+	// Truncate ends the read stream with a clean EOF after
+	// TruncateAfterBytes bytes — a half-finished response.
+	Truncate Kind = "truncate"
+	// Corrupt flips the first byte of the connection's first read.
+	Corrupt Kind = "corrupt"
+	// Stall blocks the next read for StallFor, then surfaces a timeout —
+	// the handshake that never completes.
+	Stall Kind = "stall"
+)
+
+// kinds lists every injectable kind in plan order, for iteration.
+var kinds = []Kind{Refuse, Latency, Reset, Truncate, Corrupt, Stall}
+
+// Plan is a seeded fault schedule. Probabilities are per dial and at most
+// one fault fires per connection; their sum must not exceed 1.
+type Plan struct {
+	// Seed drives every fault decision.
+	Seed int64
+
+	// Per-dial probabilities, each in [0,1].
+	RefuseProb   float64
+	LatencyProb  float64
+	ResetProb    float64
+	TruncateProb float64
+	CorruptProb  float64
+	StallProb    float64
+
+	// LatencyAmount is the injected delay. Zero means 2ms.
+	LatencyAmount time.Duration
+	// ResetAfterBytes is how many bytes a Reset connection may deliver
+	// first. Zero means 1.
+	ResetAfterBytes int
+	// TruncateAfterBytes is how many bytes a Truncate connection delivers
+	// before the stream ends. Zero means 1.
+	TruncateAfterBytes int
+	// StallFor is how long a stalled read blocks before surfacing a
+	// timeout. Zero means 50ms.
+	StallFor time.Duration
+}
+
+func (p Plan) withDefaults() Plan {
+	if p.LatencyAmount <= 0 {
+		p.LatencyAmount = 2 * time.Millisecond
+	}
+	if p.ResetAfterBytes <= 0 {
+		p.ResetAfterBytes = 1
+	}
+	if p.TruncateAfterBytes <= 0 {
+		p.TruncateAfterBytes = 1
+	}
+	if p.StallFor <= 0 {
+		p.StallFor = 50 * time.Millisecond
+	}
+	return p
+}
+
+// prob returns the plan probability for kind k.
+func (p Plan) prob(k Kind) float64 {
+	switch k {
+	case Refuse:
+		return p.RefuseProb
+	case Latency:
+		return p.LatencyProb
+	case Reset:
+		return p.ResetProb
+	case Truncate:
+		return p.TruncateProb
+	case Corrupt:
+		return p.CorruptProb
+	case Stall:
+		return p.StallProb
+	}
+	return 0
+}
+
+// Injector executes a Plan over wrapped dialers and keeps the fault
+// ledger. Safe for concurrent use.
+type Injector struct {
+	plan  Plan
+	sleep func(time.Duration)
+
+	mu     sync.Mutex
+	seq    map[string]uint64 // per-flow dial counter
+	ledger map[Kind]map[string]int
+	dials  map[string]int // per-target dial counter, faulted or not
+	total  int
+}
+
+// New builds an injector for the plan. It panics if the plan's
+// probabilities sum above 1 — a misconfigured chaos run should fail loudly,
+// not skew silently.
+func New(plan Plan) *Injector {
+	plan = plan.withDefaults()
+	var sum float64
+	for _, k := range kinds {
+		pr := plan.prob(k)
+		if pr < 0 || pr > 1 {
+			panic(fmt.Sprintf("faultnet: probability for %q out of [0,1]: %v", k, pr))
+		}
+		sum += pr
+	}
+	if sum > 1 {
+		panic(fmt.Sprintf("faultnet: fault probabilities sum to %v > 1", sum))
+	}
+	return &Injector{
+		plan:   plan,
+		sleep:  time.Sleep,
+		seq:    make(map[string]uint64),
+		ledger: make(map[Kind]map[string]int),
+		dials:  make(map[string]int),
+	}
+}
+
+// WithSleep substitutes the sleep function used for latency and stall
+// faults (tests) and returns the injector for chaining.
+func (in *Injector) WithSleep(sleep func(time.Duration)) *Injector {
+	in.sleep = sleep
+	return in
+}
+
+// decide draws the fault for the next dial of flow (scope, key) and records
+// it in the ledger. The decision is a pure function of (seed, scope, key,
+// per-flow dial ordinal), so it is independent of goroutine interleaving:
+// flows never share a PRNG stream.
+func (in *Injector) decide(scope, key string) Kind {
+	flow := scope + "|" + key
+	in.mu.Lock()
+	n := in.seq[flow]
+	in.seq[flow] = n + 1
+	in.dials[key]++
+	in.mu.Unlock()
+
+	h := fnv.New64a()
+	// Hash writes never fail.
+	_, _ = io.WriteString(h, fmt.Sprintf("%d|%s|%d", in.plan.Seed, flow, n))
+	x := stats.NewSource(int64(h.Sum64())).Float64()
+
+	kind := None
+	var acc float64
+	for _, k := range kinds {
+		acc += in.plan.prob(k)
+		if x < acc {
+			kind = k
+			break
+		}
+	}
+	if kind != None {
+		in.mu.Lock()
+		m := in.ledger[kind]
+		if m == nil {
+			m = make(map[string]int)
+			in.ledger[kind] = m
+		}
+		m[key]++
+		in.total++
+		in.mu.Unlock()
+	}
+	return kind
+}
+
+// dial runs one decision and wraps the resulting connection.
+func (in *Injector) dial(scope, key string, next func() (net.Conn, error)) (net.Conn, error) {
+	kind := in.decide(scope, key)
+	if kind == Refuse {
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: fmt.Errorf(
+			"faultnet: injected refusal for %s: %w", key, syscall.ECONNREFUSED)}
+	}
+	conn, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if kind == None {
+		return conn, nil
+	}
+	return &faultConn{Conn: conn, in: in, kind: kind, remaining: in.budgetFor(kind)}, nil
+}
+
+// budgetFor returns the byte budget a Reset or Truncate connection may
+// deliver before the fault fires.
+func (in *Injector) budgetFor(kind Kind) int {
+	switch kind {
+	case Reset:
+		return in.plan.ResetAfterBytes
+	case Truncate:
+		return in.plan.TruncateAfterBytes
+	}
+	return 0
+}
+
+// SiteDialer wraps next so every DialSite flows through the plan. The
+// scope isolates the decision stream: give each session its own scope so
+// concurrency and retries in one flow cannot perturb another's outcomes.
+func (in *Injector) SiteDialer(next tlsnet.Dialer, scope string) tlsnet.Dialer {
+	return &siteDialer{in: in, next: next, scope: scope}
+}
+
+type siteDialer struct {
+	in    *Injector
+	next  tlsnet.Dialer
+	scope string
+}
+
+// DialSite implements tlsnet.Dialer. The decision key is the logical
+// host:port, never the resolved loopback address, so ledgers compare
+// across runs with different ephemeral ports.
+func (d *siteDialer) DialSite(host string, port int) (net.Conn, error) {
+	key := fmt.Sprintf("%s:%d", host, port)
+	return d.in.dial(d.scope, key, func() (net.Conn, error) { return d.next.DialSite(host, port) })
+}
+
+// DialFunc wraps an address-based dialer under a fixed logical key —
+// "collector", "notary" — so ephemeral server ports never enter the
+// decision stream or the ledger.
+func (in *Injector) DialFunc(scope, key string, next func(addr string) (net.Conn, error)) func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		return in.dial(scope, key, func() (net.Conn, error) { return next(addr) })
+	}
+}

@@ -1,0 +1,288 @@
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// echoListener accepts loopback connections and writes a fixed banner.
+func echoListener(t *testing.T, banner string) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				_, _ = io.WriteString(conn, banner)
+				// Hold the write side open until the peer hangs up so
+				// short reads are the injector's doing, not a race.
+				_, _ = io.Copy(io.Discard, conn)
+			}()
+		}
+	}()
+	t.Cleanup(func() { _ = ln.Close() })
+	return ln
+}
+
+// only builds a plan injecting exactly one fault kind with certainty.
+func only(kind Kind) Plan {
+	p := Plan{Seed: 1, StallFor: time.Millisecond, LatencyAmount: time.Millisecond}
+	switch kind {
+	case Refuse:
+		p.RefuseProb = 1
+	case Latency:
+		p.LatencyProb = 1
+	case Reset:
+		p.ResetProb = 1
+	case Truncate:
+		p.TruncateProb = 1
+	case Corrupt:
+		p.CorruptProb = 1
+	case Stall:
+		p.StallProb = 1
+	}
+	return p
+}
+
+func dialThrough(t *testing.T, in *Injector, ln net.Listener) (net.Conn, error) {
+	t.Helper()
+	dial := in.DialFunc("test", "svc", func(addr string) (net.Conn, error) {
+		return net.DialTimeout("tcp", addr, 5*time.Second)
+	})
+	conn, err := dial(ln.Addr().String())
+	if conn != nil {
+		t.Cleanup(func() { _ = conn.Close() })
+	}
+	return conn, err
+}
+
+func TestRefuse(t *testing.T) {
+	ln := echoListener(t, "hello")
+	_, err := dialThrough(t, New(only(Refuse)), ln)
+	if !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("err = %v, want ECONNREFUSED", err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	plan := only(Reset)
+	plan.ResetAfterBytes = 3
+	ln := echoListener(t, "hello world")
+	conn, err := dialThrough(t, New(plan), ln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(conn)
+	if !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("read err = %v, want ECONNRESET", err)
+	}
+	if string(got) != "hel" {
+		t.Errorf("delivered %q before the reset, want %q", got, "hel")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	plan := only(Truncate)
+	plan.TruncateAfterBytes = 5
+	ln := echoListener(t, "hello world")
+	conn, err := dialThrough(t, New(plan), ln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatalf("truncation must end with a clean EOF, got %v", err)
+	}
+	if string(got) != "hello" {
+		t.Errorf("delivered %q, want %q", got, "hello")
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	ln := echoListener(t, "hello")
+	conn, err := dialThrough(t, New(only(Corrupt)), ln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 'h'^0xFF {
+		t.Errorf("first byte = %#x, want flipped 'h' %#x", buf[0], 'h'^0xFF)
+	}
+	if string(buf[1:]) != "ello" {
+		t.Errorf("tail = %q, want %q (only one byte corrupted)", buf[1:], "ello")
+	}
+}
+
+func TestStallSurfacesTimeout(t *testing.T) {
+	var slept time.Duration
+	in := New(only(Stall)).WithSleep(func(d time.Duration) { slept += d })
+	ln := echoListener(t, "hello")
+	conn, err := dialThrough(t, in, ln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = conn.Read(make([]byte, 1))
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("stalled read err = %v, want a net.Error timeout", err)
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Errorf("stalled read should wrap os.ErrDeadlineExceeded: %v", err)
+	}
+	if slept != time.Millisecond {
+		t.Errorf("stall slept %v, want %v", slept, time.Millisecond)
+	}
+}
+
+func TestLatencySleepsOnceEachWay(t *testing.T) {
+	var mu sync.Mutex
+	var sleeps []time.Duration
+	in := New(only(Latency)).WithSleep(func(d time.Duration) {
+		mu.Lock()
+		sleeps = append(sleeps, d)
+		mu.Unlock()
+	})
+	ln := echoListener(t, "hello")
+	conn, err := dialThrough(t, in, ln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sleeps) != 2 {
+		t.Errorf("latency slept %d times, want 2 (first read + first write)", len(sleeps))
+	}
+}
+
+func TestDecisionsAreInterleavingIndependent(t *testing.T) {
+	// The same flows drawn in two different orders must see identical
+	// per-flow outcomes and produce identical ledgers.
+	plan := Plan{Seed: 99, RefuseProb: 0.3, ResetProb: 0.2, StallProb: 0.1}
+	type draw struct{ scope, key string }
+	var flows []draw
+	for s := 0; s < 5; s++ {
+		for k := 0; k < 3; k++ {
+			flows = append(flows, draw{fmt.Sprintf("session-%d", s), fmt.Sprintf("host%d:443", k)})
+		}
+	}
+	run := func(order []int, repeats int) (map[string][]Kind, string) {
+		in := New(plan)
+		out := make(map[string][]Kind)
+		for r := 0; r < repeats; r++ {
+			for _, i := range order {
+				f := flows[i]
+				flow := f.scope + "|" + f.key
+				out[flow] = append(out[flow], in.decide(f.scope, f.key))
+			}
+		}
+		return out, in.String()
+	}
+	fwd := make([]int, len(flows))
+	rev := make([]int, len(flows))
+	for i := range flows {
+		fwd[i] = i
+		rev[i] = len(flows) - 1 - i
+	}
+	a, ledgerA := run(fwd, 4)
+	b, ledgerB := run(rev, 4)
+	for flow, seq := range a {
+		for i, k := range seq {
+			if b[flow][i] != k {
+				t.Errorf("flow %s draw %d: %q forward vs %q reversed", flow, i, k, b[flow][i])
+			}
+		}
+	}
+	if ledgerA != ledgerB {
+		t.Errorf("ledgers diverged across orderings:\n%s\nvs\n%s", ledgerA, ledgerB)
+	}
+}
+
+func TestDecisionRatesTrackPlan(t *testing.T) {
+	plan := Plan{Seed: 7, RefuseProb: 0.25, TruncateProb: 0.25}
+	in := New(plan)
+	const n = 4000
+	counts := map[Kind]int{}
+	for i := 0; i < n; i++ {
+		counts[in.decide(fmt.Sprintf("s%d", i), "host:443")]++
+	}
+	for _, k := range []Kind{Refuse, Truncate} {
+		frac := float64(counts[k]) / n
+		if frac < 0.20 || frac > 0.30 {
+			t.Errorf("%s rate = %.3f, want ≈0.25", k, frac)
+		}
+	}
+	if got := counts[None]; float64(got)/n < 0.45 {
+		t.Errorf("clean rate = %.3f, want ≈0.5", float64(got)/n)
+	}
+	if in.Total() != n-counts[None] {
+		t.Errorf("ledger total = %d, want %d", in.Total(), n-counts[None])
+	}
+}
+
+func TestConcurrentLedgerIsDeterministic(t *testing.T) {
+	plan := Plan{Seed: 3, RefuseProb: 0.2, ResetProb: 0.2, CorruptProb: 0.2}
+	run := func() string {
+		in := New(plan)
+		var wg sync.WaitGroup
+		for s := 0; s < 16; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				for k := 0; k < 8; k++ {
+					for d := 0; d < 3; d++ {
+						in.decide(fmt.Sprintf("session-%d", s), fmt.Sprintf("host%d:443", k))
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+		return in.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("concurrent runs produced different ledgers:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	for _, plan := range []Plan{
+		{RefuseProb: 0.7, ResetProb: 0.7},
+		{StallProb: -0.1},
+		{CorruptProb: 1.5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) should panic", plan)
+				}
+			}()
+			New(plan)
+		}()
+	}
+}

@@ -1,0 +1,71 @@
+package faultnet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Entry is one fault-ledger cell: how many times one fault kind fired
+// against one target key.
+type Entry struct {
+	Kind   Kind
+	Target string
+	Count  int
+}
+
+// Snapshot returns the ledger sorted by kind then target. Because every
+// decision is a pure function of (seed, scope, key, ordinal) and targets
+// are logical names, two runs with the same seed and workload produce
+// byte-identical snapshots — the chaos test's central assertion.
+func (in *Injector) Snapshot() []Entry {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var out []Entry
+	for kind, targets := range in.ledger {
+		for target, count := range targets {
+			out = append(out, Entry{Kind: kind, Target: target, Count: count})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Target < out[j].Target
+	})
+	return out
+}
+
+// Total returns the number of faults injected so far.
+func (in *Injector) Total() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.total
+}
+
+// Dials returns how many dial decisions ran per target key, faulted or
+// not, sorted by target — the denominator for the ledger's rates.
+func (in *Injector) Dials() []Entry {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Entry, 0, len(in.dials))
+	for target, count := range in.dials {
+		out = append(out, Entry{Target: target, Count: count})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Target < out[j].Target })
+	return out
+}
+
+// String renders the full ledger — per-target dials, then per-kind fault
+// counts — in a stable textual form, for golden comparisons and logs.
+func (in *Injector) String() string {
+	var b strings.Builder
+	b.WriteString("faultnet ledger\n")
+	for _, e := range in.Dials() {
+		b.WriteString(fmt.Sprintf("dials %-28s %d\n", e.Target, e.Count))
+	}
+	for _, e := range in.Snapshot() {
+		b.WriteString(fmt.Sprintf("%-8s %-26s %d\n", e.Kind, e.Target, e.Count))
+	}
+	return b.String()
+}

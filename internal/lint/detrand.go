@@ -11,8 +11,11 @@ import (
 // calibrated to the paper's published aggregates; any wall-clock read or
 // unseeded randomness desynchronizes them between runs and invalidates the
 // calibration. All randomness must flow through the sanctioned seeded
-// entry points: stats/rand.go (the seeded source) and certgen/drbg.go (the
-// deterministic byte stream key generation consumes).
+// entry points: stats/rand.go (the seeded source), certgen/drbg.go (the
+// deterministic byte stream key generation consumes), and resilient/clock.go
+// (the substitutable wall-clock boundary the fault-injection harness swaps
+// out). faultnet and resilient are held to the same rule — their fault
+// decisions and backoff jitter must replay byte-identically from a seed.
 var DetRand = &Analyzer{
 	Name: "detrand",
 	Doc:  "flag math/rand, crypto/rand, and time.Now in deterministic simulation packages outside the seeded entry points",
@@ -26,14 +29,17 @@ var detRandPackages = map[string]bool{
 	"population": true,
 	"certgen":    true,
 	"stats":      true,
+	"faultnet":   true,
+	"resilient":  true,
 }
 
 // detRandSanctioned are the package/file pairs allowed to touch
 // nondeterminism primitives: they are the seeded sources everything else is
 // forced through.
 var detRandSanctioned = map[string]map[string]bool{
-	"stats":   {"rand.go": true},
-	"certgen": {"drbg.go": true},
+	"stats":     {"rand.go": true},
+	"certgen":   {"drbg.go": true},
+	"resilient": {"clock.go": true},
 }
 
 func runDetRand(p *Pass) {

@@ -138,6 +138,7 @@ func Analyzers() []*Analyzer {
 		ErrWrap,
 		NoExit,
 		CtxHTTP,
+		SleepRetry,
 	}
 }
 

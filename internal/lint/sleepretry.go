@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// SleepRetry keeps retry logic in one place. A bare time.Sleep inside a
+// loop is the shape of hand-rolled retry backoff: unseeded, unbudgeted,
+// invisible to the fault-injection harness, and a source of timing
+// nondeterminism in tests. The resilient package is the sanctioned home
+// for backoff — its Retrier takes a seeded jitter source and a budget, and
+// its Clock is the substitutable sleep boundary — so every other package
+// must route waiting-in-a-loop through it.
+var SleepRetry = &Analyzer{
+	Name: "sleepretry",
+	Doc:  "flag bare time.Sleep in retry-shaped loops outside internal/resilient; use resilient.Retrier",
+	Run:  runSleepRetry,
+}
+
+func runSleepRetry(p *Pass) {
+	// The resilient package is the implementation being mandated; its own
+	// loops may sleep.
+	if p.Pkg.Base() == "resilient" {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch s := n.(type) {
+			case *ast.ForStmt:
+				body = s.Body
+			case *ast.RangeStmt:
+				body = s.Body
+			default:
+				return true
+			}
+			sleepsInLoopBody(p, body)
+			return true
+		})
+	}
+}
+
+// sleepsInLoopBody reports time.Sleep calls directly inside one loop body.
+// Nested loops are skipped — the enclosing walk visits them separately, so
+// each sleep is reported exactly once — and function literals are skipped
+// because their sleeps run on another goroutine's schedule, not the loop's.
+func sleepsInLoopBody(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			return false
+		case *ast.CallExpr:
+			if p.CalleeName(n) == "time.Sleep" {
+				p.Reportf(n.Pos(),
+					"time.Sleep in a retry-shaped loop; hand-rolled backoff is unseeded and unbudgeted — use resilient.Retrier")
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,19 @@
+// Package resilient mirrors the real backoff helper package: sleepretry
+// exempts it wholesale — its loops ARE the sanctioned implementation —
+// but detrand still polices its wall-clock reads outside clock.go.
+package resilient
+
+import "time"
+
+// Wait is a backoff loop inside the exempt package: no sleepretry finding.
+func Wait(attempts int) {
+	for i := 0; i < attempts; i++ {
+		time.Sleep(time.Duration(i+1) * time.Millisecond)
+	}
+}
+
+// Deadline reads the wall clock outside the sanctioned clock.go: flagged
+// by detrand.
+func Deadline() time.Time {
+	return time.Now().Add(time.Second)
+}

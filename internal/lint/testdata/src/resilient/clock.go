@@ -1,0 +1,10 @@
+// clock.go is the sanctioned nondeterminism boundary: the one file in the
+// package allowed to read the wall clock.
+package resilient
+
+import "time"
+
+// Wall reads the real clock for the production Clock value.
+func Wall() time.Time {
+	return time.Now()
+}

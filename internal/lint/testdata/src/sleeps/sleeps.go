@@ -1,0 +1,41 @@
+// Package sleeps hand-rolls retry loops with bare time.Sleep; the
+// sleepretry rule must flag each sleep that paces a loop and nothing else.
+package sleeps
+
+import "time"
+
+// Poll spins on a readiness check with a flat sleep: flagged.
+func Poll(ready func() bool) {
+	for i := 0; i < 5; i++ {
+		if ready() {
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// Drain retries each host until it answers: the sleep paces the inner
+// loop and is flagged exactly once.
+func Drain(hosts []string, ping func(string) error) {
+	for _, h := range hosts {
+		for ping(h) != nil {
+			time.Sleep(time.Second)
+		}
+	}
+}
+
+// Watch spawns a delayed probe per host: the sleep belongs to the spawned
+// goroutine, not the loop, so it is not flagged.
+func Watch(hosts []string, ping func(string) error) {
+	for _, h := range hosts {
+		go func() {
+			time.Sleep(time.Second)
+			_ = ping(h)
+		}()
+	}
+}
+
+// Settle sleeps once, outside any loop: not flagged.
+func Settle() {
+	time.Sleep(10 * time.Millisecond)
+}

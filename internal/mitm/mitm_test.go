@@ -2,14 +2,18 @@ package mitm
 
 import (
 	"crypto/x509"
+	"net"
 	"sync"
+	"syscall"
 	"testing"
+	"time"
 
 	"tangledmass/internal/cauniverse"
 	"tangledmass/internal/certgen"
 	"tangledmass/internal/device"
 	"tangledmass/internal/netalyzr"
 	"tangledmass/internal/notary"
+	"tangledmass/internal/resilient"
 	"tangledmass/internal/rootstore"
 	"tangledmass/internal/tlsnet"
 )
@@ -205,6 +209,115 @@ func TestLeafCache(t *testing.T) {
 	}
 	if got := uncached.Stats().LeavesForged; got != 3 {
 		t.Errorf("uncached proxy forged %d leaves, want 3", got)
+	}
+}
+
+// flakyUpstream refuses the first failures dials of every target, then
+// delegates — the transient-outage shape the proxy's retry must absorb.
+type flakyUpstream struct {
+	next tlsnet.Dialer
+
+	mu       sync.Mutex
+	failures int
+	dials    map[string]int
+}
+
+func (f *flakyUpstream) DialSite(host string, port int) (net.Conn, error) {
+	key := tlsnet.HostPort{Host: host, Port: port}.String()
+	f.mu.Lock()
+	f.dials[key]++
+	n := f.dials[key]
+	f.mu.Unlock()
+	if n <= f.failures {
+		return nil, resilient.MarkTransient(&net.OpError{Op: "dial", Err: syscall.ECONNREFUSED})
+	}
+	return f.next.DialSite(host, port)
+}
+
+func TestProxyRetriesUpstreamDials(t *testing.T) {
+	srv, _ := env(t)
+	u := cauniverse.Default()
+	up := &flakyUpstream{next: tlsnet.DirectDialer{Server: srv}, failures: 2, dials: map[string]int{}}
+	proxy, err := NewProxy(ProxyConfig{
+		CA:        u.InterceptionRoot().Issued,
+		Generator: u.Generator(),
+		Upstream:  up,
+		Whitelist: tlsnet.WhitelistedDomains,
+		Retry: resilient.NewRetrier(resilient.Policy{
+			MaxAttempts: 4,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    5 * time.Millisecond,
+		}, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &netalyzr.Client{
+		Device: interceptedDevice(),
+		Dialer: proxy,
+		At:     certgen.Epoch,
+		Targets: []tlsnet.HostPort{
+			{Host: "gmail.com", Port: 443},        // intercepted: relay path
+			{Host: "supl.google.com", Port: 7275}, // whitelisted: tunnel path
+		},
+	}
+	rep, err := client.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rep.Probes {
+		if p.Err != nil {
+			t.Errorf("%s should survive two refused upstream dials: %v", p.Target, p.Err)
+		}
+	}
+	if got := proxy.Stats().UpstreamFailures; got != 0 {
+		t.Errorf("upstream failures = %d, want 0 (retries absorbed the refusals)", got)
+	}
+}
+
+func TestProxyCountsExhaustedUpstream(t *testing.T) {
+	srv, _ := env(t)
+	u := cauniverse.Default()
+	// More refusals than the policy has attempts: the dial exhausts.
+	up := &flakyUpstream{next: tlsnet.DirectDialer{Server: srv}, failures: 99, dials: map[string]int{}}
+	proxy, err := NewProxy(ProxyConfig{
+		CA:        u.InterceptionRoot().Issued,
+		Generator: u.Generator(),
+		Upstream:  up,
+		Whitelist: tlsnet.WhitelistedDomains,
+		Retry: resilient.NewRetrier(resilient.Policy{
+			MaxAttempts: 2,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    time.Millisecond,
+		}, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A whitelisted target: the tunnel path surfaces the dial failure to the
+	// handset (an intercepted one would still complete its forged handshake —
+	// the proxy terminates TLS before touching the origin).
+	client := &netalyzr.Client{
+		Device:  interceptedDevice(),
+		Dialer:  proxy,
+		At:      certgen.Epoch,
+		Targets: []tlsnet.HostPort{{Host: "supl.google.com", Port: 7275}},
+		Retry: resilient.NewRetrier(resilient.Policy{
+			MaxAttempts: 1,
+		}, 0),
+	}
+	rep, err := client.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Probes[0].Err == nil {
+		t.Error("probe through a dead upstream should fail")
+	}
+	if rep.Probes[0].ErrKind != "refused" {
+		t.Errorf("probe ErrKind = %q, want %q", rep.Probes[0].ErrKind, "refused")
+	}
+	if got := proxy.Stats().UpstreamFailures; got == 0 {
+		t.Error("exhausted upstream dials should be counted")
 	}
 }
 

@@ -13,8 +13,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"tangledmass/internal/certgen"
+	"tangledmass/internal/resilient"
 	"tangledmass/internal/tlsnet"
 )
 
@@ -31,6 +33,10 @@ type ProxyConfig struct {
 	// DisableLeafCache forces a fresh forged leaf per connection — the
 	// baseline arm of the leaf-cache ablation.
 	DisableLeafCache bool
+	// Retry governs transient upstream dial failures — a proxy on a lossy
+	// uplink rides out refused connects and resets instead of dropping the
+	// handset's session. Nil means 3 attempts with short backoff.
+	Retry *resilient.Retrier
 }
 
 // Proxy is a man-in-the-middle HTTPS proxy. It implements tlsnet.Dialer, so
@@ -41,6 +47,7 @@ type Proxy struct {
 	cfg          ProxyConfig
 	whitelist    map[string]bool
 	intermediate *certgen.Issued
+	retry        *resilient.Retrier
 
 	mu        sync.Mutex
 	leafCache map[string]*tls.Certificate
@@ -52,6 +59,8 @@ type Stats struct {
 	Intercepted  int64
 	Tunneled     int64
 	LeavesForged int64
+	// UpstreamFailures counts origin dials that failed even after retries.
+	UpstreamFailures int64
 }
 
 // NewProxy builds the proxy and its on-the-fly intermediate.
@@ -64,10 +73,19 @@ func NewProxy(cfg ProxyConfig) (*Proxy, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mitm: issuing intermediate: %w", err)
 	}
+	retry := cfg.Retry
+	if retry == nil {
+		retry = resilient.NewRetrier(resilient.Policy{
+			MaxAttempts: 3,
+			BaseDelay:   10 * time.Millisecond,
+			MaxDelay:    200 * time.Millisecond,
+		}, 0)
+	}
 	p := &Proxy{
 		cfg:          cfg,
 		whitelist:    make(map[string]bool, len(cfg.Whitelist)),
 		intermediate: inter,
+		retry:        retry,
 		leafCache:    make(map[string]*tls.Certificate),
 	}
 	for _, hp := range cfg.Whitelist {
@@ -96,7 +114,7 @@ func (p *Proxy) DialSite(host string, port int) (net.Conn, error) {
 		p.mu.Lock()
 		p.stats.Tunneled++
 		p.mu.Unlock()
-		return p.cfg.Upstream.DialSite(host, port)
+		return p.dialUpstream(host, port)
 	}
 	p.mu.Lock()
 	p.stats.Intercepted++
@@ -123,7 +141,7 @@ func (p *Proxy) serve(conn net.Conn, host string, port int) {
 	// Fetch the origin's response over a real upstream TLS session. The
 	// proxy does not need the origin to be trustworthy — it is the
 	// interception point, exactly as in §7.
-	up, err := p.cfg.Upstream.DialSite(host, port)
+	up, err := p.dialUpstream(host, port)
 	if err != nil {
 		return
 	}
@@ -142,6 +160,27 @@ func (p *Proxy) serve(conn net.Conn, host string, port int) {
 	go func() { _, _ = io.Copy(tconn, upTLS); done <- struct{}{} }()
 	go func() { _, _ = io.Copy(upTLS, tconn); done <- struct{}{} }()
 	<-done
+}
+
+// dialUpstream reaches the origin under the proxy's retry policy, counting
+// dials that fail even after retries.
+func (p *Proxy) dialUpstream(host string, port int) (net.Conn, error) {
+	var conn net.Conn
+	err := p.retry.Do(func(int) error {
+		c, err := p.cfg.Upstream.DialSite(host, port)
+		if err != nil {
+			return err
+		}
+		conn = c
+		return nil
+	})
+	if err != nil {
+		p.mu.Lock()
+		p.stats.UpstreamFailures++
+		p.mu.Unlock()
+		return nil, err
+	}
+	return conn, nil
 }
 
 // forgedLeaf returns (minting if needed) the forged certificate for host:

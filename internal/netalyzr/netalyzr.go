@@ -10,10 +10,12 @@ import (
 	"crypto/tls"
 	"crypto/x509"
 	"fmt"
+	"sync"
 	"time"
 
 	"tangledmass/internal/chain"
 	"tangledmass/internal/device"
+	"tangledmass/internal/resilient"
 	"tangledmass/internal/rootstore"
 	"tangledmass/internal/tlsnet"
 )
@@ -27,8 +29,14 @@ type ProbeResult struct {
 	// DeviceValidated reports whether the presented chain verifies against
 	// the device's effective root store.
 	DeviceValidated bool
-	// Err records a connection or handshake failure.
+	// Err records a connection or handshake failure that survived the
+	// retry policy. The probe fails; the session degrades gracefully and
+	// carries on with the remaining targets.
 	Err error
+	// ErrKind is Err's stable resilient.Kind label ("refused", "reset",
+	// "timeout", "eof", …) — the typed form the per-session fault ledger
+	// and the collector aggregate count by.
+	ErrKind string
 }
 
 // Report is one Netalyzr session.
@@ -54,6 +62,31 @@ type Client struct {
 	// At pins the validation clock (defaults to the Unix epoch of the
 	// handshake if zero — callers should pass certgen.Epoch).
 	At time.Time
+	// ProbeTimeout bounds one connection attempt end to end — dial,
+	// handshake, chain capture — so a stalled server costs one deadline,
+	// never the whole session. Zero means 15s.
+	ProbeTimeout time.Duration
+	// Retry governs transient probe failures (refused connects, resets,
+	// timeouts). Nil means a default of 3 attempts with short backoff.
+	Retry *resilient.Retrier
+
+	retryOnce sync.Once
+	retry     *resilient.Retrier
+}
+
+// retrier resolves the effective retry policy once per client.
+func (c *Client) retrier() *resilient.Retrier {
+	c.retryOnce.Do(func() {
+		c.retry = c.Retry
+		if c.retry == nil {
+			c.retry = resilient.NewRetrier(resilient.Policy{
+				MaxAttempts: 3,
+				BaseDelay:   10 * time.Millisecond,
+				MaxDelay:    200 * time.Millisecond,
+			}, 0)
+		}
+	})
+	return c.retry
 }
 
 // Run executes one session: store collection plus one probe per target.
@@ -76,29 +109,59 @@ func (c *Client) Run() (*Report, error) {
 	return rep, nil
 }
 
-// probe fetches and evaluates one target's chain.
+// probe fetches and evaluates one target's chain, retrying transient
+// transport failures under the client's policy.
 func (c *Client) probe(store *rootstore.Store, hp tlsnet.HostPort) ProbeResult {
 	res := ProbeResult{Target: hp}
-	conn, err := c.Dialer.DialSite(hp.Host, hp.Port)
+	err := c.retrier().Do(func(int) error {
+		presented, err := c.fetchChain(hp)
+		if err != nil {
+			return err
+		}
+		res.Chain = presented
+		return nil
+	})
 	if err != nil {
-		res.Err = fmt.Errorf("netalyzr: dialing %s: %w", hp, err)
+		res.Err = err
+		res.ErrKind = resilient.Kind(err)
 		return res
 	}
-	defer conn.Close()
+	res.DeviceValidated = c.validates(store, res.Chain)
+	return res
+}
+
+// fetchChain runs one dial-and-handshake attempt under the probe deadline
+// and returns the presented chain.
+func (c *Client) fetchChain(hp tlsnet.HostPort) ([]*x509.Certificate, error) {
+	conn, err := c.Dialer.DialSite(hp.Host, hp.Port)
+	if err != nil {
+		return nil, fmt.Errorf("netalyzr: dialing %s: %w", hp, err)
+	}
+	timeout := c.ProbeTimeout
+	if timeout <= 0 {
+		timeout = 15 * time.Second
+	}
+	// The deadline covers the whole attempt: without it a server that
+	// accepts and then stalls mid-handshake would hang the session forever.
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("netalyzr: arming deadline for %s: %w", hp, err)
+	}
 	// InsecureSkipVerify: the client records whatever the server presents;
 	// trust evaluation happens separately against the device store.
 	tconn := tls.Client(conn, &tls.Config{
 		ServerName:         hp.Host,
 		InsecureSkipVerify: true,
 	})
+	// tconn owns conn from here: closing tconn closes the underlying conn,
+	// so exactly one Close runs on every path.
 	if err := tconn.Handshake(); err != nil {
-		res.Err = fmt.Errorf("netalyzr: handshake with %s: %w", hp, err)
-		return res
+		_ = tconn.Close()
+		return nil, fmt.Errorf("netalyzr: handshake with %s: %w", hp, err)
 	}
-	defer tconn.Close()
-	res.Chain = tconn.ConnectionState().PeerCertificates
-	res.DeviceValidated = c.validates(store, res.Chain)
-	return res
+	presented := tconn.ConnectionState().PeerCertificates
+	_ = tconn.Close()
+	return presented, nil
 }
 
 // validates checks the presented chain against the device store, using the
@@ -109,6 +172,23 @@ func (c *Client) validates(store *rootstore.Store, presented []*x509.Certificate
 	}
 	v := chain.NewVerifier(store.Certificates(), presented[1:], c.At)
 	return v.Validates(presented[0])
+}
+
+// FaultTally is the session's fault ledger: failed probes counted by their
+// typed ErrKind. A handset on a lossy mobile network reports a partial
+// session rather than none, and the tally says exactly what was lost.
+func (r *Report) FaultTally() map[string]int {
+	out := map[string]int{}
+	for _, p := range r.Probes {
+		if p.Err != nil {
+			kind := p.ErrKind
+			if kind == "" {
+				kind = "error"
+			}
+			out[kind]++
+		}
+	}
+	return out
 }
 
 // UntrustedProbes returns the probes whose chains failed device validation —

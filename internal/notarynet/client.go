@@ -2,60 +2,204 @@ package notarynet
 
 import (
 	"bufio"
+	"crypto/rand"
 	"crypto/x509"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"time"
 
+	"tangledmass/internal/resilient"
 	"tangledmass/internal/rootstore"
 )
 
-// Client talks to a notarynet server over one TCP connection. It is safe
-// for sequential use only (the protocol is request/response per line);
-// use one client per goroutine.
+// Client talks to a notarynet server. It is safe for sequential use only
+// (the protocol is request/response per line); use one client per
+// goroutine. Transient transport failures — refused connects, resets,
+// timeouts, truncated responses — are retried on a fresh connection under
+// the client's retry policy: after any mid-exchange failure the scanner
+// may hold a half-read response for an earlier request, so the transport
+// is marked broken and never reused, which is what keeps a retried
+// roundTrip from reading a stale response for the wrong request. Mutating
+// requests carry idempotency IDs the server deduplicates, so a retry after
+// a lost response does not double-observe.
 type Client struct {
+	addr    string
+	timeout time.Duration
+	dial    func(addr string) (net.Conn, error)
+	retry   *resilient.Retrier
+	breaker *resilient.Breaker
+
+	nonce string
+	seq   uint64
+
 	conn    net.Conn
 	scanner *bufio.Scanner
 	enc     *json.Encoder
-	timeout time.Duration
+	broken  bool
 }
 
-// Dial connects to a server.
+// Options tunes client resilience. The zero value gives the defaults noted
+// per field.
+type Options struct {
+	// Timeout bounds one round trip. Zero means one minute.
+	Timeout time.Duration
+	// Retry overrides the retry policy. Nil means 4 attempts with short
+	// jittered backoff.
+	Retry *resilient.Retrier
+	// Breaker overrides the circuit breaker. Nil means 5 consecutive
+	// round-trip failures open the circuit for a second; set
+	// DisableBreaker to run without one.
+	Breaker        *resilient.Breaker
+	DisableBreaker bool
+	// Dial overrides the transport dialer — the fault-injection harness
+	// hooks in here. Nil means TCP with a 10s connect timeout.
+	Dial func(addr string) (net.Conn, error)
+}
+
+// Dial connects to a server with default resilience.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	return DialOptions(addr, Options{})
+}
+
+// DialOptions connects to a server under explicit resilience options. The
+// initial connect already runs under the retry policy.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	c := &Client{
+		addr:    addr,
+		timeout: opts.Timeout,
+		dial:    opts.Dial,
+		retry:   opts.Retry,
+		breaker: opts.Breaker,
+		nonce:   newNonce(),
+	}
+	if c.timeout <= 0 {
+		c.timeout = time.Minute
+	}
+	if c.dial == nil {
+		c.dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 10*time.Second)
+		}
+	}
+	if c.retry == nil {
+		c.retry = resilient.NewRetrier(resilient.Policy{
+			MaxAttempts: 4,
+			BaseDelay:   20 * time.Millisecond,
+			MaxDelay:    500 * time.Millisecond,
+		}, 0)
+	}
+	if c.breaker == nil && !opts.DisableBreaker {
+		c.breaker = resilient.NewBreaker(5, time.Second)
+	}
+	if err := c.retry.Do(func(int) error { return c.connect() }); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// newNonce labels this client's idempotency IDs. Uniqueness, not
+// unpredictability, is what matters; an entropy-pool failure is not
+// recoverable.
+func newNonce() string {
+	b := make([]byte, 6)
+	if _, err := rand.Read(b); err != nil {
+		panic(fmt.Sprintf("notarynet: reading nonce entropy: %v", err))
+	}
+	return hex.EncodeToString(b)
+}
+
+// connect establishes a fresh transport, replacing any broken one.
+func (c *Client) connect() error {
+	conn, err := c.dial(c.addr)
 	if err != nil {
-		return nil, fmt.Errorf("notarynet: dialing %s: %w", addr, err)
+		return fmt.Errorf("notarynet: dialing %s: %w", c.addr, err)
 	}
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
-	return &Client{conn: conn, scanner: sc, enc: json.NewEncoder(conn), timeout: time.Minute}, nil
+	c.conn, c.scanner, c.enc, c.broken = conn, sc, json.NewEncoder(conn), false
+	return nil
+}
+
+// markBroken poisons the transport after a mid-exchange failure so the
+// next attempt starts on a fresh connection.
+func (c *Client) markBroken() {
+	c.broken = true
+	if c.conn != nil {
+		_ = c.conn.Close()
+	}
 }
 
 // Close releases the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	return c.conn.Close()
+}
 
-// roundTrip sends one request and reads one response.
+// roundTrip sends one request and reads one response, reconnecting and
+// retrying transient failures. Every request carries a unique ID so the
+// server can deduplicate re-sent mutations.
 func (c *Client) roundTrip(req Request) (Response, error) {
+	req.ID = fmt.Sprintf("%s-%d", c.nonce, c.seq)
+	c.seq++
+	var resp Response
+	err := c.retry.Do(func(int) error {
+		if err := c.breaker.Allow(); err != nil {
+			return err
+		}
+		r, err := c.attempt(req)
+		// The breaker tracks transport health: transient failures trip it,
+		// while protocol rejections over a healthy connection do not.
+		if resilient.Classify(err) == resilient.Transient {
+			c.breaker.Record(err)
+		} else {
+			c.breaker.Record(nil)
+		}
+		if err != nil {
+			return err
+		}
+		resp = r
+		return nil
+	})
+	return resp, err
+}
+
+// attempt runs one exchange on the current transport.
+func (c *Client) attempt(req Request) (Response, error) {
+	if c.broken || c.conn == nil {
+		if err := c.connect(); err != nil {
+			return Response{}, err
+		}
+	}
 	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		c.markBroken()
 		return Response{}, fmt.Errorf("notarynet: setting deadline: %w", err)
 	}
 	if err := c.enc.Encode(req); err != nil {
+		c.markBroken()
 		return Response{}, fmt.Errorf("notarynet: sending %s: %w", req.Op, err)
 	}
 	if !c.scanner.Scan() {
-		if err := c.scanner.Err(); err != nil {
+		err := c.scanner.Err()
+		c.markBroken()
+		if err != nil {
 			return Response{}, fmt.Errorf("notarynet: reading response: %w", err)
 		}
-		return Response{}, errors.New("notarynet: connection closed by server")
+		return Response{}, resilient.MarkTransient(errors.New("notarynet: connection closed by server"))
 	}
 	var resp Response
 	if err := json.Unmarshal(c.scanner.Bytes(), &resp); err != nil {
-		return Response{}, fmt.Errorf("notarynet: decoding response: %w", err)
+		// Corrupted or truncated line: the framing is no longer trustworthy.
+		c.markBroken()
+		return Response{}, resilient.MarkTransient(fmt.Errorf("notarynet: decoding response: %w", err))
 	}
 	if !resp.OK {
-		return resp, fmt.Errorf("notarynet: server error: %s", resp.Error)
+		// Protocol-level rejection over a healthy transport: not retryable,
+		// and the connection stays usable.
+		return resp, resilient.MarkPermanent(fmt.Errorf("notarynet: server error: %s", resp.Error))
 	}
 	return resp, nil
 }

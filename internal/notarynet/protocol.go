@@ -20,6 +20,10 @@ type Request struct {
 	// Op selects the operation: "observe", "observe_ca", "has_record",
 	// "stats", "validate".
 	Op string `json:"op"`
+	// ID is a client-unique idempotency token. A client that re-sends a
+	// mutating request after a lost response keeps the ID, and the server
+	// acknowledges the duplicate without applying it twice.
+	ID string `json:"id,omitempty"`
 	// Chain is the observed chain, leaf first, base64 DER (observe).
 	Chain []string `json:"chain,omitempty"`
 	// Cert is a single base64 DER certificate (observe_ca, has_record).

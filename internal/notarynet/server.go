@@ -18,14 +18,20 @@ import (
 // more.
 const maxLineBytes = 8 << 20
 
+// seenCap bounds the idempotency-ID window. Retries follow failures within
+// seconds, so a few thousand recent IDs is plenty; older ones age out.
+const seenCap = 4096
+
 // Server exposes a Notary over TCP. Construct with Serve; Close stops it.
 type Server struct {
 	n  *notary.Notary
 	ln net.Listener
 
-	mu     sync.Mutex
-	closed bool
-	wg     sync.WaitGroup
+	mu        sync.Mutex
+	closed    bool
+	wg        sync.WaitGroup
+	seen      map[string]bool
+	seenOrder []string
 }
 
 // Serve starts a server for n on addr ("127.0.0.1:0" for an ephemeral
@@ -35,7 +41,7 @@ func Serve(n *notary.Notary, addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("notarynet: listening on %s: %w", addr, err)
 	}
-	s := &Server{n: n, ln: ln}
+	s := &Server{n: n, ln: ln, seen: make(map[string]bool)}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -107,6 +113,26 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// duplicate records id and reports whether it was already seen. Requests
+// without an ID are never deduplicated.
+func (s *Server) duplicate(id string) bool {
+	if id == "" {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seen[id] {
+		return true
+	}
+	s.seen[id] = true
+	s.seenOrder = append(s.seenOrder, id)
+	if len(s.seenOrder) > seenCap {
+		delete(s.seen, s.seenOrder[0])
+		s.seenOrder = s.seenOrder[1:]
+	}
+	return false
+}
+
 func (s *Server) dispatch(req Request) Response {
 	switch req.Op {
 	case "observe":
@@ -117,6 +143,12 @@ func (s *Server) dispatch(req Request) Response {
 		if len(chain) == 0 {
 			return Response{Error: "observe: empty chain"}
 		}
+		// Acknowledge a re-sent observation whose response was lost without
+		// double-counting it; dedupe runs after validation so malformed
+		// retries still error.
+		if s.duplicate(req.ID) {
+			return Response{OK: true}
+		}
 		s.n.Observe(notary.Observation{Chain: chain, Port: req.Port})
 		return Response{OK: true}
 
@@ -124,6 +156,9 @@ func (s *Server) dispatch(req Request) Response {
 		cert, err := DecodeCert(req.Cert)
 		if err != nil {
 			return Response{Error: err.Error()}
+		}
+		if s.duplicate(req.ID) {
+			return Response{OK: true}
 		}
 		s.n.ObserveCA(cert, req.Port)
 		return Response{OK: true}

@@ -1,0 +1,98 @@
+package resilient
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrOpen is returned by Breaker.Allow while the circuit is open. Classify
+// treats it as permanent: retrying into an open breaker within one retry
+// loop cannot succeed, so callers should fail fast and let the cooldown
+// elapse between higher-level operations.
+var ErrOpen = errors.New("resilient: circuit breaker open")
+
+// breaker states.
+const (
+	stateClosed = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// Breaker is a consecutive-failure circuit breaker: after threshold
+// failures in a row it opens and fails fast for cooldown, then lets a
+// single half-open probe through; the probe's outcome closes or re-opens
+// the circuit. A nil *Breaker is valid and permanently disabled — Allow
+// always admits and Record is a no-op.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	clock     Clock
+
+	mu       sync.Mutex
+	state    int
+	failures int
+	openedAt time.Time
+}
+
+// NewBreaker builds a breaker on the system clock. threshold < 1 returns
+// nil (disabled).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		return nil
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, clock: SystemClock()}
+}
+
+// WithClock substitutes the clock (tests) and returns the breaker for
+// chaining.
+func (b *Breaker) WithClock(c Clock) *Breaker {
+	if b != nil {
+		b.clock = c
+	}
+	return b
+}
+
+// Allow reports whether an attempt may proceed, returning ErrOpen when the
+// circuit is open. While half-open, exactly one probe is admitted; further
+// attempts fail fast until Record settles the probe.
+func (b *Breaker) Allow() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return nil
+	case stateOpen:
+		if b.clock.Now().Sub(b.openedAt) >= b.cooldown {
+			b.state = stateHalfOpen
+			return nil
+		}
+		return ErrOpen
+	default: // half-open: a probe is already in flight
+		return ErrOpen
+	}
+}
+
+// Record feeds one attempt outcome into the breaker. A success closes the
+// circuit; a failure while half-open, or the threshold-th consecutive
+// failure, opens it.
+func (b *Breaker) Record(err error) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.state = stateClosed
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.state == stateHalfOpen || b.failures >= b.threshold {
+		b.state = stateOpen
+		b.openedAt = b.clock.Now()
+	}
+}

@@ -1,0 +1,24 @@
+// clock.go is the package's sanctioned nondeterminism boundary, in the same
+// spirit as stats/rand.go and certgen/drbg.go: every wall-clock read and
+// real sleep the retry and breaker machinery performs flows through a Clock
+// constructed here, so tests (and the deterministic chaos harness) can
+// substitute a fake and the detrand lint rule can hold the rest of the
+// package to zero direct clock access.
+package resilient
+
+import "time"
+
+// Clock supplies the two time primitives the retry and breaker machinery
+// needs. Production code uses SystemClock; tests inject a fake to make
+// backoff and cooldown schedules instantaneous and fully deterministic.
+type Clock struct {
+	// Now reads the current instant.
+	Now func() time.Time
+	// Sleep blocks for the given duration.
+	Sleep func(time.Duration)
+}
+
+// SystemClock returns the wall-clock implementation.
+func SystemClock() Clock {
+	return Clock{Now: time.Now, Sleep: time.Sleep}
+}

@@ -16,6 +16,9 @@ go vet ./...
 echo "==> tangledlint ./..."
 go run ./cmd/tangledlint ./...
 
+echo "==> chaos: campaign under injected faults"
+go test -race -run TestChaosCampaignDeterministic ./internal/campaign/
+
 echo "==> go test -race ./..."
 go test -race ./...
 
