@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test lint vet chaos verify
+.PHONY: build test lint vet chaos metrics-smoke verify
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,11 @@ test:
 # determinism, graceful degradation, and unskewed aggregates.
 chaos:
 	$(GO) test -race -v -run TestChaosCampaignDeterministic ./internal/campaign/
+
+# The observability gate: boot collectd, scrape its debug endpoint, and
+# check the payload is well-formed snapshot JSON.
+metrics-smoke:
+	./scripts/metrics_smoke.sh
 
 verify:
 	./verify.sh

@@ -5,6 +5,7 @@ package tangledmass
 // I/O).
 
 import (
+	"context"
 	"crypto/sha256"
 	"crypto/tls"
 	"crypto/x509"
@@ -71,12 +72,12 @@ func BenchmarkTrustSurface(b *testing.B) {
 // over TCP.
 func BenchmarkNotarynetObserve(b *testing.B) {
 	f := benchFixtures(b)
-	srv, err := notarynet.Serve(f.notary, "127.0.0.1:0")
+	srv, err := notarynet.NewServer(f.notary, "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer srv.Close()
-	c, err := notarynet.Dial(srv.Addr())
+	c, err := notarynet.NewClient(context.Background(), srv.Addr())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func BenchmarkNotarynetObserve(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		l := leaves[i%len(leaves)]
-		if err := c.Observe(l.Chain, l.Port); err != nil {
+		if err := c.Observe(context.Background(), l.Chain, l.Port); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -108,7 +109,7 @@ func BenchmarkScannerSweep(b *testing.B) {
 	targets := tlsnet.ProbeTargets()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		results, err := s.Scan(targets)
+		results, err := s.Scan(context.Background(), targets)
 		if err != nil {
 			b.Fatal(err)
 		}

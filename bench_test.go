@@ -12,6 +12,7 @@ package tangledmass
 // runs the same analyses at paper scale.
 
 import (
+	"context"
 	"crypto/x509"
 	"sync"
 	"testing"
@@ -152,19 +153,18 @@ func BenchmarkTable6Interception(b *testing.B) {
 	reference := rootstore.Union("reference", f.universe.AOSP("4.4"), f.universe.Mozilla(), f.universe.IOS7())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		proxy, err := mitm.NewProxy(mitm.ProxyConfig{
-			CA:        f.universe.InterceptionRoot().Issued,
-			Generator: f.universe.Generator(),
-			Upstream:  tlsnet.DirectDialer{Server: srv},
-			Whitelist: tlsnet.WhitelistedDomains,
-		})
+		proxy, err := mitm.NewProxy(f.universe.InterceptionRoot().Issued, f.universe.Generator(),
+			tlsnet.DirectDialer{Server: srv}, mitm.WithWhitelist(tlsnet.WhitelistedDomains))
 		if err != nil {
 			b.Fatal(err)
 		}
 		dev := device.New(device.Profile{Model: "Nexus 7", Manufacturer: "ASUS", Version: "4.4"},
 			f.universe.AOSP("4.4"), nil)
-		client := &netalyzr.Client{Device: dev, Dialer: proxy, At: certgen.Epoch}
-		rep, err := client.Run()
+		client, err := netalyzr.New(dev, proxy, netalyzr.WithValidationTime(certgen.Epoch))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := client.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -253,24 +253,22 @@ func BenchmarkSection7MITMThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer srv.Close()
-	proxy, err := mitm.NewProxy(mitm.ProxyConfig{
-		CA:        f.universe.InterceptionRoot().Issued,
-		Generator: f.universe.Generator(),
-		Upstream:  tlsnet.DirectDialer{Server: srv},
-		Whitelist: tlsnet.WhitelistedDomains,
-	})
+	proxy, err := mitm.NewProxy(f.universe.InterceptionRoot().Issued, f.universe.Generator(),
+		tlsnet.DirectDialer{Server: srv}, mitm.WithWhitelist(tlsnet.WhitelistedDomains))
 	if err != nil {
 		b.Fatal(err)
 	}
 	dev := device.New(device.Profile{Model: "Nexus 7", Manufacturer: "ASUS", Version: "4.4"},
 		f.universe.AOSP("4.4"), nil)
-	client := &netalyzr.Client{
-		Device: dev, Dialer: proxy, At: certgen.Epoch,
-		Targets: []tlsnet.HostPort{{Host: "gmail.com", Port: 443}},
+	client, err := netalyzr.New(dev, proxy,
+		netalyzr.WithValidationTime(certgen.Epoch),
+		netalyzr.WithTargets([]tlsnet.HostPort{{Host: "gmail.com", Port: 443}}))
+	if err != nil {
+		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rep, err := client.Run()
+		rep, err := client.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -394,24 +392,26 @@ func benchMITMForge(b *testing.B, disableCache bool) {
 		b.Fatal(err)
 	}
 	defer srv.Close()
-	proxy, err := mitm.NewProxy(mitm.ProxyConfig{
-		CA:               f.universe.InterceptionRoot().Issued,
-		Generator:        f.universe.Generator(),
-		Upstream:         tlsnet.DirectDialer{Server: srv},
-		DisableLeafCache: disableCache,
-	})
+	mitmOpts := []mitm.Option{}
+	if disableCache {
+		mitmOpts = append(mitmOpts, mitm.WithoutLeafCache())
+	}
+	proxy, err := mitm.NewProxy(f.universe.InterceptionRoot().Issued, f.universe.Generator(),
+		tlsnet.DirectDialer{Server: srv}, mitmOpts...)
 	if err != nil {
 		b.Fatal(err)
 	}
 	dev := device.New(device.Profile{Model: "Nexus 7", Manufacturer: "ASUS", Version: "4.4"},
 		f.universe.AOSP("4.4"), nil)
-	client := &netalyzr.Client{
-		Device: dev, Dialer: proxy, At: certgen.Epoch,
-		Targets: []tlsnet.HostPort{{Host: "www.chase.com", Port: 443}},
+	client, err := netalyzr.New(dev, proxy,
+		netalyzr.WithValidationTime(certgen.Epoch),
+		netalyzr.WithTargets([]tlsnet.HostPort{{Host: "www.chase.com", Port: 443}}))
+	if err != nil {
+		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rep, err := client.Run()
+		rep, err := client.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -4,7 +4,10 @@
 //
 // Usage:
 //
-//	collectd [-addr 127.0.0.1:7512] [-keep]
+//	collectd [-addr 127.0.0.1:7512] [-keep] [-debug 127.0.0.1:7582]
+//
+// -debug mounts the observability snapshot (submit/dedupe/reject counters,
+// connection gauges) as JSON on an HTTP listener.
 package main
 
 import (
@@ -16,27 +19,41 @@ import (
 	"os/signal"
 
 	"tangledmass/internal/collect"
+	"tangledmass/internal/obs"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("collectd: ")
 	var (
-		addr = flag.String("addr", "127.0.0.1:7512", "listen address")
-		keep = flag.Bool("keep", false, "retain full reports in memory (not just aggregates)")
+		addr  = flag.String("addr", "127.0.0.1:7512", "listen address")
+		keep  = flag.Bool("keep", false, "retain full reports in memory (not just aggregates)")
+		debug = flag.String("debug", "", "serve the observability snapshot over HTTP on this address (empty: disabled)")
 	)
 	flag.Parse()
-	if err := run(*addr, *keep); err != nil {
+	if err := run(*addr, *keep, *debug); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr string, keep bool) error {
-	srv, err := collect.Serve(addr, keep)
+func run(addr string, keep bool, debug string) error {
+	opts := []collect.Option{}
+	if keep {
+		opts = append(opts, collect.WithKeepReports())
+	}
+	srv, err := collect.NewServer(addr, opts...)
 	if err != nil {
 		return err
 	}
 	log.Printf("collecting on %s", srv.Addr())
+	if debug != "" {
+		ln, err := obs.ServeDebug(debug, srv.Observer())
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		log.Printf("debug listening on %s", ln.Addr())
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)

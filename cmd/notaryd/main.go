@@ -5,10 +5,12 @@
 //
 // Usage:
 //
-//	notaryd [-addr 127.0.0.1:7511] [-prefeed 20000] [-seed 1]
+//	notaryd [-addr 127.0.0.1:7511] [-prefeed 20000] [-seed 1] [-debug 127.0.0.1:7581]
 //
 // -prefeed N seeds the database from an N-leaf simulated TLS internet so a
 // fresh daemon immediately answers validation queries; 0 starts empty.
+// -debug mounts the observability snapshot (ingest counters, sensor
+// gauges) as JSON on an HTTP listener.
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"tangledmass/internal/certgen"
 	"tangledmass/internal/notary"
 	"tangledmass/internal/notarynet"
+	"tangledmass/internal/obs"
 	"tangledmass/internal/tlsnet"
 )
 
@@ -30,14 +33,15 @@ func main() {
 		addr    = flag.String("addr", "127.0.0.1:7511", "listen address")
 		prefeed = flag.Int("prefeed", 20000, "pre-feed the database from an N-leaf simulated internet (0 = start empty)")
 		seed    = flag.Int64("seed", 1, "seed for the pre-feed world")
+		debug   = flag.String("debug", "", "serve the observability snapshot over HTTP on this address (empty: disabled)")
 	)
 	flag.Parse()
-	if err := run(*addr, *prefeed, *seed); err != nil {
+	if err := run(*addr, *prefeed, *seed, *debug); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr string, prefeed int, seed int64) error {
+func run(addr string, prefeed int, seed int64, debug string) error {
 	n := notary.New(certgen.Epoch)
 	if prefeed > 0 {
 		log.Printf("pre-feeding from a %d-leaf simulated TLS internet (seed %d)...", prefeed, seed)
@@ -49,11 +53,19 @@ func run(addr string, prefeed int, seed int64) error {
 		log.Print(n.String())
 	}
 
-	srv, err := notarynet.Serve(n, addr)
+	srv, err := notarynet.NewServer(n, addr)
 	if err != nil {
 		return err
 	}
 	log.Printf("serving on %s", srv.Addr())
+	if debug != "" {
+		ln, err := obs.ServeDebug(debug, srv.Observer())
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		log.Printf("debug listening on %s", ln.Addr())
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)

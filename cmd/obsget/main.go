@@ -1,0 +1,68 @@
+// Command obsget scrapes a daemon's observability debug endpoint (the
+// -debug listener on collectd, notaryd, or tapd) and prints the snapshot
+// JSON. With -check it additionally validates that the payload is a
+// well-formed snapshot — counters, gauges, histograms, spans — and exits
+// non-zero otherwise, which is what the metrics-smoke verify stage runs.
+//
+// Usage:
+//
+//	obsget [-check] http://127.0.0.1:7580/debug/vars
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("obsget: ")
+	check := flag.Bool("check", false, "validate the payload is a well-formed snapshot")
+	timeout := flag.Duration("timeout", 5*time.Second, "request timeout")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: obsget [-check] [-timeout 5s] <url>")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *check, *timeout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(url string, check bool, timeout time.Duration) error {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 10<<20))
+	if err != nil {
+		return err
+	}
+	if check {
+		var snap struct {
+			Counters   map[string]int64           `json:"counters"`
+			Gauges     map[string]int64           `json:"gauges"`
+			Histograms map[string]json.RawMessage `json:"histograms"`
+			Spans      map[string]json.RawMessage `json:"spans"`
+		}
+		if err := json.Unmarshal(body, &snap); err != nil {
+			return fmt.Errorf("payload is not a snapshot: %w", err)
+		}
+		if snap.Counters == nil && snap.Gauges == nil && snap.Histograms == nil && snap.Spans == nil {
+			return fmt.Errorf("payload has none of the snapshot sections")
+		}
+	}
+	_, err = os.Stdout.Write(append(body, '\n'))
+	return err
+}

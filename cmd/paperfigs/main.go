@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -244,12 +245,8 @@ func runInterception(u *cauniverse.Universe) (intercepted, clean []mitm.Finding,
 	}
 	defer srv.Close()
 
-	proxy, err := mitm.NewProxy(mitm.ProxyConfig{
-		CA:        u.InterceptionRoot().Issued,
-		Generator: u.Generator(),
-		Upstream:  tlsnet.DirectDialer{Server: srv},
-		Whitelist: tlsnet.WhitelistedDomains,
-	})
+	proxy, err := mitm.NewProxy(u.InterceptionRoot().Issued, u.Generator(),
+		tlsnet.DirectDialer{Server: srv}, mitm.WithWhitelist(tlsnet.WhitelistedDomains))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -257,8 +254,11 @@ func runInterception(u *cauniverse.Universe) (intercepted, clean []mitm.Finding,
 	dev := device.New(device.Profile{
 		Model: "Nexus 7", Manufacturer: "ASUS", Operator: "WiFi", Country: "US", Version: "4.4",
 	}, u.AOSP("4.4"), nil)
-	client := &netalyzr.Client{Device: dev, Dialer: proxy, At: certgen.Epoch}
-	rep, err := client.Run()
+	client, err := netalyzr.New(dev, proxy, netalyzr.WithValidationTime(certgen.Epoch))
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := client.Run(context.Background())
 	if err != nil {
 		return nil, nil, err
 	}

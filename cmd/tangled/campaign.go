@@ -1,0 +1,92 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tangledmass/internal/campaign"
+	"tangledmass/internal/cauniverse"
+	"tangledmass/internal/certgen"
+	"tangledmass/internal/collect"
+	"tangledmass/internal/mitm"
+	"tangledmass/internal/population"
+	"tangledmass/internal/tlsnet"
+)
+
+// cmdCampaign runs the full measurement pipeline in-process — fleet,
+// loopback TLS origins, interception proxy, collection server — and dumps
+// the run's aggregated observability snapshot as JSON. With a fixed -seed
+// and -frozen-clock the snapshot is byte-identical across runs, which makes
+// it diffable in CI.
+func cmdCampaign(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
+	scale := fs.Float64("scale", 0.02, "session-quota scale (1.0 = the paper's 15,970 sessions)")
+	seed := fs.Int64("seed", 1, "seed for the fleet and the simulated TLS internet")
+	concurrency := fs.Int("concurrency", 8, "concurrent sessions")
+	frozen := fs.Bool("frozen-clock", false, "freeze the observability clock (byte-identical snapshots across runs)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	u := cauniverse.Default()
+	pop, err := population.Generate(population.Config{Seed: *seed, Universe: u, SessionScale: *scale})
+	if err != nil {
+		return err
+	}
+
+	world, err := tlsnet.NewWorld(tlsnet.Config{Seed: *seed, Universe: u, NumLeaves: 10})
+	if err != nil {
+		return err
+	}
+	sites, err := tlsnet.NewSites(world)
+	if err != nil {
+		return err
+	}
+	origin, err := tlsnet.ServeSites(sites)
+	if err != nil {
+		return err
+	}
+	defer origin.Close()
+
+	proxy, err := mitm.NewProxy(u.InterceptionRoot().Issued, u.Generator(),
+		tlsnet.DirectDialer{Server: origin}, mitm.WithWhitelist(tlsnet.WhitelistedDomains))
+	if err != nil {
+		return err
+	}
+
+	collector, err := collect.NewServer("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer collector.Close()
+
+	opts := []campaign.Option{
+		campaign.WithProxy(proxy),
+		campaign.WithTargets([]tlsnet.HostPort{
+			{Host: "gmail.com", Port: 443},
+			{Host: "www.google.com", Port: 443},
+			{Host: "www.twitter.com", Port: 443},
+		}),
+		campaign.WithConcurrency(*concurrency),
+		campaign.WithValidationTime(certgen.Epoch),
+	}
+	if *frozen {
+		opts = append(opts, campaign.WithClock(func() time.Time { return certgen.Epoch }))
+	}
+	stats, err := campaign.Run(context.Background(), pop, origin, collector.Addr(), opts...)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "campaign: %d sessions (%d failed, %d untrusted probes)\n",
+		stats.Sessions, stats.Failed, stats.UntrustedProbes)
+	out, err := stats.Obs.JSON()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", out)
+	return nil
+}

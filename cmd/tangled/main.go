@@ -9,6 +9,7 @@
 //	tangled export <store> <dir>
 //	tangled audit [-version 4.4] <cacerts-dir>
 //	tangled classify <cert-name>
+//	tangled campaign [-scale 0.02] [-seed 1] [-frozen-clock]
 //
 // A <store> argument is either a built-in name (aosp4.1, aosp4.2, aosp4.3,
 // aosp4.4, mozilla, ios7, aggregated) or a path to an Android cacerts
@@ -68,6 +69,8 @@ func run(args []string) error {
 		return cmdFleet(args[1:])
 	case "show":
 		return cmdShow(args[1:])
+	case "campaign":
+		return cmdCampaign(args[1:])
 	case "-h", "--help", "help":
 		usage()
 		return nil
@@ -86,7 +89,8 @@ func usage() {
   tangled minimize [-threshold N] [-sweep] <store>  propose §8 store pruning
   tangled surface <store>                 TLS attack surface under trust policies
   tangled fleet [-scale F] [-export DIR] [-load DIR]  fleet analyses
-  tangled show [-pem] <cert-name>         openssl-style certificate dump`)
+  tangled show [-pem] <cert-name>         openssl-style certificate dump
+  tangled campaign [-scale F] [-seed N] [-frozen-clock]  run the pipeline, dump the obs snapshot as JSON`)
 }
 
 // resolveStore maps a name or cacerts path to a store.

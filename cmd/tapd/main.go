@@ -5,13 +5,15 @@
 //
 // Usage:
 //
-//	tapd -upstream host:port [-notary 127.0.0.1:7511] [-port 443]
+//	tapd -upstream host:port [-notary 127.0.0.1:7511] [-port 443] [-debug 127.0.0.1:7583]
 //
 // Clients connect to tapd's printed address; bytes relay untouched while
-// observed chains flow to the Notary.
+// observed chains flow to the Notary. -debug mounts the observability
+// snapshot (forwarding dial/retry counters) as JSON on an HTTP listener.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"os"
@@ -20,6 +22,7 @@ import (
 	"tangledmass/internal/certgen"
 	"tangledmass/internal/notary"
 	"tangledmass/internal/notarynet"
+	"tangledmass/internal/obs"
 	"tangledmass/internal/tap"
 )
 
@@ -30,21 +33,24 @@ func main() {
 		upstream   = flag.String("upstream", "", "origin host:port to relay to (required)")
 		notaryAddr = flag.String("notary", "", "notaryd address to stream observations to (empty: local only)")
 		port       = flag.Int("port", 443, "logical service port recorded with each observation")
+		debug      = flag.String("debug", "", "serve the observability snapshot over HTTP on this address (empty: disabled)")
 	)
 	flag.Parse()
 	if *upstream == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*upstream, *notaryAddr, *port); err != nil {
+	if err := run(*upstream, *notaryAddr, *port, *debug); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(upstream, notaryAddr string, port int) error {
-	sink := &fanout{local: notary.New(certgen.Epoch)}
+func run(upstream, notaryAddr string, port int, debug string) error {
+	ctx := context.Background()
+	observer := obs.New()
+	sink := &fanout{ctx: ctx, local: notary.New(certgen.Epoch)}
 	if notaryAddr != "" {
-		remote, err := notarynet.Dial(notaryAddr)
+		remote, err := notarynet.NewClient(ctx, notaryAddr, notarynet.WithObserver(observer))
 		if err != nil {
 			return err
 		}
@@ -57,6 +63,14 @@ func run(upstream, notaryAddr string, port int) error {
 		return err
 	}
 	log.Printf("tapping %s on %s", upstream, t.Addr())
+	if debug != "" {
+		ln, err := obs.ServeDebug(debug, observer)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		log.Printf("debug listening on %s", ln.Addr())
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
@@ -68,15 +82,16 @@ func run(upstream, notaryAddr string, port int) error {
 // fanout observes into the local database and forwards to the remote
 // service when configured.
 type fanout struct {
+	ctx    context.Context
 	local  *notary.Notary
 	remote *notarynet.Client
 }
 
 // Observe implements tap.Observer.
-func (f *fanout) Observe(obs notary.Observation) {
-	f.local.Observe(obs)
+func (f *fanout) Observe(o notary.Observation) {
+	f.local.Observe(o)
 	if f.remote != nil {
-		if err := f.remote.Observe(obs.Chain, obs.Port); err != nil {
+		if err := f.remote.Observe(f.ctx, o.Chain, o.Port); err != nil {
 			log.Printf("forwarding observation: %v", err)
 		}
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,12 +45,8 @@ func main() {
 
 	// The marketing proxy: terminates TLS with forged certificates, except
 	// for pinned/whitelisted services which it tunnels untouched.
-	proxy, err := mitm.NewProxy(mitm.ProxyConfig{
-		CA:        u.InterceptionRoot().Issued,
-		Generator: u.Generator(),
-		Upstream:  tlsnet.DirectDialer{Server: srv},
-		Whitelist: tlsnet.WhitelistedDomains,
-	})
+	proxy, err := mitm.NewProxy(u.InterceptionRoot().Issued, u.Generator(),
+		tlsnet.DirectDialer{Server: srv}, mitm.WithWhitelist(tlsnet.WhitelistedDomains))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,8 +58,11 @@ func main() {
 	dev := device.New(device.Profile{
 		Model: "Nexus 7", Manufacturer: "ASUS", Operator: "WiFi", Country: "US", Version: "4.4",
 	}, u.AOSP("4.4"), nil)
-	client := &netalyzr.Client{Device: dev, Dialer: proxy, At: certgen.Epoch}
-	rep, err := client.Run()
+	client, err := netalyzr.New(dev, proxy, netalyzr.WithValidationTime(certgen.Epoch))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := client.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

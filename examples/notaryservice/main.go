@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,8 +23,9 @@ func main() {
 	u := cauniverse.Default()
 
 	// The central Notary service, started empty.
+	ctx := context.Background()
 	db := notary.New(certgen.Epoch)
-	srv, err := notarynet.Serve(db, "127.0.0.1:0")
+	srv, err := notarynet.NewServer(db, "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,17 +38,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sensor, err := notarynet.Dial(srv.Addr())
+	sensor, err := notarynet.NewClient(ctx, srv.Addr())
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer sensor.Close()
 	for _, leaf := range world.Leaves() {
-		if err := sensor.Observe(leaf.Chain, leaf.Port); err != nil {
+		if err := sensor.Observe(ctx, leaf.Chain, leaf.Port); err != nil {
 			log.Fatal(err)
 		}
 	}
-	stats, err := sensor.Stats()
+	stats, err := sensor.Stats(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,7 +57,7 @@ func main() {
 
 	// An analysis client: validate the AOSP stores remotely (Table 3) and
 	// count prunable roots (§8).
-	client, err := notarynet.Dial(srv.Addr())
+	client, err := notarynet.NewClient(ctx, srv.Addr())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,7 +65,7 @@ func main() {
 	fmt.Println("\nremote validation (Table 3 shape):")
 	for _, v := range cauniverse.AOSPVersions() {
 		store := u.AOSP(v)
-		res, err := client.Validate(store)
+		res, err := client.Validate(ctx, store)
 		if err != nil {
 			log.Fatal(err)
 		}

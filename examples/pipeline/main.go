@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -49,36 +50,29 @@ func main() {
 	}
 	defer origin.Close()
 
-	proxy, err := mitm.NewProxy(mitm.ProxyConfig{
-		CA:        u.InterceptionRoot().Issued,
-		Generator: u.Generator(),
-		Upstream:  tlsnet.DirectDialer{Server: origin},
-		Whitelist: tlsnet.WhitelistedDomains,
-	})
+	proxy, err := mitm.NewProxy(u.InterceptionRoot().Issued, u.Generator(),
+		tlsnet.DirectDialer{Server: origin}, mitm.WithWhitelist(tlsnet.WhitelistedDomains))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	collector, err := collect.Serve("127.0.0.1:0", false)
+	collector, err := collect.NewServer("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer collector.Close()
 	fmt.Printf("origin on %s; collector on %s\n", origin.Addr(), collector.Addr())
 
-	stats, err := campaign.Run(campaign.Config{
-		Population:    pop,
-		Origin:        origin,
-		CollectorAddr: collector.Addr(),
-		Proxy:         proxy,
-		Targets: []tlsnet.HostPort{
+	stats, err := campaign.Run(context.Background(), pop, origin, collector.Addr(),
+		campaign.WithProxy(proxy),
+		campaign.WithTargets([]tlsnet.HostPort{
 			{Host: "gmail.com", Port: 443},
 			{Host: "www.google.com", Port: 443},
 			{Host: "www.bankofamerica.com", Port: 443},
-		},
-		Concurrency: 8,
-		At:          certgen.Epoch,
-	})
+		}),
+		campaign.WithConcurrency(8),
+		campaign.WithValidationTime(certgen.Epoch),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

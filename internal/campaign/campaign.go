@@ -9,6 +9,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -19,44 +20,110 @@ import (
 	"tangledmass/internal/mitm"
 	"tangledmass/internal/netalyzr"
 	"tangledmass/internal/notarynet"
+	"tangledmass/internal/obs"
 	"tangledmass/internal/population"
 	"tangledmass/internal/resilient"
 	"tangledmass/internal/tlsnet"
 )
 
-// Config parameterizes a campaign run.
-type Config struct {
-	// Population is the fleet to measure.
-	Population *population.Population
-	// Origin is the TLS internet the probes hit.
-	Origin *tlsnet.Server
-	// CollectorAddr is the collection back end to submit to.
-	CollectorAddr string
-	// NotaryAddr, when non-empty, streams every successful probe's chain to
-	// a notarynet server — one sensor connection per session, as deployed.
-	NotaryAddr string
-	// Proxy, when non-nil, carries the traffic of intercepted handsets.
-	Proxy *mitm.Proxy
-	// Targets are the domains each session probes. Nil means the full
-	// Table 6 list; campaigns at fleet scale usually probe a subset.
-	Targets []tlsnet.HostPort
-	// Concurrency bounds parallel sessions. Values < 1 mean 8.
-	Concurrency int
-	// At pins the validation clock.
-	At time.Time
+// config collects the campaign knobs behind Run's functional options.
+type config struct {
+	pop           *population.Population
+	origin        *tlsnet.Server
+	collectorAddr string
+	notaryAddr    string
+	proxy         *mitm.Proxy
+	targets       []tlsnet.HostPort
+	concurrency   int
+	at            time.Time
+	faults        *faultnet.Injector
+	probeTimeout  time.Duration
+	probeRetry    *resilient.Retrier
+	submitRetry   *resilient.Retrier
+	observer      *obs.Observer
+	now           func() time.Time
+}
 
-	// Faults, when non-nil, injects its plan into every session's network
-	// path — probes, collector submissions, notary observations. Each
-	// session gets its own decision scope keyed by session ID, so the fault
-	// ledger and the aggregates are identical across runs with the same
-	// plan seed regardless of worker interleaving.
-	Faults *faultnet.Injector
-	// ProbeTimeout bounds one probe attempt (see netalyzr.Client).
-	ProbeTimeout time.Duration
-	// ProbeRetry overrides the per-probe retry policy.
-	ProbeRetry *resilient.Retrier
-	// SubmitRetry overrides the collector/notary retry policy.
-	SubmitRetry *resilient.Retrier
+// Option configures a campaign run.
+type Option func(*config)
+
+// WithNotary streams every successful probe's chain to a notarynet server —
+// one sensor connection per session, as deployed.
+func WithNotary(addr string) Option {
+	return func(c *config) { c.notaryAddr = addr }
+}
+
+// WithProxy carries the traffic of intercepted handsets through the §7
+// interception proxy.
+func WithProxy(p *mitm.Proxy) Option {
+	return func(c *config) { c.proxy = p }
+}
+
+// WithTargets sets the domains each session probes. The default is the full
+// Table 6 list; campaigns at fleet scale usually probe a subset.
+func WithTargets(targets []tlsnet.HostPort) Option {
+	return func(c *config) { c.targets = targets }
+}
+
+// WithConcurrency bounds parallel sessions. Values < 1 (and the default)
+// mean 8.
+func WithConcurrency(n int) Option {
+	return func(c *config) { c.concurrency = n }
+}
+
+// WithValidationTime pins the chain-validation clock for every session.
+func WithValidationTime(at time.Time) Option {
+	return func(c *config) { c.at = at }
+}
+
+// WithFaults injects the given plan into every session's network path —
+// probes, collector submissions, notary observations. Each session gets its
+// own decision scope keyed by session ID, so the fault ledger and the
+// aggregates are identical across runs with the same plan seed regardless
+// of worker interleaving.
+func WithFaults(in *faultnet.Injector) Option {
+	return func(c *config) { c.faults = in }
+}
+
+// WithFaultPlan is WithFaults for a bare plan: the campaign builds the
+// injector (and its ledger, reachable via the injector the caller keeps —
+// so prefer WithFaults when the ledger matters).
+func WithFaultPlan(plan faultnet.Plan) Option {
+	return func(c *config) { c.faults = faultnet.New(plan) }
+}
+
+// WithProbeTimeout bounds one probe attempt (see netalyzr.WithProbeTimeout).
+func WithProbeTimeout(d time.Duration) Option {
+	return func(c *config) { c.probeTimeout = d }
+}
+
+// WithProbeRetry overrides the per-probe retry policy. The campaign
+// attaches its observer to the retrier, so retry counters still reconcile
+// with the fault ledger.
+func WithProbeRetry(r *resilient.Retrier) Option {
+	return func(c *config) { c.probeRetry = r }
+}
+
+// WithSubmitRetry overrides the collector/notary retry policy. The campaign
+// attaches its observer to the retrier.
+func WithSubmitRetry(r *resilient.Retrier) Option {
+	return func(c *config) { c.submitRetry = r }
+}
+
+// WithObserver aggregates the whole run — netalyzr probes, client dials,
+// retries, session spans — into the given observer, whose Snapshot lands in
+// Stats.Obs. The default is a fresh private observer, so Stats.Obs is
+// always populated.
+func WithObserver(o *obs.Observer) Option {
+	return func(c *config) { c.observer = o }
+}
+
+// WithClock injects the observer's clock (deterministic harnesses freeze
+// it, making span durations — and therefore the whole Stats.Obs JSON —
+// byte-identical across runs). Ignored when WithObserver supplies an
+// observer, which already owns its clock.
+func WithClock(now func() time.Time) Option {
+	return func(c *config) { c.now = now }
 }
 
 // Stats summarizes a campaign.
@@ -74,19 +141,43 @@ type Stats struct {
 	// kind ("refused", "reset", "timeout", …).
 	ProbeFaults map[string]int
 	Elapsed     time.Duration
+	// Obs is the run's aggregated observability snapshot: every counter,
+	// gauge, histogram and span the pipeline emitted under this campaign's
+	// observer.
+	Obs obs.Snapshot
 }
 
-// Run executes the campaign. Sessions are independent, so they run on a
-// worker pool; each session submits over its own collector and notary
-// connections — the deployment shape, where every handset execution is an
-// independent network client.
-func Run(cfg Config) (Stats, error) {
-	if cfg.Population == nil || cfg.Origin == nil || cfg.CollectorAddr == "" {
-		return Stats{}, fmt.Errorf("campaign: config needs Population, Origin and CollectorAddr")
+// Run executes the campaign against the fleet. Sessions are independent, so
+// they run on a worker pool; each session submits over its own collector
+// and notary connections — the deployment shape, where every handset
+// execution is an independent network client. ctx bounds the whole run:
+// cancelation fails the remaining sessions.
+func Run(ctx context.Context, pop *population.Population, origin *tlsnet.Server, collectorAddr string, opts ...Option) (Stats, error) {
+	if pop == nil || origin == nil || collectorAddr == "" {
+		return Stats{}, fmt.Errorf("campaign: run needs a population, an origin and a collector address")
 	}
-	conc := cfg.Concurrency
-	if conc < 1 {
-		conc = 8
+	cfg := &config{pop: pop, origin: origin, collectorAddr: collectorAddr}
+	for _, opt := range opts {
+		opt(cfg)
+	}
+	if cfg.concurrency < 1 {
+		cfg.concurrency = 8
+	}
+	if cfg.observer == nil {
+		var obsOpts []obs.Option
+		if cfg.now != nil {
+			obsOpts = append(obsOpts, obs.WithClock(cfg.now))
+		}
+		cfg.observer = obs.New(obsOpts...)
+	}
+	// Caller-supplied retriers report through the campaign's observer too;
+	// without this the ledger-reconciliation invariant (obs retry counters
+	// == faultnet ledger) would silently exclude custom policies.
+	if cfg.probeRetry != nil {
+		cfg.probeRetry = cfg.probeRetry.WithObserver(cfg.observer)
+	}
+	if cfg.submitRetry != nil {
+		cfg.submitRetry = cfg.submitRetry.WithObserver(cfg.observer)
 	}
 	start := time.Now()
 
@@ -97,12 +188,12 @@ func Run(cfg Config) (Stats, error) {
 		wg    sync.WaitGroup
 	)
 	stats.ProbeFaults = make(map[string]int)
-	for w := 0; w < conc; w++ {
+	for w := 0; w < cfg.concurrency; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for s := range jobs {
-				res := cfg.session(s)
+				res := cfg.session(ctx, s)
 				mu.Lock()
 				stats.Sessions++
 				if res.failed {
@@ -120,12 +211,18 @@ func Run(cfg Config) (Stats, error) {
 			}
 		}()
 	}
-	for _, s := range cfg.Population.Sessions {
+	for _, s := range cfg.pop.Sessions {
 		jobs <- s
 	}
 	close(jobs)
 	wg.Wait()
 	stats.Elapsed = time.Since(start)
+	cfg.observer.Counter(KeySessionsTotal).Add(int64(stats.Sessions))
+	cfg.observer.Counter(KeySessionsFailed).Add(int64(stats.Failed))
+	cfg.observer.Counter(KeySubmitFailed).Add(int64(stats.SubmitFailed))
+	cfg.observer.Counter(KeyObserveFailed).Add(int64(stats.ObserveFailed))
+	cfg.observer.Counter(KeyUntrustedProbes).Add(int64(stats.UntrustedProbes))
+	stats.Obs = cfg.observer.Snapshot()
 	return stats, nil
 }
 
@@ -139,14 +236,17 @@ type sessionResult struct {
 }
 
 // netDial is the plain TCP transport for collector and notary connections.
-func netDial(addr string) (net.Conn, error) {
-	return net.DialTimeout("tcp", addr, 10*time.Second)
+func netDial(ctx context.Context, addr string) (net.Conn, error) {
+	d := &net.Dialer{Timeout: 10 * time.Second}
+	return d.DialContext(ctx, "tcp", addr)
 }
 
 // session executes one Netalyzr session end to end: probe, submit, observe.
-func (cfg Config) session(s *population.Session) sessionResult {
+func (cfg *config) session(ctx context.Context, s *population.Session) sessionResult {
 	scope := fmt.Sprintf("session-%d", s.ID)
-	rep, err := cfg.runSession(s, scope)
+	span := cfg.observer.StartSpan(scope, KeySessionSpan)
+	defer span.End()
+	rep, err := cfg.runSession(ctx, s, scope)
 	if err != nil {
 		return sessionResult{failed: true}
 	}
@@ -154,61 +254,73 @@ func (cfg Config) session(s *population.Session) sessionResult {
 		untrusted: len(rep.UntrustedProbes()),
 		faults:    rep.FaultTally(),
 	}
-	if err := cfg.submit(rep, scope); err != nil {
+	if err := cfg.submit(ctx, rep, scope); err != nil {
 		res.submitFailed = true
 	}
-	res.observeFailed = cfg.observe(rep, scope)
+	res.observeFailed = cfg.observe(ctx, rep, scope)
 	return res
 }
 
 // runSession executes one Netalyzr session for one fleet session record.
-func (cfg Config) runSession(s *population.Session, scope string) (*netalyzr.Report, error) {
-	var dialer tlsnet.Dialer = tlsnet.DirectDialer{Server: cfg.Origin}
-	if s.Intercepted && cfg.Proxy != nil {
-		dialer = cfg.Proxy
+func (cfg *config) runSession(ctx context.Context, s *population.Session, scope string) (*netalyzr.Report, error) {
+	var dialer tlsnet.Dialer = tlsnet.DirectDialer{Server: cfg.origin}
+	if s.Intercepted && cfg.proxy != nil {
+		dialer = cfg.proxy
 	}
-	if cfg.Faults != nil {
-		dialer = cfg.Faults.SiteDialer(dialer, scope)
+	if cfg.faults != nil {
+		dialer = cfg.faults.SiteDialer(dialer, scope)
 	}
-	client := &netalyzr.Client{
-		Device:       s.Handset.Device,
-		Dialer:       dialer,
-		Targets:      cfg.Targets,
-		At:           cfg.At,
-		ProbeTimeout: cfg.ProbeTimeout,
-		Retry:        cfg.ProbeRetry,
+	opts := []netalyzr.Option{
+		netalyzr.WithValidationTime(cfg.at),
+		netalyzr.WithProbeTimeout(cfg.probeTimeout),
+		netalyzr.WithObserver(cfg.observer),
+		netalyzr.WithSession(scope),
 	}
-	return client.Run()
+	if cfg.targets != nil {
+		opts = append(opts, netalyzr.WithTargets(cfg.targets))
+	}
+	if cfg.probeRetry != nil {
+		opts = append(opts, netalyzr.WithRetryPolicy(cfg.probeRetry))
+	}
+	client, err := netalyzr.New(s.Handset.Device, dialer, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return client.Run(ctx)
 }
 
 // clientDial wraps the plain transport in the fault plan under this
 // session's scope and the given logical key.
-func (cfg Config) clientDial(scope, key string) func(addr string) (net.Conn, error) {
-	if cfg.Faults == nil {
+func (cfg *config) clientDial(scope, key string) func(ctx context.Context, addr string) (net.Conn, error) {
+	if cfg.faults == nil {
 		return netDial
 	}
-	return cfg.Faults.DialFunc(scope, key, netDial)
+	return cfg.faults.DialFunc(scope, key, netDial)
 }
 
 // submit delivers one report over a fresh collector connection.
-func (cfg Config) submit(rep *netalyzr.Report, scope string) error {
-	cl, err := collect.DialOptions(cfg.CollectorAddr, collect.Options{
-		Retry: cfg.SubmitRetry,
-		Dial:  cfg.clientDial(scope, "collector"),
-	})
+func (cfg *config) submit(ctx context.Context, rep *netalyzr.Report, scope string) error {
+	opts := []collect.Option{
+		collect.WithDialFunc(cfg.clientDial(scope, "collector")),
+		collect.WithObserver(cfg.observer),
+	}
+	if cfg.submitRetry != nil {
+		opts = append(opts, collect.WithRetryPolicy(cfg.submitRetry))
+	}
+	cl, err := collect.NewClient(ctx, cfg.collectorAddr, opts...)
 	if err != nil {
 		return err
 	}
 	defer cl.Close()
-	return cl.Submit(rep)
+	return cl.Submit(ctx, rep)
 }
 
 // observe streams the session's successfully captured chains to the notary,
 // returning how many observations were lost after retries. The breaker is
 // disabled: its cooldown is wall-clock, which would make outcomes depend on
 // scheduling rather than the fault plan.
-func (cfg Config) observe(rep *netalyzr.Report, scope string) (lost int) {
-	if cfg.NotaryAddr == "" {
+func (cfg *config) observe(ctx context.Context, rep *netalyzr.Report, scope string) (lost int) {
+	if cfg.notaryAddr == "" {
 		return 0
 	}
 	var captured []netalyzr.ProbeResult
@@ -220,17 +332,21 @@ func (cfg Config) observe(rep *netalyzr.Report, scope string) (lost int) {
 	if len(captured) == 0 {
 		return 0
 	}
-	nc, err := notarynet.DialOptions(cfg.NotaryAddr, notarynet.Options{
-		Retry:          cfg.SubmitRetry,
-		DisableBreaker: true,
-		Dial:           cfg.clientDial(scope, "notary"),
-	})
+	opts := []notarynet.Option{
+		notarynet.WithoutBreaker(),
+		notarynet.WithDialFunc(cfg.clientDial(scope, "notary")),
+		notarynet.WithObserver(cfg.observer),
+	}
+	if cfg.submitRetry != nil {
+		opts = append(opts, notarynet.WithRetryPolicy(cfg.submitRetry))
+	}
+	nc, err := notarynet.NewClient(ctx, cfg.notaryAddr, opts...)
 	if err != nil {
 		return len(captured)
 	}
 	defer nc.Close()
 	for _, p := range captured {
-		if err := nc.Observe(p.Chain, p.Target.Port); err != nil {
+		if err := nc.Observe(ctx, p.Chain, p.Target.Port); err != nil {
 			lost++
 		}
 	}

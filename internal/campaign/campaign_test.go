@@ -1,12 +1,14 @@
 package campaign
 
 import (
+	"context"
 	"testing"
 
 	"tangledmass/internal/cauniverse"
 	"tangledmass/internal/certgen"
 	"tangledmass/internal/collect"
 	"tangledmass/internal/mitm"
+	"tangledmass/internal/netalyzr"
 	"tangledmass/internal/population"
 	"tangledmass/internal/tlsnet"
 )
@@ -36,17 +38,13 @@ func TestFullPipeline(t *testing.T) {
 	}
 	defer origin.Close()
 
-	proxy, err := mitm.NewProxy(mitm.ProxyConfig{
-		CA:        u.InterceptionRoot().Issued,
-		Generator: u.Generator(),
-		Upstream:  tlsnet.DirectDialer{Server: origin},
-		Whitelist: tlsnet.WhitelistedDomains,
-	})
+	proxy, err := mitm.NewProxy(u.InterceptionRoot().Issued, u.Generator(),
+		tlsnet.DirectDialer{Server: origin}, mitm.WithWhitelist(tlsnet.WhitelistedDomains))
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	collector, err := collect.Serve("127.0.0.1:0", false)
+	collector, err := collect.NewServer("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,15 +55,12 @@ func TestFullPipeline(t *testing.T) {
 		{Host: "www.google.com", Port: 443},  // whitelisted
 		{Host: "www.twitter.com", Port: 443}, // whitelisted (pinned app)
 	}
-	stats, err := Run(Config{
-		Population:    pop,
-		Origin:        origin,
-		CollectorAddr: collector.Addr(),
-		Proxy:         proxy,
-		Targets:       targets,
-		Concurrency:   8,
-		At:            certgen.Epoch,
-	})
+	stats, err := Run(context.Background(), pop, origin, collector.Addr(),
+		WithProxy(proxy),
+		WithTargets(targets),
+		WithConcurrency(8),
+		WithValidationTime(certgen.Epoch),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,10 +108,31 @@ func TestFullPipeline(t *testing.T) {
 	if proxy.Stats().Intercepted == 0 {
 		t.Error("the §7 session never hit the proxy")
 	}
+
+	// The run's aggregated observability snapshot tells the same story as
+	// the collector: one probe per session per target, one session span per
+	// session, untrusted probes matching the §7 signal.
+	wantProbes := int64(pop.TotalSessions() * len(targets))
+	if got := stats.Obs.Counters[netalyzr.KeyProbesTotal]; got != wantProbes {
+		t.Errorf("obs %s = %d, want %d", netalyzr.KeyProbesTotal, got, wantProbes)
+	}
+	if got := stats.Obs.Counters[netalyzr.KeyProbesUntrusted]; got != 1 {
+		t.Errorf("obs %s = %d, want 1", netalyzr.KeyProbesUntrusted, got)
+	}
+	if got := stats.Obs.Counters[KeySessionsTotal]; got != int64(stats.Sessions) {
+		t.Errorf("obs %s = %d, want %d", KeySessionsTotal, got, stats.Sessions)
+	}
+	if got := stats.Obs.Spans[KeySessionSpan].Count; got != int64(stats.Sessions) {
+		t.Errorf("obs span %s count = %d, want %d", KeySessionSpan, got, stats.Sessions)
+	}
+	if got := stats.Obs.Counters[collect.KeyClientDials]; got < int64(stats.Sessions) {
+		t.Errorf("obs %s = %d, want >= %d (one collector dial per session)",
+			collect.KeyClientDials, got, stats.Sessions)
+	}
 }
 
 func TestRunConfigValidation(t *testing.T) {
-	if _, err := Run(Config{}); err == nil {
-		t.Error("empty config should error")
+	if _, err := Run(context.Background(), nil, nil, ""); err == nil {
+		t.Error("Run without population/origin/collector should error")
 	}
 }

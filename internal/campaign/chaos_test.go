@@ -1,6 +1,8 @@
 package campaign
 
 import (
+	"bytes"
+	"context"
 	"math"
 	"reflect"
 	"runtime"
@@ -12,6 +14,7 @@ import (
 	"tangledmass/internal/collect"
 	"tangledmass/internal/faultnet"
 	"tangledmass/internal/mitm"
+	"tangledmass/internal/netalyzr"
 	"tangledmass/internal/notary"
 	"tangledmass/internal/notarynet"
 	"tangledmass/internal/population"
@@ -47,6 +50,9 @@ type chaosOutcome struct {
 	validated  notarynet.ValidateResult
 	successful int
 	validCount int
+	// obsJSON is the run's serialized observability snapshot — the
+	// byte-identity acceptance artifact.
+	obsJSON []byte
 }
 
 // deviceValidationRate is the fraction of successful probes that validated
@@ -60,7 +66,9 @@ func (o chaosOutcome) deviceValidationRate() float64 {
 
 // runChaosCampaign executes the full pipeline — tlsnet world → netalyzr
 // sessions (the §7 handset through the proxy) → collect → notary validation
-// — under the given fault plan (nil means fault-free baseline).
+// — under the given fault plan (nil means fault-free baseline). The
+// observer clock is frozen so the snapshot JSON is byte-identical across
+// runs with the same seed.
 func runChaosCampaign(t *testing.T, plan *faultnet.Plan) chaosOutcome {
 	t.Helper()
 	u := cauniverse.Default()
@@ -81,21 +89,17 @@ func runChaosCampaign(t *testing.T, plan *faultnet.Plan) chaosOutcome {
 		t.Fatal(err)
 	}
 	defer origin.Close()
-	proxy, err := mitm.NewProxy(mitm.ProxyConfig{
-		CA:        u.InterceptionRoot().Issued,
-		Generator: u.Generator(),
-		Upstream:  tlsnet.DirectDialer{Server: origin},
-		Whitelist: tlsnet.WhitelistedDomains,
-	})
+	proxy, err := mitm.NewProxy(u.InterceptionRoot().Issued, u.Generator(),
+		tlsnet.DirectDialer{Server: origin}, mitm.WithWhitelist(tlsnet.WhitelistedDomains))
 	if err != nil {
 		t.Fatal(err)
 	}
-	collector, err := collect.Serve("127.0.0.1:0", true)
+	collector, err := collect.NewServer("127.0.0.1:0", collect.WithKeepReports())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer collector.Close()
-	nsrv, err := notarynet.Serve(notary.New(certgen.Epoch), "127.0.0.1:0")
+	nsrv, err := notarynet.NewServer(notary.New(certgen.Epoch), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,34 +113,41 @@ func runChaosCampaign(t *testing.T, plan *faultnet.Plan) chaosOutcome {
 	if plan != nil {
 		seed = plan.Seed
 	}
-	stats, err := Run(Config{
-		Population:    pop,
-		Origin:        origin,
-		CollectorAddr: collector.Addr(),
-		NotaryAddr:    nsrv.Addr(),
-		Proxy:         proxy,
-		Targets: []tlsnet.HostPort{
+	opts := []Option{
+		WithNotary(nsrv.Addr()),
+		WithProxy(proxy),
+		WithTargets([]tlsnet.HostPort{
 			{Host: "gmail.com", Port: 443},
 			{Host: "www.google.com", Port: 443},
 			{Host: "www.twitter.com", Port: 443},
-		},
-		Concurrency:  8,
-		At:           certgen.Epoch,
-		Faults:       inj,
-		ProbeTimeout: 2 * time.Second,
-		ProbeRetry: resilient.NewRetrier(resilient.Policy{
+		}),
+		WithConcurrency(8),
+		WithValidationTime(certgen.Epoch),
+		WithProbeTimeout(2 * time.Second),
+		WithProbeRetry(resilient.NewRetrier(resilient.Policy{
 			MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
-		}, seed),
-		SubmitRetry: resilient.NewRetrier(resilient.Policy{
+		}, seed)),
+		WithSubmitRetry(resilient.NewRetrier(resilient.Policy{
 			MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
-		}, seed),
-	})
+		}, seed)),
+		// Frozen clock: span durations are all zero, so the snapshot JSON
+		// carries no wall-clock and must reproduce byte for byte.
+		WithClock(func() time.Time { return certgen.Epoch }),
+	}
+	if inj != nil {
+		opts = append(opts, WithFaults(inj))
+	}
+	stats, err := Run(context.Background(), pop, origin, collector.Addr(), opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	out := chaosOutcome{stats: stats, summary: collector.Summary()}
 	out.stats.Elapsed = 0 // wall-clock, excluded from determinism checks
+	out.obsJSON, err = stats.Obs.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, rep := range collector.Reports() {
 		for _, p := range rep.Probes {
 			if p.Err != "" {
@@ -157,12 +168,12 @@ func runChaosCampaign(t *testing.T, plan *faultnet.Plan) chaosOutcome {
 	}
 	// Server-side notary validation (Table 3/4 path) over what the chaos
 	// run managed to observe.
-	nc, err := notarynet.Dial(nsrv.Addr())
+	nc, err := notarynet.NewClient(context.Background(), nsrv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer nc.Close()
-	out.validated, err = nc.Validate(u.AggregatedAndroid())
+	out.validated, err = nc.Validate(context.Background(), u.AggregatedAndroid())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,10 +200,19 @@ func waitGoroutines(t *testing.T, baseline int) {
 	}
 }
 
+// obsClientDials sums the per-package client/probe dial counters — every
+// dial the campaign's network paths attempted.
+func obsClientDials(s Stats) int64 {
+	return s.Obs.Counters[netalyzr.KeyDialsTotal] +
+		s.Obs.Counters[collect.KeyClientDials] +
+		s.Obs.Counters[notarynet.KeyClientDials]
+}
+
 // TestChaosCampaignDeterministic is the capstone: the full pipeline under a
 // faultnet plan, run twice with the same seed, must produce identical fault
-// ledgers and identical aggregates — and the faults must not skew what the
-// measurement concludes, only how much of it survives.
+// ledgers, identical aggregates and a byte-identical observability snapshot
+// — and the faults must not skew what the measurement concludes, only how
+// much of it survives.
 func TestChaosCampaignDeterministic(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 
@@ -209,6 +229,11 @@ func TestChaosCampaignDeterministic(t *testing.T) {
 	if !reflect.DeepEqual(a.stats, b.stats) {
 		t.Errorf("stats diverged:\n%+v\nvs\n%+v", a.stats, b.stats)
 	}
+	// The serialized snapshot reproduces byte for byte — the debug-endpoint
+	// artifact two identical runs must agree on exactly.
+	if !bytes.Equal(a.obsJSON, b.obsJSON) {
+		t.Errorf("obs snapshots diverged:\n%s\nvs\n%s", a.obsJSON, b.obsJSON)
+	}
 	if !reflect.DeepEqual(a.summary, b.summary) {
 		t.Errorf("collector summaries diverged:\n%+v\nvs\n%+v", a.summary, b.summary)
 	}
@@ -222,6 +247,16 @@ func TestChaosCampaignDeterministic(t *testing.T) {
 	}
 	if rate := float64(a.faultTotal) / float64(a.dialTotal); rate < 0.10 {
 		t.Errorf("fault rate = %.3f, want >= 0.10\n%s", rate, a.ledger)
+	}
+
+	// Reconciliation: the observability layer and the fault ledger counted
+	// the same world. Every dial any client attempted passed through the
+	// injector exactly once, so the obs dial counters must equal the
+	// ledger's dial total exactly — for the clean run too (ledger absent,
+	// but the counters still cover every dial).
+	if got := obsClientDials(a.stats); got != int64(a.dialTotal) {
+		t.Errorf("obs dial counters = %d, ledger dial total = %d — they must reconcile exactly",
+			got, a.dialTotal)
 	}
 
 	// Graceful degradation: every session ran, and the collector heard from
@@ -258,4 +293,100 @@ func TestChaosCampaignDeterministic(t *testing.T) {
 		}
 	}
 	t.Logf("chaos ledger:\n%s", a.ledger)
+}
+
+// TestObsRetryCountersMatchLedger pins the reconciliation invariant in its
+// sharpest form: under a refuse-only plan every injected fault is a refused
+// dial, every refused dial fails exactly one operation attempt as
+// transient, and nothing else on loopback fails — so the observer's
+// transient-failure counter must equal the fault ledger's total exactly,
+// and the dial-error counters must equal the refusal count.
+func TestObsRetryCountersMatchLedger(t *testing.T) {
+	inj := faultnet.New(faultnet.Plan{Seed: 99, RefuseProb: 0.25})
+	out := runRefuseOnlyCampaign(t, inj)
+
+	if inj.Total() == 0 {
+		t.Fatal("no refusals fired; the plan exercised nothing")
+	}
+	if got := out.Obs.Counters[resilient.KeyFailureTransient]; got != int64(inj.Total()) {
+		t.Errorf("%s = %d, ledger total = %d — every injected refusal is exactly one transient failure",
+			resilient.KeyFailureTransient, got, inj.Total())
+	}
+	dialErrors := out.Obs.Counters[netalyzr.KeyDialErrors] +
+		out.Obs.Counters[collect.KeyClientDialErrors] +
+		out.Obs.Counters[notarynet.KeyClientDialErrors]
+	if dialErrors != int64(inj.Total()) {
+		t.Errorf("dial-error counters = %d, ledger refusals = %d — loopback only fails when injected",
+			dialErrors, inj.Total())
+	}
+	var ledgerDials int
+	for _, e := range inj.Dials() {
+		ledgerDials += e.Count
+	}
+	if got := obsClientDials(out); got != int64(ledgerDials) {
+		t.Errorf("obs dial counters = %d, ledger dial total = %d", got, ledgerDials)
+	}
+	// Retries follow from failures: with retry budget left, every transient
+	// failure triggers exactly one retry less the attempts that exhausted.
+	if out.Obs.Counters[resilient.KeyRetries] == 0 {
+		t.Error("refusals fired but nothing retried")
+	}
+}
+
+// runRefuseOnlyCampaign is a smaller single-purpose pipeline run for the
+// reconciliation test: no proxy, generous retry budgets so refusals are
+// absorbed rather than exhausted.
+func runRefuseOnlyCampaign(t *testing.T, inj *faultnet.Injector) Stats {
+	t.Helper()
+	u := cauniverse.Default()
+	pop, err := population.Generate(population.Config{Seed: 3, Universe: u, SessionScale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	world, err := tlsnet.NewWorld(tlsnet.Config{Seed: 3, Universe: u, NumLeaves: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, err := tlsnet.NewSites(world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin, err := tlsnet.ServeSites(sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer origin.Close()
+	collector, err := collect.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer collector.Close()
+	nsrv, err := notarynet.NewServer(notary.New(certgen.Epoch), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nsrv.Close()
+
+	stats, err := Run(context.Background(), pop, origin, collector.Addr(),
+		WithNotary(nsrv.Addr()),
+		WithTargets([]tlsnet.HostPort{
+			{Host: "gmail.com", Port: 443},
+			{Host: "www.google.com", Port: 443},
+		}),
+		WithConcurrency(4),
+		WithValidationTime(certgen.Epoch),
+		WithProbeTimeout(2*time.Second),
+		WithFaults(inj),
+		WithProbeRetry(resilient.NewRetrier(resilient.Policy{
+			MaxAttempts: 6, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
+		}, 99)),
+		WithSubmitRetry(resilient.NewRetrier(resilient.Policy{
+			MaxAttempts: 8, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
+		}, 99)),
+		WithClock(func() time.Time { return certgen.Epoch }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
 }

@@ -1,0 +1,20 @@
+package campaign
+
+// Metric and span keys the campaign harness emits (see the registry in
+// README.md). Package-prefixed compile-time constants, per the obskey lint
+// rule.
+const (
+	// KeySessionSpan is the span stage covering one full session — probe,
+	// submit and observe.
+	KeySessionSpan = "campaign.session"
+	// KeySessionsTotal counts sessions executed.
+	KeySessionsTotal = "campaign.session.total"
+	// KeySessionsFailed counts sessions that could not execute at all.
+	KeySessionsFailed = "campaign.session.failed"
+	// KeySubmitFailed counts session reports lost even after retries.
+	KeySubmitFailed = "campaign.submit.failed"
+	// KeyObserveFailed counts notary observations lost even after retries.
+	KeyObserveFailed = "campaign.observe.failed"
+	// KeyUntrustedProbes counts probes whose chain failed device validation.
+	KeyUntrustedProbes = "campaign.probe.untrusted"
+)

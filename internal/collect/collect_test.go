@@ -1,6 +1,7 @@
 package collect
 
 import (
+	"context"
 	"net"
 	"strings"
 	"sync"
@@ -44,8 +45,13 @@ func sessionReport(t *testing.T) *netalyzr.Report {
 		dev := device.New(device.Profile{
 			Model: "Galaxy SIV", Manufacturer: "SAMSUNG", Operator: "SPRINT", Country: "US", Version: "4.3",
 		}, u.AOSP("4.3"), nil)
-		client := &netalyzr.Client{Device: dev, Dialer: tlsnet.DirectDialer{Server: srv}, At: certgen.Epoch}
-		envRep, envErr = client.Run()
+		client, err := netalyzr.New(dev, tlsnet.DirectDialer{Server: srv},
+			netalyzr.WithValidationTime(certgen.Epoch))
+		if err != nil {
+			envErr = err
+			return
+		}
+		envRep, envErr = client.Run(context.Background())
 	})
 	if envErr != nil {
 		t.Fatal(envErr)
@@ -74,30 +80,30 @@ func TestFromReport(t *testing.T) {
 
 func TestSubmitAndSummary(t *testing.T) {
 	rep := sessionReport(t)
-	srv, err := Serve("127.0.0.1:0", true)
+	srv, err := NewServer("127.0.0.1:0", WithKeepReports())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	c, err := Dial(srv.Addr())
+	c, err := NewClient(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
 
 	for i := 0; i < 3; i++ {
-		if err := c.Submit(rep); err != nil {
+		if err := c.Submit(context.Background(), rep); err != nil {
 			t.Fatal(err)
 		}
 	}
 	rooted := FromReport(rep)
 	rooted.Rooted = true
 	rooted.Manufacturer = "HTC"
-	if err := c.SubmitWire(rooted); err != nil {
+	if err := c.SubmitWire(context.Background(), rooted); err != nil {
 		t.Fatal(err)
 	}
 
-	sum, err := c.Summary()
+	sum, err := c.Summary(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,12 +128,12 @@ func TestSubmitAndSummary(t *testing.T) {
 }
 
 func TestUntrustedProbeCounting(t *testing.T) {
-	srv, err := Serve("127.0.0.1:0", false)
+	srv, err := NewServer("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	c, err := Dial(srv.Addr())
+	c, err := NewClient(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,10 +146,10 @@ func TestUntrustedProbeCounting(t *testing.T) {
 			{Host: "down.example", Port: 443, DeviceValidated: false, Err: "dial failed"},
 		},
 	}
-	if err := c.SubmitWire(w); err != nil {
+	if err := c.SubmitWire(context.Background(), w); err != nil {
 		t.Fatal(err)
 	}
-	sum, err := c.Summary()
+	sum, err := c.Summary(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +163,7 @@ func TestUntrustedProbeCounting(t *testing.T) {
 
 func TestConcurrentSubmissions(t *testing.T) {
 	rep := sessionReport(t)
-	srv, err := Serve("127.0.0.1:0", false)
+	srv, err := NewServer("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,14 +173,14 @@ func TestConcurrentSubmissions(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c, err := Dial(srv.Addr())
+			c, err := NewClient(context.Background(), srv.Addr())
 			if err != nil {
 				t.Error(err)
 				return
 			}
 			defer c.Close()
 			for j := 0; j < 10; j++ {
-				if err := c.Submit(rep); err != nil {
+				if err := c.Submit(context.Background(), rep); err != nil {
 					t.Error(err)
 					return
 				}
@@ -188,20 +194,20 @@ func TestConcurrentSubmissions(t *testing.T) {
 }
 
 func TestCollectErrors(t *testing.T) {
-	srv, err := Serve("127.0.0.1:0", false)
+	srv, err := NewServer("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	c, err := Dial(srv.Addr())
+	c, err := NewClient(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.roundTrip(request{Op: "nope"}); err == nil || !strings.Contains(err.Error(), "unknown op") {
+	if _, err := c.roundTrip(context.Background(), request{Op: "nope"}); err == nil || !strings.Contains(err.Error(), "unknown op") {
 		t.Errorf("unknown op err = %v", err)
 	}
-	if _, err := c.roundTrip(request{Op: "submit"}); err == nil {
+	if _, err := c.roundTrip(context.Background(), request{Op: "submit"}); err == nil {
 		t.Error("submit without report should error")
 	}
 	// Raw garbage line.
@@ -219,17 +225,17 @@ func TestCollectErrors(t *testing.T) {
 }
 
 func TestSubmitAfterCloseCleanError(t *testing.T) {
-	srv, err := Serve("127.0.0.1:0", false)
+	srv, err := NewServer("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := Dial(srv.Addr())
+	c, err := NewClient(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
 	w := WireReport{Manufacturer: "HTC", Version: "4.0", StoreSize: 140}
-	if err := c.SubmitWire(w); err != nil {
+	if err := c.SubmitWire(context.Background(), w); err != nil {
 		t.Fatal(err)
 	}
 	// Close returns even though c's connection is still open: the server
@@ -243,16 +249,20 @@ func TestSubmitAfterCloseCleanError(t *testing.T) {
 	if resp.OK || !strings.Contains(resp.Error, "collector closed") {
 		t.Errorf("post-close dispatch = %+v, want collector closed error", resp)
 	}
-	if err := c.SubmitWire(w); err == nil {
+	if err := c.SubmitWire(context.Background(), w); err == nil {
 		t.Error("submit to a closed collector should fail")
 	}
 	if sum := srv.Summary(); sum.Sessions != 1 {
 		t.Errorf("sessions = %d, want aggregate frozen at 1", sum.Sessions)
 	}
+	snap := srv.Snapshot()
+	if snap.Counters[KeySubmitRejected] == 0 {
+		t.Error("post-close submits should be counted as rejected")
+	}
 }
 
 func TestDuplicateSubmitsNotDoubleCounted(t *testing.T) {
-	srv, err := Serve("127.0.0.1:0", true)
+	srv, err := NewServer("127.0.0.1:0", WithKeepReports())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,15 +282,22 @@ func TestDuplicateSubmitsNotDoubleCounted(t *testing.T) {
 	if got := len(srv.Reports()); got != 1 {
 		t.Errorf("retained reports = %d, want 1", got)
 	}
+	snap := srv.Snapshot()
+	if got := snap.Counters[KeySubmitTotal]; got != 1 {
+		t.Errorf("%s = %d, want 1", KeySubmitTotal, got)
+	}
+	if got := snap.Counters[KeySubmitDedupe]; got != 1 {
+		t.Errorf("%s = %d, want 1", KeySubmitDedupe, got)
+	}
 }
 
 func TestProbeFaultAggregation(t *testing.T) {
-	srv, err := Serve("127.0.0.1:0", false)
+	srv, err := NewServer("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	c, err := Dial(srv.Addr())
+	c, err := NewClient(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,10 +312,10 @@ func TestProbeFaultAggregation(t *testing.T) {
 			{Host: "e.example", Port: 443, Err: "mystery"},
 		},
 	}
-	if err := c.SubmitWire(w); err != nil {
+	if err := c.SubmitWire(context.Background(), w); err != nil {
 		t.Fatal(err)
 	}
-	sum, err := c.Summary()
+	sum, err := c.Summary(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +331,7 @@ func TestProbeFaultAggregation(t *testing.T) {
 }
 
 func TestSummaryCloneIsolated(t *testing.T) {
-	srv, err := Serve("127.0.0.1:0", false)
+	srv, err := NewServer("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,25 @@
+package collect
+
+// Metric keys the collector and its client emit (see the registry in
+// README.md). Package-prefixed compile-time constants, per the obskey lint
+// rule.
+const (
+	// KeySubmitTotal counts accepted (non-duplicate) report submissions.
+	KeySubmitTotal = "collect.submit.total"
+	// KeySubmitDedupe counts re-sent submissions absorbed by the
+	// idempotency window without double-counting.
+	KeySubmitDedupe = "collect.submit.dedupe.hit"
+	// KeySubmitRejected counts submissions refused after Close froze the
+	// aggregate.
+	KeySubmitRejected = "collect.submit.rejected.closed"
+	// KeySummaryTotal counts summary fetches served.
+	KeySummaryTotal = "collect.summary.total"
+	// KeyBadRequest counts undecodable or unknown-op requests.
+	KeyBadRequest = "collect.request.bad"
+	// KeyConnsActive gauges currently connected clients.
+	KeyConnsActive = "collect.conns.active"
+	// KeyClientDials counts transport dials the client performed.
+	KeyClientDials = "collect.client.dial.total"
+	// KeyClientDialErrors counts client dials that failed.
+	KeyClientDialErrors = "collect.client.dial.error"
+)

@@ -2,17 +2,13 @@ package collect
 
 import (
 	"bufio"
-	"crypto/rand"
-	"encoding/hex"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
-	"tangledmass/internal/netalyzr"
-	"tangledmass/internal/resilient"
+	"tangledmass/internal/obs"
 )
 
 // wire messages: {"op":"submit","report":{...}} and {"op":"summary"};
@@ -35,9 +31,10 @@ type response struct {
 // seconds, so a few thousand recent IDs is plenty.
 const seenCap = 4096
 
-// Server is the collection endpoint. Construct with Serve.
+// Server is the collection endpoint. Construct with NewServer.
 type Server struct {
-	ln net.Listener
+	ln  net.Listener
+	obs *obs.Observer
 
 	mu        sync.Mutex
 	sum       Summary
@@ -50,18 +47,25 @@ type Server struct {
 	seenOrder []string
 }
 
-// Serve starts a collector on addr. If keepReports is true the server
-// retains every submission (for test assertions and offline re-analysis);
-// otherwise it keeps only the aggregate.
-func Serve(addr string, keepReports bool) (*Server, error) {
+// NewServer starts a collector on addr ("127.0.0.1:0" for an ephemeral
+// port). Options: WithKeepReports retains every submission; WithObserver
+// shares an observer (the default is a private one, so Snapshot and the
+// debug handler always have something to serve).
+func NewServer(addr string, opts ...Option) (*Server, error) {
+	op := buildOptions(opts)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("collect: listening on %s: %w", addr, err)
 	}
+	observer := op.observer
+	if observer == nil {
+		observer = obs.New()
+	}
 	s := &Server{
 		ln:      ln,
+		obs:     observer,
 		sum:     newSummary(),
-		keepAll: keepReports,
+		keepAll: op.keepReports,
 		conns:   make(map[net.Conn]bool),
 		seen:    make(map[string]bool),
 	}
@@ -72,6 +76,15 @@ func Serve(addr string, keepReports bool) (*Server, error) {
 
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Observer returns the server's observer — the daemons mount obs.Handler
+// on it.
+func (s *Server) Observer() *obs.Observer { return s.obs }
+
+// Snapshot captures the server's current metrics: submit/dedupe/rejection
+// counters and the active-connection gauge. Tests assert against this
+// instead of reaching into server internals.
+func (s *Server) Snapshot() obs.Snapshot { return s.obs.Snapshot() }
 
 // Close stops the collector and freezes the aggregate. Requests already in
 // flight get a clean "collector closed" protocol error instead of racing
@@ -101,7 +114,7 @@ func (s *Server) Summary() Summary {
 	return s.sum.clone()
 }
 
-// Reports returns retained submissions (empty unless keepReports).
+// Reports returns retained submissions (empty unless WithKeepReports).
 func (s *Server) Reports() []WireReport {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -146,7 +159,9 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	s.conns[conn] = true
 	s.mu.Unlock()
+	s.obs.Gauge(KeyConnsActive).Inc()
 	defer func() {
+		s.obs.Gauge(KeyConnsActive).Dec()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -165,6 +180,7 @@ func (s *Server) handle(conn net.Conn) {
 		var req request
 		var resp response
 		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
+			s.obs.Counter(KeyBadRequest).Inc()
 			resp = response{Error: "bad request: " + err.Error()}
 		} else {
 			resp = s.dispatch(req)
@@ -200,6 +216,7 @@ func (s *Server) dispatch(req request) response {
 	switch req.Op {
 	case "submit":
 		if req.Report == nil {
+			s.obs.Counter(KeyBadRequest).Inc()
 			return response{Error: "submit: missing report"}
 		}
 		s.mu.Lock()
@@ -207,209 +224,27 @@ func (s *Server) dispatch(req request) response {
 		if s.closed {
 			// The aggregate froze at Close; refuse cleanly rather than
 			// absorbing a submission the summary reader will never see.
+			s.obs.Counter(KeySubmitRejected).Inc()
 			return response{Error: "collector closed"}
 		}
 		// Acknowledge a re-sent submission whose response was lost without
 		// double-counting it.
 		if s.duplicateLocked(req.ID) {
+			s.obs.Counter(KeySubmitDedupe).Inc()
 			return response{OK: true}
 		}
+		s.obs.Counter(KeySubmitTotal).Inc()
 		s.sum.absorb(*req.Report)
 		if s.keepAll {
 			s.reports = append(s.reports, *req.Report)
 		}
 		return response{OK: true}
 	case "summary":
+		s.obs.Counter(KeySummaryTotal).Inc()
 		sum := s.Summary()
 		return response{OK: true, Summary: &sum}
 	default:
+		s.obs.Counter(KeyBadRequest).Inc()
 		return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
-}
-
-// Client submits session reports. Sequential use only. Transient transport
-// failures retry on a fresh connection: after any mid-exchange failure the
-// transport is marked broken and never reused (a half-read response would
-// desync the framing), and submits carry idempotency IDs the server
-// deduplicates, so a retry after a lost response does not double-count.
-type Client struct {
-	addr    string
-	timeout time.Duration
-	dial    func(addr string) (net.Conn, error)
-	retry   *resilient.Retrier
-
-	nonce string
-	seq   uint64
-
-	conn    net.Conn
-	scanner *bufio.Scanner
-	enc     *json.Encoder
-	broken  bool
-}
-
-// Options tunes client resilience. The zero value gives the defaults noted
-// per field.
-type Options struct {
-	// Timeout bounds one round trip. Zero means one minute.
-	Timeout time.Duration
-	// Retry overrides the retry policy. Nil means 4 attempts with short
-	// jittered backoff.
-	Retry *resilient.Retrier
-	// Dial overrides the transport dialer — the fault-injection harness
-	// hooks in here. Nil means TCP with a 10s connect timeout.
-	Dial func(addr string) (net.Conn, error)
-}
-
-// Dial connects to a collector with default resilience.
-func Dial(addr string) (*Client, error) {
-	return DialOptions(addr, Options{})
-}
-
-// DialOptions connects to a collector under explicit resilience options.
-// The initial connect already runs under the retry policy.
-func DialOptions(addr string, opts Options) (*Client, error) {
-	c := &Client{
-		addr:    addr,
-		timeout: opts.Timeout,
-		dial:    opts.Dial,
-		retry:   opts.Retry,
-		nonce:   newNonce(),
-	}
-	if c.timeout <= 0 {
-		c.timeout = time.Minute
-	}
-	if c.dial == nil {
-		c.dial = func(addr string) (net.Conn, error) {
-			return net.DialTimeout("tcp", addr, 10*time.Second)
-		}
-	}
-	if c.retry == nil {
-		c.retry = resilient.NewRetrier(resilient.Policy{
-			MaxAttempts: 4,
-			BaseDelay:   20 * time.Millisecond,
-			MaxDelay:    500 * time.Millisecond,
-		}, 0)
-	}
-	if err := c.retry.Do(func(int) error { return c.connect() }); err != nil {
-		return nil, err
-	}
-	return c, nil
-}
-
-// newNonce labels this client's idempotency IDs. Uniqueness, not
-// unpredictability, is what matters; an entropy-pool failure is not
-// recoverable.
-func newNonce() string {
-	b := make([]byte, 6)
-	if _, err := rand.Read(b); err != nil {
-		panic(fmt.Sprintf("collect: reading nonce entropy: %v", err))
-	}
-	return hex.EncodeToString(b)
-}
-
-// connect establishes a fresh transport, replacing any broken one.
-func (c *Client) connect() error {
-	conn, err := c.dial(c.addr)
-	if err != nil {
-		return fmt.Errorf("collect: dialing %s: %w", c.addr, err)
-	}
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 64<<10), 8<<20)
-	c.conn, c.scanner, c.enc, c.broken = conn, sc, json.NewEncoder(conn), false
-	return nil
-}
-
-// markBroken poisons the transport after a mid-exchange failure so the
-// next attempt starts on a fresh connection.
-func (c *Client) markBroken() {
-	c.broken = true
-	if c.conn != nil {
-		_ = c.conn.Close()
-	}
-}
-
-// Close releases the connection.
-func (c *Client) Close() error {
-	if c.conn == nil {
-		return nil
-	}
-	return c.conn.Close()
-}
-
-// roundTrip sends one request and reads one response, reconnecting and
-// retrying transient failures.
-func (c *Client) roundTrip(req request) (response, error) {
-	req.ID = fmt.Sprintf("%s-%d", c.nonce, c.seq)
-	c.seq++
-	var resp response
-	err := c.retry.Do(func(int) error {
-		r, err := c.attempt(req)
-		if err != nil {
-			return err
-		}
-		resp = r
-		return nil
-	})
-	return resp, err
-}
-
-// attempt runs one exchange on the current transport.
-func (c *Client) attempt(req request) (response, error) {
-	if c.broken || c.conn == nil {
-		if err := c.connect(); err != nil {
-			return response{}, err
-		}
-	}
-	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
-		c.markBroken()
-		return response{}, fmt.Errorf("collect: setting deadline: %w", err)
-	}
-	if err := c.enc.Encode(req); err != nil {
-		c.markBroken()
-		return response{}, fmt.Errorf("collect: sending %s: %w", req.Op, err)
-	}
-	if !c.scanner.Scan() {
-		err := c.scanner.Err()
-		c.markBroken()
-		if err != nil {
-			return response{}, fmt.Errorf("collect: reading response: %w", err)
-		}
-		return response{}, resilient.MarkTransient(errors.New("collect: connection closed"))
-	}
-	var resp response
-	if err := json.Unmarshal(c.scanner.Bytes(), &resp); err != nil {
-		// Corrupted or truncated line: the framing is no longer trustworthy.
-		c.markBroken()
-		return response{}, resilient.MarkTransient(fmt.Errorf("collect: decoding response: %w", err))
-	}
-	if !resp.OK {
-		// Protocol-level rejection over a healthy transport: not retryable.
-		return resp, resilient.MarkPermanent(fmt.Errorf("collect: server error: %s", resp.Error))
-	}
-	return resp, nil
-}
-
-// Submit sends one session report.
-func (c *Client) Submit(r *netalyzr.Report) error {
-	w := FromReport(r)
-	_, err := c.roundTrip(request{Op: "submit", Report: &w})
-	return err
-}
-
-// SubmitWire sends a pre-converted report.
-func (c *Client) SubmitWire(w WireReport) error {
-	_, err := c.roundTrip(request{Op: "submit", Report: &w})
-	return err
-}
-
-// Summary fetches the collector's aggregate.
-func (c *Client) Summary() (Summary, error) {
-	resp, err := c.roundTrip(request{Op: "summary"})
-	if err != nil {
-		return Summary{}, err
-	}
-	if resp.Summary == nil {
-		return Summary{}, fmt.Errorf("collect: summary missing from response")
-	}
-	return *resp.Summary, nil
 }

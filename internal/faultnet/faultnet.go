@@ -18,6 +18,7 @@
 package faultnet
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -248,16 +249,16 @@ type siteDialer struct {
 // DialSite implements tlsnet.Dialer. The decision key is the logical
 // host:port, never the resolved loopback address, so ledgers compare
 // across runs with different ephemeral ports.
-func (d *siteDialer) DialSite(host string, port int) (net.Conn, error) {
+func (d *siteDialer) DialSite(ctx context.Context, host string, port int) (net.Conn, error) {
 	key := fmt.Sprintf("%s:%d", host, port)
-	return d.in.dial(d.scope, key, func() (net.Conn, error) { return d.next.DialSite(host, port) })
+	return d.in.dial(d.scope, key, func() (net.Conn, error) { return d.next.DialSite(ctx, host, port) })
 }
 
 // DialFunc wraps an address-based dialer under a fixed logical key —
 // "collector", "notary" — so ephemeral server ports never enter the
 // decision stream or the ledger.
-func (in *Injector) DialFunc(scope, key string, next func(addr string) (net.Conn, error)) func(addr string) (net.Conn, error) {
-	return func(addr string) (net.Conn, error) {
-		return in.dial(scope, key, func() (net.Conn, error) { return next(addr) })
+func (in *Injector) DialFunc(scope, key string, next func(ctx context.Context, addr string) (net.Conn, error)) func(ctx context.Context, addr string) (net.Conn, error) {
+	return func(ctx context.Context, addr string) (net.Conn, error) {
+		return in.dial(scope, key, func() (net.Conn, error) { return next(ctx, addr) })
 	}
 }

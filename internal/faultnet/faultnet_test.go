@@ -1,6 +1,7 @@
 package faultnet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -60,10 +61,11 @@ func only(kind Kind) Plan {
 
 func dialThrough(t *testing.T, in *Injector, ln net.Listener) (net.Conn, error) {
 	t.Helper()
-	dial := in.DialFunc("test", "svc", func(addr string) (net.Conn, error) {
-		return net.DialTimeout("tcp", addr, 5*time.Second)
+	dial := in.DialFunc("test", "svc", func(ctx context.Context, addr string) (net.Conn, error) {
+		d := &net.Dialer{Timeout: 5 * time.Second}
+		return d.DialContext(ctx, "tcp", addr)
 	})
-	conn, err := dial(ln.Addr().String())
+	conn, err := dial(context.Background(), ln.Addr().String())
 	if conn != nil {
 		t.Cleanup(func() { _ = conn.Close() })
 	}

@@ -139,6 +139,7 @@ func Analyzers() []*Analyzer {
 		NoExit,
 		CtxHTTP,
 		SleepRetry,
+		ObsKey,
 	}
 }
 

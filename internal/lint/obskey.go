@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// ObsKey keeps the observability namespace flat, collision-free, and
+// greppable. Every metric and span name in the aggregated snapshot is a
+// map key; two packages reusing "dial.total" would silently merge their
+// counters, and a name built at runtime cannot be found by grep, listed in
+// the README registry, or asserted in tests. So every name handed to an
+// obs instrument must be a compile-time string constant carrying the
+// calling package's name as a dotted prefix ("netalyzr.dial.total" inside
+// package netalyzr). Package obs itself is exempt: it is the registry
+// mechanism, not a tenant of the namespace.
+var ObsKey = &Analyzer{
+	Name: "obskey",
+	Doc:  "flag obs metric/span names that are not package-prefixed compile-time constants",
+	Run:  runObsKey,
+}
+
+// obsKeyMethods maps each Observer instrument method to the index of its
+// name argument. StartSpan's first argument is the dynamic session scope;
+// the namespaced key is the stage.
+var obsKeyMethods = map[string]int{
+	"Counter":   0,
+	"Gauge":     0,
+	"Histogram": 0,
+	"StartSpan": 1,
+}
+
+func runObsKey(p *Pass) {
+	if p.Pkg.Base() == "obs" {
+		return
+	}
+	prefix := p.Pkg.Base() + "."
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			method, ok := obsObserverMethod(p, call)
+			if !ok {
+				return true
+			}
+			argIdx := obsKeyMethods[method]
+			if len(call.Args) <= argIdx {
+				return true
+			}
+			arg := call.Args[argIdx]
+			tv, ok := p.Pkg.Info.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				p.Reportf(arg.Pos(),
+					"obs %s name is not a compile-time constant; runtime-built names cannot be grepped or registered", method)
+				return true
+			}
+			if name := constant.StringVal(tv.Value); !strings.HasPrefix(name, prefix) {
+				p.Reportf(arg.Pos(),
+					"obs %s name %q is not namespaced under this package; prefix it %q", method, name, prefix)
+			}
+			return true
+		})
+	}
+}
+
+// obsObserverMethod reports whether call invokes one of the obs.Observer
+// instrument methods, returning the method name. The receiver is matched
+// by type identity — a *Observer named in a package whose base name is
+// "obs" — so the rule follows the type through locals, struct fields, and
+// embedding rather than pattern-matching on selector text.
+func obsObserverMethod(p *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	method := sel.Sel.Name
+	if _, ok := obsKeyMethods[method]; !ok {
+		return "", false
+	}
+	name := p.CalleeName(call)
+	// FullName renders the receiver as "(*<pkgpath>.Observer).<method>".
+	i := strings.LastIndex(name, ").")
+	if i < 0 || !strings.HasPrefix(name, "(*") {
+		return "", false
+	}
+	recv := name[2:i]
+	if recv != "obs.Observer" && !strings.HasSuffix(recv, "/obs.Observer") {
+		return "", false
+	}
+	return method, true
+}

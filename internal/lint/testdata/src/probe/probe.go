@@ -1,0 +1,32 @@
+// Package probe is a tenant of the observability namespace: obskey demands
+// every instrument name be a compile-time constant carrying "probe." as its
+// prefix.
+package probe
+
+import "sandbox/obs"
+
+// The sanctioned shape: package-prefixed named constants.
+const (
+	// KeyDials counts transport dials.
+	KeyDials = "probe.dial.total"
+	// KeySessionSpan times one measurement session.
+	KeySessionSpan = "probe.session"
+)
+
+// Record uses constant, prefixed names throughout: clean.
+func Record(o *obs.Observer, session string) {
+	o.Counter(KeyDials).Inc()
+	o.StartSpan(session, KeySessionSpan).End()
+	o.Histogram("probe.latency.ms", nil).Observe(1)
+}
+
+// Dynamic builds a counter name at runtime: flagged.
+func Dynamic(o *obs.Observer, target string) {
+	o.Counter("probe.dial." + target).Inc()
+}
+
+// Unprefixed uses constants outside the package namespace: both flagged.
+func Unprefixed(o *obs.Observer, session string) {
+	o.Gauge("dial.active").Set(1)
+	o.StartSpan(session, "session").End()
+}

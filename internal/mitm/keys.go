@@ -1,0 +1,18 @@
+package mitm
+
+// Metric keys the interception proxy emits (see the registry in README.md).
+// Package-prefixed compile-time constants, per the obskey lint rule.
+const (
+	// KeyIntercepted counts connections terminated with a forged chain.
+	KeyIntercepted = "mitm.intercept.total"
+	// KeyTunneled counts whitelisted connections passed through untouched.
+	KeyTunneled = "mitm.tunnel.total"
+	// KeyLeavesForged counts leaf certificates minted under the
+	// interception intermediate.
+	KeyLeavesForged = "mitm.leaf.forged.total"
+	// KeyLeafCacheHits counts forged-leaf requests served from the cache.
+	KeyLeafCacheHits = "mitm.leaf.cache.hit"
+	// KeyUpstreamExhausted counts origin dials that failed even after the
+	// retry policy was exhausted.
+	KeyUpstreamExhausted = "mitm.upstream.exhausted"
+)

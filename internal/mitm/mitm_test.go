@@ -1,6 +1,7 @@
 package mitm
 
 import (
+	"context"
 	"crypto/x509"
 	"net"
 	"sync"
@@ -49,13 +50,12 @@ func newTestProxy(t *testing.T, disableCache bool) *Proxy {
 	t.Helper()
 	srv, _ := env(t)
 	u := cauniverse.Default()
-	p, err := NewProxy(ProxyConfig{
-		CA:               u.InterceptionRoot().Issued,
-		Generator:        u.Generator(),
-		Upstream:         tlsnet.DirectDialer{Server: srv},
-		Whitelist:        tlsnet.WhitelistedDomains,
-		DisableLeafCache: disableCache,
-	})
+	opts := []Option{WithWhitelist(tlsnet.WhitelistedDomains)}
+	if disableCache {
+		opts = append(opts, WithoutLeafCache())
+	}
+	p, err := NewProxy(u.InterceptionRoot().Issued, u.Generator(),
+		tlsnet.DirectDialer{Server: srv}, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,20 +70,20 @@ func interceptedDevice() *device.Device {
 }
 
 func TestProxyConfigValidation(t *testing.T) {
-	if _, err := NewProxy(ProxyConfig{}); err == nil {
-		t.Error("empty config should error")
+	if _, err := NewProxy(nil, nil, nil); err == nil {
+		t.Error("missing CA/generator/upstream should error")
 	}
 }
 
 func TestTable6InterceptionSplit(t *testing.T) {
 	proxy := newTestProxy(t, false)
 	u := cauniverse.Default()
-	client := &netalyzr.Client{
-		Device: interceptedDevice(),
-		Dialer: proxy,
-		At:     certgen.Epoch,
+	client, err := netalyzr.New(interceptedDevice(), proxy,
+		netalyzr.WithValidationTime(certgen.Epoch))
+	if err != nil {
+		t.Fatal(err)
 	}
-	rep, err := client.Run()
+	rep, err := client.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,13 +118,13 @@ func TestTable6InterceptionSplit(t *testing.T) {
 
 func TestForgedChainShape(t *testing.T) {
 	proxy := newTestProxy(t, false)
-	client := &netalyzr.Client{
-		Device:  interceptedDevice(),
-		Dialer:  proxy,
-		At:      certgen.Epoch,
-		Targets: []tlsnet.HostPort{{Host: "gmail.com", Port: 443}},
+	client, err := netalyzr.New(interceptedDevice(), proxy,
+		netalyzr.WithValidationTime(certgen.Epoch),
+		netalyzr.WithTargets([]tlsnet.HostPort{{Host: "gmail.com", Port: 443}}))
+	if err != nil {
+		t.Fatal(err)
 	}
-	rep, err := client.Run()
+	rep, err := client.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,13 +153,13 @@ func TestForgedChainShape(t *testing.T) {
 
 func TestWhitelistTunnelsPinnedApps(t *testing.T) {
 	proxy := newTestProxy(t, false)
-	client := &netalyzr.Client{
-		Device:  interceptedDevice(),
-		Dialer:  proxy,
-		At:      certgen.Epoch,
-		Targets: []tlsnet.HostPort{{Host: "supl.google.com", Port: 7275}, {Host: "www.facebook.com", Port: 443}},
+	client, err := netalyzr.New(interceptedDevice(), proxy,
+		netalyzr.WithValidationTime(certgen.Epoch),
+		netalyzr.WithTargets([]tlsnet.HostPort{{Host: "supl.google.com", Port: 7275}, {Host: "www.facebook.com", Port: 443}}))
+	if err != nil {
+		t.Fatal(err)
 	}
-	rep, err := client.Run()
+	rep, err := client.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +222,7 @@ type flakyUpstream struct {
 	dials    map[string]int
 }
 
-func (f *flakyUpstream) DialSite(host string, port int) (net.Conn, error) {
+func (f *flakyUpstream) DialSite(ctx context.Context, host string, port int) (net.Conn, error) {
 	key := tlsnet.HostPort{Host: host, Port: port}.String()
 	f.mu.Lock()
 	f.dials[key]++
@@ -231,37 +231,33 @@ func (f *flakyUpstream) DialSite(host string, port int) (net.Conn, error) {
 	if n <= f.failures {
 		return nil, resilient.MarkTransient(&net.OpError{Op: "dial", Err: syscall.ECONNREFUSED})
 	}
-	return f.next.DialSite(host, port)
+	return f.next.DialSite(ctx, host, port)
 }
 
 func TestProxyRetriesUpstreamDials(t *testing.T) {
 	srv, _ := env(t)
 	u := cauniverse.Default()
 	up := &flakyUpstream{next: tlsnet.DirectDialer{Server: srv}, failures: 2, dials: map[string]int{}}
-	proxy, err := NewProxy(ProxyConfig{
-		CA:        u.InterceptionRoot().Issued,
-		Generator: u.Generator(),
-		Upstream:  up,
-		Whitelist: tlsnet.WhitelistedDomains,
-		Retry: resilient.NewRetrier(resilient.Policy{
+	proxy, err := NewProxy(u.InterceptionRoot().Issued, u.Generator(), up,
+		WithWhitelist(tlsnet.WhitelistedDomains),
+		WithRetryPolicy(resilient.NewRetrier(resilient.Policy{
 			MaxAttempts: 4,
 			BaseDelay:   time.Millisecond,
 			MaxDelay:    5 * time.Millisecond,
-		}, 0),
-	})
+		}, 0)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	client := &netalyzr.Client{
-		Device: interceptedDevice(),
-		Dialer: proxy,
-		At:     certgen.Epoch,
-		Targets: []tlsnet.HostPort{
+	client, err := netalyzr.New(interceptedDevice(), proxy,
+		netalyzr.WithValidationTime(certgen.Epoch),
+		netalyzr.WithTargets([]tlsnet.HostPort{
 			{Host: "gmail.com", Port: 443},        // intercepted: relay path
 			{Host: "supl.google.com", Port: 7275}, // whitelisted: tunnel path
-		},
+		}))
+	if err != nil {
+		t.Fatal(err)
 	}
-	rep, err := client.Run()
+	rep, err := client.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,33 +276,29 @@ func TestProxyCountsExhaustedUpstream(t *testing.T) {
 	u := cauniverse.Default()
 	// More refusals than the policy has attempts: the dial exhausts.
 	up := &flakyUpstream{next: tlsnet.DirectDialer{Server: srv}, failures: 99, dials: map[string]int{}}
-	proxy, err := NewProxy(ProxyConfig{
-		CA:        u.InterceptionRoot().Issued,
-		Generator: u.Generator(),
-		Upstream:  up,
-		Whitelist: tlsnet.WhitelistedDomains,
-		Retry: resilient.NewRetrier(resilient.Policy{
+	proxy, err := NewProxy(u.InterceptionRoot().Issued, u.Generator(), up,
+		WithWhitelist(tlsnet.WhitelistedDomains),
+		WithRetryPolicy(resilient.NewRetrier(resilient.Policy{
 			MaxAttempts: 2,
 			BaseDelay:   time.Millisecond,
 			MaxDelay:    time.Millisecond,
-		}, 0),
-	})
+		}, 0)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// A whitelisted target: the tunnel path surfaces the dial failure to the
 	// handset (an intercepted one would still complete its forged handshake —
 	// the proxy terminates TLS before touching the origin).
-	client := &netalyzr.Client{
-		Device:  interceptedDevice(),
-		Dialer:  proxy,
-		At:      certgen.Epoch,
-		Targets: []tlsnet.HostPort{{Host: "supl.google.com", Port: 7275}},
-		Retry: resilient.NewRetrier(resilient.Policy{
+	client, err := netalyzr.New(interceptedDevice(), proxy,
+		netalyzr.WithValidationTime(certgen.Epoch),
+		netalyzr.WithTargets([]tlsnet.HostPort{{Host: "supl.google.com", Port: 7275}}),
+		netalyzr.WithRetryPolicy(resilient.NewRetrier(resilient.Policy{
 			MaxAttempts: 1,
-		}, 0),
+		}, 0)))
+	if err != nil {
+		t.Fatal(err)
 	}
-	rep, err := client.Run()
+	rep, err := client.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package mitm
 
 import (
+	"context"
 	"crypto/tls"
 	"fmt"
 	"io"
@@ -16,38 +17,24 @@ import (
 	"time"
 
 	"tangledmass/internal/certgen"
+	"tangledmass/internal/obs"
 	"tangledmass/internal/resilient"
 	"tangledmass/internal/tlsnet"
 )
 
-// ProxyConfig configures an interception proxy.
-type ProxyConfig struct {
-	// CA is the proxy's signing root (the Reality Mine analogue).
-	CA *certgen.Issued
-	// Generator mints the on-the-fly intermediate and leaf certificates.
-	Generator *certgen.Generator
-	// Upstream reaches the real origin servers.
-	Upstream tlsnet.Dialer
-	// Whitelist lists host:port targets to tunnel instead of intercept.
-	Whitelist []tlsnet.HostPort
-	// DisableLeafCache forces a fresh forged leaf per connection — the
-	// baseline arm of the leaf-cache ablation.
-	DisableLeafCache bool
-	// Retry governs transient upstream dial failures — a proxy on a lossy
-	// uplink rides out refused connects and resets instead of dropping the
-	// handset's session. Nil means 3 attempts with short backoff.
-	Retry *resilient.Retrier
-}
-
 // Proxy is a man-in-the-middle HTTPS proxy. It implements tlsnet.Dialer, so
 // a measurement client pointed at it transparently probes through it — the
 // same topology as the §7 handset whose tun interface routed all traffic to
-// the marketing proxy.
+// the marketing proxy. Construct with NewProxy.
 type Proxy struct {
-	cfg          ProxyConfig
+	ca           *certgen.Issued
+	generator    *certgen.Generator
+	upstream     tlsnet.Dialer
 	whitelist    map[string]bool
 	intermediate *certgen.Issued
 	retry        *resilient.Retrier
+	obs          *obs.Observer
+	noLeafCache  bool
 
 	mu        sync.Mutex
 	leafCache map[string]*tls.Certificate
@@ -63,33 +50,68 @@ type Stats struct {
 	UpstreamFailures int64
 }
 
-// NewProxy builds the proxy and its on-the-fly intermediate.
-func NewProxy(cfg ProxyConfig) (*Proxy, error) {
-	if cfg.CA == nil || cfg.Generator == nil || cfg.Upstream == nil {
-		return nil, fmt.Errorf("mitm: config needs CA, Generator and Upstream")
+// Option configures a Proxy.
+type Option func(*Proxy)
+
+// WithWhitelist lists host:port targets to tunnel instead of intercept —
+// the pinned apps, SUPL and chat endpoints of §7.
+func WithWhitelist(targets []tlsnet.HostPort) Option {
+	return func(p *Proxy) {
+		for _, hp := range targets {
+			p.whitelist[hp.String()] = true
+		}
 	}
-	inter, err := cfg.Generator.Intermediate(cfg.CA,
-		cfg.CA.Cert.Subject.CommonName+" Interception Intermediate")
+}
+
+// WithoutLeafCache forces a fresh forged leaf per connection — the baseline
+// arm of the leaf-cache ablation.
+func WithoutLeafCache() Option {
+	return func(p *Proxy) { p.noLeafCache = true }
+}
+
+// WithRetryPolicy overrides the transient-upstream-dial retry policy — a
+// proxy on a lossy uplink rides out refused connects and resets instead of
+// dropping the handset's session. The default is 3 attempts with short
+// backoff.
+func WithRetryPolicy(r *resilient.Retrier) Option {
+	return func(p *Proxy) { p.retry = r }
+}
+
+// WithObserver attaches the observer the proxy's intercept/tunnel/forge
+// counters report through. The default (nil) is silent; Stats always works.
+func WithObserver(o *obs.Observer) Option {
+	return func(p *Proxy) { p.obs = o }
+}
+
+// NewProxy builds the proxy and its on-the-fly intermediate. ca is the
+// proxy's signing root (the Reality Mine analogue), gen mints the
+// intermediate and leaf certificates, and upstream reaches the real origin
+// servers.
+func NewProxy(ca *certgen.Issued, gen *certgen.Generator, upstream tlsnet.Dialer, opts ...Option) (*Proxy, error) {
+	if ca == nil || gen == nil || upstream == nil {
+		return nil, fmt.Errorf("mitm: proxy needs a CA, a generator and an upstream dialer")
+	}
+	p := &Proxy{
+		ca:        ca,
+		generator: gen,
+		upstream:  upstream,
+		whitelist: make(map[string]bool),
+		leafCache: make(map[string]*tls.Certificate),
+	}
+	for _, opt := range opts {
+		opt(p)
+	}
+	inter, err := gen.Intermediate(ca, ca.Cert.Subject.CommonName+" Interception Intermediate")
 	if err != nil {
 		return nil, fmt.Errorf("mitm: issuing intermediate: %w", err)
 	}
-	retry := cfg.Retry
-	if retry == nil {
-		retry = resilient.NewRetrier(resilient.Policy{
+	p.intermediate = inter
+	if p.retry == nil {
+		p.retry = resilient.NewRetrier(resilient.Policy{
 			MaxAttempts: 3,
 			BaseDelay:   10 * time.Millisecond,
 			MaxDelay:    200 * time.Millisecond,
-		}, 0)
-	}
-	p := &Proxy{
-		cfg:          cfg,
-		whitelist:    make(map[string]bool, len(cfg.Whitelist)),
-		intermediate: inter,
-		retry:        retry,
-		leafCache:    make(map[string]*tls.Certificate),
-	}
-	for _, hp := range cfg.Whitelist {
-		p.whitelist[hp.String()] = true
+		}, 0).WithObserver(p.obs)
 	}
 	return p, nil
 }
@@ -109,24 +131,30 @@ func (p *Proxy) Stats() Stats {
 // DialSite implements tlsnet.Dialer. Whitelisted targets pass straight to
 // the upstream; intercepted targets get a pipe whose far end speaks TLS with
 // a forged certificate.
-func (p *Proxy) DialSite(host string, port int) (net.Conn, error) {
+func (p *Proxy) DialSite(ctx context.Context, host string, port int) (net.Conn, error) {
 	if p.Whitelisted(host, port) {
 		p.mu.Lock()
 		p.stats.Tunneled++
 		p.mu.Unlock()
-		return p.dialUpstream(host, port)
+		p.obs.Counter(KeyTunneled).Inc()
+		return p.dialUpstream(ctx, host, port)
 	}
 	p.mu.Lock()
 	p.stats.Intercepted++
 	p.mu.Unlock()
+	p.obs.Counter(KeyIntercepted).Inc()
 	client, server := net.Pipe()
-	go p.serve(server, host, port)
+	// The proxied session outlives the dial: the handset's dial ctx bounds
+	// connection establishment, not the relay's lifetime, so the serve
+	// goroutine detaches from its cancelation (exactly as a real proxy's
+	// accepted connection outlives the SYN).
+	go p.serve(context.WithoutCancel(ctx), server, host, port)
 	return client, nil
 }
 
 // serve terminates the client's TLS with a forged certificate, then relays
 // the origin's application data through a second TLS session upstream.
-func (p *Proxy) serve(conn net.Conn, host string, port int) {
+func (p *Proxy) serve(ctx context.Context, conn net.Conn, host string, port int) {
 	defer conn.Close()
 	cert, err := p.forgedLeaf(host)
 	if err != nil {
@@ -141,7 +169,7 @@ func (p *Proxy) serve(conn net.Conn, host string, port int) {
 	// Fetch the origin's response over a real upstream TLS session. The
 	// proxy does not need the origin to be trustworthy — it is the
 	// interception point, exactly as in §7.
-	up, err := p.dialUpstream(host, port)
+	up, err := p.dialUpstream(ctx, host, port)
 	if err != nil {
 		return
 	}
@@ -164,10 +192,10 @@ func (p *Proxy) serve(conn net.Conn, host string, port int) {
 
 // dialUpstream reaches the origin under the proxy's retry policy, counting
 // dials that fail even after retries.
-func (p *Proxy) dialUpstream(host string, port int) (net.Conn, error) {
+func (p *Proxy) dialUpstream(ctx context.Context, host string, port int) (net.Conn, error) {
 	var conn net.Conn
-	err := p.retry.Do(func(int) error {
-		c, err := p.cfg.Upstream.DialSite(host, port)
+	err := p.retry.Do(ctx, func(int) error {
+		c, err := p.upstream.DialSite(ctx, host, port)
 		if err != nil {
 			return err
 		}
@@ -178,6 +206,7 @@ func (p *Proxy) dialUpstream(host string, port int) (net.Conn, error) {
 		p.mu.Lock()
 		p.stats.UpstreamFailures++
 		p.mu.Unlock()
+		p.obs.Counter(KeyUpstreamExhausted).Inc()
 		return nil, err
 	}
 	return conn, nil
@@ -186,15 +215,16 @@ func (p *Proxy) dialUpstream(host string, port int) (net.Conn, error) {
 // forgedLeaf returns (minting if needed) the forged certificate for host:
 // a fresh leaf under the proxy's interception intermediate.
 func (p *Proxy) forgedLeaf(host string) (*tls.Certificate, error) {
-	if !p.cfg.DisableLeafCache {
+	if !p.noLeafCache {
 		p.mu.Lock()
 		if c, ok := p.leafCache[host]; ok {
 			p.mu.Unlock()
+			p.obs.Counter(KeyLeafCacheHits).Inc()
 			return c, nil
 		}
 		p.mu.Unlock()
 	}
-	leaf, err := p.cfg.Generator.Leaf(p.intermediate, host,
+	leaf, err := p.generator.Leaf(p.intermediate, host,
 		certgen.WithKeyName("mitm-forged-leaf-key"),
 		certgen.WithValidity(certgen.Epoch.AddDate(0, -1, 0), certgen.Epoch.AddDate(1, 0, 0)))
 	if err != nil {
@@ -206,10 +236,11 @@ func (p *Proxy) forgedLeaf(host string) (*tls.Certificate, error) {
 	}
 	p.mu.Lock()
 	p.stats.LeavesForged++
-	if !p.cfg.DisableLeafCache {
+	if !p.noLeafCache {
 		p.leafCache[host] = cert
 	}
 	p.mu.Unlock()
+	p.obs.Counter(KeyLeavesForged).Inc()
 	return cert, nil
 }
 

@@ -1,0 +1,28 @@
+package netalyzr
+
+// Metric and span keys the measurement client emits (see the registry in
+// README.md). Package-prefixed compile-time constants, per the obskey lint
+// rule.
+const (
+	// KeySessionSpan is the span stage covering one full Run.
+	KeySessionSpan = "netalyzr.session"
+	// KeyProbeSpan is the span stage covering one target probe, retries
+	// included.
+	KeyProbeSpan = "netalyzr.probe"
+	// KeyProbesTotal counts probes started.
+	KeyProbesTotal = "netalyzr.probe.total"
+	// KeyProbesFailed counts probes that failed after exhausting retries.
+	KeyProbesFailed = "netalyzr.probe.failed"
+	// KeyProbesUntrusted counts successful probes whose chain did not
+	// validate against the device store — the §7 interception signal.
+	KeyProbesUntrusted = "netalyzr.probe.untrusted"
+	// KeyDialsTotal counts individual dial attempts (one per retry).
+	KeyDialsTotal = "netalyzr.dial.total"
+	// KeyDialErrors counts dial attempts that failed.
+	KeyDialErrors = "netalyzr.dial.error"
+	// KeyStoreReads counts effective-store reads (one per session).
+	KeyStoreReads = "netalyzr.store.read.total"
+	// KeyStoreCerts accumulates the number of roots seen across store
+	// reads.
+	KeyStoreCerts = "netalyzr.store.certs.total"
+)

@@ -7,14 +7,15 @@
 package netalyzr
 
 import (
+	"context"
 	"crypto/tls"
 	"crypto/x509"
 	"fmt"
-	"sync"
 	"time"
 
 	"tangledmass/internal/chain"
 	"tangledmass/internal/device"
+	"tangledmass/internal/obs"
 	"tangledmass/internal/resilient"
 	"tangledmass/internal/rootstore"
 	"tangledmass/internal/tlsnet"
@@ -49,101 +50,154 @@ type Report struct {
 	Probes []ProbeResult
 }
 
-// Client runs measurement sessions. The zero value is not usable; fill all
-// fields.
+// Client runs measurement sessions. Construct with New.
 type Client struct {
-	// Device is the handset under measurement.
-	Device *device.Device
-	// Dialer provides connectivity — direct to the origin, or through an
-	// interception proxy when the device's traffic is tunneled (§7).
-	Dialer tlsnet.Dialer
-	// Targets are the domains to probe. Nil means tlsnet.ProbeTargets().
-	Targets []tlsnet.HostPort
-	// At pins the validation clock (defaults to the Unix epoch of the
-	// handshake if zero — callers should pass certgen.Epoch).
-	At time.Time
-	// ProbeTimeout bounds one connection attempt end to end — dial,
-	// handshake, chain capture — so a stalled server costs one deadline,
-	// never the whole session. Zero means 15s.
-	ProbeTimeout time.Duration
-	// Retry governs transient probe failures (refused connects, resets,
-	// timeouts). Nil means a default of 3 attempts with short backoff.
-	Retry *resilient.Retrier
-
-	retryOnce sync.Once
-	retry     *resilient.Retrier
+	device  *device.Device
+	dialer  tlsnet.Dialer
+	targets []tlsnet.HostPort
+	at      time.Time
+	timeout time.Duration
+	retry   *resilient.Retrier
+	obs     *obs.Observer
+	session string
 }
 
-// retrier resolves the effective retry policy once per client.
-func (c *Client) retrier() *resilient.Retrier {
-	c.retryOnce.Do(func() {
-		c.retry = c.Retry
-		if c.retry == nil {
-			c.retry = resilient.NewRetrier(resilient.Policy{
-				MaxAttempts: 3,
-				BaseDelay:   10 * time.Millisecond,
-				MaxDelay:    200 * time.Millisecond,
-			}, 0)
-		}
-	})
-	return c.retry
+// Option configures a Client.
+type Option func(*Client)
+
+// WithTargets sets the domains to probe. The default is the full
+// tlsnet.ProbeTargets() list.
+func WithTargets(targets []tlsnet.HostPort) Option {
+	return func(c *Client) { c.targets = targets }
 }
 
-// Run executes one session: store collection plus one probe per target.
-func (c *Client) Run() (*Report, error) {
-	if c.Device == nil || c.Dialer == nil {
+// WithValidationTime pins the chain-validation clock — callers should pass
+// certgen.Epoch. Zero means the Unix epoch of the handshake.
+func WithValidationTime(at time.Time) Option {
+	return func(c *Client) { c.at = at }
+}
+
+// WithProbeTimeout bounds one connection attempt end to end — dial,
+// handshake, chain capture — so a stalled server costs one deadline, never
+// the whole session. Zero (the default) means 15s.
+func WithProbeTimeout(d time.Duration) Option {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithRetryPolicy overrides the transient-probe-failure retry policy
+// (refused connects, resets, timeouts). The default is 3 attempts with
+// short backoff.
+func WithRetryPolicy(r *resilient.Retrier) Option {
+	return func(c *Client) { c.retry = r }
+}
+
+// WithObserver attaches the observer probe counters, store-read counters
+// and probe spans report through. The default (nil) is silent.
+func WithObserver(o *obs.Observer) Option {
+	return func(c *Client) { c.obs = o }
+}
+
+// WithSession labels this client's spans with a session identifier
+// ("session-17"); the campaign sets it per fleet session. The default is
+// "session".
+func WithSession(id string) Option {
+	return func(c *Client) { c.session = id }
+}
+
+// New builds a measurement client for the handset and its network path —
+// direct to the origin, or through an interception proxy when the device's
+// traffic is tunneled (§7).
+func New(dev *device.Device, dialer tlsnet.Dialer, opts ...Option) (*Client, error) {
+	if dev == nil || dialer == nil {
 		return nil, fmt.Errorf("netalyzr: client needs a device and a dialer")
 	}
-	targets := c.Targets
+	c := &Client{device: dev, dialer: dialer, session: "session"}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.timeout <= 0 {
+		c.timeout = 15 * time.Second
+	}
+	if c.retry == nil {
+		c.retry = resilient.NewRetrier(resilient.Policy{
+			MaxAttempts: 3,
+			BaseDelay:   10 * time.Millisecond,
+			MaxDelay:    200 * time.Millisecond,
+		}, 0).WithObserver(c.obs)
+	}
+	return c, nil
+}
+
+// Run executes one session: store collection plus one probe per target,
+// all within ctx.
+func (c *Client) Run(ctx context.Context) (*Report, error) {
+	targets := c.targets
 	if targets == nil {
 		targets = tlsnet.ProbeTargets()
 	}
+	span := c.obs.StartSpan(c.session, KeySessionSpan)
+	defer span.End()
+	c.obs.Counter(KeyStoreReads).Inc()
 	rep := &Report{
-		Profile: c.Device.Profile,
-		Rooted:  c.Device.Rooted(),
-		Store:   c.Device.EffectiveStore(),
+		Profile: c.device.Profile,
+		Rooted:  c.device.Rooted(),
+		Store:   c.device.EffectiveStore(),
 	}
+	c.obs.Counter(KeyStoreCerts).Add(int64(rep.Store.Len()))
 	for _, hp := range targets {
-		rep.Probes = append(rep.Probes, c.probe(rep.Store, hp))
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("netalyzr: session canceled: %w", err)
+		}
+		rep.Probes = append(rep.Probes, c.probe(ctx, rep.Store, hp))
 	}
 	return rep, nil
 }
 
 // probe fetches and evaluates one target's chain, retrying transient
 // transport failures under the client's policy.
-func (c *Client) probe(store *rootstore.Store, hp tlsnet.HostPort) ProbeResult {
+func (c *Client) probe(ctx context.Context, store *rootstore.Store, hp tlsnet.HostPort) ProbeResult {
 	res := ProbeResult{Target: hp}
-	err := c.retrier().Do(func(int) error {
-		presented, err := c.fetchChain(hp)
+	c.obs.Counter(KeyProbesTotal).Inc()
+	span := c.obs.StartSpan(c.session, KeyProbeSpan)
+	err := c.retry.Do(ctx, func(int) error {
+		presented, err := c.fetchChain(ctx, hp)
 		if err != nil {
 			return err
 		}
 		res.Chain = presented
 		return nil
 	})
+	span.End()
 	if err != nil {
+		c.obs.Counter(KeyProbesFailed).Inc()
 		res.Err = err
 		res.ErrKind = resilient.Kind(err)
 		return res
 	}
 	res.DeviceValidated = c.validates(store, res.Chain)
+	if !res.DeviceValidated {
+		c.obs.Counter(KeyProbesUntrusted).Inc()
+	}
 	return res
 }
 
 // fetchChain runs one dial-and-handshake attempt under the probe deadline
 // and returns the presented chain.
-func (c *Client) fetchChain(hp tlsnet.HostPort) ([]*x509.Certificate, error) {
-	conn, err := c.Dialer.DialSite(hp.Host, hp.Port)
+func (c *Client) fetchChain(ctx context.Context, hp tlsnet.HostPort) ([]*x509.Certificate, error) {
+	// The per-attempt context bounds dial, handshake and chain capture
+	// together; its deadline also arms the conn deadline below.
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	c.obs.Counter(KeyDialsTotal).Inc()
+	conn, err := c.dialer.DialSite(ctx, hp.Host, hp.Port)
 	if err != nil {
+		c.obs.Counter(KeyDialErrors).Inc()
 		return nil, fmt.Errorf("netalyzr: dialing %s: %w", hp, err)
-	}
-	timeout := c.ProbeTimeout
-	if timeout <= 0 {
-		timeout = 15 * time.Second
 	}
 	// The deadline covers the whole attempt: without it a server that
 	// accepts and then stalls mid-handshake would hang the session forever.
-	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+	deadline, _ := ctx.Deadline()
+	if err := conn.SetDeadline(deadline); err != nil {
 		_ = conn.Close()
 		return nil, fmt.Errorf("netalyzr: arming deadline for %s: %w", hp, err)
 	}
@@ -155,7 +209,7 @@ func (c *Client) fetchChain(hp tlsnet.HostPort) ([]*x509.Certificate, error) {
 	})
 	// tconn owns conn from here: closing tconn closes the underlying conn,
 	// so exactly one Close runs on every path.
-	if err := tconn.Handshake(); err != nil {
+	if err := tconn.HandshakeContext(ctx); err != nil {
 		_ = tconn.Close()
 		return nil, fmt.Errorf("netalyzr: handshake with %s: %w", hp, err)
 	}
@@ -170,7 +224,7 @@ func (c *Client) validates(store *rootstore.Store, presented []*x509.Certificate
 	if len(presented) == 0 {
 		return false
 	}
-	v := chain.NewVerifier(store.Certificates(), presented[1:], c.At)
+	v := chain.NewVerifier(store.Certificates(), presented[1:], c.at)
 	return v.Validates(presented[0])
 }
 

@@ -1,6 +1,7 @@
 package netalyzr
 
 import (
+	"context"
 	"net"
 	"sync"
 	"testing"
@@ -8,6 +9,7 @@ import (
 	"tangledmass/internal/cauniverse"
 	"tangledmass/internal/certgen"
 	"tangledmass/internal/device"
+	"tangledmass/internal/obs"
 	"tangledmass/internal/rootstore"
 	"tangledmass/internal/tlsnet"
 )
@@ -49,12 +51,13 @@ func stockDevice() *device.Device {
 
 func TestRunDirectSession(t *testing.T) {
 	srv, _ := env(t)
-	c := &Client{
-		Device: stockDevice(),
-		Dialer: tlsnet.DirectDialer{Server: srv},
-		At:     certgen.Epoch,
+	o := obs.New()
+	c, err := New(stockDevice(), tlsnet.DirectDialer{Server: srv},
+		WithValidationTime(certgen.Epoch), WithObserver(o))
+	if err != nil {
+		t.Fatal(err)
 	}
-	rep, err := c.Run()
+	rep, err := c.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,6 +84,20 @@ func TestRunDirectSession(t *testing.T) {
 	if len(rep.ChainRootSubjects()) == 0 {
 		t.Error("no root subjects summarized")
 	}
+	snap := o.Snapshot()
+	want := int64(len(tlsnet.ProbeTargets()))
+	if got := snap.Counters[KeyProbesTotal]; got != want {
+		t.Errorf("%s = %d, want %d", KeyProbesTotal, got, want)
+	}
+	if got := snap.Counters[KeyDialsTotal]; got != want {
+		t.Errorf("%s = %d, want %d (one dial per clean probe)", KeyDialsTotal, got, want)
+	}
+	if got := snap.Counters[KeyStoreReads]; got != 1 {
+		t.Errorf("%s = %d, want 1", KeyStoreReads, got)
+	}
+	if got := snap.Spans[KeyProbeSpan].Count; got != want {
+		t.Errorf("span %s count = %d, want %d", KeyProbeSpan, got, want)
+	}
 }
 
 func TestRunWithPrunedStore(t *testing.T) {
@@ -90,13 +107,13 @@ func TestRunWithPrunedStore(t *testing.T) {
 	lonely := rootstore.New("lonely")
 	lonely.Add(u.Root("CRAZY HOUSE").Issued.Cert)
 	lone := device.New(device.Profile{Model: "X", Manufacturer: "Y", Version: "4.4"}, lonely, nil)
-	c := &Client{
-		Device:  lone,
-		Dialer:  tlsnet.DirectDialer{Server: srv},
-		Targets: []tlsnet.HostPort{sites.All()[0].HostPort},
-		At:      certgen.Epoch,
+	c, err := New(lone, tlsnet.DirectDialer{Server: srv},
+		WithTargets([]tlsnet.HostPort{sites.All()[0].HostPort}),
+		WithValidationTime(certgen.Epoch))
+	if err != nil {
+		t.Fatal(err)
 	}
-	rep, err := c.Run()
+	rep, err := c.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,21 +126,21 @@ func TestRunWithPrunedStore(t *testing.T) {
 }
 
 func TestClientValidation(t *testing.T) {
-	if _, err := (&Client{}).Run(); err == nil {
-		t.Error("Run without device/dialer should error")
+	if _, err := New(nil, nil); err == nil {
+		t.Error("New without device/dialer should error")
 	}
 }
 
 func TestProbeDialFailure(t *testing.T) {
-	c := &Client{
-		Device: stockDevice(),
-		Dialer: failingDialer{},
-		At:     certgen.Epoch,
-		Targets: []tlsnet.HostPort{
-			{Host: "unreachable.example", Port: 443},
-		},
+	o := obs.New()
+	c, err := New(stockDevice(), failingDialer{},
+		WithValidationTime(certgen.Epoch),
+		WithTargets([]tlsnet.HostPort{{Host: "unreachable.example", Port: 443}}),
+		WithObserver(o))
+	if err != nil {
+		t.Fatal(err)
 	}
-	rep, err := c.Run()
+	rep, err := c.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,10 +150,32 @@ func TestProbeDialFailure(t *testing.T) {
 	if len(rep.UntrustedProbes()) != 0 {
 		t.Error("failed probes are unreachable, not untrusted")
 	}
+	snap := o.Snapshot()
+	if got := snap.Counters[KeyProbesFailed]; got != 1 {
+		t.Errorf("%s = %d, want 1", KeyProbesFailed, got)
+	}
+	if snap.Counters[KeyDialErrors] != snap.Counters[KeyDialsTotal] {
+		t.Errorf("every dial should have failed: %d errors of %d dials",
+			snap.Counters[KeyDialErrors], snap.Counters[KeyDialsTotal])
+	}
+}
+
+func TestRunCanceled(t *testing.T) {
+	srv, _ := env(t)
+	c, err := New(stockDevice(), tlsnet.DirectDialer{Server: srv},
+		WithValidationTime(certgen.Epoch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Run(ctx); err == nil {
+		t.Error("Run with a canceled context should error")
+	}
 }
 
 type failingDialer struct{}
 
-func (failingDialer) DialSite(host string, port int) (net.Conn, error) {
+func (failingDialer) DialSite(ctx context.Context, host string, port int) (net.Conn, error) {
 	return nil, net.ErrClosed
 }

@@ -2,6 +2,7 @@ package notarynet
 
 import (
 	"bufio"
+	"context"
 	"crypto/rand"
 	"crypto/x509"
 	"encoding/hex"
@@ -11,6 +12,7 @@ import (
 	"net"
 	"time"
 
+	"tangledmass/internal/obs"
 	"tangledmass/internal/resilient"
 	"tangledmass/internal/rootstore"
 )
@@ -28,9 +30,10 @@ import (
 type Client struct {
 	addr    string
 	timeout time.Duration
-	dial    func(addr string) (net.Conn, error)
+	dial    func(ctx context.Context, addr string) (net.Conn, error)
 	retry   *resilient.Retrier
 	breaker *resilient.Breaker
+	obs     *obs.Observer
 
 	nonce string
 	seq   uint64
@@ -41,46 +44,27 @@ type Client struct {
 	broken  bool
 }
 
-// Options tunes client resilience. The zero value gives the defaults noted
-// per field.
-type Options struct {
-	// Timeout bounds one round trip. Zero means one minute.
-	Timeout time.Duration
-	// Retry overrides the retry policy. Nil means 4 attempts with short
-	// jittered backoff.
-	Retry *resilient.Retrier
-	// Breaker overrides the circuit breaker. Nil means 5 consecutive
-	// round-trip failures open the circuit for a second; set
-	// DisableBreaker to run without one.
-	Breaker        *resilient.Breaker
-	DisableBreaker bool
-	// Dial overrides the transport dialer — the fault-injection harness
-	// hooks in here. Nil means TCP with a 10s connect timeout.
-	Dial func(addr string) (net.Conn, error)
-}
-
-// Dial connects to a server with default resilience.
-func Dial(addr string) (*Client, error) {
-	return DialOptions(addr, Options{})
-}
-
-// DialOptions connects to a server under explicit resilience options. The
-// initial connect already runs under the retry policy.
-func DialOptions(addr string, opts Options) (*Client, error) {
+// NewClient connects to a server. The initial connect already runs under
+// the retry policy, bounded by ctx. Options: WithTimeout, WithRetryPolicy,
+// WithBreaker/WithoutBreaker, WithDialFunc, WithObserver.
+func NewClient(ctx context.Context, addr string, opts ...Option) (*Client, error) {
+	op := buildOptions(opts)
 	c := &Client{
 		addr:    addr,
-		timeout: opts.Timeout,
-		dial:    opts.Dial,
-		retry:   opts.Retry,
-		breaker: opts.Breaker,
+		timeout: op.timeout,
+		dial:    op.dial,
+		retry:   op.retry,
+		breaker: op.breaker,
+		obs:     op.observer,
 		nonce:   newNonce(),
 	}
 	if c.timeout <= 0 {
 		c.timeout = time.Minute
 	}
 	if c.dial == nil {
-		c.dial = func(addr string) (net.Conn, error) {
-			return net.DialTimeout("tcp", addr, 10*time.Second)
+		c.dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			d := &net.Dialer{Timeout: 10 * time.Second}
+			return d.DialContext(ctx, "tcp", addr)
 		}
 	}
 	if c.retry == nil {
@@ -88,12 +72,12 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 			MaxAttempts: 4,
 			BaseDelay:   20 * time.Millisecond,
 			MaxDelay:    500 * time.Millisecond,
-		}, 0)
+		}, 0).WithObserver(op.observer)
 	}
-	if c.breaker == nil && !opts.DisableBreaker {
-		c.breaker = resilient.NewBreaker(5, time.Second)
+	if c.breaker == nil && !op.disableBreaker {
+		c.breaker = resilient.NewBreaker(5, time.Second).WithObserver(op.observer)
 	}
-	if err := c.retry.Do(func(int) error { return c.connect() }); err != nil {
+	if err := c.retry.Do(ctx, func(int) error { return c.connect(ctx) }); err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -111,9 +95,11 @@ func newNonce() string {
 }
 
 // connect establishes a fresh transport, replacing any broken one.
-func (c *Client) connect() error {
-	conn, err := c.dial(c.addr)
+func (c *Client) connect(ctx context.Context) error {
+	c.obs.Counter(KeyClientDials).Inc()
+	conn, err := c.dial(ctx, c.addr)
 	if err != nil {
+		c.obs.Counter(KeyClientDialErrors).Inc()
 		return fmt.Errorf("notarynet: dialing %s: %w", c.addr, err)
 	}
 	sc := bufio.NewScanner(conn)
@@ -140,17 +126,17 @@ func (c *Client) Close() error {
 }
 
 // roundTrip sends one request and reads one response, reconnecting and
-// retrying transient failures. Every request carries a unique ID so the
-// server can deduplicate re-sent mutations.
-func (c *Client) roundTrip(req Request) (Response, error) {
+// retrying transient failures within ctx. Every request carries a unique
+// ID so the server can deduplicate re-sent mutations.
+func (c *Client) roundTrip(ctx context.Context, req Request) (Response, error) {
 	req.ID = fmt.Sprintf("%s-%d", c.nonce, c.seq)
 	c.seq++
 	var resp Response
-	err := c.retry.Do(func(int) error {
+	err := c.retry.Do(ctx, func(int) error {
 		if err := c.breaker.Allow(); err != nil {
 			return err
 		}
-		r, err := c.attempt(req)
+		r, err := c.attempt(ctx, req)
 		// The breaker tracks transport health: transient failures trip it,
 		// while protocol rejections over a healthy connection do not.
 		if resilient.Classify(err) == resilient.Transient {
@@ -168,13 +154,17 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 }
 
 // attempt runs one exchange on the current transport.
-func (c *Client) attempt(req Request) (Response, error) {
+func (c *Client) attempt(ctx context.Context, req Request) (Response, error) {
 	if c.broken || c.conn == nil {
-		if err := c.connect(); err != nil {
+		if err := c.connect(ctx); err != nil {
 			return Response{}, err
 		}
 	}
-	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+	deadline := time.Now().Add(c.timeout)
+	if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
+		deadline = dl
+	}
+	if err := c.conn.SetDeadline(deadline); err != nil {
 		c.markBroken()
 		return Response{}, fmt.Errorf("notarynet: setting deadline: %w", err)
 	}
@@ -205,20 +195,20 @@ func (c *Client) attempt(req Request) (Response, error) {
 }
 
 // Observe submits one observed chain.
-func (c *Client) Observe(chain []*x509.Certificate, port int) error {
-	_, err := c.roundTrip(Request{Op: "observe", Chain: EncodeChain(chain), Port: port})
+func (c *Client) Observe(ctx context.Context, chain []*x509.Certificate, port int) error {
+	_, err := c.roundTrip(ctx, Request{Op: "observe", Chain: EncodeChain(chain), Port: port})
 	return err
 }
 
 // ObserveCA submits one CA certificate seen in traffic (non-leaf).
-func (c *Client) ObserveCA(cert *x509.Certificate, port int) error {
-	_, err := c.roundTrip(Request{Op: "observe_ca", Cert: EncodeCert(cert), Port: port})
+func (c *Client) ObserveCA(ctx context.Context, cert *x509.Certificate, port int) error {
+	_, err := c.roundTrip(ctx, Request{Op: "observe_ca", Cert: EncodeCert(cert), Port: port})
 	return err
 }
 
 // HasRecord queries whether the server knows the certificate.
-func (c *Client) HasRecord(cert *x509.Certificate) (bool, error) {
-	resp, err := c.roundTrip(Request{Op: "has_record", Cert: EncodeCert(cert)})
+func (c *Client) HasRecord(ctx context.Context, cert *x509.Certificate) (bool, error) {
+	resp, err := c.roundTrip(ctx, Request{Op: "has_record", Cert: EncodeCert(cert)})
 	if err != nil {
 		return false, err
 	}
@@ -233,8 +223,8 @@ type Stats struct {
 }
 
 // Stats fetches the database summary.
-func (c *Client) Stats() (Stats, error) {
-	resp, err := c.roundTrip(Request{Op: "stats"})
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	resp, err := c.roundTrip(ctx, Request{Op: "stats"})
 	if err != nil {
 		return Stats{}, err
 	}
@@ -250,8 +240,8 @@ type ValidateResult struct {
 }
 
 // Validate runs the Table 3/4 analysis server-side for the given store.
-func (c *Client) Validate(store *rootstore.Store) (ValidateResult, error) {
-	resp, err := c.roundTrip(Request{
+func (c *Client) Validate(ctx context.Context, store *rootstore.Store) (ValidateResult, error) {
+	resp, err := c.roundTrip(ctx, Request{
 		Op:        "validate",
 		StoreName: store.Name(),
 		Roots:     EncodeChain(store.Certificates()),

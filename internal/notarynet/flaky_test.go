@@ -1,6 +1,7 @@
 package notarynet
 
 import (
+	"context"
 	"crypto/x509"
 	"fmt"
 	"net"
@@ -16,22 +17,22 @@ import (
 // transport.
 func flakyClient(t *testing.T, addr string, in *faultnet.Injector, scope string) *Client {
 	t.Helper()
-	dial := in.DialFunc(scope, "notary", func(addr string) (net.Conn, error) {
-		return net.DialTimeout("tcp", addr, 5*time.Second)
+	dial := in.DialFunc(scope, "notary", func(ctx context.Context, addr string) (net.Conn, error) {
+		d := &net.Dialer{Timeout: 5 * time.Second}
+		return d.DialContext(ctx, "tcp", addr)
 	})
-	c, err := DialOptions(addr, Options{
-		Dial: dial,
+	c, err := NewClient(context.Background(), addr,
+		WithDialFunc(dial),
 		// Enough attempts that a run of injected faults cannot exhaust the
 		// policy; tight delays keep the test fast.
-		Retry: resilient.NewRetrier(resilient.Policy{
+		WithRetryPolicy(resilient.NewRetrier(resilient.Policy{
 			MaxAttempts: 8,
 			BaseDelay:   time.Millisecond,
 			MaxDelay:    5 * time.Millisecond,
-		}, 1),
+		}, 1)),
 		// The breaker's cooldown is wall-clock; with injected faults arriving
 		// in bursts it would turn transient noise into hard failures here.
-		DisableBreaker: true,
-	})
+		WithoutBreaker())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,13 +68,13 @@ func TestClientSurvivesFlakyServer(t *testing.T) {
 	for s := 0; s < sensors; s++ {
 		c := flakyClient(t, srv.Addr(), in, fmt.Sprintf("sensor-%d", s))
 		for i := 0; i < perSensor; i++ {
-			if err := c.Observe([]*x509.Certificate{leaves[i%len(leaves)], root.Cert}, 443); err != nil {
+			if err := c.Observe(context.Background(), []*x509.Certificate{leaves[i%len(leaves)], root.Cert}, 443); err != nil {
 				t.Fatalf("sensor %d observe %d through flaky transport: %v", s, i, err)
 			}
 		}
 	}
 	c := flakyClient(t, srv.Addr(), in, "analysis")
-	st, err := c.Stats()
+	st, err := c.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,25 +100,25 @@ func TestClientReconnectsAfterDeadline(t *testing.T) {
 	// marked broken, and each retry reconnects — stalling again — until the
 	// policy is exhausted.
 	in := faultnet.New(faultnet.Plan{Seed: 7, StallProb: 1, StallFor: 5 * time.Millisecond})
-	dial := in.DialFunc("sensor", "notary", func(addr string) (net.Conn, error) {
-		return net.DialTimeout("tcp", addr, 5*time.Second)
+	dial := in.DialFunc("sensor", "notary", func(ctx context.Context, addr string) (net.Conn, error) {
+		d := &net.Dialer{Timeout: 5 * time.Second}
+		return d.DialContext(ctx, "tcp", addr)
 	})
-	c, err := DialOptions(srv.Addr(), Options{
-		Timeout: 50 * time.Millisecond,
-		Dial:    dial,
-		Retry: resilient.NewRetrier(resilient.Policy{
+	c, err := NewClient(context.Background(), srv.Addr(),
+		WithTimeout(50*time.Millisecond),
+		WithDialFunc(dial),
+		WithRetryPolicy(resilient.NewRetrier(resilient.Policy{
 			MaxAttempts: 2,
 			BaseDelay:   time.Millisecond,
 			MaxDelay:    time.Millisecond,
-		}, 0),
-		DisableBreaker: true,
-	})
+		}, 0)),
+		WithoutBreaker())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
 
-	err = c.Observe([]*x509.Certificate{leaves[0], root.Cert}, 443)
+	err = c.Observe(context.Background(), []*x509.Certificate{leaves[0], root.Cert}, 443)
 	if err == nil {
 		t.Fatal("observe through an always-stalling transport should fail")
 	}
@@ -134,12 +135,12 @@ func TestClientReconnectsAfterDeadline(t *testing.T) {
 
 	// A healthy transport heals the client: swap the dialer is not possible,
 	// so route around the injector by observing that a fresh client works.
-	c2, err := Dial(srv.Addr())
+	c2, err := NewClient(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c2.Close()
-	if err := c2.Observe([]*x509.Certificate{leaves[0], root.Cert}, 443); err != nil {
+	if err := c2.Observe(context.Background(), []*x509.Certificate{leaves[0], root.Cert}, 443); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,6 +1,7 @@
 package notarynet
 
 import (
+	"context"
 	"crypto/x509"
 	"net"
 	"strings"
@@ -10,13 +11,19 @@ import (
 	"tangledmass/internal/cauniverse"
 	"tangledmass/internal/certgen"
 	"tangledmass/internal/notary"
+	"tangledmass/internal/resilient"
 	"tangledmass/internal/rootstore"
 )
+
+// quickRetry keeps failure-path tests fast: one attempt, no backoff.
+func quickRetry() *resilient.Retrier {
+	return resilient.NewRetrier(resilient.Policy{MaxAttempts: 1}, 0)
+}
 
 func startServer(t *testing.T) (*Server, *notary.Notary) {
 	t.Helper()
 	n := notary.New(certgen.Epoch)
-	srv, err := Serve(n, "127.0.0.1:0")
+	srv, err := NewServer(n, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,18 +51,18 @@ func testPKI(t *testing.T) (root *certgen.Issued, leaves []*x509.Certificate) {
 func TestObserveAndStats(t *testing.T) {
 	srv, n := startServer(t)
 	root, leaves := testPKI(t)
-	c, err := Dial(srv.Addr())
+	c, err := NewClient(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
 
 	for _, leaf := range leaves {
-		if err := c.Observe([]*x509.Certificate{leaf, root.Cert}, 443); err != nil {
+		if err := c.Observe(context.Background(), []*x509.Certificate{leaf, root.Cert}, 443); err != nil {
 			t.Fatal(err)
 		}
 	}
-	st, err := c.Stats()
+	st, err := c.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,28 +76,35 @@ func TestObserveAndStats(t *testing.T) {
 	if n.NumUnique() != 5 {
 		t.Errorf("server notary unique = %d", n.NumUnique())
 	}
+	snap := srv.Snapshot()
+	if got := snap.Counters[KeyIngestTotal]; got != 4 {
+		t.Errorf("%s = %d, want 4", KeyIngestTotal, got)
+	}
+	if got := snap.Counters[KeyQueryTotal]; got != 1 {
+		t.Errorf("%s = %d, want 1 (the stats call)", KeyQueryTotal, got)
+	}
 }
 
 func TestHasRecordRoundTrip(t *testing.T) {
 	srv, _ := startServer(t)
 	root, leaves := testPKI(t)
-	c, err := Dial(srv.Addr())
+	c, err := NewClient(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
 
-	got, err := c.HasRecord(leaves[0])
+	got, err := c.HasRecord(context.Background(), leaves[0])
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got {
 		t.Error("unobserved cert should not be on record")
 	}
-	if err := c.ObserveCA(root.Cert, 443); err != nil {
+	if err := c.ObserveCA(context.Background(), root.Cert, 443); err != nil {
 		t.Fatal(err)
 	}
-	got, err = c.HasRecord(root.Cert)
+	got, err = c.HasRecord(context.Background(), root.Cert)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,13 +116,13 @@ func TestHasRecordRoundTrip(t *testing.T) {
 func TestRemoteValidate(t *testing.T) {
 	srv, _ := startServer(t)
 	root, leaves := testPKI(t)
-	c, err := Dial(srv.Addr())
+	c, err := NewClient(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
 	for _, leaf := range leaves {
-		if err := c.Observe([]*x509.Certificate{leaf, root.Cert}, 443); err != nil {
+		if err := c.Observe(context.Background(), []*x509.Certificate{leaf, root.Cert}, 443); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -119,7 +133,7 @@ func TestRemoteValidate(t *testing.T) {
 	store.Add(root.Cert)
 	store.Add(other.Cert)
 
-	res, err := c.Validate(store)
+	res, err := c.Validate(context.Background(), store)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,17 +148,17 @@ func TestRemoteValidate(t *testing.T) {
 func TestPipelinedRequests(t *testing.T) {
 	srv, _ := startServer(t)
 	root, leaves := testPKI(t)
-	c, err := Dial(srv.Addr())
+	c, err := NewClient(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
 	for i := 0; i < 50; i++ {
-		if err := c.Observe([]*x509.Certificate{leaves[i%len(leaves)], root.Cert}, 443); err != nil {
+		if err := c.Observe(context.Background(), []*x509.Certificate{leaves[i%len(leaves)], root.Cert}, 443); err != nil {
 			t.Fatalf("iteration %d: %v", i, err)
 		}
 	}
-	st, err := c.Stats()
+	st, err := c.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,14 +175,14 @@ func TestConcurrentSensors(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c, err := Dial(srv.Addr())
+			c, err := NewClient(context.Background(), srv.Addr())
 			if err != nil {
 				t.Error(err)
 				return
 			}
 			defer c.Close()
 			for i := 0; i < 25; i++ {
-				if err := c.Observe([]*x509.Certificate{leaves[i%len(leaves)], root.Cert}, 993); err != nil {
+				if err := c.Observe(context.Background(), []*x509.Certificate{leaves[i%len(leaves)], root.Cert}, 993); err != nil {
 					t.Error(err)
 					return
 				}
@@ -183,32 +197,32 @@ func TestConcurrentSensors(t *testing.T) {
 
 func TestProtocolErrors(t *testing.T) {
 	srv, _ := startServer(t)
-	c, err := Dial(srv.Addr())
+	c, err := NewClient(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
 
 	// Unknown op.
-	if _, err := c.roundTrip(Request{Op: "explode"}); err == nil || !strings.Contains(err.Error(), "unknown op") {
+	if _, err := c.roundTrip(context.Background(), Request{Op: "explode"}); err == nil || !strings.Contains(err.Error(), "unknown op") {
 		t.Errorf("unknown op error = %v", err)
 	}
 	// Bad certificate payload.
-	if _, err := c.roundTrip(Request{Op: "has_record", Cert: "!!!"}); err == nil {
+	if _, err := c.roundTrip(context.Background(), Request{Op: "has_record", Cert: "!!!"}); err == nil {
 		t.Error("bad base64 should error")
 	}
-	if _, err := c.roundTrip(Request{Op: "observe", Chain: []string{"aGVsbG8="}}); err == nil {
+	if _, err := c.roundTrip(context.Background(), Request{Op: "observe", Chain: []string{"aGVsbG8="}}); err == nil {
 		t.Error("non-certificate DER should error")
 	}
 	// Empty chain / empty roots.
-	if _, err := c.roundTrip(Request{Op: "observe"}); err == nil {
+	if _, err := c.roundTrip(context.Background(), Request{Op: "observe"}); err == nil {
 		t.Error("empty chain should error")
 	}
-	if _, err := c.roundTrip(Request{Op: "validate"}); err == nil {
+	if _, err := c.roundTrip(context.Background(), Request{Op: "validate"}); err == nil {
 		t.Error("empty root set should error")
 	}
 	// The connection survives errors: a valid request still works.
-	if _, err := c.Stats(); err != nil {
+	if _, err := c.Stats(context.Background()); err != nil {
 		t.Errorf("connection should survive protocol errors: %v", err)
 	}
 }
@@ -241,7 +255,7 @@ func TestServerCloseIdempotent(t *testing.T) {
 	if err := srv.Close(); err != nil {
 		t.Errorf("second close: %v", err)
 	}
-	if _, err := Dial(srv.Addr()); err == nil {
+	if _, err := NewClient(context.Background(), srv.Addr(), WithRetryPolicy(quickRetry())); err == nil {
 		t.Error("dial after close should fail")
 	}
 }
@@ -250,17 +264,17 @@ func TestLargeValidateRequest(t *testing.T) {
 	// A full 262-root aggregated store crosses the wire in one line.
 	u := cauniverse.Default()
 	n := notary.New(certgen.Epoch)
-	srv, err := Serve(n, "127.0.0.1:0")
+	srv, err := NewServer(n, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	c, err := Dial(srv.Addr())
+	c, err := NewClient(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	res, err := c.Validate(u.AggregatedAndroid())
+	res, err := c.Validate(context.Background(), u.AggregatedAndroid())
 	if err != nil {
 		t.Fatal(err)
 	}

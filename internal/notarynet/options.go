@@ -1,0 +1,71 @@
+package notarynet
+
+import (
+	"context"
+	"net"
+	"time"
+
+	"tangledmass/internal/obs"
+	"tangledmass/internal/resilient"
+)
+
+// options collects the knobs shared by NewServer and NewClient: one Option
+// vocabulary for both constructors, so the package exposes a single
+// uniform New(addr, ...Option) shape.
+type options struct {
+	observer       *obs.Observer
+	timeout        time.Duration
+	retry          *resilient.Retrier
+	breaker        *resilient.Breaker
+	disableBreaker bool
+	dial           func(ctx context.Context, addr string) (net.Conn, error)
+}
+
+// Option configures a notarynet server or client.
+type Option func(*options)
+
+// WithObserver attaches the observer counters and gauges report through.
+// Without it the server creates a private observer (so Snapshot and the
+// debug handler always work) and the client stays silent.
+func WithObserver(o *obs.Observer) Option {
+	return func(op *options) { op.observer = o }
+}
+
+// WithTimeout bounds one client round trip. Zero (the default) means one
+// minute. Server-side it is ignored.
+func WithTimeout(d time.Duration) Option {
+	return func(op *options) { op.timeout = d }
+}
+
+// WithRetryPolicy overrides the client's retry policy. Nil (the default)
+// means 4 attempts with short jittered backoff.
+func WithRetryPolicy(r *resilient.Retrier) Option {
+	return func(op *options) { op.retry = r }
+}
+
+// WithBreaker overrides the client's circuit breaker. The default is 5
+// consecutive round-trip failures opening the circuit for a second.
+func WithBreaker(b *resilient.Breaker) Option {
+	return func(op *options) { op.breaker = b }
+}
+
+// WithoutBreaker runs the client with no circuit breaker — deterministic
+// harnesses use this because the breaker's cooldown is wall-clock.
+func WithoutBreaker() Option {
+	return func(op *options) { op.disableBreaker = true }
+}
+
+// WithDialFunc overrides the client's transport dialer — the
+// fault-injection harness hooks in here. Nil (the default) means TCP with
+// a 10s connect timeout.
+func WithDialFunc(dial func(ctx context.Context, addr string) (net.Conn, error)) Option {
+	return func(op *options) { op.dial = dial }
+}
+
+func buildOptions(opts []Option) options {
+	var op options
+	for _, o := range opts {
+		o(&op)
+	}
+	return op
+}

@@ -10,6 +10,7 @@ import (
 
 	"tangledmass/internal/certid"
 	"tangledmass/internal/notary"
+	"tangledmass/internal/obs"
 	"tangledmass/internal/rootstore"
 )
 
@@ -22,10 +23,12 @@ const maxLineBytes = 8 << 20
 // seconds, so a few thousand recent IDs is plenty; older ones age out.
 const seenCap = 4096
 
-// Server exposes a Notary over TCP. Construct with Serve; Close stops it.
+// Server exposes a Notary over TCP. Construct with NewServer; Close stops
+// it.
 type Server struct {
-	n  *notary.Notary
-	ln net.Listener
+	n   *notary.Notary
+	ln  net.Listener
+	obs *obs.Observer
 
 	mu        sync.Mutex
 	closed    bool
@@ -34,14 +37,21 @@ type Server struct {
 	seenOrder []string
 }
 
-// Serve starts a server for n on addr ("127.0.0.1:0" for an ephemeral
-// port).
-func Serve(n *notary.Notary, addr string) (*Server, error) {
+// NewServer starts a server for n on addr ("127.0.0.1:0" for an ephemeral
+// port). Options: WithObserver shares an observer (the default is a
+// private one, so Snapshot and the debug handler always have something to
+// serve).
+func NewServer(n *notary.Notary, addr string, opts ...Option) (*Server, error) {
+	op := buildOptions(opts)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("notarynet: listening on %s: %w", addr, err)
 	}
-	s := &Server{n: n, ln: ln, seen: make(map[string]bool)}
+	observer := op.observer
+	if observer == nil {
+		observer = obs.New()
+	}
+	s := &Server{n: n, ln: ln, obs: observer, seen: make(map[string]bool)}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -49,6 +59,15 @@ func Serve(n *notary.Notary, addr string) (*Server, error) {
 
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Observer returns the server's observer — the daemons mount obs.Handler
+// on it.
+func (s *Server) Observer() *obs.Observer { return s.obs }
+
+// Snapshot captures the server's current metrics: ingest/dedupe/query
+// counters and the sensor-connection gauge. Tests assert against this
+// instead of reaching into server internals.
+func (s *Server) Snapshot() obs.Snapshot { return s.obs.Snapshot() }
 
 // Close stops accepting and waits for in-flight connections to finish.
 func (s *Server) Close() error {
@@ -81,6 +100,8 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	s.obs.Gauge(KeySensorsActive).Inc()
+	defer s.obs.Gauge(KeySensorsActive).Dec()
 	// Sensors stream for long periods; analysis clients are short-lived.
 	// An idle deadline reaps abandoned connections either way.
 	scanner := bufio.NewScanner(conn)
@@ -100,6 +121,7 @@ func (s *Server) handle(conn net.Conn) {
 		var req Request
 		resp := Response{OK: true}
 		if err := json.Unmarshal(line, &req); err != nil {
+			s.obs.Counter(KeyBadRequest).Inc()
 			resp = Response{Error: "bad request: " + err.Error()}
 		} else {
 			resp = s.dispatch(req)
@@ -147,8 +169,10 @@ func (s *Server) dispatch(req Request) Response {
 		// double-counting it; dedupe runs after validation so malformed
 		// retries still error.
 		if s.duplicate(req.ID) {
+			s.obs.Counter(KeyIngestDedupe).Inc()
 			return Response{OK: true}
 		}
+		s.obs.Counter(KeyIngestTotal).Inc()
 		s.n.Observe(notary.Observation{Chain: chain, Port: req.Port})
 		return Response{OK: true}
 
@@ -158,8 +182,10 @@ func (s *Server) dispatch(req Request) Response {
 			return Response{Error: err.Error()}
 		}
 		if s.duplicate(req.ID) {
+			s.obs.Counter(KeyIngestDedupe).Inc()
 			return Response{OK: true}
 		}
+		s.obs.Counter(KeyIngestTotal).Inc()
 		s.n.ObserveCA(cert, req.Port)
 		return Response{OK: true}
 
@@ -168,9 +194,11 @@ func (s *Server) dispatch(req Request) Response {
 		if err != nil {
 			return Response{Error: err.Error()}
 		}
+		s.obs.Counter(KeyQueryTotal).Inc()
 		return Response{OK: true, Recorded: s.n.HasRecord(cert)}
 
 	case "stats":
+		s.obs.Counter(KeyQueryTotal).Inc()
 		return Response{
 			OK:        true,
 			Unique:    s.n.NumUnique(),
@@ -197,9 +225,11 @@ func (s *Server) dispatch(req Request) Response {
 		for i, r := range roots {
 			counts[i] = rep.PerRoot[certid.IdentityOf(r)]
 		}
+		s.obs.Counter(KeyQueryTotal).Inc()
 		return Response{OK: true, Validated: rep.Validated, PerRootCount: counts}
 
 	default:
+		s.obs.Counter(KeyBadRequest).Inc()
 		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
 }

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler returns an expvar-style debug handler that serves the observer's
+// current Snapshot as indented JSON. The daemons mount it on their -debug
+// listener; `make metrics-smoke` scrapes it as a liveness gate. A nil
+// Observer serves the empty snapshot.
+func Handler(o *Observer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := o.Snapshot().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		// The client is a scraper; a failed write is its problem to retry.
+		_, _ = w.Write(body)
+	})
+}
+
+// ServeDebug starts the debug endpoint on addr in a background goroutine,
+// mounting Handler at /debug/vars (and at / for curl convenience). It
+// returns the bound listener — callers print its address and close it on
+// shutdown. The server dies with the listener; scrape errors are the
+// scraper's problem.
+func ServeDebug(addr string, o *Observer) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listening on debug addr %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", Handler(o))
+	mux.Handle("/debug/vars", Handler(o))
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultBuckets are the default histogram bucket upper bounds, in
+// milliseconds: a latency-shaped geometric ladder from sub-millisecond to
+// ten seconds. Values above the last bound land in the overflow bucket.
+var DefaultBuckets = []float64{0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// Histogram is a bounded-bucket histogram: a fixed, sorted set of upper
+// bounds plus an overflow bucket. A value v lands in the first bucket with
+// v <= bound (bounds are inclusive upper edges), or in overflow when it
+// exceeds every bound. A nil Histogram no-ops.
+type Histogram struct {
+	bounds []float64
+
+	mu       sync.Mutex
+	counts   []uint64
+	overflow uint64
+	count    uint64
+	sum      float64
+}
+
+// newHistogram builds a histogram over sorted, deduplicated bounds.
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultBuckets
+	}
+	sorted := append([]float64(nil), bounds...)
+	sort.Float64s(sorted)
+	dedup := sorted[:0]
+	for i, b := range sorted {
+		if i == 0 || b != sorted[i-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	return &Histogram{bounds: dedup, counts: make([]uint64, len(dedup))}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// sort.SearchFloat64s finds the first bound >= v, which is exactly the
+	// inclusive-upper-edge bucket; equal-to-bound values stay below.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += v
+	if i < len(h.bounds) {
+		h.counts[i]++
+	} else {
+		h.overflow++
+	}
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Count:    h.count,
+		Sum:      h.sum,
+		Overflow: h.overflow,
+		Buckets:  make([]Bucket, len(h.bounds)),
+	}
+	for i, b := range h.bounds {
+		s.Buckets[i] = Bucket{UpperBound: b, Count: h.counts[i]}
+	}
+	return s
+}
+
+// Bucket is one histogram bucket: the count of observations at or below
+// UpperBound and above the previous bound.
+type Bucket struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"`
+}
+
+// HistogramSnapshot is an immutable capture of a Histogram, mergeable with
+// snapshots taken from histograms with any bucket layout.
+type HistogramSnapshot struct {
+	Count    uint64   `json:"count"`
+	Sum      float64  `json:"sum"`
+	Overflow uint64   `json:"overflow"`
+	Buckets  []Bucket `json:"buckets"`
+}
+
+// Merge combines two snapshots. Buckets are merged by upper bound — the
+// union of both bound sets, with counts at equal bounds summed — which
+// makes Merge associative and commutative: merging per-worker snapshots in
+// any grouping yields the same result, the property the campaign
+// aggregation relies on.
+func (s HistogramSnapshot) Merge(other HistogramSnapshot) HistogramSnapshot {
+	byBound := make(map[float64]uint64, len(s.Buckets)+len(other.Buckets))
+	for _, b := range s.Buckets {
+		byBound[b.UpperBound] += b.Count
+	}
+	for _, b := range other.Buckets {
+		byBound[b.UpperBound] += b.Count
+	}
+	bounds := make([]float64, 0, len(byBound))
+	for b := range byBound {
+		bounds = append(bounds, b)
+	}
+	sort.Float64s(bounds)
+	out := HistogramSnapshot{
+		Count:    s.Count + other.Count,
+		Sum:      s.Sum + other.Sum,
+		Overflow: s.Overflow + other.Overflow,
+		Buckets:  make([]Bucket, len(bounds)),
+	}
+	for i, b := range bounds {
+		out.Buckets[i] = Bucket{UpperBound: b, Count: byBound[b]}
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+// Package obs is the pipeline's zero-dependency observability layer:
+// atomic counters and gauges, bounded-bucket histograms with mergeable
+// snapshots, and lightweight span tracing keyed by (session, stage). The
+// paper's results are aggregate counts over a measurement pipeline; this
+// package makes the pipeline's runtime behaviour — retry storms, breaker
+// trips, probe latencies, ingest rates — visible at the same granularity,
+// both live (the JSON debug handler mounted on the daemons) and per run
+// (campaign aggregates a Snapshot).
+//
+// Determinism is a design constraint, not an afterthought: all clock access
+// flows through an injectable clock, counter values are pure functions of
+// pipeline outcomes, and Snapshot marshals through sorted map keys, so a
+// fixed-seed campaign run produces byte-identical Snapshot JSON across
+// runs. That is what lets the chaos harness reconcile obs counters exactly
+// against the faultnet ledger.
+//
+// Every accessor is nil-safe: a nil *Observer hands out nil instruments
+// whose methods no-op, so instrumented code never branches on "is
+// observability wired up".
+//
+// Metric and span-stage names are package-prefixed compile-time constants
+// ("collect.submit.total", "netalyzr.probe") — the obskey lint rule
+// enforces this, which keeps the metric registry greppable and the
+// debug-endpoint key space stable.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Observer owns a namespace of instruments. The zero value is not usable;
+// construct with New. All methods are safe for concurrent use.
+type Observer struct {
+	now func() time.Time
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	spans    map[string]*spanAgg
+	recent   []SpanRecord
+}
+
+// Option configures an Observer.
+type Option func(*Observer)
+
+// WithClock substitutes the time source spans measure with. Chaos and
+// campaign tests freeze it so span durations — and therefore Snapshot
+// bytes — are identical across runs.
+func WithClock(now func() time.Time) Option {
+	return func(o *Observer) { o.now = now }
+}
+
+// New builds an empty Observer on the system clock.
+func New(opts ...Option) *Observer {
+	o := &Observer{
+		now:      time.Now,
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		spans:    make(map[string]*spanAgg),
+	}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o
+}
+
+// Counter returns the named monotonic counter, creating it on first use.
+// A nil Observer returns a nil (no-op) Counter.
+func (o *Observer) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	c := o.counters[name]
+	if c == nil {
+		c = &Counter{}
+		o.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil Observer
+// returns a nil (no-op) Gauge.
+func (o *Observer) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	g := o.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		o.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds on first use (later calls reuse the existing instrument and
+// ignore the bounds). Nil or empty bounds mean DefaultBuckets. A nil
+// Observer returns a nil (no-op) Histogram.
+func (o *Observer) Histogram(name string, bounds []float64) *Histogram {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	h := o.hists[name]
+	if h == nil {
+		h = newHistogram(bounds)
+		o.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing atomic counter. A nil Counter
+// no-ops, so instrumented code needs no nil checks.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (n must be non-negative; negative deltas are ignored so the
+// counter stays monotonic).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reads the current count. A nil Counter reads zero.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value — connection counts, breaker
+// states. A nil Gauge no-ops.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add applies a signed delta.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value reads the current value. A nil Gauge reads zero.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}

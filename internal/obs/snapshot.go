@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// SpanSnapshot is one stage's completed-span aggregate.
+type SpanSnapshot struct {
+	Count     int64             `json:"count"`
+	Durations HistogramSnapshot `json:"durations_ms"`
+}
+
+// Snapshot is an immutable capture of an Observer. All fields are maps, so
+// encoding/json renders keys in sorted order — a fixed-seed run produces
+// byte-identical JSON across runs, which the chaos gate asserts. The
+// recent-spans ring is deliberately absent: its order is scheduling-
+// dependent.
+type Snapshot struct {
+	Counters map[string]int64             `json:"counters"`
+	Gauges   map[string]int64             `json:"gauges"`
+	Hists    map[string]HistogramSnapshot `json:"histograms"`
+	Spans    map[string]SpanSnapshot      `json:"spans"`
+}
+
+// Snapshot captures every instrument's current value. A nil Observer
+// yields an empty (but non-nil-mapped) Snapshot.
+func (o *Observer) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]int64{},
+		Hists:    map[string]HistogramSnapshot{},
+		Spans:    map[string]SpanSnapshot{},
+	}
+	if o == nil {
+		return s
+	}
+	o.mu.Lock()
+	counters := make(map[string]*Counter, len(o.counters))
+	for k, v := range o.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(o.gauges))
+	for k, v := range o.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(o.hists))
+	for k, v := range o.hists {
+		hists[k] = v
+	}
+	spans := make(map[string]*spanAgg, len(o.spans))
+	for k, v := range o.spans {
+		spans[k] = v
+	}
+	o.mu.Unlock()
+
+	// Instrument reads take their own locks; do them outside the registry
+	// lock so a slow snapshot never stalls the hot path.
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		s.Hists[k] = h.Snapshot()
+	}
+	for k, a := range spans {
+		s.Spans[k] = SpanSnapshot{Count: a.count.Load(), Durations: a.durations.Snapshot()}
+	}
+	return s
+}
+
+// Merge combines two snapshots: counters, gauges and span counts sum,
+// histograms merge bucket-wise. Merge is associative and commutative, so
+// per-worker or per-service snapshots can be combined in any grouping.
+func (s Snapshot) Merge(other Snapshot) Snapshot {
+	out := Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]int64{},
+		Hists:    map[string]HistogramSnapshot{},
+		Spans:    map[string]SpanSnapshot{},
+	}
+	for k, v := range s.Counters {
+		out.Counters[k] += v
+	}
+	for k, v := range other.Counters {
+		out.Counters[k] += v
+	}
+	for k, v := range s.Gauges {
+		out.Gauges[k] += v
+	}
+	for k, v := range other.Gauges {
+		out.Gauges[k] += v
+	}
+	for k, v := range s.Hists {
+		out.Hists[k] = out.Hists[k].Merge(v)
+	}
+	for k, v := range other.Hists {
+		out.Hists[k] = out.Hists[k].Merge(v)
+	}
+	merge := func(k string, v SpanSnapshot) {
+		cur := out.Spans[k]
+		out.Spans[k] = SpanSnapshot{
+			Count:     cur.Count + v.Count,
+			Durations: cur.Durations.Merge(v.Durations),
+		}
+	}
+	for k, v := range s.Spans {
+		merge(k, v)
+	}
+	for k, v := range other.Spans {
+		merge(k, v)
+	}
+	return out
+}
+
+// JSON renders the snapshot as stable, indented JSON. Map keys marshal in
+// sorted order, so equal snapshots render to equal bytes.
+func (s Snapshot) JSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return nil, fmt.Errorf("obs: encoding snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}

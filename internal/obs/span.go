@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// recentCap bounds the ring of recently completed spans kept for the debug
+// endpoint's "what just happened" view.
+const recentCap = 128
+
+// spanAgg accumulates one stage's completed spans. The count is atomic so
+// Snapshot can read it outside the observer's registry lock, symmetric with
+// the internally locked histogram.
+type spanAgg struct {
+	count     atomic.Int64
+	durations *Histogram
+}
+
+// Span is one in-flight timed operation, keyed by (session, stage): the
+// session identifies the logical flow ("session-17", a device model, a
+// connection id), the stage the pipeline step ("netalyzr.probe",
+// "campaign.session"). End records the duration into the stage's
+// aggregate. A nil Span no-ops, so spans thread through uninstrumented
+// code paths for free.
+type Span struct {
+	o       *Observer
+	session string
+	stage   string
+	start   time.Time
+}
+
+// SpanRecord is one completed span, as retained in the recent-spans ring.
+type SpanRecord struct {
+	Session  string        `json:"session"`
+	Stage    string        `json:"stage"`
+	Duration time.Duration `json:"duration"`
+}
+
+// StartSpan opens a span for (session, stage). The stage names the
+// aggregate the duration lands in; the session labels the flow in the
+// recent-spans ring. A nil Observer returns a nil (no-op) Span.
+func (o *Observer) StartSpan(session, stage string) *Span {
+	if o == nil {
+		return nil
+	}
+	return &Span{o: o, session: session, stage: stage, start: o.now()}
+}
+
+// End closes the span, recording its duration (in milliseconds) into the
+// stage's aggregate and the recent-spans ring. End is idempotent in effect
+// only if called once; call it exactly once, conveniently via defer.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := s.o.now().Sub(s.start)
+	ms := float64(d) / float64(time.Millisecond)
+	s.o.mu.Lock()
+	agg := s.o.spans[s.stage]
+	if agg == nil {
+		agg = &spanAgg{durations: newHistogram(nil)}
+		s.o.spans[s.stage] = agg
+	}
+	s.o.recent = append(s.o.recent, SpanRecord{Session: s.session, Stage: s.stage, Duration: d})
+	if len(s.o.recent) > recentCap {
+		s.o.recent = s.o.recent[len(s.o.recent)-recentCap:]
+	}
+	s.o.mu.Unlock()
+	// The count and histogram are safe outside the observer lock.
+	agg.count.Add(1)
+	agg.durations.Observe(ms)
+}
+
+// RecentSpans returns the most recently completed spans, oldest first.
+// The ring is a debugging aid: its order depends on goroutine
+// interleaving, which is why it is excluded from Snapshot — Snapshot stays
+// byte-identical across same-seed runs.
+func (o *Observer) RecentSpans() []SpanRecord {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]SpanRecord, len(o.recent))
+	copy(out, o.recent)
+	return out
+}

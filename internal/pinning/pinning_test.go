@@ -1,6 +1,7 @@
 package pinning
 
 import (
+	"context"
 	"crypto/x509"
 	"errors"
 	"sync"
@@ -172,26 +173,24 @@ func TestPinnedAppCatchesInterception(t *testing.T) {
 
 	run := func(whitelist []tlsnet.HostPort) *netalyzr.Report {
 		t.Helper()
-		proxy, err := mitm.NewProxy(mitm.ProxyConfig{
-			CA:        u.InterceptionRoot().Issued,
-			Generator: u.Generator(),
-			Upstream:  tlsnet.DirectDialer{Server: srv},
-			Whitelist: whitelist,
-		})
+		proxy, err := mitm.NewProxy(u.InterceptionRoot().Issued, u.Generator(),
+			tlsnet.DirectDialer{Server: srv}, mitm.WithWhitelist(whitelist))
 		if err != nil {
 			t.Fatal(err)
 		}
 		dev := device.New(device.Profile{Model: "Nexus 7", Manufacturer: "ASUS", Version: "4.4"},
 			u.AOSP("4.4"), nil)
-		client := &netalyzr.Client{
-			Device: dev, Dialer: proxy, At: certgen.Epoch,
-			Targets: []tlsnet.HostPort{
+		client, err := netalyzr.New(dev, proxy,
+			netalyzr.WithValidationTime(certgen.Epoch),
+			netalyzr.WithTargets([]tlsnet.HostPort{
 				{Host: "www.twitter.com", Port: 443},
 				{Host: "www.facebook.com", Port: 443},
 				{Host: "gmail.com", Port: 443},
-			},
+			}))
+		if err != nil {
+			t.Fatal(err)
 		}
-		rep, err := client.Run()
+		rep, err := client.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

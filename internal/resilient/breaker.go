@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"tangledmass/internal/obs"
 )
 
 // ErrOpen is returned by Breaker.Allow while the circuit is open. Classify
@@ -28,6 +30,7 @@ type Breaker struct {
 	threshold int
 	cooldown  time.Duration
 	clock     Clock
+	obs       *obs.Observer
 
 	mu       sync.Mutex
 	state    int
@@ -53,6 +56,27 @@ func (b *Breaker) WithClock(c Clock) *Breaker {
 	return b
 }
 
+// WithObserver attaches an observer the breaker reports its state gauge
+// and trip counter through (see keys.go), returning the breaker for
+// chaining. Attach before the breaker is shared across goroutines.
+func (b *Breaker) WithObserver(o *obs.Observer) *Breaker {
+	if b != nil {
+		b.obs = o
+		o.Gauge(KeyBreakerState).Set(int64(b.state))
+	}
+	return b
+}
+
+// setState transitions the breaker and mirrors the new state to the
+// observer. Callers hold b.mu.
+func (b *Breaker) setState(state int) {
+	if state == stateOpen && b.state != stateOpen {
+		b.obs.Counter(KeyBreakerTrips).Inc()
+	}
+	b.state = state
+	b.obs.Gauge(KeyBreakerState).Set(int64(state))
+}
+
 // Allow reports whether an attempt may proceed, returning ErrOpen when the
 // circuit is open. While half-open, exactly one probe is admitted; further
 // attempts fail fast until Record settles the probe.
@@ -67,7 +91,7 @@ func (b *Breaker) Allow() error {
 		return nil
 	case stateOpen:
 		if b.clock.Now().Sub(b.openedAt) >= b.cooldown {
-			b.state = stateHalfOpen
+			b.setState(stateHalfOpen)
 			return nil
 		}
 		return ErrOpen
@@ -86,13 +110,13 @@ func (b *Breaker) Record(err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if err == nil {
-		b.state = stateClosed
+		b.setState(stateClosed)
 		b.failures = 0
 		return
 	}
 	b.failures++
 	if b.state == stateHalfOpen || b.failures >= b.threshold {
-		b.state = stateOpen
+		b.setState(stateOpen)
 		b.openedAt = b.clock.Now()
 	}
 }

@@ -1,0 +1,32 @@
+package resilient
+
+// Metric keys the retry and breaker machinery emits through an attached
+// obs.Observer. Names are package-prefixed compile-time constants — the
+// obskey lint rule enforces this across the module — so the registry in
+// README.md stays greppable and stable.
+const (
+	// KeyAttempts counts every operation attempt a Retrier runs, first
+	// tries included.
+	KeyAttempts = "resilient.attempt.total"
+	// KeyRetries counts attempts that were re-run after a transient
+	// failure (i.e. backoff sleeps taken).
+	KeyRetries = "resilient.retry.total"
+	// KeyFailureTransient counts attempts that failed with a transient
+	// (retryable) error. Under a refuse-only fault plan this reconciles
+	// exactly with the faultnet ledger's fault total — the chaos gate
+	// asserts it.
+	KeyFailureTransient = "resilient.failure.transient"
+	// KeyFailurePermanent counts attempts that failed permanently.
+	KeyFailurePermanent = "resilient.failure.permanent"
+	// KeyExhausted counts retry loops that ran out of attempts.
+	KeyExhausted = "resilient.attempts.exhausted"
+	// KeyBudgetExhausted counts retry loops that ran out of time budget
+	// (explicit policy budget or context deadline).
+	KeyBudgetExhausted = "resilient.budget.exhausted"
+	// KeyBreakerTrips counts closed/half-open → open transitions.
+	KeyBreakerTrips = "resilient.breaker.trip.total"
+	// KeyBreakerState is a gauge of the breaker's current state: 0 closed,
+	// 1 open, 2 half-open. With several breakers sharing one observer the
+	// gauge reflects the most recent transition.
+	KeyBreakerState = "resilient.breaker.state"
+)

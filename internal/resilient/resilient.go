@@ -15,6 +15,7 @@
 package resilient
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -25,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"tangledmass/internal/obs"
 	"tangledmass/internal/stats"
 )
 
@@ -177,6 +179,7 @@ func (p Policy) withDefaults() Policy {
 type Retrier struct {
 	policy Policy
 	clock  Clock
+	obs    *obs.Observer
 
 	mu  sync.Mutex
 	src *stats.Source
@@ -195,26 +198,56 @@ func (r *Retrier) WithClock(c Clock) *Retrier {
 	return r
 }
 
-// Do runs op until it succeeds, returns a permanent error, or the policy is
-// exhausted. op receives the 1-based attempt number. The returned error is
-// the last attempt's, wrapped with the attempt count when retries ran out.
-func (r *Retrier) Do(op func(attempt int) error) error {
+// WithObserver attaches an observer the retrier reports attempt, retry and
+// failure counters through (see keys.go), returning the retrier for
+// chaining. Attach before the retrier is shared across goroutines. A nil
+// observer leaves the retrier silent.
+func (r *Retrier) WithObserver(o *obs.Observer) *Retrier {
+	r.obs = o
+	return r
+}
+
+// Do runs op until it succeeds, returns a permanent error, the policy is
+// exhausted, or ctx is done. op receives the 1-based attempt number. The
+// retry time budget derives from the tighter of the policy's Budget and
+// ctx's deadline, so a caller-scoped context bounds the whole loop — this
+// is the one place deadlines and retries meet. The returned error is the
+// last attempt's, wrapped with the attempt count when retries ran out.
+func (r *Retrier) Do(ctx context.Context, op func(attempt int) error) error {
 	start := r.clock.Now()
+	budget := r.policy.Budget
+	if dl, ok := ctx.Deadline(); ok {
+		// The deadline is wall-clock by construction; measuring the
+		// remainder against the injected clock keeps fake-clock tests
+		// coherent as long as they also own the context's lifetime.
+		if rem := dl.Sub(start); budget <= 0 || rem < budget {
+			budget = rem
+		}
+	}
 	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("resilient: canceled before attempt %d: %w", attempt, err)
+		}
+		r.obs.Counter(KeyAttempts).Inc()
 		err := op(attempt)
 		if err == nil {
 			return nil
 		}
 		if Classify(err) == Permanent {
+			r.obs.Counter(KeyFailurePermanent).Inc()
 			return err
 		}
+		r.obs.Counter(KeyFailureTransient).Inc()
 		if attempt >= r.policy.MaxAttempts {
+			r.obs.Counter(KeyExhausted).Inc()
 			return fmt.Errorf("resilient: %d attempts exhausted: %w", attempt, err)
 		}
 		d := r.delay(attempt)
-		if b := r.policy.Budget; b > 0 && r.clock.Now().Sub(start)+d > b {
-			return fmt.Errorf("resilient: retry budget %s exhausted after %d attempts: %w", b, attempt, err)
+		if budget > 0 && r.clock.Now().Sub(start)+d > budget {
+			r.obs.Counter(KeyBudgetExhausted).Inc()
+			return fmt.Errorf("resilient: retry budget %s exhausted after %d attempts: %w", budget, attempt, err)
 		}
+		r.obs.Counter(KeyRetries).Inc()
 		r.clock.Sleep(d)
 	}
 }

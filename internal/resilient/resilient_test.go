@@ -1,6 +1,7 @@
 package resilient
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -9,6 +10,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"tangledmass/internal/obs"
 )
 
 // fakeClock is a manually advanced clock: Sleep moves time forward
@@ -83,7 +86,7 @@ func TestRetrierSucceedsAfterTransients(t *testing.T) {
 	fc := &fakeClock{now: time.Unix(0, 0)}
 	r := NewRetrier(Policy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond}, 1).WithClock(fc.clock())
 	calls := 0
-	err := r.Do(func(attempt int) error {
+	err := r.Do(context.Background(), func(attempt int) error {
 		calls++
 		if attempt != calls {
 			t.Errorf("attempt = %d on call %d", attempt, calls)
@@ -109,7 +112,7 @@ func TestRetrierStopsOnPermanent(t *testing.T) {
 	r := NewRetrier(Policy{}, 1).WithClock(fc.clock())
 	calls := 0
 	boom := errors.New("server rejected the request")
-	err := r.Do(func(int) error { calls++; return boom })
+	err := r.Do(context.Background(), func(int) error { calls++; return boom })
 	if !errors.Is(err, boom) {
 		t.Errorf("err = %v, want %v", err, boom)
 	}
@@ -122,7 +125,7 @@ func TestRetrierExhaustsAttempts(t *testing.T) {
 	fc := &fakeClock{now: time.Unix(0, 0)}
 	r := NewRetrier(Policy{MaxAttempts: 3, BaseDelay: time.Millisecond}, 1).WithClock(fc.clock())
 	calls := 0
-	err := r.Do(func(int) error { calls++; return io.EOF })
+	err := r.Do(context.Background(), func(int) error { calls++; return io.EOF })
 	if calls != 3 {
 		t.Errorf("calls = %d, want 3", calls)
 	}
@@ -140,7 +143,7 @@ func TestRetrierBackoffGrowsAndCaps(t *testing.T) {
 		Multiplier:  2,
 		Jitter:      -1, // exact schedule
 	}, 1).WithClock(fc.clock())
-	_ = r.Do(func(int) error { return io.EOF })
+	_ = r.Do(context.Background(), func(int) error { return io.EOF })
 	want := []time.Duration{10, 20, 40, 40, 40}
 	for i := range want {
 		want[i] *= time.Millisecond
@@ -159,7 +162,7 @@ func TestRetrierJitterIsSeededAndBounded(t *testing.T) {
 	schedule := func(seed int64) []time.Duration {
 		fc := &fakeClock{now: time.Unix(0, 0)}
 		r := NewRetrier(Policy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, Jitter: 0.5}, seed).WithClock(fc.clock())
-		_ = r.Do(func(int) error { return io.EOF })
+		_ = r.Do(context.Background(), func(int) error { return io.EOF })
 		return fc.slept
 	}
 	a, b := schedule(7), schedule(7)
@@ -197,7 +200,7 @@ func TestRetrierBudget(t *testing.T) {
 		Budget:      100 * time.Millisecond,
 	}, 1).WithClock(fc.clock())
 	calls := 0
-	err := r.Do(func(int) error { calls++; return io.EOF })
+	err := r.Do(context.Background(), func(int) error { calls++; return io.EOF })
 	if err == nil {
 		t.Fatal("budget exhaustion should surface an error")
 	}
@@ -265,5 +268,123 @@ func TestBreakerNilIsDisabled(t *testing.T) {
 	b.Record(errors.New("ignored")) // must not panic
 	if got := NewBreaker(0, time.Second); got != nil {
 		t.Errorf("NewBreaker(0, _) = %v, want nil", got)
+	}
+}
+
+// TestRetrierContextCancel: a canceled context stops the loop before the
+// next attempt runs.
+func TestRetrierContextCancel(t *testing.T) {
+	fc := &fakeClock{now: time.Unix(0, 0)}
+	r := NewRetrier(Policy{MaxAttempts: 10, BaseDelay: time.Millisecond}, 1).WithClock(fc.clock())
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := r.Do(ctx, func(int) error {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+		return io.EOF
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if calls != 2 {
+		t.Errorf("calls = %d, want 2 (cancel must stop the loop)", calls)
+	}
+}
+
+// TestRetrierContextDeadlineBudget: the retry budget derives from the
+// context deadline when it is tighter than the policy's.
+func TestRetrierContextDeadlineBudget(t *testing.T) {
+	fc := &fakeClock{now: time.Now()}
+	r := NewRetrier(Policy{
+		MaxAttempts: 100,
+		BaseDelay:   30 * time.Millisecond,
+		Multiplier:  2,
+		Jitter:      -1,
+	}, 1).WithClock(fc.clock())
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	calls := 0
+	err := r.Do(ctx, func(int) error { calls++; return io.EOF })
+	if err == nil {
+		t.Fatal("deadline-derived budget exhaustion should surface an error")
+	}
+	// 30ms + 60ms sleeps fit in ~100ms; the 120ms third sleep would not.
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3 before the deadline budget ran out", calls)
+	}
+}
+
+// TestRetrierObserverCounters pins the metric semantics: one attempt
+// counter tick per op call, one transient-failure tick per retryable
+// error, one retry tick per backoff sleep taken.
+func TestRetrierObserverCounters(t *testing.T) {
+	fc := &fakeClock{now: time.Unix(0, 0)}
+	o := obs.New()
+	r := NewRetrier(Policy{MaxAttempts: 5, BaseDelay: time.Millisecond}, 1).
+		WithClock(fc.clock()).WithObserver(o)
+	err := r.Do(context.Background(), func(attempt int) error {
+		if attempt < 3 {
+			return syscall.ECONNRESET
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Counter(KeyAttempts).Value(); got != 3 {
+		t.Errorf("%s = %d, want 3", KeyAttempts, got)
+	}
+	if got := o.Counter(KeyFailureTransient).Value(); got != 2 {
+		t.Errorf("%s = %d, want 2", KeyFailureTransient, got)
+	}
+	if got := o.Counter(KeyRetries).Value(); got != 2 {
+		t.Errorf("%s = %d, want 2", KeyRetries, got)
+	}
+
+	boom := errors.New("rejected")
+	_ = r.Do(context.Background(), func(int) error { return boom })
+	if got := o.Counter(KeyFailurePermanent).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", KeyFailurePermanent, got)
+	}
+
+	_ = r.Do(context.Background(), func(int) error { return io.EOF })
+	if got := o.Counter(KeyExhausted).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", KeyExhausted, got)
+	}
+}
+
+// TestBreakerObserver: trips count open transitions and the state gauge
+// tracks the lifecycle.
+func TestBreakerObserver(t *testing.T) {
+	fc := &fakeClock{now: time.Unix(0, 0)}
+	o := obs.New()
+	b := NewBreaker(2, time.Second).WithClock(fc.clock()).WithObserver(o)
+	fail := errors.New("down")
+	if got := o.Gauge(KeyBreakerState).Value(); got != 0 {
+		t.Errorf("initial state gauge = %d, want 0", got)
+	}
+	b.Record(fail)
+	b.Record(fail)
+	if got := o.Counter(KeyBreakerTrips).Value(); got != 1 {
+		t.Errorf("trips = %d, want 1", got)
+	}
+	if got := o.Gauge(KeyBreakerState).Value(); got != 1 {
+		t.Errorf("state gauge = %d, want 1 (open)", got)
+	}
+	fc.now = fc.now.Add(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Gauge(KeyBreakerState).Value(); got != 2 {
+		t.Errorf("state gauge = %d, want 2 (half-open)", got)
+	}
+	b.Record(nil)
+	if got := o.Gauge(KeyBreakerState).Value(); got != 0 {
+		t.Errorf("state gauge = %d, want 0 (closed)", got)
+	}
+	if got := o.Counter(KeyBreakerTrips).Value(); got != 1 {
+		t.Errorf("trips after recovery = %d, want 1", got)
 	}
 }

@@ -1,6 +1,7 @@
 package tlsnet
 
 import (
+	"context"
 	"crypto/tls"
 	"errors"
 	"fmt"
@@ -91,9 +92,11 @@ func (s *Server) handle(conn net.Conn) {
 // Dialer connects to a named service. The direct implementation goes
 // straight to the origin Server; the interception proxy wraps one.
 type Dialer interface {
-	// DialSite opens a TCP connection intended for host:port. The caller
-	// performs the TLS handshake (with SNI = host) on the returned conn.
-	DialSite(host string, port int) (net.Conn, error)
+	// DialSite opens a TCP connection intended for host:port. The context
+	// bounds connection establishment — cancel it and the dial unblocks.
+	// The caller performs the TLS handshake (with SNI = host) on the
+	// returned conn.
+	DialSite(ctx context.Context, host string, port int) (net.Conn, error)
 }
 
 // DirectDialer routes every site to the origin server.
@@ -102,6 +105,7 @@ type DirectDialer struct {
 }
 
 // DialSite implements Dialer.
-func (d DirectDialer) DialSite(host string, port int) (net.Conn, error) {
-	return net.DialTimeout("tcp", d.Server.Addr(), 10*time.Second)
+func (d DirectDialer) DialSite(ctx context.Context, host string, port int) (net.Conn, error) {
+	dialer := &net.Dialer{Timeout: 10 * time.Second}
+	return dialer.DialContext(ctx, "tcp", d.Server.Addr())
 }

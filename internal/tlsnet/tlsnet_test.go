@@ -1,6 +1,7 @@
 package tlsnet
 
 import (
+	"context"
 	"crypto/tls"
 	"crypto/x509"
 	"io"
@@ -182,7 +183,7 @@ func TestServerHandshake(t *testing.T) {
 		pool := x509.NewCertPool()
 		pool.AddCert(site.Chain[len(site.Chain)-1])
 
-		conn, err := dialer.DialSite(site.Host, site.Port)
+		conn, err := dialer.DialSite(context.Background(), site.Host, site.Port)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -221,7 +222,7 @@ func TestServerRejectsUnknownSNI(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	conn, err := DirectDialer{Server: srv}.DialSite("nonexistent.example", 443)
+	conn, err := DirectDialer{Server: srv}.DialSite(context.Background(), "nonexistent.example", 443)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package x509scan
 
 import (
+	"context"
 	"crypto/tls"
 	"crypto/x509"
 	"fmt"
@@ -38,8 +39,10 @@ type Scanner struct {
 	Timeout time.Duration
 }
 
-// Scan probes every target and returns results in target order.
-func (s *Scanner) Scan(targets []tlsnet.HostPort) ([]Result, error) {
+// Scan probes every target and returns results in target order. The
+// context bounds the whole run: targets dialed after cancellation fail
+// with the context's error.
+func (s *Scanner) Scan(ctx context.Context, targets []tlsnet.HostPort) ([]Result, error) {
 	if s.Dialer == nil {
 		return nil, fmt.Errorf("x509scan: scanner needs a dialer")
 	}
@@ -59,7 +62,7 @@ func (s *Scanner) Scan(targets []tlsnet.HostPort) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = s.scanOne(targets[i], timeout)
+				results[i] = s.scanOne(ctx, targets[i], timeout)
 			}
 		}()
 	}
@@ -71,14 +74,14 @@ func (s *Scanner) Scan(targets []tlsnet.HostPort) ([]Result, error) {
 	return results, nil
 }
 
-func (s *Scanner) scanOne(hp tlsnet.HostPort, timeout time.Duration) (res Result) {
+func (s *Scanner) scanOne(ctx context.Context, hp tlsnet.HostPort, timeout time.Duration) (res Result) {
 	res = Result{Target: hp}
 	start := time.Now()
 	// Named result: the deferred assignment must reach the caller on every
 	// return path.
 	defer func() { res.Elapsed = time.Since(start) }()
 
-	conn, err := s.Dialer.DialSite(hp.Host, hp.Port)
+	conn, err := s.Dialer.DialSite(ctx, hp.Host, hp.Port)
 	if err != nil {
 		res.Err = fmt.Errorf("x509scan: dialing %s: %w", hp, err)
 		return res

@@ -1,6 +1,7 @@
 package x509scan
 
 import (
+	"context"
 	"net"
 	"sync"
 	"testing"
@@ -42,7 +43,7 @@ func TestScanAllTargets(t *testing.T) {
 	srv, _ := env(t)
 	s := &Scanner{Dialer: tlsnet.DirectDialer{Server: srv}, Concurrency: 4}
 	targets := tlsnet.ProbeTargets()
-	results, err := s.Scan(targets)
+	results, err := s.Scan(context.Background(), targets)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestScanAllTargets(t *testing.T) {
 func TestScanFeedsNotary(t *testing.T) {
 	srv, _ := env(t)
 	s := &Scanner{Dialer: tlsnet.DirectDialer{Server: srv}}
-	results, err := s.Scan(tlsnet.ProbeTargets()[:5])
+	results, err := s.Scan(context.Background(), tlsnet.ProbeTargets()[:5])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestScanFeedsNotary(t *testing.T) {
 
 func TestScanFailuresSurface(t *testing.T) {
 	s := &Scanner{Dialer: failingDialer{}, Timeout: time.Second}
-	results, err := s.Scan([]tlsnet.HostPort{{Host: "down.example", Port: 443}})
+	results, err := s.Scan(context.Background(), []tlsnet.HostPort{{Host: "down.example", Port: 443}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestScanFailuresSurface(t *testing.T) {
 }
 
 func TestScannerNeedsDialer(t *testing.T) {
-	if _, err := (&Scanner{}).Scan(nil); err == nil {
+	if _, err := (&Scanner{}).Scan(context.Background(), nil); err == nil {
 		t.Error("scanner without dialer should error")
 	}
 }
@@ -119,7 +120,7 @@ func TestScannerNeedsDialer(t *testing.T) {
 func TestScanEmptyTargets(t *testing.T) {
 	srv, _ := env(t)
 	s := &Scanner{Dialer: tlsnet.DirectDialer{Server: srv}}
-	results, err := s.Scan(nil)
+	results, err := s.Scan(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,6 +131,6 @@ func TestScanEmptyTargets(t *testing.T) {
 
 type failingDialer struct{}
 
-func (failingDialer) DialSite(host string, port int) (net.Conn, error) {
+func (failingDialer) DialSite(ctx context.Context, host string, port int) (net.Conn, error) {
 	return nil, net.ErrClosed
 }

@@ -16,6 +16,9 @@ go vet ./...
 echo "==> tangledlint ./..."
 go run ./cmd/tangledlint ./...
 
+echo "==> metrics-smoke: debug endpoint sanity"
+./scripts/metrics_smoke.sh
+
 echo "==> chaos: campaign under injected faults"
 go test -race -run TestChaosCampaignDeterministic ./internal/campaign/
 
