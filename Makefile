@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test lint vet chaos metrics-smoke verify
+.PHONY: build test lint vet chaos metrics-smoke bench bench-gate verify
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,16 @@ chaos:
 # check the payload is well-formed snapshot JSON.
 metrics-smoke:
 	./scripts/metrics_smoke.sh
+
+# Full benchmark sweep with -benchmem, emitting a BENCH JSON record.
+bench:
+	./scripts/bench.sh
+
+# Compare the Table/Figure benchmarks against the committed serial baseline,
+# failing on a >25% ns/op regression.
+bench-gate:
+	$(GO) test -run '^$$' -bench 'Table|Figure' -benchtime 3x . | \
+		$(GO) run ./cmd/benchjson gate -baseline BENCH_pr4.json -match 'Table|Figure' -tolerance 0.25
 
 verify:
 	./verify.sh

@@ -1,0 +1,210 @@
+// Command benchjson turns `go test -bench` text output into a
+// machine-readable JSON benchmark record, and compares two such records as
+// the verify pipeline's bench gate.
+//
+// Two subcommands:
+//
+//	benchjson emit [-label pr4] < bench.out > BENCH_pr4.json
+//	    Parse benchmark lines from stdin ("BenchmarkX-8  12  3456 ns/op
+//	    789 B/op  10 allocs/op") into a JSON document keyed by benchmark
+//	    name, with the goos/goarch/cpu context lines captured when present.
+//
+//	benchjson gate -baseline BENCH_pr4.json [-match 'Table|Figure']
+//	              [-tolerance 0.25] < bench.out
+//	    Parse the current sweep from stdin and fail (exit 1) if any
+//	    benchmark whose name matches the pattern regressed by more than
+//	    tolerance (ns/op relative to the baseline record). Benchmarks
+//	    missing from either side are reported but do not fail the gate —
+//	    new benchmarks have no baseline yet.
+//
+// Benchmark names are recorded without the -GOMAXPROCS suffix so records
+// compare across machines with different core counts.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurements.
+type Result struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Record is the whole JSON document: context plus per-benchmark results.
+type Record struct {
+	Label      string            `json:"label,omitempty"`
+	Goos       string            `json:"goos,omitempty"`
+	Goarch     string            `json:"goarch,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson emit|gate [flags]")
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "emit":
+		err = runEmit(os.Args[2:])
+	case "gate":
+		err = runGate(os.Args[2:])
+	default:
+		err = fmt.Errorf("unknown subcommand %q; want emit or gate", os.Args[1])
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runEmit(args []string) error {
+	fs := flag.NewFlagSet("emit", flag.ExitOnError)
+	label := fs.String("label", "", "free-form label stored in the record")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rec, err := parse(os.Stdin)
+	if err != nil {
+		return err
+	}
+	rec.Label = *label
+	if len(rec.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rec)
+}
+
+func runGate(args []string) error {
+	fs := flag.NewFlagSet("gate", flag.ExitOnError)
+	baselinePath := fs.String("baseline", "", "baseline JSON record to compare against")
+	match := fs.String("match", ".", "regexp selecting which benchmarks the gate enforces")
+	tolerance := fs.Float64("tolerance", 0.25, "maximum allowed relative ns/op regression")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baselinePath == "" {
+		return fmt.Errorf("gate needs -baseline")
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		return fmt.Errorf("bad -match pattern: %w", err)
+	}
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		return err
+	}
+	var baseline Record
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", *baselinePath, err)
+	}
+	current, err := parse(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if len(current.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	return gate(baseline, current, re, *tolerance)
+}
+
+// gate prints a per-benchmark comparison and returns an error listing every
+// enforced benchmark that regressed beyond the tolerance.
+func gate(baseline, current Record, re *regexp.Regexp, tolerance float64) error {
+	names := make([]string, 0, len(current.Benchmarks))
+	for name := range current.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var regressed []string
+	for _, name := range names {
+		if !re.MatchString(name) {
+			continue
+		}
+		cur := current.Benchmarks[name]
+		base, ok := baseline.Benchmarks[name]
+		if !ok {
+			fmt.Printf("  %-40s %12.0f ns/op  (no baseline, skipped)\n", name, cur.NsPerOp)
+			continue
+		}
+		if base.NsPerOp <= 0 {
+			continue
+		}
+		ratio := cur.NsPerOp / base.NsPerOp
+		verdict := "ok"
+		if ratio > 1+tolerance {
+			verdict = "REGRESSED"
+			regressed = append(regressed, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.2fx)", name, base.NsPerOp, cur.NsPerOp, ratio))
+		}
+		fmt.Printf("  %-40s %12.0f -> %12.0f ns/op  %5.2fx  %s\n", name, base.NsPerOp, cur.NsPerOp, ratio, verdict)
+	}
+	for name := range baseline.Benchmarks {
+		if re.MatchString(name) {
+			if _, ok := current.Benchmarks[name]; !ok {
+				fmt.Printf("  %-40s missing from current sweep\n", name)
+			}
+		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("bench gate: %d benchmark(s) regressed more than %.0f%%:\n  %s",
+			len(regressed), 100*tolerance, strings.Join(regressed, "\n  "))
+	}
+	return nil
+}
+
+// benchLine matches one benchmark result line. The iteration count and
+// ns/op are always present; -benchmem adds B/op and allocs/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// parse reads `go test -bench` output into a Record.
+func parse(r io.Reader) (Record, error) {
+	rec := Record{Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rec.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rec.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rec.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return rec, fmt.Errorf("bad ns/op on line %q: %w", line, err)
+		}
+		res := Result{Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			res.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			res.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		rec.Benchmarks[m[1]] = res
+	}
+	return rec, sc.Err()
+}

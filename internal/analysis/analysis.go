@@ -42,13 +42,32 @@ type CountRow struct {
 
 // Table2 returns the top-k devices and manufacturers by session count.
 func Table2(p *population.Population, k int) (devices, manufacturers []CountRow) {
-	devCount := map[string]int{}
-	manCount := map[string]int{}
-	for _, s := range p.Sessions {
-		devCount[s.Handset.Manufacturer+" "+s.Handset.Model]++
-		manCount[s.Handset.Manufacturer]++
-	}
-	return topK(devCount, k), topK(manCount, k)
+	return defaultEngine.Table2(p, k)
+}
+
+// Table2 returns the top-k devices and manufacturers by session count.
+func (e *Engine) Table2(p *population.Population, k int) (devices, manufacturers []CountRow) {
+	type acc struct{ dev, man map[string]int }
+	a := accumulate(e, len(p.Sessions),
+		func() acc { return acc{dev: map[string]int{}, man: map[string]int{}} },
+		func(a acc, start, end int) acc {
+			for i := start; i < end; i++ {
+				s := p.Sessions[i]
+				a.dev[s.Handset.Manufacturer+" "+s.Handset.Model]++
+				a.man[s.Handset.Manufacturer]++
+			}
+			return a
+		},
+		func(into, from acc) acc {
+			for k, n := range from.dev {
+				into.dev[k] += n
+			}
+			for k, n := range from.man {
+				into.man[k] += n
+			}
+			return into
+		})
+	return topK(a.dev, k), topK(a.man, k)
 }
 
 func topK(m map[string]int, k int) []CountRow {
@@ -82,15 +101,30 @@ type ScatterPoint struct {
 // sessions sit at each (AOSP certs, additional certs) coordinate per
 // manufacturer and OS version.
 func Figure1(p *population.Population) []ScatterPoint {
+	return defaultEngine.Figure1(p)
+}
+
+// Figure1 aggregates the fleet into the extended-store scatter.
+func (e *Engine) Figure1(p *population.Population) []ScatterPoint {
 	type key struct {
 		man, ver   string
 		aosp, xtra int
 	}
-	agg := map[key]int{}
-	for _, s := range p.Sessions {
-		h := s.Handset
-		agg[key{h.Manufacturer, h.Version, h.AOSPCount, h.ExtraCount}]++
-	}
+	agg := accumulate(e, len(p.Sessions),
+		func() map[key]int { return map[key]int{} },
+		func(agg map[key]int, start, end int) map[key]int {
+			for i := start; i < end; i++ {
+				h := p.Sessions[i].Handset
+				agg[key{h.Manufacturer, h.Version, h.AOSPCount, h.ExtraCount}]++
+			}
+			return agg
+		},
+		func(into, from map[key]int) map[key]int {
+			for k, n := range from {
+				into[k] += n
+			}
+			return into
+		})
 	out := make([]ScatterPoint, 0, len(agg))
 	for k, n := range agg {
 		out = append(out, ScatterPoint{k.man, k.ver, k.aosp, k.xtra, n})
@@ -145,6 +179,11 @@ type Headlines struct {
 
 // ComputeHeadlines derives the §5/§6 headline numbers from the fleet.
 func ComputeHeadlines(p *population.Population) Headlines {
+	return defaultEngine.ComputeHeadlines(p)
+}
+
+// ComputeHeadlines derives the §5/§6 headline numbers from the fleet.
+func (e *Engine) ComputeHeadlines(p *population.Population) Headlines {
 	h := Headlines{
 		TotalSessions:    p.TotalSessions(),
 		Handsets:         len(p.Handsets),
@@ -152,33 +191,53 @@ func ComputeHeadlines(p *population.Population) Headlines {
 		ExtendedFraction: p.ExtendedSessionFraction(),
 		RootedFraction:   p.RootedSessionFraction(),
 	}
-	models := map[string]bool{}
-	var old, oldOver40, rooted, rootedExcl int
-	for _, s := range p.Sessions {
-		hs := s.Handset
-		models[hs.Manufacturer+"/"+hs.Model] = true
-		if hs.Version == "4.1" || hs.Version == "4.2" {
-			old++
-			if hs.ExtraCount > 40 {
-				oldOver40++
-			}
-		}
-		if hs.Rooted {
-			rooted++
-			if hs.RootedExclusive {
-				rootedExcl++
-			}
-		}
-		if s.Intercepted {
-			h.InterceptedSessions++
-		}
+	type acc struct {
+		models                                     map[string]bool
+		old, oldOver40, rooted, rootedExcl, intcpt int
 	}
-	h.Models = len(models)
-	if old > 0 {
-		h.Over40Fraction41_42 = float64(oldOver40) / float64(old)
+	a := accumulate(e, len(p.Sessions),
+		func() acc { return acc{models: map[string]bool{}} },
+		func(a acc, start, end int) acc {
+			for i := start; i < end; i++ {
+				s := p.Sessions[i]
+				hs := s.Handset
+				a.models[hs.Manufacturer+"/"+hs.Model] = true
+				if hs.Version == "4.1" || hs.Version == "4.2" {
+					a.old++
+					if hs.ExtraCount > 40 {
+						a.oldOver40++
+					}
+				}
+				if hs.Rooted {
+					a.rooted++
+					if hs.RootedExclusive {
+						a.rootedExcl++
+					}
+				}
+				if s.Intercepted {
+					a.intcpt++
+				}
+			}
+			return a
+		},
+		func(into, from acc) acc {
+			for m := range from.models {
+				into.models[m] = true
+			}
+			into.old += from.old
+			into.oldOver40 += from.oldOver40
+			into.rooted += from.rooted
+			into.rootedExcl += from.rootedExcl
+			into.intcpt += from.intcpt
+			return into
+		})
+	h.InterceptedSessions = a.intcpt
+	h.Models = len(a.models)
+	if a.old > 0 {
+		h.Over40Fraction41_42 = float64(a.oldOver40) / float64(a.old)
 	}
-	if rooted > 0 {
-		h.RootedExclusiveOfRoots = float64(rootedExcl) / float64(rooted)
+	if a.rooted > 0 {
+		h.RootedExclusiveOfRoots = float64(a.rootedExcl) / float64(a.rooted)
 	}
 	for _, hs := range p.Handsets {
 		if hs.MissingCount > 0 {
@@ -197,10 +256,26 @@ type MonthCount struct {
 // SessionsPerMonth histograms the fleet's sessions over the §4.1 collection
 // window (November 2013 – April 2014).
 func SessionsPerMonth(p *population.Population) []MonthCount {
-	counts := map[string]int{}
-	for _, s := range p.Sessions {
-		counts[s.At.Format("2006-01")]++
-	}
+	return defaultEngine.SessionsPerMonth(p)
+}
+
+// SessionsPerMonth histograms the fleet's sessions over the collection
+// window.
+func (e *Engine) SessionsPerMonth(p *population.Population) []MonthCount {
+	counts := accumulate(e, len(p.Sessions),
+		func() map[string]int { return map[string]int{} },
+		func(counts map[string]int, start, end int) map[string]int {
+			for i := start; i < end; i++ {
+				counts[p.Sessions[i].At.Format("2006-01")]++
+			}
+			return counts
+		},
+		func(into, from map[string]int) map[string]int {
+			for m, n := range from {
+				into[m] += n
+			}
+			return into
+		})
 	months := make([]string, 0, len(counts))
 	for m := range counts {
 		months = append(months, m)
@@ -226,34 +301,70 @@ type RootedExclusive struct {
 // them); anything else present on ≥1 rooted and 0 non-rooted handsets is
 // reported, sorted by device count.
 func Table5(p *population.Population) []RootedExclusive {
+	return defaultEngine.Table5(p)
+}
+
+// Table5 detects certificates that appear exclusively on rooted handsets.
+func (e *Engine) Table5(p *population.Population) []RootedExclusive {
 	u := p.Universe
 	aosp44 := u.AOSP("4.4")
 	type tally struct {
 		rooted, nonRooted int
 		subject           string
 	}
-	counts := map[certid.Identity]*tally{}
-	cn := map[certid.Identity]string{}
-	for _, h := range p.Handsets {
-		for _, id := range h.Store.Identities() {
-			if aosp44.ContainsIdentity(id) {
-				continue
-			}
-			t := counts[id]
-			if t == nil {
-				t = &tally{subject: id.Subject}
-				counts[id] = t
-				if c := h.Store.Get(id); c != nil {
-					cn[id] = c.Subject.CommonName
+	type acc struct {
+		counts map[certid.Identity]*tally
+		cn     map[certid.Identity]string
+	}
+	// The CN recorded for an identity is the one carried by the first
+	// handset (in fleet order) that introduced it — an order-sensitive
+	// merge that stays deterministic because shards fold ascending handset
+	// ranges and merge in ascending shard order.
+	a := accumulate(e, len(p.Handsets),
+		func() acc {
+			return acc{counts: map[certid.Identity]*tally{}, cn: map[certid.Identity]string{}}
+		},
+		func(a acc, start, end int) acc {
+			for i := start; i < end; i++ {
+				h := p.Handsets[i]
+				for _, id := range h.Store.Identities() {
+					if aosp44.ContainsIdentity(id) {
+						continue
+					}
+					t := a.counts[id]
+					if t == nil {
+						t = &tally{subject: id.Subject}
+						a.counts[id] = t
+						if c := h.Store.Get(id); c != nil {
+							a.cn[id] = c.Subject.CommonName
+						}
+					}
+					if h.Rooted {
+						t.rooted++
+					} else {
+						t.nonRooted++
+					}
 				}
 			}
-			if h.Rooted {
-				t.rooted++
-			} else {
-				t.nonRooted++
+			return a
+		},
+		func(into, from acc) acc {
+			for id, t := range from.counts {
+				if have := into.counts[id]; have != nil {
+					have.rooted += t.rooted
+					have.nonRooted += t.nonRooted
+					continue
+				}
+				into.counts[id] = t
+				// The CN travels with the identity's creating shard only:
+				// later shards never override an earlier first sighting.
+				if name, ok := from.cn[id]; ok {
+					into.cn[id] = name
+				}
 			}
-		}
-	}
+			return into
+		})
+	counts, cn := a.counts, a.cn
 	nameByID := map[certid.Identity]string{}
 	for _, r := range u.Roots() {
 		nameByID[certid.IdentityOf(r.Issued.Cert)] = r.Name
@@ -291,12 +402,23 @@ type MissingReport struct {
 
 // MissingHandsets reports every handset whose store lacks AOSP roots.
 func MissingHandsets(p *population.Population) []MissingReport {
-	var out []MissingReport
-	for _, h := range p.Handsets {
-		if h.MissingCount > 0 {
-			out = append(out, MissingReport{h.ID, h.Model, h.Version, h.MissingCount})
-		}
-	}
+	return defaultEngine.MissingHandsets(p)
+}
+
+// MissingHandsets reports every handset whose store lacks AOSP roots.
+func (e *Engine) MissingHandsets(p *population.Population) []MissingReport {
+	out := accumulate(e, len(p.Handsets),
+		func() []MissingReport { return nil },
+		func(out []MissingReport, start, end int) []MissingReport {
+			for i := start; i < end; i++ {
+				h := p.Handsets[i]
+				if h.MissingCount > 0 {
+					out = append(out, MissingReport{h.ID, h.Model, h.Version, h.MissingCount})
+				}
+			}
+			return out
+		},
+		func(into, from []MissingReport) []MissingReport { return append(into, from...) })
 	sort.Slice(out, func(i, j int) bool { return out[i].HandsetID < out[j].HandsetID })
 	return out
 }

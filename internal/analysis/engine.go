@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"context"
+
+	"tangledmass/internal/obs"
+	"tangledmass/internal/parallel"
+)
+
+// Engine runs the package's fleet-scale aggregations on the parallel
+// fan-out engine. The zero-argument NewEngine() sizes the pool by
+// GOMAXPROCS and records nothing; every package-level analysis function
+// delegates to such a default engine, so the Engine only needs constructing
+// explicitly to pin the worker count or attach an observer.
+//
+// Results are deterministic at any worker count: each aggregation folds
+// contiguous session/handset shards in index order and merges the shard
+// accumulators in ascending shard order (see package parallel), so the
+// Engine's answers are byte-identical to a serial fold — the property the
+// parallel-vs-serial equality tests pin at worker counts 1, 4 and 17.
+type Engine struct {
+	workers  int
+	observer *obs.Observer
+}
+
+// EngineOption configures an Engine.
+type EngineOption func(*Engine)
+
+// WithWorkers bounds the fan-out. Values < 1 (the default) mean
+// runtime.GOMAXPROCS.
+func WithWorkers(n int) EngineOption {
+	return func(e *Engine) { e.workers = n }
+}
+
+// WithObserver instruments the engine's fan-outs with the parallel.*
+// spans and counters. Nil observers no-op.
+func WithObserver(o *obs.Observer) EngineOption {
+	return func(e *Engine) { e.observer = o }
+}
+
+// NewEngine returns an analysis engine.
+func NewEngine(opts ...EngineOption) *Engine {
+	e := &Engine{}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// defaultEngine backs the package-level analysis functions.
+var defaultEngine = NewEngine()
+
+// popts expands the engine's configuration into fan-out options.
+func (e *Engine) popts() []parallel.Option {
+	return []parallel.Option{parallel.WithWorkers(e.workers), parallel.WithObserver(e.observer)}
+}
+
+// accumulate folds [0, n) on the engine's pool. Aggregations cannot fail
+// and run under a background context, so the error is dropped by design.
+func accumulate[A any](e *Engine, n int, newA func() A, fold func(acc A, start, end int) A, merge func(into, from A) A) A {
+	acc, _ := parallel.Accumulate(context.Background(), n, newA, fold, merge, e.popts()...)
+	return acc
+}

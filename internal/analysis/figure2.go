@@ -68,6 +68,11 @@ type AttributionCell struct {
 // manufacturers and operators with fewer than 10 sessions exhibiting
 // modified root stores").
 func Figure2(p *population.Population, n *notary.Notary, minSessions int) []AttributionCell {
+	return defaultEngine.Figure2(p, n, minSessions)
+}
+
+// Figure2 builds the attribution matrix; see the package-level Figure2.
+func (e *Engine) Figure2(p *population.Population, n *notary.Notary, minSessions int) []AttributionCell {
 	u := p.Universe
 	nameByID := map[certid.Identity]string{}
 	for _, r := range u.Roots() {
@@ -75,42 +80,76 @@ func Figure2(p *population.Population, n *notary.Notary, minSessions int) []Attr
 	}
 
 	type groupKey struct{ kind, name string }
-	groupTotal := map[groupKey]int{}
-	certCount := map[groupKey]map[certid.Identity]int{}
-	certObj := map[certid.Identity]*x509.Certificate{}
-
-	for _, s := range p.Sessions {
-		h := s.Handset
-		// Rooted handsets are analyzed separately (§4.1: "We analyzed
-		// rooted handsets separately from operator and manufacturer root
-		// stores to avoid any bias") — see Table5.
-		if h.ExtraCount == 0 || h.Rooted {
-			continue
-		}
-		aosp := u.AOSP(h.Version)
-		user := h.Device.UserStore()
-		groups := []groupKey{
-			{"manufacturer", h.Manufacturer + " " + h.Version},
-			{"operator", h.Operator + "(" + h.Country + ")"},
-		}
-		for _, g := range groups {
-			groupTotal[g]++
-			if certCount[g] == nil {
-				certCount[g] = map[certid.Identity]int{}
+	type acc struct {
+		groupTotal map[groupKey]int
+		certCount  map[groupKey]map[certid.Identity]int
+		certObj    map[certid.Identity]*x509.Certificate
+	}
+	a := accumulate(e, len(p.Sessions),
+		func() acc {
+			return acc{
+				groupTotal: map[groupKey]int{},
+				certCount:  map[groupKey]map[certid.Identity]int{},
+				certObj:    map[certid.Identity]*x509.Certificate{},
 			}
-			for _, c := range h.Store.Certificates() {
-				// Attribute firmware additions only: user-installed roots
-				// (the §5.2 per-device VPN certificates) are not vendor or
-				// operator behaviour.
-				if aosp.Contains(c) || user.Contains(c) {
+		},
+		func(a acc, start, end int) acc {
+			for i := start; i < end; i++ {
+				h := p.Sessions[i].Handset
+				// Rooted handsets are analyzed separately (§4.1: "We analyzed
+				// rooted handsets separately from operator and manufacturer
+				// root stores to avoid any bias") — see Table5.
+				if h.ExtraCount == 0 || h.Rooted {
 					continue
 				}
-				id := certid.IdentityOf(c)
-				certCount[g][id]++
-				certObj[id] = c
+				aosp := u.AOSP(h.Version)
+				user := h.Device.UserStore()
+				groups := []groupKey{
+					{"manufacturer", h.Manufacturer + " " + h.Version},
+					{"operator", h.Operator + "(" + h.Country + ")"},
+				}
+				for _, g := range groups {
+					a.groupTotal[g]++
+					if a.certCount[g] == nil {
+						a.certCount[g] = map[certid.Identity]int{}
+					}
+					for _, c := range h.Store.Certificates() {
+						// Attribute firmware additions only: user-installed
+						// roots (the §5.2 per-device VPN certificates) are not
+						// vendor or operator behaviour.
+						if aosp.Contains(c) || user.Contains(c) {
+							continue
+						}
+						id := certid.IdentityOf(c)
+						a.certCount[g][id]++
+						a.certObj[id] = c
+					}
+				}
 			}
-		}
-	}
+			return a
+		},
+		func(into, from acc) acc {
+			for g, n := range from.groupTotal {
+				into.groupTotal[g] += n
+			}
+			for g, m := range from.certCount {
+				if into.certCount[g] == nil {
+					into.certCount[g] = m
+					continue
+				}
+				for id, n := range m {
+					into.certCount[g][id] += n
+				}
+			}
+			// The serial loop overwrites certObj on every sighting, so the
+			// representative instance is the LAST one in session order:
+			// later shards override earlier ones.
+			for id, c := range from.certObj {
+				into.certObj[id] = c
+			}
+			return into
+		})
+	groupTotal, certCount, certObj := a.groupTotal, a.certCount, a.certObj
 
 	var cells []AttributionCell
 	for g, total := range groupTotal {

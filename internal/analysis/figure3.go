@@ -1,8 +1,11 @@
 package analysis
 
 import (
+	"context"
+
 	"tangledmass/internal/cauniverse"
 	"tangledmass/internal/notary"
+	"tangledmass/internal/parallel"
 	"tangledmass/internal/rootstore"
 	"tangledmass/internal/stats"
 )
@@ -56,28 +59,44 @@ type CategoryValidation struct {
 // ValidateCategories runs the Notary validation analysis over categories in
 // one pass (Tables 3–4 and Figure 3 all come from this).
 func ValidateCategories(n *notary.Notary, cats []Category) []CategoryValidation {
+	return defaultEngine.ValidateCategories(n, cats)
+}
+
+// ValidateCategories runs the Notary validation analysis over categories in
+// one pass. The chain building itself fans out (and caches) inside the
+// Notary; the per-category report shaping — per-root count extraction and
+// ECDF construction — fans out here.
+func (e *Engine) ValidateCategories(n *notary.Notary, cats []Category) []CategoryValidation {
 	stores := make([]*rootstore.Store, len(cats))
 	for i, c := range cats {
 		stores[i] = c.Store
 	}
 	reports := n.Validate(stores...)
-	out := make([]CategoryValidation, len(cats))
-	for i, c := range cats {
-		rep := reports[i]
-		out[i] = CategoryValidation{
-			Name:         c.Name,
-			TotalRoots:   c.Store.Len(),
-			ZeroFraction: rep.ZeroValidationFraction(),
-			Validated:    rep.Validated,
-			ECDF:         stats.NewECDF(rep.PerRootCounts()),
-		}
-	}
+	// Shaping cannot fail and runs under a background context, so the
+	// error is dropped by design.
+	out, _ := parallel.Map(context.Background(), len(cats),
+		func(_ context.Context, i int) (CategoryValidation, error) {
+			rep := reports[i]
+			return CategoryValidation{
+				Name:         cats[i].Name,
+				TotalRoots:   cats[i].Store.Len(),
+				ZeroFraction: rep.ZeroValidationFraction(),
+				Validated:    rep.Validated,
+				ECDF:         stats.NewECDF(rep.PerRootCounts()),
+			}, nil
+		}, e.popts()...)
 	return out
 }
 
 // Table3 validates the four AOSP versions plus Mozilla and iOS7, returning
 // rows in the paper's order.
 func Table3(n *notary.Notary, u *cauniverse.Universe) []CategoryValidation {
+	return defaultEngine.Table3(n, u)
+}
+
+// Table3 validates the four AOSP versions plus Mozilla and iOS7, returning
+// rows in the paper's order.
+func (e *Engine) Table3(n *notary.Notary, u *cauniverse.Universe) []CategoryValidation {
 	cats := []Category{
 		{"Mozilla", u.Mozilla()},
 		{"iOS 7", u.IOS7()},
@@ -85,5 +104,5 @@ func Table3(n *notary.Notary, u *cauniverse.Universe) []CategoryValidation {
 	for _, v := range cauniverse.AOSPVersions() {
 		cats = append(cats, Category{"AOSP " + v, u.AOSP(v)})
 	}
-	return ValidateCategories(n, cats)
+	return e.ValidateCategories(n, cats)
 }

@@ -42,6 +42,12 @@ type RoamingCandidate struct {
 // a different operator's network. Rooted handsets are excluded (their
 // stores are not trustworthy evidence of firmware provenance, §4.1).
 func RoamingCandidates(p *population.Population) []RoamingCandidate {
+	return defaultEngine.RoamingCandidates(p)
+}
+
+// RoamingCandidates scans the fleet for operator-service roots observed on
+// a different operator's network; see the package-level RoamingCandidates.
+func (e *Engine) RoamingCandidates(p *population.Population) []RoamingCandidate {
 	u := p.Universe
 	owners := map[certid.Identity]struct{ owner, name string }{}
 	for name, owner := range operatorRootOwners {
@@ -49,26 +55,32 @@ func RoamingCandidates(p *population.Population) []RoamingCandidate {
 			owners[certid.IdentityOf(r.Issued.Cert)] = struct{ owner, name string }{owner, name}
 		}
 	}
-	var out []RoamingCandidate
-	for _, h := range p.Handsets {
-		if h.Rooted {
-			continue
-		}
-		for _, id := range h.Store.Identities() {
-			own, ok := owners[id]
-			if !ok || own.owner == h.Operator {
-				continue
+	out := accumulate(e, len(p.Handsets),
+		func() []RoamingCandidate { return nil },
+		func(out []RoamingCandidate, start, end int) []RoamingCandidate {
+			for i := start; i < end; i++ {
+				h := p.Handsets[i]
+				if h.Rooted {
+					continue
+				}
+				for _, id := range h.Store.Identities() {
+					own, ok := owners[id]
+					if !ok || own.owner == h.Operator {
+						continue
+					}
+					out = append(out, RoamingCandidate{
+						HandsetID:       h.ID,
+						Model:           h.Model,
+						ServingOperator: h.Operator,
+						ServingCountry:  h.Country,
+						RootOwner:       own.owner,
+						RootName:        own.name,
+					})
+				}
 			}
-			out = append(out, RoamingCandidate{
-				HandsetID:       h.ID,
-				Model:           h.Model,
-				ServingOperator: h.Operator,
-				ServingCountry:  h.Country,
-				RootOwner:       own.owner,
-				RootName:        own.name,
-			})
-		}
-	}
+			return out
+		},
+		func(into, from []RoamingCandidate) []RoamingCandidate { return append(into, from...) })
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].HandsetID != out[j].HandsetID {
 			return out[i].HandsetID < out[j].HandsetID

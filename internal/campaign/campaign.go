@@ -12,7 +12,6 @@ import (
 	"context"
 	"fmt"
 	"net"
-	"sync"
 	"time"
 
 	"tangledmass/internal/collect"
@@ -21,6 +20,7 @@ import (
 	"tangledmass/internal/netalyzr"
 	"tangledmass/internal/notarynet"
 	"tangledmass/internal/obs"
+	"tangledmass/internal/parallel"
 	"tangledmass/internal/population"
 	"tangledmass/internal/resilient"
 	"tangledmass/internal/tlsnet"
@@ -181,41 +181,35 @@ func Run(ctx context.Context, pop *population.Population, origin *tlsnet.Server,
 	}
 	start := time.Now()
 
-	jobs := make(chan *population.Session)
-	var (
-		mu    sync.Mutex
-		stats Stats
-		wg    sync.WaitGroup
-	)
+	// Sessions fan out on the parallel engine with dynamic load balancing
+	// (sessions have uneven network cost) and their results come back in
+	// session order; the stats fold below is then a serial loop, so the
+	// aggregate is independent of worker interleaving. The pool itself runs
+	// under a background context so every session is attempted even after
+	// the run context is cancelled — cancellation fails the remaining
+	// sessions individually (the degradation Run promises) instead of
+	// discarding the finished ones, and the fan-out error is always nil.
+	results, _ := parallel.Map(context.Background(), len(cfg.pop.Sessions),
+		func(_ context.Context, i int) (sessionResult, error) {
+			return cfg.session(ctx, cfg.pop.Sessions[i]), nil
+		},
+		parallel.WithWorkers(cfg.concurrency))
+	var stats Stats
 	stats.ProbeFaults = make(map[string]int)
-	for w := 0; w < cfg.concurrency; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for s := range jobs {
-				res := cfg.session(ctx, s)
-				mu.Lock()
-				stats.Sessions++
-				if res.failed {
-					stats.Failed++
-				}
-				if res.submitFailed {
-					stats.SubmitFailed++
-				}
-				stats.ObserveFailed += res.observeFailed
-				stats.UntrustedProbes += res.untrusted
-				for kind, n := range res.faults {
-					stats.ProbeFaults[kind] += n
-				}
-				mu.Unlock()
-			}
-		}()
+	for _, res := range results {
+		stats.Sessions++
+		if res.failed {
+			stats.Failed++
+		}
+		if res.submitFailed {
+			stats.SubmitFailed++
+		}
+		stats.ObserveFailed += res.observeFailed
+		stats.UntrustedProbes += res.untrusted
+		for kind, n := range res.faults {
+			stats.ProbeFaults[kind] += n
+		}
 	}
-	for _, s := range cfg.pop.Sessions {
-		jobs <- s
-	}
-	close(jobs)
-	wg.Wait()
 	stats.Elapsed = time.Since(start)
 	cfg.observer.Counter(KeySessionsTotal).Add(int64(stats.Sessions))
 	cfg.observer.Counter(KeySessionsFailed).Add(int64(stats.Failed))

@@ -1,0 +1,144 @@
+package chain
+
+import (
+	"crypto/x509"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"tangledmass/internal/certgen"
+	"tangledmass/internal/certid"
+	"tangledmass/internal/obs"
+)
+
+func TestCacheLookupStoreRoundTrip(t *testing.T) {
+	c := NewCache(8)
+	ids := []certid.Identity{{Subject: "CN=A", Key: "k1"}}
+	if _, ok := c.Lookup("pool", "leaf"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Store("pool", "leaf", ids)
+	got, ok := c.Lookup("pool", "leaf")
+	if !ok || !reflect.DeepEqual(got, ids) {
+		t.Fatalf("got %v, %v", got, ok)
+	}
+	// A different pool with the same leaf is a distinct entry.
+	if _, ok := c.Lookup("otherpool", "leaf"); ok {
+		t.Fatal("pool key did not partition the cache")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Evictions != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if rate := st.HitRate(); rate <= 0.33 || rate >= 0.34 {
+		t.Fatalf("hit rate = %v, want 1/3", rate)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	o := obs.New()
+	c := NewCache(3, WithCacheObserver(o))
+	for i := 0; i < 3; i++ {
+		c.Store("p", fmt.Sprintf("leaf-%d", i), nil)
+	}
+	// Touch leaf-0 so leaf-1 becomes the least recently used.
+	if _, ok := c.Lookup("p", "leaf-0"); !ok {
+		t.Fatal("leaf-0 missing before eviction")
+	}
+	c.Store("p", "leaf-3", nil)
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	if _, ok := c.Lookup("p", "leaf-1"); ok {
+		t.Fatal("least recently used entry survived eviction")
+	}
+	for _, keep := range []string{"leaf-0", "leaf-2", "leaf-3"} {
+		if _, ok := c.Lookup("p", keep); !ok {
+			t.Fatalf("%s evicted, want leaf-1 evicted", keep)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if got := o.Snapshot().Counters[KeyCacheEvictions]; got != 1 {
+		t.Fatalf("%s = %d, want 1", KeyCacheEvictions, got)
+	}
+}
+
+func TestNilCacheIsNoOp(t *testing.T) {
+	var c *Cache
+	c.Store("p", "l", nil)
+	if _, ok := c.Lookup("p", "l"); ok {
+		t.Fatal("nil cache hit")
+	}
+	if c.Len() != 0 || c.Cap() != 0 {
+		t.Fatal("nil cache has size")
+	}
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil cache stats = %+v", st)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	if got := NewCache(0).Cap(); got != DefaultCacheCapacity {
+		t.Fatalf("cap = %d, want %d", got, DefaultCacheCapacity)
+	}
+}
+
+// TestCachedMatchesUncached pins the cache invariant across seeds: for
+// every leaf, the root identities answered through the cache — cold, then
+// warm — are identical to the direct computation.
+func TestCachedMatchesUncached(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g := certgen.NewGenerator(seed)
+		issue := func(i *certgen.Issued, err error) *certgen.Issued {
+			t.Helper()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return i
+		}
+		rootA := issue(g.SelfSignedCA("Root A"))
+		rootB := issue(g.SelfSignedCA("Root B"))
+		inter := issue(g.Intermediate(rootA, "Intermediate"))
+		cross := issue(g.Intermediate(rootB, "Intermediate")) // same subject, second path
+		var leaves []*x509.Certificate
+		for i := 0; i < 20; i++ {
+			leaves = append(leaves, issue(g.Leaf(inter, fmt.Sprintf("host-%d.example.com", i))).Cert)
+		}
+		v := NewVerifier(certs(rootA, rootB), certs(inter, cross), certgen.Epoch)
+		cache := NewCache(0)
+		for pass := 0; pass < 2; pass++ { // pass 0 fills, pass 1 hits
+			for i, leaf := range leaves {
+				direct := v.ValidatingRootIdentities(leaf)
+				cached := cache.ValidatingRoots(v, leaf)
+				if !reflect.DeepEqual(direct, cached) {
+					t.Fatalf("seed %d pass %d leaf %d: cached %v != direct %v",
+						seed, pass, i, cached, direct)
+				}
+			}
+		}
+		st := cache.Stats()
+		if st.Misses != int64(len(leaves)) || st.Hits != int64(len(leaves)) {
+			t.Fatalf("seed %d: stats %+v, want %d misses then %d hits", seed, st, len(leaves), len(leaves))
+		}
+	}
+}
+
+func TestPoolKeyIgnoresConstructionOrder(t *testing.T) {
+	p := buildPKI(t)
+	v1 := NewVerifier(certs(p.rootA, p.rootB), certs(p.interA), certgen.Epoch)
+	v2 := NewVerifier(certs(p.rootB, p.rootA), certs(p.interA), certgen.Epoch)
+	if v1.PoolKey() != v2.PoolKey() {
+		t.Fatal("pool key depends on root construction order")
+	}
+	v3 := NewVerifier(certs(p.rootA), certs(p.interA), certgen.Epoch)
+	if v1.PoolKey() == v3.PoolKey() {
+		t.Fatal("pool key ignores trusted-root membership")
+	}
+	v4 := NewVerifier(certs(p.rootA, p.rootB), certs(p.interA), certgen.Epoch)
+	v4.SetMaxDepth(2)
+	if v1.PoolKey() == v4.PoolKey() {
+		t.Fatal("pool key ignores the path-length bound")
+	}
+}

@@ -10,9 +10,14 @@
 package chain
 
 import (
+	"crypto/sha256"
 	"crypto/x509"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -41,6 +46,11 @@ type Verifier struct {
 	// edges constantly; caching turns those into map hits.
 	mu       sync.Mutex
 	sigCache map[sigKey]bool
+
+	// poolHash is the content hash behind PoolKey, computed once: the pool
+	// is immutable after NewVerifier, only maxDepth can change later.
+	poolOnce sync.Once
+	poolHash string
 }
 
 type sigKey struct{ child, parent *x509.Certificate }
@@ -197,6 +207,58 @@ func (v *Verifier) ValidatingRoots(cert *x509.Certificate) []*x509.Certificate {
 		}
 	}
 	return out
+}
+
+// ValidatingRootIdentities returns the identities of the distinct trusted
+// roots reachable from cert, in discovery order. This is the value the
+// chain-validation Cache memoizes: identities (not certificate pointers)
+// so entries stay meaningful across Verifier instances with equal pools.
+func (v *Verifier) ValidatingRootIdentities(cert *x509.Certificate) []certid.Identity {
+	roots := v.ValidatingRoots(cert)
+	if len(roots) == 0 {
+		return nil
+	}
+	out := make([]certid.Identity, len(roots))
+	for i, r := range roots {
+		out[i] = certid.IdentityOf(r)
+	}
+	return out
+}
+
+// PoolKey returns a compact fingerprint of the verifier's complete trust
+// configuration: every pool certificate's DER fingerprint (sorted, so
+// construction order is irrelevant), which of them are trusted roots, the
+// reference instant, and the path-length bound. Two verifiers with equal
+// PoolKeys return identical validation outcomes for every certificate,
+// which is what makes the key safe to share cache entries under.
+func (v *Verifier) PoolKey() string {
+	v.poolOnce.Do(func() {
+		rootFPs := make([]string, 0, len(v.roots))
+		for _, r := range v.roots {
+			rootFPs = append(rootFPs, certid.SHA1Fingerprint(r))
+		}
+		sort.Strings(rootFPs)
+		var poolFPs []string
+		for _, certs := range v.bySubject {
+			for _, c := range certs {
+				poolFPs = append(poolFPs, certid.SHA1Fingerprint(c))
+			}
+		}
+		sort.Strings(poolFPs)
+		parts := make([]string, 0, len(rootFPs)+len(poolFPs)+1)
+		for _, fp := range rootFPs {
+			parts = append(parts, "root:"+fp)
+		}
+		for _, fp := range poolFPs {
+			parts = append(parts, "pool:"+fp)
+		}
+		parts = append(parts, "at:"+strconv.FormatInt(v.at.UnixNano(), 10))
+		sum := sha256.Sum256([]byte(strings.Join(parts, "\n")))
+		v.poolHash = hex.EncodeToString(sum[:])
+	})
+	// maxDepth is appended at call time because SetMaxDepth may change it
+	// after construction; depth changes the reachable-root set.
+	return v.poolHash + "/d" + strconv.Itoa(v.maxDepth)
 }
 
 // ErrHostMismatch is returned by VerifyForHost when the leaf does not cover

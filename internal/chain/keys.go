@@ -1,0 +1,13 @@
+package chain
+
+// Metric keys the chain-validation cache emits (see the registry in
+// README.md). Package-prefixed compile-time constants, per the obskey lint
+// rule.
+const (
+	// KeyCacheHits counts validation-outcome lookups answered from cache.
+	KeyCacheHits = "chain.cache.hit"
+	// KeyCacheMisses counts lookups that had to build chains.
+	KeyCacheMisses = "chain.cache.miss"
+	// KeyCacheEvictions counts entries displaced by the LRU bound.
+	KeyCacheEvictions = "chain.cache.evict"
+)

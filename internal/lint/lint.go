@@ -140,6 +140,7 @@ func Analyzers() []*Analyzer {
 		CtxHTTP,
 		SleepRetry,
 		ObsKey,
+		ParallelMerge,
 	}
 }
 

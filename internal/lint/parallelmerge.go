@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ParallelMerge polices ad-hoc goroutine fan-outs. A `go func(){...}()`
+// that writes a map or slice declared outside its own body is either a
+// data race (shared map) or, at best, a hand-rolled results-merge whose
+// ordering depends on scheduling — exactly the shape internal/parallel
+// exists to replace with sharded folds and a deterministic merge. Bodies
+// that take a lock are left to the locksafe rule, and internal/parallel
+// itself is exempt: its shard-indexed writes are the sanctioned primitive
+// every other package is being steered towards.
+var ParallelMerge = &Analyzer{
+	Name: "parallelmerge",
+	Doc:  "flag goroutines writing shared maps/slices; fan out through internal/parallel instead",
+	Run:  runParallelMerge,
+}
+
+func runParallelMerge(p *Pass) {
+	if p.Pkg.Base() == "parallel" {
+		return // the engine's own shard-owned writes are the sanctioned exception
+	}
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gostmt, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(gostmt.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkGoroutineBody(p, lit)
+			return true
+		})
+	}
+}
+
+// checkGoroutineBody reports shared-aggregate writes in one goroutine's
+// function literal.
+func checkGoroutineBody(p *Pass, lit *ast.FuncLit) {
+	if takesLock(lit.Body) {
+		return // mutex-guarded merges are locksafe's jurisdiction
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range stmt.Lhs {
+				checkSharedIndexWrite(p, lit, lhs)
+				if i < len(stmt.Rhs) {
+					checkSharedAppend(p, lit, lhs, stmt.Rhs[i])
+				}
+			}
+		case *ast.IncDecStmt:
+			checkSharedIndexWrite(p, lit, stmt.X)
+		}
+		return true
+	})
+}
+
+// checkSharedIndexWrite reports `m[k] = v` / `s[i] = v` / `m[k]++` targets
+// whose base aggregate is declared outside the goroutine literal.
+func checkSharedIndexWrite(p *Pass, lit *ast.FuncLit, lhs ast.Expr) {
+	idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	base := ast.Unparen(idx.X)
+	name, obj := rootObject(p, base)
+	if obj == nil || declaredWithin(obj, lit) {
+		return
+	}
+	switch types.Unalias(p.TypeOf(base)).Underlying().(type) {
+	case *types.Map:
+		p.Reportf(lhs.Pos(),
+			"goroutine writes shared map %s; fold per-shard accumulators with parallel.Accumulate instead", name)
+	case *types.Slice:
+		p.Reportf(lhs.Pos(),
+			"goroutine writes shared slice %s; collect indexed results with parallel.Map instead", name)
+	}
+}
+
+// checkSharedAppend reports `x = append(x, ...)` where x is a slice
+// declared outside the goroutine literal.
+func checkSharedAppend(p *Pass, lit *ast.FuncLit, lhs, rhs ast.Expr) {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fun.Name != "append" {
+		return
+	}
+	if _, isBuiltin := p.Pkg.Info.Uses[fun].(*types.Builtin); !isBuiltin {
+		return
+	}
+	name, obj := rootObject(p, ast.Unparen(lhs))
+	if obj == nil || declaredWithin(obj, lit) {
+		return
+	}
+	p.Reportf(lhs.Pos(),
+		"goroutine appends to shared slice %s; collect indexed results with parallel.Map instead", name)
+}
+
+// rootObject resolves the identifier at the root of e ("results" in
+// `results[i]`, "s" in `s.counts[k]`) to its declared object.
+func rootObject(p *Pass, e ast.Expr) (string, types.Object) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x.Name, p.ObjectOf(x)
+		case *ast.SelectorExpr:
+			// For field writes like s.counts[k], the aggregate is shared
+			// iff the value it hangs off is: resolve the receiver chain's
+			// root, so maps inside goroutine-local structs stay unflagged.
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return "", nil
+		}
+	}
+}
+
+// declaredWithin reports whether obj's declaration lies inside the
+// goroutine literal (parameters and body-local variables both qualify).
+func declaredWithin(obj types.Object, lit *ast.FuncLit) bool {
+	return obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End()
+}
+
+// takesLock reports whether the body calls .Lock() or .RLock() anywhere —
+// the marker of a deliberately mutex-guarded merge.
+func takesLock(body *ast.BlockStmt) bool {
+	locked := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+				locked = true
+				return false
+			}
+		}
+		return true
+	})
+	return locked
+}

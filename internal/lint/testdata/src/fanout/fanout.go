@@ -1,0 +1,90 @@
+// Package fanout triggers parallelmerge: hand-rolled goroutine pools
+// writing shared maps and slices without locks.
+package fanout
+
+import "sync"
+
+// CollectSquares is the classic indexed-results pool: every worker writes
+// into the shared results slice.
+func CollectSquares(n int) []int {
+	results := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = i * i
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// TallyLengths merges worker results straight into a shared map — a data
+// race, not just nondeterminism.
+func TallyLengths(words []string) map[int]int {
+	counts := map[int]int{}
+	var wg sync.WaitGroup
+	for _, w := range words {
+		wg.Add(1)
+		go func(w string) {
+			defer wg.Done()
+			counts[len(w)]++
+		}(w)
+	}
+	wg.Wait()
+	return counts
+}
+
+// GatherEvens appends to a shared slice from every worker.
+func GatherEvens(nums []int) []int {
+	var evens []int
+	var wg sync.WaitGroup
+	for _, n := range nums {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			if n%2 == 0 {
+				evens = append(evens, n)
+			}
+		}(n)
+	}
+	wg.Wait()
+	return evens
+}
+
+// LockedTally is the mutex-guarded merge: parallelmerge leaves lock
+// discipline to locksafe, so this stays clean here.
+func LockedTally(words []string) map[int]int {
+	counts := map[int]int{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, w := range words {
+		wg.Add(1)
+		go func(w string) {
+			defer wg.Done()
+			mu.Lock()
+			counts[len(w)]++
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	return counts
+}
+
+// LocalScratch writes only goroutine-local aggregates: clean.
+func LocalScratch(n int) {
+	var wg sync.WaitGroup
+	sink := make(chan []int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			scratch := make([]int, 4)
+			scratch[0] = i
+			sink <- scratch
+		}(i)
+	}
+	wg.Wait()
+	close(sink)
+}

@@ -1,0 +1,22 @@
+// Package parallel is the negative fixture for parallelmerge: the real
+// internal/parallel package owns exactly these shard-indexed writes, so a
+// package with this base name is exempt from the rule.
+package parallel
+
+import "sync"
+
+// ShardedRun mirrors the engine's Accumulate shape: each goroutine owns
+// one index of the shared accumulator slice. Exempt in this package.
+func ShardedRun(shards int) []int {
+	accs := make([]int, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			accs[s] = s
+		}(s)
+	}
+	wg.Wait()
+	return accs
+}

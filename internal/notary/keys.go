@@ -1,0 +1,15 @@
+package notary
+
+// Metric and span keys the Notary emits (see the registry in README.md).
+// Package-prefixed compile-time constants, per the obskey lint rule.
+const (
+	// KeyValidateSpan is the span stage covering one bulk validation pass
+	// (Validate over the union of the requested stores).
+	KeyValidateSpan = "notary.validate"
+	// KeyValidateLeaves counts leaf certificates validated across all
+	// Validate calls.
+	KeyValidateLeaves = "notary.validate.leaves"
+	// KeyIngestChains counts chains recorded through the batched
+	// ObserveAll ingest path.
+	KeyIngestChains = "notary.ingest.chains"
+)

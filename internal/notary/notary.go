@@ -7,15 +7,17 @@
 package notary
 
 import (
+	"context"
 	"crypto/x509"
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"tangledmass/internal/certid"
 	"tangledmass/internal/chain"
+	"tangledmass/internal/obs"
+	"tangledmass/internal/parallel"
 	"tangledmass/internal/rootstore"
 )
 
@@ -53,7 +55,11 @@ type Entry struct {
 // Notary is the certificate database. Construct with New; safe for
 // concurrent Observe calls.
 type Notary struct {
-	at time.Time
+	at       time.Time
+	observer *obs.Observer
+	cache    *chain.Cache
+	cacheSet bool // WithChainCache was applied (possibly with nil)
+	workers  int
 
 	mu       sync.RWMutex
 	entries  map[string]*Entry // by SHA-1 fingerprint
@@ -61,34 +67,104 @@ type Notary struct {
 	sessions int64
 }
 
+// Option configures a Notary at construction.
+type Option func(*Notary)
+
+// WithObserver instruments validation passes and batched ingest, and
+// attaches the chain cache's hit/miss counters. Nil observers no-op.
+func WithObserver(o *obs.Observer) Option {
+	return func(n *Notary) { n.observer = o }
+}
+
+// WithChainCache replaces the default chain-validation cache. Pass nil to
+// disable caching entirely (every lookup rebuilds chains) — the baseline
+// the cache invariant tests compare against.
+func WithChainCache(c *chain.Cache) Option {
+	return func(n *Notary) { n.cache, n.cacheSet = c, true }
+}
+
+// WithWorkers bounds the validation and ingest fan-out. Values < 1 (the
+// default) mean runtime.GOMAXPROCS.
+func WithWorkers(w int) Option {
+	return func(n *Notary) { n.workers = w }
+}
+
 // New returns an empty Notary that evaluates expiry at the instant at.
-func New(at time.Time) *Notary {
-	return &Notary{
+// By default validation outcomes are memoized in a chain.Cache sized
+// chain.DefaultCacheCapacity; see WithChainCache.
+func New(at time.Time, opts ...Option) *Notary {
+	n := &Notary{
 		at:      at,
 		entries: make(map[string]*Entry),
 		byID:    make(map[certid.Identity]bool),
 	}
+	for _, opt := range opts {
+		opt(n)
+	}
+	if !n.cacheSet {
+		n.cache = chain.NewCache(0, chain.WithCacheObserver(n.observer))
+	}
+	return n
 }
+
+// CacheStats returns the chain-validation cache's cumulative hit/miss/
+// eviction tallies (zeros when caching is disabled).
+func (n *Notary) CacheStats() chain.CacheStats { return n.cache.Stats() }
 
 // At returns the Notary's reference time.
 func (n *Notary) At() time.Time { return n.at }
 
 // Observe records one live-traffic chain.
-func (n *Notary) Observe(obs Observation) {
-	if len(obs.Chain) == 0 {
+func (n *Notary) Observe(o Observation) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.observeLocked(o, nil)
+}
+
+// ObserveAll records a batch of chains in one pass. Fingerprinting every
+// chain member — the CPU-bound part of ingest — runs on the parallel
+// engine; the database mutation is applied serially in input order under
+// one lock acquisition, so the result is identical to calling Observe in
+// a loop over the batch.
+func (n *Notary) ObserveAll(batch []Observation) {
+	n.observer.Counter(KeyIngestChains).Add(int64(len(batch)))
+	// The error is ctx cancellation only; the background context never ends.
+	fps, _ := parallel.Map(context.Background(), len(batch),
+		func(_ context.Context, i int) ([]string, error) {
+			out := make([]string, len(batch[i].Chain))
+			for j, c := range batch[i].Chain {
+				out[j] = certid.SHA1Fingerprint(c)
+			}
+			return out, nil
+		},
+		parallel.WithWorkers(n.workers), parallel.WithObserver(n.observer))
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i, o := range batch {
+		n.observeLocked(o, fps[i])
+	}
+}
+
+// observeLocked applies one observation. fps, when non-nil, carries the
+// precomputed SHA-1 fingerprint of every chain member. Caller holds mu.
+func (n *Notary) observeLocked(o Observation, fps []string) {
+	if len(o.Chain) == 0 {
 		return
 	}
-	at := obs.SeenAt
+	at := o.SeenAt
 	if at.IsZero() {
 		at = n.at
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.sessions++
-	for i, cert := range obs.Chain {
-		e := n.entry(cert)
+	for i, cert := range o.Chain {
+		var e *Entry
+		if fps != nil {
+			e = n.entryFP(fps[i], cert)
+		} else {
+			e = n.entry(cert)
+		}
 		e.Sessions++
-		e.Ports[obs.Port]++
+		e.Ports[o.Port]++
 		e.touch(at)
 		if i == 0 {
 			e.SeenAsLeaf = true
@@ -134,7 +210,11 @@ func (n *Notary) ImportStore(s *rootstore.Store) {
 
 // entry returns (creating if needed) the record for cert. Caller holds mu.
 func (n *Notary) entry(cert *x509.Certificate) *Entry {
-	fp := certid.SHA1Fingerprint(cert)
+	return n.entryFP(certid.SHA1Fingerprint(cert), cert)
+}
+
+// entryFP is entry with the fingerprint already computed. Caller holds mu.
+func (n *Notary) entryFP(fp string, cert *x509.Certificate) *Entry {
 	e, ok := n.entries[fp]
 	if !ok {
 		e = &Entry{Cert: cert, Ports: make(map[int]int64)}
@@ -326,32 +406,20 @@ func (n *Notary) Validate(stores ...*rootstore.Store) []*StoreReport {
 	verifier := chain.NewVerifier(union.Certificates(), n.observedCAs(), n.at)
 
 	// Path building is the expensive step (one ECDSA verification per new
-	// issuer edge); leaves are independent, so fan them across the CPUs.
+	// issuer edge); leaves are independent, so fan them across the parallel
+	// engine, answering repeated (pool, leaf) lookups from the chain cache.
 	// The verifier is safe for concurrent use: its indexes are read-only
 	// after construction and the signature cache is lock-protected.
 	leaves := n.unexpiredLeaves()
-	leafRoots := make([][]certid.Identity, len(leaves))
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				roots := verifier.ValidatingRoots(leaves[i])
-				ids := make([]certid.Identity, len(roots))
-				for j, r := range roots {
-					ids[j] = certid.IdentityOf(r)
-				}
-				leafRoots[i] = ids
-			}
-		}()
-	}
-	for i := range leaves {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+	span := n.observer.StartSpan(union.Name(), KeyValidateSpan)
+	n.observer.Counter(KeyValidateLeaves).Add(int64(len(leaves)))
+	// The error is ctx cancellation only; the background context never ends.
+	leafRoots, _ := parallel.Map(context.Background(), len(leaves),
+		func(_ context.Context, i int) ([]certid.Identity, error) {
+			return n.cache.ValidatingRoots(verifier, leaves[i]), nil
+		},
+		parallel.WithWorkers(n.workers), parallel.WithObserver(n.observer))
+	span.End()
 
 	perRoot := make(map[certid.Identity]int, union.Len())
 	for _, ids := range leafRoots {

@@ -1,0 +1,95 @@
+package notary_test
+
+import (
+	"reflect"
+	"testing"
+
+	"tangledmass/internal/certgen"
+	"tangledmass/internal/notary"
+	"tangledmass/internal/tlsnet"
+)
+
+// TestObserveAllMatchesObserveLoop pins the batch-ingest contract: feeding a
+// world through ObserveAll produces the exact database a serial Observe loop
+// builds — same sessions, same entries, same port distribution, same
+// validation outcomes.
+func TestObserveAllMatchesObserveLoop(t *testing.T) {
+	w, err := tlsnet.NewWorld(tlsnet.Config{Seed: 9, NumLeaves: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := w.Leaves()
+	batch := make([]notary.Observation, len(leaves))
+	for i, leaf := range leaves {
+		batch[i] = notary.Observation{Chain: leaf.Chain, Port: leaf.Port, SeenAt: leaf.SeenAt}
+	}
+
+	serial := notary.New(certgen.Epoch)
+	for _, o := range batch {
+		serial.Observe(o)
+	}
+	batched := notary.New(certgen.Epoch)
+	batched.ObserveAll(batch)
+
+	if serial.Sessions() != batched.Sessions() {
+		t.Fatalf("sessions: loop %d, batch %d", serial.Sessions(), batched.Sessions())
+	}
+	if serial.NumUnique() != batched.NumUnique() {
+		t.Fatalf("unique: loop %d, batch %d", serial.NumUnique(), batched.NumUnique())
+	}
+	if serial.NumUnexpired() != batched.NumUnexpired() {
+		t.Fatalf("unexpired: loop %d, batch %d", serial.NumUnexpired(), batched.NumUnexpired())
+	}
+	if !reflect.DeepEqual(serial.PortDistribution(), batched.PortDistribution()) {
+		t.Fatal("port distributions differ between loop and batch ingest")
+	}
+	u := w.Universe()
+	want := serial.Validate(u.AOSP("4.4"), u.Mozilla())
+	got := batched.Validate(u.AOSP("4.4"), u.Mozilla())
+	for i := range want {
+		if got[i].Validated != want[i].Validated ||
+			!reflect.DeepEqual(got[i].PerRoot, want[i].PerRoot) {
+			t.Fatalf("report %d differs between loop and batch ingest", i)
+		}
+	}
+}
+
+// TestValidateCacheWarmsAcrossCalls checks the cache amortization that the
+// benchmarks rely on: a second Validate over the same database and stores
+// reuses every (pool, leaf) entry, so the second pass is all hits.
+func TestValidateCacheWarmsAcrossCalls(t *testing.T) {
+	w, err := tlsnet.NewWorld(tlsnet.Config{Seed: 9, NumLeaves: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := notary.New(certgen.Epoch)
+	tlsnet.Feed(w, n)
+	u := w.Universe()
+
+	first := n.Validate(u.AOSP("4.4"), u.Mozilla(), u.IOS7())
+	cold := n.CacheStats()
+	if cold.Misses == 0 {
+		t.Fatal("cold pass recorded no cache misses; cache is not consulted")
+	}
+	if cold.Hits != 0 {
+		t.Fatalf("cold pass recorded %d hits, want 0", cold.Hits)
+	}
+	second := n.Validate(u.AOSP("4.4"), u.Mozilla(), u.IOS7())
+	warm := n.CacheStats()
+	if warm.Misses != cold.Misses {
+		t.Fatalf("warm pass missed (%d -> %d): pool key is unstable across Validate calls",
+			cold.Misses, warm.Misses)
+	}
+	if warm.Hits != cold.Misses {
+		t.Fatalf("warm pass hits = %d, want %d (one per cold miss)", warm.Hits, cold.Misses)
+	}
+	if rate := warm.HitRate(); rate != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5 after one cold and one warm pass", rate)
+	}
+	for i := range first {
+		if first[i].Validated != second[i].Validated ||
+			!reflect.DeepEqual(first[i].PerRoot, second[i].PerRoot) {
+			t.Fatalf("report %d differs between cold and warm pass", i)
+		}
+	}
+}

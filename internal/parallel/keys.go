@@ -1,0 +1,17 @@
+package parallel
+
+// Metric and span keys the parallel engine emits (see the registry in
+// README.md). Package-prefixed compile-time constants, per the obskey lint
+// rule.
+const (
+	// KeyShardSpan is the span stage covering one shard's (or one worker
+	// slot's) share of a fan-out; the session label carries the shard index.
+	KeyShardSpan = "parallel.shard"
+	// KeyTasksTotal counts individual tasks executed across all fan-outs.
+	KeyTasksTotal = "parallel.tasks.total"
+	// KeyShardsTotal counts shards (worker slots) launched.
+	KeyShardsTotal = "parallel.shards.total"
+	// KeyRunsTotal counts fan-out invocations (one per ForEach/Map/
+	// Accumulate call that actually launched workers).
+	KeyRunsTotal = "parallel.runs.total"
+)

@@ -1,0 +1,264 @@
+// Package parallel is the fan-out engine behind the fleet-scale analyses:
+// bounded worker pools sized by GOMAXPROCS, context cancellation, and —
+// the part the paper's determinism guarantee hangs on — order-independent
+// merging of per-shard accumulators.
+//
+// The repo's aggregations (per-root validation counts, Figure 1–3
+// aggregations, rooted-exclusive detection) fold thousands of independent
+// items into maps and counters. Folding from many goroutines into one
+// shared map is a race; folding into per-goroutine maps and merging "as
+// workers finish" makes the result depend on scheduling whenever the merge
+// is order-sensitive (first-wins fields, slice ordering). This package
+// fixes the shape once: every worker owns a contiguous shard, accumulators
+// are merged in ascending shard order after all workers finish, so the
+// result is a pure function of the input — same seed, same bytes, any
+// worker count. The parallelmerge lint rule steers ad-hoc goroutine
+// fan-outs in other packages here.
+//
+// Three primitives:
+//
+//   - ForEach: run fn(i) for i in [0,n) on a bounded pool with dynamic
+//     load balancing — for side-effecting work of uneven cost (network
+//     sessions, probes).
+//   - Map: ForEach that collects fn's results into a slice indexed by i,
+//     so output order is input order regardless of scheduling.
+//   - Accumulate: shard [0,n) into contiguous ranges, fold each shard
+//     into its own accumulator, merge accumulators in shard order — for
+//     map/counter aggregation with deterministic merge semantics.
+//
+// All primitives run inline (no goroutines) when one worker suffices,
+// so WithWorkers(1) is an exact serial reference execution.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"tangledmass/internal/obs"
+)
+
+// config carries the resolved options of one fan-out call.
+type config struct {
+	workers  int
+	observer *obs.Observer
+}
+
+// Option configures one fan-out call.
+type Option func(*config)
+
+// WithWorkers bounds the pool. Values < 1 (and the default) mean
+// runtime.GOMAXPROCS(0). Worker counts above the task count are clamped to
+// the task count, so requesting many workers for little work costs nothing.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// WithObserver instruments the fan-out: per-shard spans under
+// KeyShardSpan, task/shard/run counters. A nil observer (and the default)
+// records nothing.
+func WithObserver(o *obs.Observer) Option {
+	return func(c *config) { c.observer = o }
+}
+
+// resolve applies opts and clamps the worker count to [1, n].
+func resolve(n int, opts []Option) config {
+	cfg := config{}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.workers < 1 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.workers > n {
+		cfg.workers = n
+	}
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	return cfg
+}
+
+// instrument counts one fan-out launch of `shards` shards over n tasks.
+func (c *config) instrument(n, shards int) {
+	c.observer.Counter(KeyRunsTotal).Inc()
+	c.observer.Counter(KeyShardsTotal).Add(int64(shards))
+	c.observer.Counter(KeyTasksTotal).Add(int64(n))
+}
+
+// firstError tracks the failure with the lowest task index, so the
+// returned error is deterministic regardless of which worker hit its
+// failure first.
+type firstError struct {
+	mu  sync.Mutex
+	idx int
+	err error
+}
+
+func (f *firstError) set(idx int, err error) {
+	f.mu.Lock()
+	if f.err == nil || idx < f.idx {
+		f.idx, f.err = idx, err
+	}
+	f.mu.Unlock()
+}
+
+func (f *firstError) get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// ForEach runs fn for every index in [0, n) on a bounded worker pool with
+// dynamic load balancing: workers pull the next index from a shared atomic
+// cursor, so uneven task costs spread evenly. The first task error (by
+// lowest index, for determinism) or a context cancellation stops new tasks
+// from being issued and is returned; tasks already running complete.
+func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error, opts ...Option) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	cfg := resolve(n, opts)
+	cfg.instrument(n, cfg.workers)
+
+	if cfg.workers == 1 {
+		span := cfg.observer.StartSpan("shard-0", KeyShardSpan)
+		defer span.End()
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		cursor atomic.Int64
+		fail   firstError
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			span := cfg.observer.StartSpan(fmt.Sprintf("shard-%d", slot), KeyShardSpan)
+			defer span.End()
+			for {
+				i := int(cursor.Add(1) - 1)
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					fail.set(i, err)
+					cancel()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := fail.get(); err != nil {
+		return err
+	}
+	// No task failed, so the internal cancel has not fired yet: a non-nil
+	// ctx.Err() here means the parent context ended the run.
+	return ctx.Err()
+}
+
+// Map runs fn for every index in [0, n) on a bounded pool and returns the
+// results in input order: out[i] is fn's value for i, whatever the
+// scheduling. On error or cancellation the partial results are discarded
+// and only the (lowest-index) error returns.
+func Map[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) (T, error), opts ...Option) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, n, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		// Distinct indices: each task owns out[i] exclusively, so the
+		// writes race with nothing.
+		out[i] = v
+		return nil
+	}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// shardRange is one worker's contiguous slice of the index space.
+type shardRange struct{ start, end int }
+
+// shards splits [0, n) into k contiguous ranges differing in length by at
+// most one, in ascending order.
+func shards(n, k int) []shardRange {
+	out := make([]shardRange, 0, k)
+	base, rem := n/k, n%k
+	start := 0
+	for s := 0; s < k; s++ {
+		size := base
+		if s < rem {
+			size++
+		}
+		out = append(out, shardRange{start, start + size})
+		start += size
+	}
+	return out
+}
+
+// Accumulate folds [0, n) into an accumulator of type A on a bounded pool:
+// the index space is split into contiguous shards, each worker folds its
+// shard — fold(acc, start, end) iterates indices in ascending order — into
+// a private accumulator from newA, and the per-shard accumulators are
+// merged in ascending shard order once all workers finish.
+//
+// This is the deterministic-merge primitive: because both the fold order
+// within a shard and the merge order across shards follow the index order,
+// the result is identical to a serial fold for any merge that is
+// associative over adjacent ranges — including order-sensitive merges
+// like "first writer wins" — at any worker count. The fold receives a
+// contiguous [start, end) range rather than one index, so tight
+// aggregation loops pay no per-item call overhead and the single-worker
+// execution is literally the serial loop. The returned error is non-nil
+// only when ctx is cancelled; the fold itself cannot fail.
+func Accumulate[A any](ctx context.Context, n int, newA func() A, fold func(acc A, start, end int) A, merge func(into, from A) A, opts ...Option) (A, error) {
+	cfg := resolve(n, opts)
+	if n <= 0 {
+		return newA(), ctx.Err()
+	}
+	cfg.instrument(n, cfg.workers)
+
+	if cfg.workers == 1 {
+		span := cfg.observer.StartSpan("shard-0", KeyShardSpan)
+		defer span.End()
+		return fold(newA(), 0, n), ctx.Err()
+	}
+
+	ranges := shards(n, cfg.workers)
+	accs := make([]A, len(ranges))
+	var wg sync.WaitGroup
+	for s, r := range ranges {
+		wg.Add(1)
+		go func(s int, r shardRange) {
+			defer wg.Done()
+			span := cfg.observer.StartSpan(fmt.Sprintf("shard-%d", s), KeyShardSpan)
+			defer span.End()
+			// Distinct indices: each shard owns accs[s] exclusively.
+			accs[s] = fold(newA(), r.start, r.end)
+		}(s, r)
+	}
+	wg.Wait()
+	acc := accs[0]
+	for _, a := range accs[1:] {
+		acc = merge(acc, a)
+	}
+	return acc, ctx.Err()
+}

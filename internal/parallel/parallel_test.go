@@ -1,0 +1,201 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"tangledmass/internal/obs"
+)
+
+func TestForEachRunsEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 4, 17} {
+		var hits [100]atomic.Int64
+		err := ForEach(context.Background(), len(hits), func(_ context.Context, i int) error {
+			hits[i].Add(1)
+			return nil
+		}, WithWorkers(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if n := hits[i].Load(); n != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndNegative(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		if err := ForEach(context.Background(), n, func(context.Context, int) error {
+			t.Fatal("fn must not run")
+			return nil
+		}); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	failAt := map[int]bool{3: true, 40: true, 90: true}
+	for _, workers := range []int{1, 4, 17} {
+		err := ForEach(context.Background(), 100, func(_ context.Context, i int) error {
+			if failAt[i] {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		}, WithWorkers(workers))
+		if err == nil || err.Error() != "task 3 failed" {
+			t.Fatalf("workers=%d: want deterministic lowest-index error, got %v", workers, err)
+		}
+	}
+}
+
+func TestForEachCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ForEach(ctx, 1000, func(_ context.Context, i int) error {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	}, WithWorkers(4))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("cancellation did not stop the pool: %d tasks ran", n)
+	}
+}
+
+func TestMapPreservesInputOrder(t *testing.T) {
+	for _, workers := range []int{1, 4, 17} {
+		out, err := Map(context.Background(), 50, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		}, WithWorkers(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapDiscardsPartialResultsOnError(t *testing.T) {
+	out, err := Map(context.Background(), 10, func(_ context.Context, i int) (int, error) {
+		if i == 7 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	}, WithWorkers(4))
+	if err == nil || out != nil {
+		t.Fatalf("want nil results and an error, got %v, %v", out, err)
+	}
+}
+
+func TestShardsContiguousAndBalanced(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{10, 3}, {7, 7}, {100, 17}, {5, 1}} {
+		rs := shards(tc.n, tc.k)
+		if len(rs) != tc.k {
+			t.Fatalf("shards(%d,%d): got %d shards", tc.n, tc.k, len(rs))
+		}
+		next := 0
+		for _, r := range rs {
+			if r.start != next {
+				t.Fatalf("shards(%d,%d): gap at %d", tc.n, tc.k, r.start)
+			}
+			if size := r.end - r.start; size < tc.n/tc.k || size > tc.n/tc.k+1 {
+				t.Fatalf("shards(%d,%d): unbalanced shard size %d", tc.n, tc.k, size)
+			}
+			next = r.end
+		}
+		if next != tc.n {
+			t.Fatalf("shards(%d,%d): covers [0,%d), want [0,%d)", tc.n, tc.k, next, tc.n)
+		}
+	}
+}
+
+// TestAccumulateMatchesSerialFold pins the determinism contract: an
+// order-sensitive first-writer-wins merge produces the identical result at
+// every worker count, because shards fold in index order and merge in
+// shard order.
+func TestAccumulateMatchesSerialFold(t *testing.T) {
+	n := 1000
+	firstSeen := func() map[int]int { return map[int]int{} }
+	fold := func(acc map[int]int, start, end int) map[int]int {
+		for i := start; i < end; i++ {
+			k := i % 37 // many indices collide per key; the first must win
+			if _, ok := acc[k]; !ok {
+				acc[k] = i
+			}
+		}
+		return acc
+	}
+	merge := func(into, from map[int]int) map[int]int {
+		for k, v := range from {
+			if _, ok := into[k]; !ok {
+				into[k] = v
+			}
+		}
+		return into
+	}
+	serial, err := Accumulate(context.Background(), n, firstSeen, fold, merge, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 17, 100} {
+		got, err := Accumulate(context.Background(), n, firstSeen, fold, merge, WithWorkers(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, serial) {
+			t.Fatalf("workers=%d: parallel result differs from serial fold", workers)
+		}
+	}
+}
+
+func TestAccumulateEmpty(t *testing.T) {
+	acc, err := Accumulate(context.Background(), 0,
+		func() int { return 42 },
+		func(acc, start, end int) int { return acc + end - start },
+		func(into, from int) int { return into + from })
+	if err != nil || acc != 42 {
+		t.Fatalf("want fresh accumulator 42, got %d, %v", acc, err)
+	}
+}
+
+func TestObserverInstrumentation(t *testing.T) {
+	o := obs.New()
+	if err := ForEach(context.Background(), 10, func(context.Context, int) error { return nil },
+		WithWorkers(2), WithObserver(o)); err != nil {
+		t.Fatal(err)
+	}
+	snap := o.Snapshot()
+	if got := snap.Counters[KeyTasksTotal]; got != 10 {
+		t.Fatalf("%s = %d, want 10", KeyTasksTotal, got)
+	}
+	if got := snap.Counters[KeyShardsTotal]; got != 2 {
+		t.Fatalf("%s = %d, want 2", KeyShardsTotal, got)
+	}
+	if got := snap.Counters[KeyRunsTotal]; got != 1 {
+		t.Fatalf("%s = %d, want 1", KeyRunsTotal, got)
+	}
+}
+
+func TestWorkerClamping(t *testing.T) {
+	cfg := resolve(3, []Option{WithWorkers(100)})
+	if cfg.workers != 3 {
+		t.Fatalf("workers clamped to %d, want 3 (task count)", cfg.workers)
+	}
+	cfg = resolve(10, []Option{WithWorkers(-1)})
+	if cfg.workers < 1 {
+		t.Fatalf("workers = %d, want >= 1", cfg.workers)
+	}
+}

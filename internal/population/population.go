@@ -11,6 +11,7 @@
 package population
 
 import (
+	"context"
 	"crypto/x509"
 	"fmt"
 	"math"
@@ -20,6 +21,7 @@ import (
 	"tangledmass/internal/certgen"
 	"tangledmass/internal/certid"
 	"tangledmass/internal/device"
+	"tangledmass/internal/parallel"
 	"tangledmass/internal/rootstore"
 	"tangledmass/internal/stats"
 )
@@ -367,9 +369,12 @@ func (p *Population) placeInterception(src *stats.Source) error {
 }
 
 // finalizeHandsets captures each handset's effective store and the Figure 1
-// comparison counts.
+// comparison counts. Handsets are independent (each task writes only its
+// own *Handset), so the capture fans out on the parallel engine; the error
+// is ctx cancellation only, which the background context never produces.
 func (p *Population) finalizeHandsets(u *cauniverse.Universe) {
-	for _, h := range p.Handsets {
+	_ = parallel.ForEach(context.Background(), len(p.Handsets), func(_ context.Context, i int) error {
+		h := p.Handsets[i]
 		h.Store = h.Device.EffectiveStore()
 		aosp := u.AOSP(h.Version)
 		for _, c := range h.Store.Certificates() {
@@ -380,7 +385,8 @@ func (p *Population) finalizeHandsets(u *cauniverse.Universe) {
 			}
 		}
 		h.MissingCount = aosp.Len() - h.AOSPCount
-	}
+		return nil
+	})
 }
 
 func (p *Population) emitSessions() {
@@ -432,14 +438,27 @@ func (p *Population) RootedSessionFraction() float64 {
 }
 
 // UniqueRootIdentities counts distinct root identities across all handset
-// stores (§4.1 reports 314 unique root certificates).
+// stores (§4.1 reports 314 unique root certificates). The set union is a
+// sharded fold on the parallel engine; set union is order-insensitive, and
+// the error is ctx cancellation only, which the background context never
+// produces.
 func (p *Population) UniqueRootIdentities() int {
-	seen := make(map[certid.Identity]bool)
-	for _, h := range p.Handsets {
-		for _, id := range h.Store.Identities() {
-			seen[id] = true
-		}
-	}
+	seen, _ := parallel.Accumulate(context.Background(), len(p.Handsets),
+		func() map[certid.Identity]bool { return map[certid.Identity]bool{} },
+		func(seen map[certid.Identity]bool, start, end int) map[certid.Identity]bool {
+			for i := start; i < end; i++ {
+				for _, id := range p.Handsets[i].Store.Identities() {
+					seen[id] = true
+				}
+			}
+			return seen
+		},
+		func(into, from map[certid.Identity]bool) map[certid.Identity]bool {
+			for id := range from {
+				into[id] = true
+			}
+			return into
+		})
 	return len(seen)
 }
 

@@ -16,9 +16,12 @@ import (
 //   - unrecorded extras, rooted-only roots and the interception root never
 //     reach the Notary.
 func Feed(w *World, n *notary.Notary) {
-	for _, leaf := range w.Leaves() {
-		n.Observe(notary.Observation{Chain: leaf.Chain, Port: leaf.Port, SeenAt: leaf.SeenAt})
+	leaves := w.Leaves()
+	batch := make([]notary.Observation, len(leaves))
+	for i, leaf := range leaves {
+		batch[i] = notary.Observation{Chain: leaf.Chain, Port: leaf.Port, SeenAt: leaf.SeenAt}
 	}
+	n.ObserveAll(batch)
 	u := w.Universe()
 	n.ImportStore(u.AOSP("4.4"))
 	n.ImportStore(u.Mozilla())

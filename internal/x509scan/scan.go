@@ -11,10 +11,10 @@ import (
 	"crypto/tls"
 	"crypto/x509"
 	"fmt"
-	"sync"
 	"time"
 
 	"tangledmass/internal/notary"
+	"tangledmass/internal/parallel"
 	"tangledmass/internal/tlsnet"
 )
 
@@ -40,8 +40,8 @@ type Scanner struct {
 }
 
 // Scan probes every target and returns results in target order. The
-// context bounds the whole run: targets dialed after cancellation fail
-// with the context's error.
+// context bounds the whole run: once it is cancelled no further targets
+// are dialed and the context's error is returned.
 func (s *Scanner) Scan(ctx context.Context, targets []tlsnet.HostPort) ([]Result, error) {
 	if s.Dialer == nil {
 		return nil, fmt.Errorf("x509scan: scanner needs a dialer")
@@ -54,24 +54,12 @@ func (s *Scanner) Scan(ctx context.Context, targets []tlsnet.HostPort) ([]Result
 	if timeout == 0 {
 		timeout = 10 * time.Second
 	}
-	results := make([]Result, len(targets))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < conc; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				results[i] = s.scanOne(ctx, targets[i], timeout)
-			}
-		}()
-	}
-	for i := range targets {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	return results, nil
+	// Failed handshakes are per-target Results, not fan-out errors, so Map
+	// itself only fails when ctx is cancelled before a target is dialed —
+	// and scanOne already converts that into the target's Err.
+	return parallel.Map(ctx, len(targets), func(ctx context.Context, i int) (Result, error) {
+		return s.scanOne(ctx, targets[i], timeout), nil
+	}, parallel.WithWorkers(conc))
 }
 
 func (s *Scanner) scanOne(ctx context.Context, hp tlsnet.HostPort, timeout time.Duration) (res Result) {

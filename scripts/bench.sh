@@ -1,0 +1,32 @@
+#!/bin/sh
+# bench.sh runs the full benchmark sweep with -benchmem and emits a
+# machine-readable JSON record (ns/op, B/op, allocs/op per benchmark) via
+# cmd/benchjson. The committed BENCH_pr4.json is the serial baseline the
+# verify bench-gate compares against.
+#
+# Usage:
+#   scripts/bench.sh [output.json]
+#
+# Knobs (environment):
+#   BENCH_TIME     -benchtime value (default 3x: heavy analysis benchmarks
+#                  run in hundreds of ms, so a few iterations are stable)
+#   BENCH_PATTERN  -bench pattern (default ".")
+#   BENCH_LABEL    label stored in the JSON record (default "pr4")
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_pr4.json}
+benchtime=${BENCH_TIME:-3x}
+pattern=${BENCH_PATTERN:-.}
+label=${BENCH_LABEL:-pr4}
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT INT TERM
+
+echo "==> go test -bench '$pattern' -benchmem -benchtime $benchtime ."
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" . | tee "$workdir/bench.out"
+
+echo "==> emitting $out"
+go run ./cmd/benchjson emit -label "$label" <"$workdir/bench.out" >"$out"
+echo "bench: wrote $(grep -c 'ns/op' "$workdir/bench.out") benchmark results to $out"

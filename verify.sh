@@ -25,4 +25,15 @@ go test -race -run TestChaosCampaignDeterministic ./internal/campaign/
 echo "==> go test -race ./..."
 go test -race ./...
 
+# The bench-gate compares the Table/Figure benchmarks against the committed
+# serial baseline and fails on a >25% ns/op regression. BENCH_GATE=off skips
+# it (useful on loaded or throttled machines where timings are meaningless).
+if [ "${BENCH_GATE:-on}" = "off" ]; then
+	echo "==> bench-gate: skipped (BENCH_GATE=off)"
+else
+	echo "==> bench-gate: Table/Figure vs BENCH_pr4.json (tolerance 25%)"
+	go test -run '^$' -bench 'Table|Figure' -benchtime "${BENCH_TIME:-3x}" . |
+		go run ./cmd/benchjson gate -baseline BENCH_pr4.json -match 'Table|Figure' -tolerance 0.25
+fi
+
 echo "verify: all gates passed"
