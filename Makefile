@@ -35,8 +35,8 @@ bench:
 # Compare the Table/Figure benchmarks against the committed serial baseline,
 # failing on a >25% ns/op regression.
 bench-gate:
-	$(GO) test -run '^$$' -bench 'Table|Figure' -benchtime 3x . | \
-		$(GO) run ./cmd/benchjson gate -baseline BENCH_pr4.json -match 'Table|Figure' -tolerance 0.25
+	$(GO) test -run '^$$' -bench 'Table|Figure' -benchmem -benchtime 3x . | \
+		$(GO) run ./cmd/benchjson gate -baseline BENCH_pr5.json -match 'Table|Figure' -tolerance 0.25 -alloc-tolerance 0.25
 
 verify:
 	./verify.sh

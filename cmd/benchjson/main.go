@@ -9,13 +9,15 @@
 //	    789 B/op  10 allocs/op") into a JSON document keyed by benchmark
 //	    name, with the goos/goarch/cpu context lines captured when present.
 //
-//	benchjson gate -baseline BENCH_pr4.json [-match 'Table|Figure']
-//	              [-tolerance 0.25] < bench.out
+//	benchjson gate -baseline BENCH_pr5.json [-match 'Table|Figure']
+//	              [-tolerance 0.25] [-alloc-tolerance 0.25] < bench.out
 //	    Parse the current sweep from stdin and fail (exit 1) if any
 //	    benchmark whose name matches the pattern regressed by more than
-//	    tolerance (ns/op relative to the baseline record). Benchmarks
-//	    missing from either side are reported but do not fail the gate —
-//	    new benchmarks have no baseline yet.
+//	    tolerance (ns/op relative to the baseline record) or grew its
+//	    allocs/op by more than alloc-tolerance (enforced only when both
+//	    sides carry -benchmem data; -alloc-tolerance -1 disables the
+//	    check). Benchmarks missing from either side are reported but do
+//	    not fail the gate — new benchmarks have no baseline yet.
 //
 // Benchmark names are recorded without the -GOMAXPROCS suffix so records
 // compare across machines with different core counts.
@@ -97,6 +99,7 @@ func runGate(args []string) error {
 	baselinePath := fs.String("baseline", "", "baseline JSON record to compare against")
 	match := fs.String("match", ".", "regexp selecting which benchmarks the gate enforces")
 	tolerance := fs.Float64("tolerance", 0.25, "maximum allowed relative ns/op regression")
+	allocTolerance := fs.Float64("alloc-tolerance", 0.25, "maximum allowed relative allocs/op regression (-1 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -122,12 +125,14 @@ func runGate(args []string) error {
 	if len(current.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines found on stdin")
 	}
-	return gate(baseline, current, re, *tolerance)
+	return gate(baseline, current, re, *tolerance, *allocTolerance)
 }
 
 // gate prints a per-benchmark comparison and returns an error listing every
-// enforced benchmark that regressed beyond the tolerance.
-func gate(baseline, current Record, re *regexp.Regexp, tolerance float64) error {
+// enforced benchmark that regressed beyond the tolerances. Time is always
+// enforced; allocations only when both records carry allocs/op (i.e. both
+// sweeps ran with -benchmem) and allocTolerance is non-negative.
+func gate(baseline, current Record, re *regexp.Regexp, tolerance, allocTolerance float64) error {
 	names := make([]string, 0, len(current.Benchmarks))
 	for name := range current.Benchmarks {
 		names = append(names, name)
@@ -154,6 +159,16 @@ func gate(baseline, current Record, re *regexp.Regexp, tolerance float64) error 
 			regressed = append(regressed, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.2fx)", name, base.NsPerOp, cur.NsPerOp, ratio))
 		}
 		fmt.Printf("  %-40s %12.0f -> %12.0f ns/op  %5.2fx  %s\n", name, base.NsPerOp, cur.NsPerOp, ratio, verdict)
+		if allocTolerance < 0 || base.AllocsPerOp <= 0 || cur.AllocsPerOp <= 0 {
+			continue
+		}
+		aRatio := float64(cur.AllocsPerOp) / float64(base.AllocsPerOp)
+		aVerdict := "ok"
+		if aRatio > 1+allocTolerance {
+			aVerdict = "REGRESSED"
+			regressed = append(regressed, fmt.Sprintf("%s: %d -> %d allocs/op (%.2fx)", name, base.AllocsPerOp, cur.AllocsPerOp, aRatio))
+		}
+		fmt.Printf("  %-40s %12d -> %12d allocs/op  %5.2fx  %s\n", "", base.AllocsPerOp, cur.AllocsPerOp, aRatio, aVerdict)
 	}
 	for name := range baseline.Benchmarks {
 		if re.MatchString(name) {

@@ -11,6 +11,7 @@ import (
 
 	"tangledmass/internal/cauniverse"
 	"tangledmass/internal/certid"
+	"tangledmass/internal/corpus"
 	"tangledmass/internal/population"
 	"tangledmass/internal/rootstore"
 )
@@ -367,7 +368,7 @@ func (e *Engine) Table5(p *population.Population) []RootedExclusive {
 	counts, cn := a.counts, a.cn
 	nameByID := map[certid.Identity]string{}
 	for _, r := range u.Roots() {
-		nameByID[certid.IdentityOf(r.Issued.Cert)] = r.Name
+		nameByID[corpus.IdentityOf(r.Issued.Cert)] = r.Name
 	}
 	var out []RootedExclusive
 	for id, t := range counts {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"tangledmass/internal/certid"
+	"tangledmass/internal/corpus"
 	"tangledmass/internal/notary"
 	"tangledmass/internal/population"
 )
@@ -76,7 +77,7 @@ func (e *Engine) Figure2(p *population.Population, n *notary.Notary, minSessions
 	u := p.Universe
 	nameByID := map[certid.Identity]string{}
 	for _, r := range u.Roots() {
-		nameByID[certid.IdentityOf(r.Issued.Cert)] = r.Name
+		nameByID[corpus.IdentityOf(r.Issued.Cert)] = r.Name
 	}
 
 	type groupKey struct{ kind, name string }
@@ -120,7 +121,7 @@ func (e *Engine) Figure2(p *population.Population, n *notary.Notary, minSessions
 						if aosp.Contains(c) || user.Contains(c) {
 							continue
 						}
-						id := certid.IdentityOf(c)
+						id := corpus.IdentityOf(c)
 						a.certCount[g][id]++
 						a.certObj[id] = c
 					}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"tangledmass/internal/certid"
+	"tangledmass/internal/corpus"
 	"tangledmass/internal/population"
 )
 
@@ -52,7 +53,7 @@ func (e *Engine) RoamingCandidates(p *population.Population) []RoamingCandidate 
 	owners := map[certid.Identity]struct{ owner, name string }{}
 	for name, owner := range operatorRootOwners {
 		if r := u.Root(name); r != nil {
-			owners[certid.IdentityOf(r.Issued.Cert)] = struct{ owner, name string }{owner, name}
+			owners[corpus.IdentityOf(r.Issued.Cert)] = struct{ owner, name string }{owner, name}
 		}
 	}
 	out := accumulate(e, len(p.Handsets),

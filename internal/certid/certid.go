@@ -20,7 +20,6 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
-	"sync"
 )
 
 // KeyID identifies a public key. For RSA keys it is the hex-encoded modulus
@@ -59,21 +58,12 @@ func (id Identity) String() string {
 	return id.Subject + " [" + k + "]"
 }
 
-// identityCache memoizes IdentityOf per certificate instance. Certificates
-// are shared immutable values throughout the system (stores clone membership,
-// never certificate bytes), so pointer-keyed caching is sound and removes the
-// dominant cost from fleet-scale store construction.
-var identityCache sync.Map // *x509.Certificate → Identity
-
-// IdentityOf computes the Identity of a certificate. Results are memoized
-// per certificate instance.
+// IdentityOf computes the Identity of a certificate from scratch. This is
+// the pure definition; hot paths go through the content-addressed corpus
+// (internal/corpus), which computes each certificate's identity exactly
+// once at interning time and answers later lookups from the table.
 func IdentityOf(cert *x509.Certificate) Identity {
-	if v, ok := identityCache.Load(cert); ok {
-		return v.(Identity)
-	}
-	id := Identity{Subject: SubjectString(cert), Key: KeyIdentity(cert)}
-	identityCache.Store(cert, id)
-	return id
+	return Identity{Subject: SubjectString(cert), Key: KeyIdentity(cert)}
 }
 
 // Equivalent reports whether two certificates are equivalent in the paper's
@@ -101,6 +91,14 @@ func SHA1Fingerprint(cert *x509.Certificate) string {
 // SHA256Fingerprint returns the hex SHA-256 of the certificate's DER encoding.
 func SHA256Fingerprint(cert *x509.Certificate) string {
 	sum := sha256.Sum256(cert.Raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// MD5Fingerprint returns the hex MD5 of the certificate's DER encoding.
+// Legacy tooling (and the Notary's historical database) still keys by MD5;
+// the corpus precomputes it alongside the SHA fingerprints.
+func MD5Fingerprint(cert *x509.Certificate) string {
+	sum := md5.Sum(cert.Raw)
 	return hex.EncodeToString(sum[:])
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"tangledmass/internal/certid"
+	"tangledmass/internal/corpus"
 	"tangledmass/internal/obs"
 )
 
@@ -15,11 +16,17 @@ import (
 const DefaultCacheCapacity = 1 << 14
 
 // cacheKey identifies one validation outcome: the verifier's pool
-// fingerprint plus the leaf's DER fingerprint. The leaf is keyed by exact
-// encoding — the paper's §4.1 "certificate signature" identity — because
-// the set of reachable roots depends on the leaf's bytes (its signature),
-// not merely on its subject and key.
-type cacheKey struct{ pool, leaf string }
+// fingerprint plus the leaf's corpus handle. A Ref is content-addressed —
+// the paper's §4.1 "certificate signature" identity — because the set of
+// reachable roots depends on the leaf's bytes (its signature), not merely
+// on its subject and key. Keying by handle instead of a hex fingerprint
+// makes a lookup hash a string plus a uint32 with no per-lookup hashing of
+// the certificate itself; the pool key embeds the corpus ID, so refs from
+// different corpora cannot collide under one pool.
+type cacheKey struct {
+	pool string
+	leaf corpus.Ref
+}
 
 // cacheEntry is one memoized outcome in the LRU list.
 type cacheEntry struct {
@@ -79,15 +86,15 @@ func NewCache(capacity int, opts ...CacheOption) *Cache {
 }
 
 // Lookup returns the memoized validating-root identities for (poolKey,
-// leafFP) and whether the entry was present. The returned slice is shared:
+// leaf) and whether the entry was present. The returned slice is shared:
 // callers must not mutate it.
-func (c *Cache) Lookup(poolKey, leafFP string) ([]certid.Identity, bool) {
+func (c *Cache) Lookup(poolKey string, leaf corpus.Ref) ([]certid.Identity, bool) {
 	if c == nil {
 		return nil, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.items[cacheKey{poolKey, leafFP}]
+	el, ok := c.items[cacheKey{poolKey, leaf}]
 	if !ok {
 		c.nMisses++
 		c.misses.Inc()
@@ -99,14 +106,14 @@ func (c *Cache) Lookup(poolKey, leafFP string) ([]certid.Identity, bool) {
 	return el.Value.(*cacheEntry).roots, true
 }
 
-// Store memoizes the validating-root identities for (poolKey, leafFP),
+// Store memoizes the validating-root identities for (poolKey, leaf),
 // evicting the least recently used entry when the bound is hit. The slice
 // is retained as-is: callers must not mutate it afterwards.
-func (c *Cache) Store(poolKey, leafFP string, roots []certid.Identity) {
+func (c *Cache) Store(poolKey string, leaf corpus.Ref, roots []certid.Identity) {
 	if c == nil {
 		return
 	}
-	k := cacheKey{poolKey, leafFP}
+	k := cacheKey{poolKey, leaf}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[k]; ok {
@@ -168,19 +175,24 @@ func (c *Cache) Stats() CacheStats {
 
 // ValidatingRoots answers v.ValidatingRootIdentities(cert) through the
 // cache: a hit skips path building entirely, a miss computes and
-// memoizes under (v.PoolKey(), leaf DER fingerprint). A nil Cache
-// computes directly. Cached and uncached answers are identical — the
-// invariant the cache tests pin across seeds.
+// memoizes under (v.PoolKey(), leaf handle). A nil Cache computes
+// directly. Cached and uncached answers are identical — the invariant the
+// cache tests pin across seeds.
 func (c *Cache) ValidatingRoots(v *Verifier, cert *x509.Certificate) []certid.Identity {
+	return c.ValidatingRootsRef(v, v.Corpus().InternCert(cert))
+}
+
+// ValidatingRootsRef is ValidatingRoots for an already-interned leaf. The
+// ref must be a handle in v's corpus.
+func (c *Cache) ValidatingRootsRef(v *Verifier, leaf corpus.Ref) []certid.Identity {
 	if c == nil {
-		return v.ValidatingRootIdentities(cert)
+		return v.ValidatingRootIdentitiesRef(leaf)
 	}
 	pool := v.PoolKey()
-	leaf := certid.SHA1Fingerprint(cert)
 	if ids, ok := c.Lookup(pool, leaf); ok {
 		return ids
 	}
-	ids := v.ValidatingRootIdentities(cert)
+	ids := v.ValidatingRootIdentitiesRef(leaf)
 	c.Store(pool, leaf, ids)
 	return ids
 }

@@ -8,22 +8,23 @@ import (
 
 	"tangledmass/internal/certgen"
 	"tangledmass/internal/certid"
+	"tangledmass/internal/corpus"
 	"tangledmass/internal/obs"
 )
 
 func TestCacheLookupStoreRoundTrip(t *testing.T) {
 	c := NewCache(8)
 	ids := []certid.Identity{{Subject: "CN=A", Key: "k1"}}
-	if _, ok := c.Lookup("pool", "leaf"); ok {
+	if _, ok := c.Lookup("pool", 7); ok {
 		t.Fatal("empty cache reported a hit")
 	}
-	c.Store("pool", "leaf", ids)
-	got, ok := c.Lookup("pool", "leaf")
+	c.Store("pool", 7, ids)
+	got, ok := c.Lookup("pool", 7)
 	if !ok || !reflect.DeepEqual(got, ids) {
 		t.Fatalf("got %v, %v", got, ok)
 	}
 	// A different pool with the same leaf is a distinct entry.
-	if _, ok := c.Lookup("otherpool", "leaf"); ok {
+	if _, ok := c.Lookup("otherpool", 7); ok {
 		t.Fatal("pool key did not partition the cache")
 	}
 	st := c.Stats()
@@ -39,22 +40,22 @@ func TestCacheLRUEviction(t *testing.T) {
 	o := obs.New()
 	c := NewCache(3, WithCacheObserver(o))
 	for i := 0; i < 3; i++ {
-		c.Store("p", fmt.Sprintf("leaf-%d", i), nil)
+		c.Store("p", corpus.Ref(i+1), nil)
 	}
 	// Touch leaf-0 so leaf-1 becomes the least recently used.
-	if _, ok := c.Lookup("p", "leaf-0"); !ok {
+	if _, ok := c.Lookup("p", 1); !ok {
 		t.Fatal("leaf-0 missing before eviction")
 	}
-	c.Store("p", "leaf-3", nil)
+	c.Store("p", 4, nil)
 	if c.Len() != 3 {
 		t.Fatalf("len = %d, want 3", c.Len())
 	}
-	if _, ok := c.Lookup("p", "leaf-1"); ok {
+	if _, ok := c.Lookup("p", 2); ok {
 		t.Fatal("least recently used entry survived eviction")
 	}
-	for _, keep := range []string{"leaf-0", "leaf-2", "leaf-3"} {
+	for _, keep := range []corpus.Ref{1, 3, 4} {
 		if _, ok := c.Lookup("p", keep); !ok {
-			t.Fatalf("%s evicted, want leaf-1 evicted", keep)
+			t.Fatalf("leaf %d evicted, want leaf 2 evicted", keep)
 		}
 	}
 	if st := c.Stats(); st.Evictions != 1 {
@@ -67,8 +68,8 @@ func TestCacheLRUEviction(t *testing.T) {
 
 func TestNilCacheIsNoOp(t *testing.T) {
 	var c *Cache
-	c.Store("p", "l", nil)
-	if _, ok := c.Lookup("p", "l"); ok {
+	c.Store("p", 1, nil)
+	if _, ok := c.Lookup("p", 1); ok {
 		t.Fatal("nil cache hit")
 	}
 	if c.Len() != 0 || c.Cap() != 0 {

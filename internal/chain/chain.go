@@ -7,6 +7,12 @@
 // Verifier here builds every path from a candidate certificate up to any
 // trusted root, crossing intermediates, checking signatures, CA basic
 // constraints, and validity at a fixed reference time.
+//
+// The verifier speaks corpus.Ref internally: every pool member is interned
+// once in a content-addressed corpus, so identities and fingerprints are
+// table lookups, the signature cache is keyed by a pair of uint32 handles,
+// and the pool key is derived from precomputed content digests instead of
+// re-fingerprinting the pool.
 package chain
 
 import (
@@ -15,13 +21,13 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
-	"sort"
 	"strconv"
-	"strings"
 	"sync"
 	"time"
 
 	"tangledmass/internal/certid"
+	"tangledmass/internal/corpus"
+	"tangledmass/internal/rootstore"
 )
 
 // DefaultMaxDepth bounds path length (leaf..root inclusive). Real-world web
@@ -32,15 +38,24 @@ const DefaultMaxDepth = 8
 var ErrNoChain = errors.New("chain: certificate does not chain to a trusted root")
 
 // Verifier builds and validates certification paths against a set of trusted
-// roots and optional intermediates. Construct with NewVerifier; the zero
-// value is not usable.
+// roots and optional intermediates. Construct with NewVerifier,
+// NewVerifierIn or NewVerifierFromStore; the zero value is not usable.
 type Verifier struct {
-	at        time.Time
-	maxDepth  int
-	roots     map[certid.Identity]*x509.Certificate
-	bySubject map[string][]*x509.Certificate // issuer candidates: roots + intermediates
+	at       time.Time
+	maxDepth int
+	c        *corpus.Corpus
 
-	// sigCache memoizes signature checks keyed by (child, parent) raw DER.
+	roots     map[certid.Identity]corpus.Ref
+	bySubject map[string][]corpus.Ref // issuer candidates: roots + intermediates
+
+	// rootSum and poolSum are XOR accumulators over member content
+	// digests, maintained as the pool is indexed — the order-independent
+	// inputs to PoolKey, replacing the sort+hash over per-cert
+	// fingerprints.
+	rootSum corpus.Digest
+	poolSum corpus.Digest
+
+	// sigCache memoizes signature checks keyed by (child, parent) refs.
 	// Bulk validation passes (the Notary validates tens of thousands of
 	// leaves against the same pool) re-check the same intermediate→root
 	// edges constantly; caching turns those into map hits.
@@ -48,15 +63,15 @@ type Verifier struct {
 	sigCache map[sigKey]bool
 
 	// poolHash is the content hash behind PoolKey, computed once: the pool
-	// is immutable after NewVerifier, only maxDepth can change later.
+	// is immutable after construction, only maxDepth can change later.
 	poolOnce sync.Once
 	poolHash string
 }
 
-type sigKey struct{ child, parent *x509.Certificate }
+type sigKey struct{ child, parent corpus.Ref }
 
 // checkSignature is CheckSignatureFrom with memoization.
-func (v *Verifier) checkSignature(child, parent *x509.Certificate) bool {
+func (v *Verifier) checkSignature(child, parent corpus.Ref) bool {
 	k := sigKey{child, parent}
 	v.mu.Lock()
 	ok, hit := v.sigCache[k]
@@ -64,7 +79,7 @@ func (v *Verifier) checkSignature(child, parent *x509.Certificate) bool {
 	if hit {
 		return ok
 	}
-	ok = child.CheckSignatureFrom(parent) == nil
+	ok = v.c.Cert(child).CheckSignatureFrom(v.c.Cert(parent)) == nil
 	v.mu.Lock()
 	v.sigCache[k] = ok
 	v.mu.Unlock()
@@ -72,32 +87,74 @@ func (v *Verifier) checkSignature(child, parent *x509.Certificate) bool {
 }
 
 // NewVerifier returns a Verifier trusting roots, able to cross the given
-// intermediates, evaluating validity at the instant at.
+// intermediates, evaluating validity at the instant at. Certificates are
+// interned in the process-wide shared corpus.
 func NewVerifier(roots, intermediates []*x509.Certificate, at time.Time) *Verifier {
-	v := &Verifier{
-		at:        at,
-		maxDepth:  DefaultMaxDepth,
-		roots:     make(map[certid.Identity]*x509.Certificate, len(roots)),
-		bySubject: make(map[string][]*x509.Certificate, len(roots)+len(intermediates)),
-		sigCache:  make(map[sigKey]bool),
-	}
+	return NewVerifierIn(corpus.Shared(), roots, intermediates, at)
+}
+
+// NewVerifierIn is NewVerifier interning into an explicit corpus.
+func NewVerifierIn(c *corpus.Corpus, roots, intermediates []*x509.Certificate, at time.Time) *Verifier {
+	v := newVerifier(c, len(roots), len(roots)+len(intermediates), at)
 	for _, r := range roots {
-		id := certid.IdentityOf(r)
-		if _, dup := v.roots[id]; dup {
-			continue
-		}
-		v.roots[id] = r
-		v.index(r)
+		v.addRoot(c.InternCert(r))
 	}
-	for _, c := range intermediates {
-		v.index(c)
+	for _, ic := range intermediates {
+		v.index(c.InternCert(ic))
 	}
 	return v
 }
 
-func (v *Verifier) index(c *x509.Certificate) {
-	k := string(c.RawSubject)
-	v.bySubject[k] = append(v.bySubject[k], c)
+// NewVerifierFromStore builds a Verifier whose trusted roots are exactly the
+// store's membership, reusing the store's interned handles and its
+// incrementally-maintained content digest — no certificate is re-interned
+// or re-fingerprinted. The intermediates must be handles in the store's
+// corpus.
+func NewVerifierFromStore(s *rootstore.Store, intermediates []corpus.Ref, at time.Time) *Verifier {
+	v := newVerifier(s.Corpus(), s.Len(), s.Len()+len(intermediates), at)
+	for _, ref := range s.Refs() {
+		v.addRoot(ref)
+	}
+	for _, ref := range intermediates {
+		v.index(ref)
+	}
+	return v
+}
+
+func newVerifier(c *corpus.Corpus, nroots, npool int, at time.Time) *Verifier {
+	return &Verifier{
+		at:        at,
+		maxDepth:  DefaultMaxDepth,
+		c:         c,
+		roots:     make(map[certid.Identity]corpus.Ref, nroots),
+		bySubject: make(map[string][]corpus.Ref, npool),
+		sigCache:  make(map[sigKey]bool),
+	}
+}
+
+// addRoot trusts ref, deduplicating by identity (first instance wins, as in
+// a store).
+func (v *Verifier) addRoot(ref corpus.Ref) {
+	e := v.c.Entry(ref)
+	if _, dup := v.roots[e.Identity]; dup {
+		return
+	}
+	v.roots[e.Identity] = ref
+	v.rootSum.XOR(e.Digest)
+	v.index(ref)
+}
+
+// index adds ref to the issuer-candidate pool, skipping exact duplicates.
+func (v *Verifier) index(ref corpus.Ref) {
+	e := v.c.Entry(ref)
+	k := string(e.Cert.RawSubject)
+	for _, have := range v.bySubject[k] {
+		if have == ref {
+			return
+		}
+	}
+	v.bySubject[k] = append(v.bySubject[k], ref)
+	v.poolSum.XOR(e.Digest)
 }
 
 // SetMaxDepth overrides the path-length bound. Values < 2 are ignored.
@@ -110,26 +167,29 @@ func (v *Verifier) SetMaxDepth(d int) {
 // At returns the reference instant used for validity checks.
 func (v *Verifier) At() time.Time { return v.at }
 
+// Corpus returns the intern table the verifier's refs resolve against.
+func (v *Verifier) Corpus() *corpus.Corpus { return v.c }
+
 // timeValid reports whether c's validity window covers the reference time.
 func (v *Verifier) timeValid(c *x509.Certificate) bool {
 	return !v.at.Before(c.NotBefore) && !v.at.After(c.NotAfter)
 }
 
-// isRoot reports whether c is one of the trusted roots.
-func (v *Verifier) isRoot(c *x509.Certificate) bool {
-	_, ok := v.roots[certid.IdentityOf(c)]
+// isRoot reports whether ref is one of the trusted roots.
+func (v *Verifier) isRoot(ref corpus.Ref) bool {
+	_, ok := v.roots[v.c.Entry(ref).Identity]
 	return ok
 }
 
-// candidateIssuers returns pool certificates whose subject matches c's
-// issuer, that are marked CA, and that verify c's signature.
-func (v *Verifier) candidateIssuers(c *x509.Certificate) []*x509.Certificate {
-	var out []*x509.Certificate
-	for _, cand := range v.bySubject[string(c.RawIssuer)] {
-		if !cand.IsCA {
+// candidateIssuers returns pool refs whose subject matches c's issuer, that
+// are marked CA, and that verify c's signature.
+func (v *Verifier) candidateIssuers(ref corpus.Ref) []corpus.Ref {
+	var out []corpus.Ref
+	for _, cand := range v.bySubject[string(v.c.Cert(ref).RawIssuer)] {
+		if !v.c.Cert(cand).IsCA {
 			continue
 		}
-		if !v.checkSignature(c, cand) {
+		if !v.checkSignature(ref, cand) {
 			continue
 		}
 		out = append(out, cand)
@@ -141,19 +201,33 @@ func (v *Verifier) candidateIssuers(c *x509.Certificate) []*x509.Certificate {
 // ordered leaf-first. A certificate that is itself a trusted root yields the
 // single-element chain. The result is nil when no path exists.
 func (v *Verifier) Chains(cert *x509.Certificate) [][]*x509.Certificate {
-	if !v.timeValid(cert) {
+	refChains := v.chainRefs(v.c.InternCert(cert))
+	if refChains == nil {
 		return nil
 	}
-	var chains [][]*x509.Certificate
-	visited := map[certid.Identity]bool{certid.IdentityOf(cert): true}
-	v.extend([]*x509.Certificate{cert}, visited, &chains)
+	chains := make([][]*x509.Certificate, len(refChains))
+	for i, refs := range refChains {
+		chains[i] = v.c.Certs(refs)
+	}
 	return chains
 }
 
-func (v *Verifier) extend(path []*x509.Certificate, visited map[certid.Identity]bool, out *[][]*x509.Certificate) {
+// chainRefs is Chains over handles.
+func (v *Verifier) chainRefs(ref corpus.Ref) [][]corpus.Ref {
+	e := v.c.Entry(ref)
+	if e == nil || !v.timeValid(e.Cert) {
+		return nil
+	}
+	var chains [][]corpus.Ref
+	visited := map[certid.Identity]bool{e.Identity: true}
+	v.extend([]corpus.Ref{ref}, visited, &chains)
+	return chains
+}
+
+func (v *Verifier) extend(path []corpus.Ref, visited map[certid.Identity]bool, out *[][]corpus.Ref) {
 	tip := path[len(path)-1]
 	if v.isRoot(tip) {
-		chain := make([]*x509.Certificate, len(path))
+		chain := make([]corpus.Ref, len(path))
 		copy(chain, path)
 		*out = append(*out, chain)
 		// A root may itself be cross-signed by another root; we stop here —
@@ -164,16 +238,16 @@ func (v *Verifier) extend(path []*x509.Certificate, visited map[certid.Identity]
 		return
 	}
 	for _, issuer := range v.candidateIssuers(tip) {
-		id := certid.IdentityOf(issuer)
-		if visited[id] {
+		e := v.c.Entry(issuer)
+		if visited[e.Identity] {
 			continue
 		}
-		if !v.timeValid(issuer) {
+		if !v.timeValid(e.Cert) {
 			continue
 		}
-		visited[id] = true
+		visited[e.Identity] = true
 		v.extend(append(path, issuer), visited, out)
-		delete(visited, id)
+		delete(visited, e.Identity)
 	}
 }
 
@@ -188,7 +262,7 @@ func (v *Verifier) Verify(cert *x509.Certificate) ([]*x509.Certificate, error) {
 
 // Validates reports whether cert chains to any trusted root.
 func (v *Verifier) Validates(cert *x509.Certificate) bool {
-	return len(v.Chains(cert)) > 0
+	return len(v.chainRefs(v.c.InternCert(cert))) > 0
 }
 
 // ValidatingRoots returns the distinct trusted roots reachable from cert,
@@ -196,11 +270,17 @@ func (v *Verifier) Validates(cert *x509.Certificate) bool {
 // validation counting: a leaf contributes one count to each root that can
 // validate it.
 func (v *Verifier) ValidatingRoots(cert *x509.Certificate) []*x509.Certificate {
+	return v.c.Certs(v.validatingRootRefs(v.c.InternCert(cert)))
+}
+
+// validatingRootRefs returns the refs of the distinct trusted roots
+// reachable from ref, in discovery order.
+func (v *Verifier) validatingRootRefs(ref corpus.Ref) []corpus.Ref {
 	seen := make(map[certid.Identity]bool)
-	var out []*x509.Certificate
-	for _, chain := range v.Chains(cert) {
+	var out []corpus.Ref
+	for _, chain := range v.chainRefs(ref) {
 		root := chain[len(chain)-1]
-		id := certid.IdentityOf(root)
+		id := v.c.Entry(root).Identity
 		if !seen[id] {
 			seen[id] = true
 			out = append(out, root)
@@ -211,49 +291,43 @@ func (v *Verifier) ValidatingRoots(cert *x509.Certificate) []*x509.Certificate {
 
 // ValidatingRootIdentities returns the identities of the distinct trusted
 // roots reachable from cert, in discovery order. This is the value the
-// chain-validation Cache memoizes: identities (not certificate pointers)
-// so entries stay meaningful across Verifier instances with equal pools.
+// chain-validation Cache memoizes: identities (not handles) so entries stay
+// meaningful to callers that compare against store identities.
 func (v *Verifier) ValidatingRootIdentities(cert *x509.Certificate) []certid.Identity {
-	roots := v.ValidatingRoots(cert)
-	if len(roots) == 0 {
+	return v.identitiesOf(v.validatingRootRefs(v.c.InternCert(cert)))
+}
+
+// ValidatingRootIdentitiesRef is ValidatingRootIdentities for an
+// already-interned leaf.
+func (v *Verifier) ValidatingRootIdentitiesRef(ref corpus.Ref) []certid.Identity {
+	return v.identitiesOf(v.validatingRootRefs(ref))
+}
+
+func (v *Verifier) identitiesOf(refs []corpus.Ref) []certid.Identity {
+	if len(refs) == 0 {
 		return nil
 	}
-	out := make([]certid.Identity, len(roots))
-	for i, r := range roots {
-		out[i] = certid.IdentityOf(r)
+	out := make([]certid.Identity, len(refs))
+	for i, r := range refs {
+		out[i] = v.c.Entry(r).Identity
 	}
 	return out
 }
 
 // PoolKey returns a compact fingerprint of the verifier's complete trust
-// configuration: every pool certificate's DER fingerprint (sorted, so
-// construction order is irrelevant), which of them are trusted roots, the
-// reference instant, and the path-length bound. Two verifiers with equal
-// PoolKeys return identical validation outcomes for every certificate,
-// which is what makes the key safe to share cache entries under.
+// configuration: the XOR of every pool member's content digest (inherently
+// order-independent), which of them are trusted roots, the corpus the
+// handles resolve against, the reference instant, and the path-length
+// bound. Two verifiers with equal PoolKeys return identical validation
+// outcomes for every certificate, which is what makes the key safe to
+// share cache entries under.
 func (v *Verifier) PoolKey() string {
 	v.poolOnce.Do(func() {
-		rootFPs := make([]string, 0, len(v.roots))
-		for _, r := range v.roots {
-			rootFPs = append(rootFPs, certid.SHA1Fingerprint(r))
-		}
-		sort.Strings(rootFPs)
-		var poolFPs []string
-		for _, certs := range v.bySubject {
-			for _, c := range certs {
-				poolFPs = append(poolFPs, certid.SHA1Fingerprint(c))
-			}
-		}
-		sort.Strings(poolFPs)
-		parts := make([]string, 0, len(rootFPs)+len(poolFPs)+1)
-		for _, fp := range rootFPs {
-			parts = append(parts, "root:"+fp)
-		}
-		for _, fp := range poolFPs {
-			parts = append(parts, "pool:"+fp)
-		}
-		parts = append(parts, "at:"+strconv.FormatInt(v.at.UnixNano(), 10))
-		sum := sha256.Sum256([]byte(strings.Join(parts, "\n")))
+		material := "corpus:" + strconv.FormatUint(v.c.ID(), 10) +
+			"\nroot:" + v.rootSum.Hex() + "/" + strconv.Itoa(len(v.roots)) +
+			"\npool:" + v.poolSum.Hex() +
+			"\nat:" + strconv.FormatInt(v.at.UnixNano(), 10)
+		sum := sha256.Sum256([]byte(material))
 		v.poolHash = hex.EncodeToString(sum[:])
 	})
 	// maxDepth is appended at call time because SetMaxDepth may change it

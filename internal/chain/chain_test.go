@@ -6,6 +6,7 @@ import (
 
 	"tangledmass/internal/certgen"
 	"tangledmass/internal/certid"
+	"tangledmass/internal/corpus"
 )
 
 type pki struct {
@@ -36,6 +37,12 @@ func buildPKI(t *testing.T) *pki {
 	p.leafB = must(g.Leaf(p.rootB, "b.example.com"))
 	rogue := must(g.SelfSignedCA("Rogue Root"))
 	p.orphan = must(g.Leaf(rogue, "evil.example.com"))
+	// Canonicalize through the shared corpus: buildPKI regenerates identical
+	// DER in every test, and the corpus hands back the first-interned
+	// instance, so pointer comparisons against verifier output stay valid.
+	for _, i := range []*certgen.Issued{p.rootA, p.rootB, p.interA, p.leafA, p.leafB, p.orphan} {
+		i.Cert = corpus.CertOf(corpus.InternCert(i.Cert))
+	}
 	return p
 }
 
@@ -139,7 +146,7 @@ func TestNonCAIssuerRejected(t *testing.T) {
 	// issuer name.
 	leaf, _ := g.Leaf(root, "notaca.example.com")
 	v := NewVerifier([]*x509.Certificate{root.Cert}, []*x509.Certificate{leaf.Cert}, certgen.Epoch)
-	if len(v.candidateIssuers(leaf.Cert)) != 1 {
+	if len(v.candidateIssuers(v.c.InternCert(leaf.Cert))) != 1 {
 		// leaf's issuer is root: exactly one candidate.
 		t.Error("expected root as sole candidate issuer")
 	}

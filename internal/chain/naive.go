@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"tangledmass/internal/certid"
+	"tangledmass/internal/corpus"
 )
 
 // NaiveVerifier is the baseline path builder for the chain-index ablation:
@@ -26,7 +27,7 @@ func NewNaiveVerifier(roots, intermediates []*x509.Certificate, at time.Time) *N
 		roots:    make(map[certid.Identity]*x509.Certificate, len(roots)),
 	}
 	for _, r := range roots {
-		id := certid.IdentityOf(r)
+		id := corpus.IdentityOf(r)
 		if _, dup := n.roots[id]; dup {
 			continue
 		}
@@ -46,12 +47,12 @@ func (n *NaiveVerifier) Validates(cert *x509.Certificate) bool {
 	if !n.timeValid(cert) {
 		return false
 	}
-	visited := map[certid.Identity]bool{certid.IdentityOf(cert): true}
+	visited := map[certid.Identity]bool{corpus.IdentityOf(cert): true}
 	return n.search(cert, visited, 1)
 }
 
 func (n *NaiveVerifier) search(tip *x509.Certificate, visited map[certid.Identity]bool, depth int) bool {
-	if _, ok := n.roots[certid.IdentityOf(tip)]; ok {
+	if _, ok := n.roots[corpus.IdentityOf(tip)]; ok {
 		return true
 	}
 	if depth >= n.maxDepth {
@@ -64,7 +65,7 @@ func (n *NaiveVerifier) search(tip *x509.Certificate, visited map[certid.Identit
 		if string(cand.RawSubject) != string(tip.RawIssuer) {
 			continue
 		}
-		id := certid.IdentityOf(cand)
+		id := corpus.IdentityOf(cand)
 		if visited[id] {
 			continue
 		}

@@ -1,0 +1,372 @@
+// Package corpus is the content-addressed certificate intern table: every
+// certificate the system touches — root-store members, observed leaves,
+// snapshot entries, wire-decoded chains — is parsed exactly once, its
+// identity and fingerprints computed exactly once, and referenced everywhere
+// else by a compact Ref handle.
+//
+// The paper's analyses (§4–§6) pool, compare and validate the same small
+// universe of certificates across 41+ root stores and millions of simulated
+// sessions. Before the corpus each layer held its own *x509.Certificate
+// copies and recomputed identities and fingerprints behind scattered memo
+// maps; the corpus centralizes that work behind one table so repeated
+// observations of the same certificate cost a map hit.
+//
+// # Ownership and immutability
+//
+// An Entry is immutable after creation: the corpus owns the DER copy, the
+// parsed certificate, and the precomputed identity and fingerprints, and
+// none of them ever change. Intern copies its input before parsing, so
+// callers may reuse or overwrite their buffers (the tap's record
+// reassembly buffer, for example) without corrupting the table. A Ref is a
+// plain uint32, trivially comparable and hashable, and — because entries
+// are immutable and refs are never reused — safe to use as a map key and
+// to share across goroutines without synchronization.
+//
+// Ref values are process-local and assigned in interning order; two runs
+// interning in different orders number the same certificates differently.
+// Never order output by Ref — sort by fingerprint or identity, as the
+// deterministic layers do.
+package corpus
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/hex"
+	"encoding/pem"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tangledmass/internal/certid"
+	"tangledmass/internal/obs"
+)
+
+// Ref is a dense handle to one interned certificate. The zero Ref is
+// invalid: valid handles start at 1, so a Ref's presence can be tested
+// against zero without an ok-bool.
+type Ref uint32
+
+// Digest is the SHA-256 of a certificate's DER encoding — the content
+// address the table is keyed by.
+type Digest [sha256.Size]byte
+
+// Hex renders the digest as lowercase hex.
+func (d Digest) Hex() string { return hex.EncodeToString(d[:]) }
+
+// XOR folds o into d in place. XOR of member digests is an incremental,
+// order-independent set fingerprint: adding a member XORs its digest in,
+// removing XORs it back out. rootstore and chain use it to derive pool
+// keys without re-sorting and re-hashing whole membership lists.
+func (d *Digest) XOR(o Digest) {
+	for i := range d {
+		d[i] ^= o[i]
+	}
+}
+
+// Entry carries everything computed for one interned certificate. All
+// fields are immutable after creation; callers must not modify DER, Cert,
+// or any other field.
+type Entry struct {
+	// Ref is the entry's handle in its corpus.
+	Ref Ref
+	// DER is the corpus-owned copy of the certificate encoding.
+	DER []byte
+	// Cert is the parsed certificate.
+	Cert *x509.Certificate
+	// Identity is the paper's certificate identity (subject + key).
+	Identity certid.Identity
+	// SHA1, SHA256 and MD5 are hex fingerprints of the DER encoding.
+	SHA1   string
+	SHA256 string
+	MD5    string
+	// SubjectHash is the 32-bit OpenSSL-style subject hash used in Android
+	// cacerts file names.
+	SubjectHash uint32
+	// Digest is the raw SHA-256 content address.
+	Digest Digest
+}
+
+// Corpus is a concurrency-safe intern table. Construct with New, or use
+// the process-wide Shared table. The zero value is not usable.
+type Corpus struct {
+	id      uint64
+	mu      sync.RWMutex
+	byHash  map[Digest]Ref
+	entries atomic.Pointer[[]*Entry] // copy-on-write snapshot for lock-free reads
+	byPtr   sync.Map                 // *x509.Certificate → Ref, the repeat-observation fast path
+
+	nInterned atomic.Int64
+	nHits     atomic.Int64
+	nBytes    atomic.Int64
+
+	interned *obs.Counter
+	hits     *obs.Counter
+	bytesC   *obs.Counter
+}
+
+// Option configures a Corpus at construction.
+type Option func(*Corpus)
+
+// WithObserver attaches the corpus.* counters (interned certificates,
+// intern hits, interned DER bytes) to the given observer. Nil observers
+// no-op.
+func WithObserver(o *obs.Observer) Option {
+	return func(c *Corpus) {
+		c.interned = o.Counter(KeyInterned)
+		c.hits = o.Counter(KeyHits)
+		c.bytesC = o.Counter(KeyBytes)
+	}
+}
+
+// nextID hands out process-unique corpus identifiers.
+var nextID atomic.Uint64
+
+// New returns an empty corpus.
+func New(opts ...Option) *Corpus {
+	c := &Corpus{id: nextID.Add(1), byHash: make(map[Digest]Ref)}
+	empty := make([]*Entry, 0)
+	c.entries.Store(&empty)
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// shared is the process-wide default table. Layers that are not handed an
+// explicit corpus intern here, which is what makes one certificate parsed
+// by the tap, the wire protocol and a snapshot load land on the same Entry.
+var shared = New()
+
+// Shared returns the process-wide corpus.
+func Shared() *Corpus { return shared }
+
+// Intern returns the handle for der, parsing and inserting it when the
+// content is new. The input is copied before parsing; callers keep
+// ownership of der.
+func (c *Corpus) Intern(der []byte) (Ref, error) {
+	sum := Digest(sha256.Sum256(der))
+	c.mu.RLock()
+	ref, ok := c.byHash[sum]
+	c.mu.RUnlock()
+	if ok {
+		c.hit()
+		return ref, nil
+	}
+	own := bytes.Clone(der)
+	cert, err := x509.ParseCertificate(own)
+	if err != nil {
+		return 0, fmt.Errorf("corpus: parsing certificate: %w", err)
+	}
+	return c.insert(sum, own, cert), nil
+}
+
+// InternCert returns the handle for an already-parsed certificate. A
+// repeated pointer is a lock-free map hit; new content adopts cert as the
+// entry's parsed form (certificates are immutable values throughout the
+// system), with the DER copied so the entry owns its encoding.
+func (c *Corpus) InternCert(cert *x509.Certificate) Ref {
+	if v, ok := c.byPtr.Load(cert); ok {
+		c.hit()
+		return v.(Ref)
+	}
+	sum := Digest(sha256.Sum256(cert.Raw))
+	c.mu.RLock()
+	ref, ok := c.byHash[sum]
+	c.mu.RUnlock()
+	if ok {
+		c.hit()
+	} else {
+		ref = c.insert(sum, bytes.Clone(cert.Raw), cert)
+	}
+	c.byPtr.Store(cert, ref)
+	return ref
+}
+
+// InternChain interns every certificate of a chain, preserving order.
+func (c *Corpus) InternChain(chain []*x509.Certificate) []Ref {
+	refs := make([]Ref, len(chain))
+	for i, cert := range chain {
+		refs[i] = c.InternCert(cert)
+	}
+	return refs
+}
+
+// insert adds a new entry under sum, resolving the insert race in favour
+// of the first writer.
+func (c *Corpus) insert(sum Digest, der []byte, cert *x509.Certificate) Ref {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ref, ok := c.byHash[sum]; ok {
+		c.hit()
+		return ref
+	}
+	entries := *c.entries.Load()
+	e := &Entry{
+		Ref:         Ref(len(entries) + 1),
+		DER:         der,
+		Cert:        cert,
+		Identity:    certid.Identity{Subject: certid.SubjectString(cert), Key: certid.KeyIdentity(cert)},
+		SHA1:        certid.SHA1Fingerprint(cert),
+		SHA256:      sum.Hex(),
+		MD5:         certid.MD5Fingerprint(cert),
+		SubjectHash: certid.SubjectHash32(cert),
+		Digest:      sum,
+	}
+	next := make([]*Entry, len(entries)+1)
+	copy(next, entries)
+	next[len(entries)] = e
+	c.entries.Store(&next)
+	c.byHash[sum] = e.Ref
+	c.nInterned.Add(1)
+	c.nBytes.Add(int64(len(der)))
+	c.interned.Inc()
+	c.bytesC.Add(int64(len(der)))
+	return e.Ref
+}
+
+func (c *Corpus) hit() {
+	c.nHits.Add(1)
+	c.hits.Inc()
+}
+
+// ID returns a process-unique identifier for this corpus. Refs are only
+// meaningful relative to the corpus that issued them; cache keys that embed
+// a Ref include the corpus ID so handles from different tables cannot
+// collide.
+func (c *Corpus) ID() uint64 { return c.id }
+
+// Entry returns the entry for r, or nil for the zero Ref or a handle from
+// another corpus.
+func (c *Corpus) Entry(r Ref) *Entry {
+	entries := *c.entries.Load()
+	if r == 0 || int(r) > len(entries) {
+		return nil
+	}
+	return entries[r-1]
+}
+
+// Cert returns the parsed certificate for r, or nil.
+func (c *Corpus) Cert(r Ref) *x509.Certificate {
+	if e := c.Entry(r); e != nil {
+		return e.Cert
+	}
+	return nil
+}
+
+// Identity returns the precomputed identity for r (zero for invalid refs).
+func (c *Corpus) Identity(r Ref) certid.Identity {
+	if e := c.Entry(r); e != nil {
+		return e.Identity
+	}
+	return certid.Identity{}
+}
+
+// SHA1 returns the precomputed hex SHA-1 fingerprint for r ("" for
+// invalid refs).
+func (c *Corpus) SHA1(r Ref) string {
+	if e := c.Entry(r); e != nil {
+		return e.SHA1
+	}
+	return ""
+}
+
+// DER returns the corpus-owned encoding for r (nil for invalid refs).
+// Callers must not modify it.
+func (c *Corpus) DER(r Ref) []byte {
+	if e := c.Entry(r); e != nil {
+		return e.DER
+	}
+	return nil
+}
+
+// Certs materializes the parsed certificates for refs, preserving order.
+func (c *Corpus) Certs(refs []Ref) []*x509.Certificate {
+	out := make([]*x509.Certificate, len(refs))
+	for i, r := range refs {
+		out[i] = c.Cert(r)
+	}
+	return out
+}
+
+// Len returns the number of distinct certificates interned.
+func (c *Corpus) Len() int { return len(*c.entries.Load()) }
+
+// Stats is a point-in-time interning tally.
+type Stats struct {
+	// Interned is the number of distinct certificates in the table.
+	Interned int64
+	// Hits counts intern calls answered without parsing (pointer or
+	// content match).
+	Hits int64
+	// Bytes is the total DER bytes owned by the table.
+	Bytes int64
+}
+
+// Stats returns the cumulative tallies.
+func (c *Corpus) Stats() Stats {
+	return Stats{Interned: c.nInterned.Load(), Hits: c.nHits.Load(), Bytes: c.nBytes.Load()}
+}
+
+const pemCertType = "CERTIFICATE"
+
+// ParsePEM interns every CERTIFICATE block in data, in order. Non-certificate
+// blocks are skipped; a block that fails to parse is an error.
+func (c *Corpus) ParsePEM(data []byte) ([]Ref, error) {
+	var refs []Ref
+	for {
+		var block *pem.Block
+		block, data = pem.Decode(data)
+		if block == nil {
+			break
+		}
+		if block.Type != pemCertType {
+			continue
+		}
+		ref, err := c.Intern(block.Bytes)
+		if err != nil {
+			return nil, err
+		}
+		refs = append(refs, ref)
+	}
+	return refs, nil
+}
+
+// Intern interns der into the shared corpus.
+func Intern(der []byte) (Ref, error) { return shared.Intern(der) }
+
+// InternCert interns an already-parsed certificate into the shared corpus.
+func InternCert(cert *x509.Certificate) Ref { return shared.InternCert(cert) }
+
+// ParsePEM interns a PEM bundle into the shared corpus.
+func ParsePEM(data []byte) ([]Ref, error) { return shared.ParsePEM(data) }
+
+// CertOf returns the shared-corpus certificate for r.
+func CertOf(r Ref) *x509.Certificate { return shared.Cert(r) }
+
+// IdentityOf returns cert's identity through the shared corpus — the
+// memoized replacement for certid.IdentityOf on hot paths: the identity is
+// computed once when the certificate is first interned and every later
+// call is a map hit.
+func IdentityOf(cert *x509.Certificate) certid.Identity {
+	return shared.Identity(shared.InternCert(cert))
+}
+
+// SHA1Of returns cert's hex SHA-1 fingerprint through the shared corpus.
+func SHA1Of(cert *x509.Certificate) string {
+	return shared.SHA1(shared.InternCert(cert))
+}
+
+// SHA256Of returns cert's hex SHA-256 fingerprint through the shared corpus.
+func SHA256Of(cert *x509.Certificate) string {
+	if e := shared.Entry(shared.InternCert(cert)); e != nil {
+		return e.SHA256
+	}
+	return ""
+}
+
+// Equivalent reports whether two certificates are equivalent in the
+// paper's sense (same subject and key), answered from interned identities.
+func Equivalent(a, b *x509.Certificate) bool {
+	return IdentityOf(a) == IdentityOf(b)
+}

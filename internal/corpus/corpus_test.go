@@ -1,0 +1,325 @@
+package corpus_test
+
+import (
+	"bytes"
+	"crypto/x509"
+	"encoding/pem"
+	"fmt"
+	"sync"
+	"testing"
+
+	"tangledmass/internal/certgen"
+	"tangledmass/internal/certid"
+	"tangledmass/internal/corpus"
+	"tangledmass/internal/obs"
+)
+
+// genCerts issues n distinct certificates from a fresh deterministic
+// generator.
+func genCerts(t *testing.T, seed int64, n int) []*x509.Certificate {
+	t.Helper()
+	g := certgen.NewGenerator(seed)
+	root, err := g.SelfSignedCA("Corpus Test Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := []*x509.Certificate{root.Cert}
+	for i := 1; i < n; i++ {
+		leaf, err := g.Leaf(root, fmt.Sprintf("host-%d.example.com", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, leaf.Cert)
+	}
+	return out
+}
+
+func TestInternDeduplicatesByContent(t *testing.T) {
+	c := corpus.New()
+	certs := genCerts(t, 100, 3)
+
+	r1, err := c.Intern(certs[0].Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 == 0 {
+		t.Fatal("valid intern returned the zero Ref")
+	}
+	r2, err := c.Intern(certs[0].Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatalf("same DER interned to different refs: %d, %d", r1, r2)
+	}
+	r3, err := c.Intern(certs[1].Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 == r1 {
+		t.Fatal("distinct DER interned to the same ref")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	st := c.Stats()
+	if st.Interned != 2 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 2 interned / 1 hit", st)
+	}
+	if st.Bytes != int64(len(certs[0].Raw)+len(certs[1].Raw)) {
+		t.Fatalf("bytes = %d", st.Bytes)
+	}
+}
+
+func TestInternCopiesItsInput(t *testing.T) {
+	c := corpus.New()
+	cert := genCerts(t, 101, 1)[0]
+	buf := bytes.Clone(cert.Raw)
+	ref, err := c.Intern(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		buf[i] = 0 // the tap reuses its reassembly buffer exactly like this
+	}
+	if !bytes.Equal(c.DER(ref), cert.Raw) {
+		t.Fatal("corpus entry aliases the caller's buffer")
+	}
+	if got := c.Cert(ref); !bytes.Equal(got.Raw, cert.Raw) {
+		t.Fatal("parsed certificate aliases the caller's buffer")
+	}
+}
+
+func TestInternBadDERFails(t *testing.T) {
+	c := corpus.New()
+	if _, err := c.Intern([]byte("not a certificate")); err == nil {
+		t.Fatal("garbage DER interned without error")
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed intern left an entry behind")
+	}
+}
+
+func TestEntryPrecomputedFields(t *testing.T) {
+	c := corpus.New()
+	cert := genCerts(t, 102, 1)[0]
+	ref, err := c.Intern(cert.Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := c.Entry(ref)
+	if e == nil || e.Ref != ref {
+		t.Fatalf("entry = %+v", e)
+	}
+	if e.Identity != certid.IdentityOf(cert) {
+		t.Error("precomputed identity disagrees with certid.IdentityOf")
+	}
+	if e.SHA1 != certid.SHA1Fingerprint(cert) {
+		t.Error("precomputed SHA-1 disagrees with certid")
+	}
+	if e.SHA256 != certid.SHA256Fingerprint(cert) {
+		t.Error("precomputed SHA-256 disagrees with certid")
+	}
+	if e.MD5 != certid.MD5Fingerprint(cert) {
+		t.Error("precomputed MD5 disagrees with certid")
+	}
+	if e.SubjectHash != certid.SubjectHash32(cert) {
+		t.Error("precomputed subject hash disagrees with certid")
+	}
+	if e.Digest.Hex() != e.SHA256 {
+		t.Error("digest and SHA-256 fingerprint disagree")
+	}
+}
+
+func TestInternCertPointerFastPath(t *testing.T) {
+	c := corpus.New()
+	cert := genCerts(t, 103, 1)[0]
+	r1 := c.InternCert(cert)
+	before := c.Stats()
+	r2 := c.InternCert(cert)
+	if r1 != r2 {
+		t.Fatalf("refs differ: %d, %d", r1, r2)
+	}
+	after := c.Stats()
+	if after.Hits != before.Hits+1 || after.Interned != before.Interned {
+		t.Fatalf("repeat pointer intern not a hit: %+v -> %+v", before, after)
+	}
+	if c.Cert(r1) != cert {
+		t.Fatal("first-interned certificate was not adopted as canonical")
+	}
+}
+
+func TestInvalidRefs(t *testing.T) {
+	c := corpus.New()
+	if c.Entry(0) != nil || c.Cert(0) != nil || c.DER(0) != nil {
+		t.Fatal("zero ref resolved")
+	}
+	if c.Entry(99) != nil {
+		t.Fatal("out-of-range ref resolved")
+	}
+	if c.SHA1(99) != "" || (c.Identity(99) != certid.Identity{}) {
+		t.Fatal("out-of-range ref produced non-zero derived values")
+	}
+}
+
+// TestConcurrentIntern hammers one corpus from many goroutines interning a
+// mix of identical and distinct DER (and repeated cert pointers). Run under
+// -race this pins the locking discipline; the assertions pin ref stability:
+// every goroutine must agree on the ref for a given content.
+func TestConcurrentIntern(t *testing.T) {
+	const workers = 16
+	c := corpus.New()
+	certs := genCerts(t, 104, 8)
+	refs := make([][]corpus.Ref, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]corpus.Ref, 0, len(certs)*3)
+			for round := 0; round < 3; round++ {
+				for i, cert := range certs {
+					var ref corpus.Ref
+					if (w+round+i)%2 == 0 {
+						var err error
+						ref, err = c.Intern(cert.Raw)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+					} else {
+						ref = c.InternCert(cert)
+					}
+					out = append(out, ref)
+				}
+			}
+			refs[w] = out
+		}(w)
+	}
+	wg.Wait()
+
+	if c.Len() != len(certs) {
+		t.Fatalf("len = %d, want %d", c.Len(), len(certs))
+	}
+	for w := 1; w < workers; w++ {
+		for i, ref := range refs[w] {
+			if ref != refs[0][i] {
+				t.Fatalf("worker %d saw ref %d for item %d, worker 0 saw %d", w, ref, i, refs[0][i])
+			}
+		}
+	}
+	// The same content must keep its ref on every later lookup.
+	for _, cert := range certs {
+		r1 := c.InternCert(cert)
+		r2, err := c.Intern(cert.Raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1 != r2 {
+			t.Fatalf("ref drifted: %d vs %d", r1, r2)
+		}
+	}
+}
+
+func TestObserverCounters(t *testing.T) {
+	o := obs.New()
+	c := corpus.New(corpus.WithObserver(o))
+	cert := genCerts(t, 105, 1)[0]
+	if _, err := c.Intern(cert.Raw); err != nil {
+		t.Fatal(err)
+	}
+	c.InternCert(cert)
+	snap := o.Snapshot()
+	if snap.Counters[corpus.KeyInterned] != 1 {
+		t.Errorf("%s = %d, want 1", corpus.KeyInterned, snap.Counters[corpus.KeyInterned])
+	}
+	if snap.Counters[corpus.KeyHits] != 1 {
+		t.Errorf("%s = %d, want 1", corpus.KeyHits, snap.Counters[corpus.KeyHits])
+	}
+	if snap.Counters[corpus.KeyBytes] != int64(len(cert.Raw)) {
+		t.Errorf("%s = %d, want %d", corpus.KeyBytes, snap.Counters[corpus.KeyBytes], len(cert.Raw))
+	}
+}
+
+func TestDigestXORRoundTrip(t *testing.T) {
+	c := corpus.New()
+	certs := genCerts(t, 106, 3)
+	var acc corpus.Digest
+	zero := acc
+	var digests []corpus.Digest
+	for _, cert := range certs {
+		ref, err := c.Intern(cert.Raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := c.Entry(ref).Digest
+		digests = append(digests, d)
+		acc.XOR(d)
+	}
+	// XOR is order-independent: folding in reverse yields the same value.
+	var rev corpus.Digest
+	for i := len(digests) - 1; i >= 0; i-- {
+		rev.XOR(digests[i])
+	}
+	if acc != rev {
+		t.Fatal("XOR accumulator depends on order")
+	}
+	// Removing every member returns to zero.
+	for _, d := range digests {
+		acc.XOR(d)
+	}
+	if acc != zero {
+		t.Fatal("XOR add/remove did not cancel")
+	}
+}
+
+func TestParsePEMSkipsNonCertBlocks(t *testing.T) {
+	c := corpus.New()
+	certs := genCerts(t, 107, 2)
+	var bundle []byte
+	bundle = append(bundle, pemEncode("CERTIFICATE", certs[0].Raw)...)
+	bundle = append(bundle, pemEncode("RSA PRIVATE KEY", []byte("not a cert"))...)
+	bundle = append(bundle, pemEncode("CERTIFICATE", certs[1].Raw)...)
+	refs, err := c.ParsePEM(bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 2 {
+		t.Fatalf("refs = %d, want 2", len(refs))
+	}
+	for i, ref := range refs {
+		if !bytes.Equal(c.DER(ref), certs[i].Raw) {
+			t.Fatalf("ref %d does not match input order", i)
+		}
+	}
+	if _, err := c.ParsePEM(pemEncode("CERTIFICATE", []byte("garbage"))); err == nil {
+		t.Fatal("garbage CERTIFICATE block parsed")
+	}
+}
+
+func TestSharedHelpers(t *testing.T) {
+	certs := genCerts(t, 108, 2)
+	a, b := certs[0], certs[1]
+	if !corpus.Equivalent(a, a) {
+		t.Fatal("certificate not equivalent to itself")
+	}
+	if corpus.Equivalent(a, b) {
+		t.Fatal("distinct-identity certificates reported equivalent")
+	}
+	if corpus.IdentityOf(a) != certid.IdentityOf(a) {
+		t.Fatal("corpus.IdentityOf disagrees with certid.IdentityOf")
+	}
+	if corpus.SHA1Of(a) != certid.SHA1Fingerprint(a) {
+		t.Fatal("corpus.SHA1Of disagrees with certid")
+	}
+	if corpus.SHA256Of(a) != certid.SHA256Fingerprint(a) {
+		t.Fatal("corpus.SHA256Of disagrees with certid")
+	}
+	if corpus.CertOf(corpus.InternCert(a)) == nil {
+		t.Fatal("shared intern round trip failed")
+	}
+}
+
+func pemEncode(typ string, der []byte) []byte {
+	return pem.EncodeToMemory(&pem.Block{Type: typ, Bytes: der})
+}

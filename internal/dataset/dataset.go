@@ -23,7 +23,7 @@ import (
 	"sort"
 
 	"tangledmass/internal/cauniverse"
-	"tangledmass/internal/certid"
+	"tangledmass/internal/corpus"
 	"tangledmass/internal/device"
 	"tangledmass/internal/population"
 	"tangledmass/internal/rootstore"
@@ -63,7 +63,7 @@ func Write(dir string, p *population.Population) error {
 	collect := func(s *rootstore.Store) []string {
 		fps := make([]string, 0, s.Len())
 		for _, c := range s.Certificates() {
-			fp := certid.SHA256Fingerprint(c)
+			fp := corpus.SHA256Of(c)
 			seen[fp] = c
 			fps = append(fps, fp)
 		}
@@ -138,7 +138,7 @@ func Read(dir string, u *cauniverse.Universe) (*population.Population, error) {
 	}
 	byFP := make(map[string]*x509.Certificate, len(certs))
 	for _, c := range certs {
-		byFP[certid.SHA256Fingerprint(c)] = c
+		byFP[corpus.SHA256Of(c)] = c
 	}
 	resolve := func(fps []string, what string, id int) ([]*x509.Certificate, error) {
 		out := make([]*x509.Certificate, 0, len(fps))

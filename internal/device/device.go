@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"tangledmass/internal/certid"
+	"tangledmass/internal/corpus"
 	"tangledmass/internal/rootstore"
 )
 
@@ -121,7 +122,7 @@ func (d *Device) EffectiveStore() *rootstore.Store {
 	eff := rootstore.New(fmt.Sprintf("%s %s effective", d.Manufacturer, d.Model))
 	for _, src := range []*rootstore.Store{d.system, d.user} {
 		for _, c := range src.Certificates() {
-			if !d.disabled[certid.IdentityOf(c)] {
+			if !d.disabled[corpus.IdentityOf(c)] {
 				eff.Add(c)
 			}
 		}

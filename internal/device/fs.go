@@ -5,7 +5,7 @@ import (
 	"os"
 	"path/filepath"
 
-	"tangledmass/internal/certid"
+	"tangledmass/internal/corpus"
 	"tangledmass/internal/rootstore"
 )
 
@@ -86,7 +86,7 @@ func LoadFS(dir string, profile Profile) (*Device, error) {
 			return nil, fmt.Errorf("device: loading removed store: %w", err)
 		}
 		for _, c := range removed.Certificates() {
-			d.DisableCert(certid.IdentityOf(c))
+			d.DisableCert(corpus.IdentityOf(c))
 		}
 	}
 

@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CertParse enforces the content-addressed interning architecture: every
+// certificate entering the process must come out of internal/corpus, which
+// parses each distinct DER encoding exactly once and precomputes its
+// identity and fingerprints. A direct x509.ParseCertificate call elsewhere
+// creates an un-interned instance that silently re-pays parsing and
+// fingerprinting on every touch — the scattered-copy pattern the corpus
+// exists to remove. Only internal/corpus itself and internal/certgen (which
+// must parse the fresh DER it just signed) may call the parser.
+var CertParse = &Analyzer{
+	Name: "certparse",
+	Doc:  "flag direct x509 certificate parsing outside the corpus intern layer",
+	Run:  runCertParse,
+}
+
+// certParseAllowed maps package base names that may parse certificates
+// directly.
+var certParseAllowed = map[string]bool{
+	"corpus":  true, // the intern layer itself
+	"certgen": true, // parses the DER it just issued
+}
+
+func runCertParse(p *Pass) {
+	if certParseAllowed[p.Pkg.Base()] {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch p.CalleeName(call) {
+			case "crypto/x509.ParseCertificate", "crypto/x509.ParseCertificates":
+				p.Reportf(call.Pos(),
+					"direct x509 certificate parsing outside internal/corpus; intern through corpus.Intern or corpus.ParsePEM so the certificate is parsed once and carries precomputed identity")
+			}
+			return true
+		})
+	}
+}

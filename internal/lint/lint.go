@@ -133,6 +133,7 @@ const DirectiveRule = "lintdirective"
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		CertCompare,
+		CertParse,
 		DetRand,
 		LockSafe,
 		ErrWrap,

@@ -1,0 +1,20 @@
+// Package parsefix triggers certparse: certificates parsed directly with
+// crypto/x509 instead of interned through the corpus layer.
+package parsefix
+
+import "crypto/x509"
+
+// ParseOne parses a certificate directly.
+func ParseOne(der []byte) (*x509.Certificate, error) {
+	return x509.ParseCertificate(der)
+}
+
+// ParseMany parses a bundle directly.
+func ParseMany(der []byte) ([]*x509.Certificate, error) {
+	return x509.ParseCertificates(der)
+}
+
+// ParseCRL parses a revocation list — not a certificate: allowed.
+func ParseCRL(der []byte) (*x509.RevocationList, error) {
+	return x509.ParseRevocationList(der)
+}

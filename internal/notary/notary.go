@@ -4,6 +4,11 @@
 // the paper runs on it — per-store validation totals (Table 3), per-category
 // zero-validation shares (Table 4), and per-root validation counts (the
 // ECDF of Figure 3).
+//
+// The database is keyed by corpus.Ref: every observed chain is interned
+// into a content-addressed corpus on ingest, so uniqueness-by-DER (§4.1's
+// "certificate signature" identity) is a uint32 map key and no fingerprint
+// is ever recomputed for a repeat observation.
 package notary
 
 import (
@@ -16,6 +21,7 @@ import (
 
 	"tangledmass/internal/certid"
 	"tangledmass/internal/chain"
+	"tangledmass/internal/corpus"
 	"tangledmass/internal/obs"
 	"tangledmass/internal/parallel"
 	"tangledmass/internal/rootstore"
@@ -33,8 +39,10 @@ type Observation struct {
 }
 
 // Entry is the Notary's record for one unique certificate (uniqueness by
-// SHA-1 of the DER encoding, the "certificate signature" identity of §4.1).
+// exact DER encoding, the "certificate signature" identity of §4.1).
 type Entry struct {
+	// Ref is the certificate's handle in the Notary's corpus.
+	Ref  corpus.Ref
 	Cert *x509.Certificate
 	// SeenAsLeaf reports whether the certificate ever appeared in leaf
 	// position.
@@ -60,9 +68,10 @@ type Notary struct {
 	cache    *chain.Cache
 	cacheSet bool // WithChainCache was applied (possibly with nil)
 	workers  int
+	c        *corpus.Corpus
 
 	mu       sync.RWMutex
-	entries  map[string]*Entry // by SHA-1 fingerprint
+	entries  map[corpus.Ref]*Entry
 	byID     map[certid.Identity]bool
 	sessions int64
 }
@@ -89,13 +98,20 @@ func WithWorkers(w int) Option {
 	return func(n *Notary) { n.workers = w }
 }
 
+// WithCorpus sets the intern table the database keys into (default: the
+// process-wide shared corpus). Stores validated against this Notary should
+// share the same corpus so handles can be reused without re-interning.
+func WithCorpus(c *corpus.Corpus) Option {
+	return func(n *Notary) { n.c = c }
+}
+
 // New returns an empty Notary that evaluates expiry at the instant at.
 // By default validation outcomes are memoized in a chain.Cache sized
 // chain.DefaultCacheCapacity; see WithChainCache.
 func New(at time.Time, opts ...Option) *Notary {
 	n := &Notary{
 		at:      at,
-		entries: make(map[string]*Entry),
+		entries: make(map[corpus.Ref]*Entry),
 		byID:    make(map[certid.Identity]bool),
 	}
 	for _, opt := range opts {
@@ -103,6 +119,9 @@ func New(at time.Time, opts ...Option) *Notary {
 	}
 	if !n.cacheSet {
 		n.cache = chain.NewCache(0, chain.WithCacheObserver(n.observer))
+	}
+	if n.c == nil {
+		n.c = corpus.Shared()
 	}
 	return n
 }
@@ -114,40 +133,41 @@ func (n *Notary) CacheStats() chain.CacheStats { return n.cache.Stats() }
 // At returns the Notary's reference time.
 func (n *Notary) At() time.Time { return n.at }
 
+// Corpus returns the intern table the database's refs resolve against.
+func (n *Notary) Corpus() *corpus.Corpus { return n.c }
+
 // Observe records one live-traffic chain.
 func (n *Notary) Observe(o Observation) {
+	refs := n.c.InternChain(o.Chain)
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.observeLocked(o, nil)
+	n.observeLocked(o, refs)
 }
 
-// ObserveAll records a batch of chains in one pass. Fingerprinting every
-// chain member — the CPU-bound part of ingest — runs on the parallel
-// engine; the database mutation is applied serially in input order under
-// one lock acquisition, so the result is identical to calling Observe in
-// a loop over the batch.
+// ObserveAll records a batch of chains in one pass. Interning every chain
+// member — the CPU-bound part of ingest (a repeat observation is a pointer
+// or content hit, a new certificate a parse plus fingerprints) — runs on
+// the parallel engine; the database mutation is applied serially in input
+// order under one lock acquisition, so the result is identical to calling
+// Observe in a loop over the batch.
 func (n *Notary) ObserveAll(batch []Observation) {
 	n.observer.Counter(KeyIngestChains).Add(int64(len(batch)))
 	// The error is ctx cancellation only; the background context never ends.
-	fps, _ := parallel.Map(context.Background(), len(batch),
-		func(_ context.Context, i int) ([]string, error) {
-			out := make([]string, len(batch[i].Chain))
-			for j, c := range batch[i].Chain {
-				out[j] = certid.SHA1Fingerprint(c)
-			}
-			return out, nil
+	refs, _ := parallel.Map(context.Background(), len(batch),
+		func(_ context.Context, i int) ([]corpus.Ref, error) {
+			return n.c.InternChain(batch[i].Chain), nil
 		},
 		parallel.WithWorkers(n.workers), parallel.WithObserver(n.observer))
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	for i, o := range batch {
-		n.observeLocked(o, fps[i])
+		n.observeLocked(o, refs[i])
 	}
 }
 
-// observeLocked applies one observation. fps, when non-nil, carries the
-// precomputed SHA-1 fingerprint of every chain member. Caller holds mu.
-func (n *Notary) observeLocked(o Observation, fps []string) {
+// observeLocked applies one observation; refs carries the interned handle
+// of every chain member. Caller holds mu.
+func (n *Notary) observeLocked(o Observation, refs []corpus.Ref) {
 	if len(o.Chain) == 0 {
 		return
 	}
@@ -156,13 +176,8 @@ func (n *Notary) observeLocked(o Observation, fps []string) {
 		at = n.at
 	}
 	n.sessions++
-	for i, cert := range o.Chain {
-		var e *Entry
-		if fps != nil {
-			e = n.entryFP(fps[i], cert)
-		} else {
-			e = n.entry(cert)
-		}
+	for i := range o.Chain {
+		e := n.entryRef(refs[i])
 		e.Sessions++
 		e.Ports[o.Port]++
 		e.touch(at)
@@ -187,10 +202,11 @@ func (e *Entry) touch(at time.Time) {
 // The certificate becomes "recorded" (HasRecord) but is not a validation
 // subject for the Table 3/4 counting, which runs over leaf certificates.
 func (n *Notary) ObserveCA(cert *x509.Certificate, port int) {
+	ref := n.c.InternCert(cert)
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.sessions++
-	e := n.entry(cert)
+	e := n.entryRef(ref)
 	e.Sessions++
 	e.Ports[port]++
 	e.touch(n.at)
@@ -198,28 +214,28 @@ func (n *Notary) ObserveCA(cert *x509.Certificate, port int) {
 
 // ImportStore loads an official root store's certificates into the database
 // without marking them as traffic (§4.2: the Notary also contains the
-// certificates of the Android, iOS7 and Mozilla root stores).
+// certificates of the Android, iOS7 and Mozilla root stores). A store
+// sharing the Notary's corpus imports by handle, with no re-interning.
 func (n *Notary) ImportStore(s *rootstore.Store) {
+	refs := s.Refs()
+	if s.Corpus() != n.c {
+		refs = n.c.InternChain(s.Certificates())
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	for _, cert := range s.Certificates() {
-		e := n.entry(cert)
-		e.FromStore = true
+	for _, ref := range refs {
+		n.entryRef(ref).FromStore = true
 	}
 }
 
-// entry returns (creating if needed) the record for cert. Caller holds mu.
-func (n *Notary) entry(cert *x509.Certificate) *Entry {
-	return n.entryFP(certid.SHA1Fingerprint(cert), cert)
-}
-
-// entryFP is entry with the fingerprint already computed. Caller holds mu.
-func (n *Notary) entryFP(fp string, cert *x509.Certificate) *Entry {
-	e, ok := n.entries[fp]
+// entryRef returns (creating if needed) the record for an interned
+// certificate. Caller holds mu.
+func (n *Notary) entryRef(ref corpus.Ref) *Entry {
+	e, ok := n.entries[ref]
 	if !ok {
-		e = &Entry{Cert: cert, Ports: make(map[int]int64)}
-		n.entries[fp] = e
-		n.byID[certid.IdentityOf(cert)] = true
+		e = &Entry{Ref: ref, Cert: n.c.Cert(ref), Ports: make(map[int]int64)}
+		n.entries[ref] = e
+		n.byID[n.c.Identity(ref)] = true
 	}
 	return e
 }
@@ -227,9 +243,10 @@ func (n *Notary) entryFP(fp string, cert *x509.Certificate) *Entry {
 // Lookup returns a copy of the record for cert (matched by exact DER), or
 // nil when the Notary has never stored that encoding.
 func (n *Notary) Lookup(cert *x509.Certificate) *Entry {
+	ref := n.c.InternCert(cert)
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	e, ok := n.entries[certid.SHA1Fingerprint(cert)]
+	e, ok := n.entries[ref]
 	if !ok {
 		return nil
 	}
@@ -277,39 +294,37 @@ func (n *Notary) unexpired(c *x509.Certificate) bool {
 // or store import — under the paper's identity (subject + key), so re-issued
 // instances match.
 func (n *Notary) HasRecord(cert *x509.Certificate) bool {
+	id := n.c.Identity(n.c.InternCert(cert))
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	return n.byID[certid.IdentityOf(cert)]
+	return n.byID[id]
 }
 
-// unexpiredLeaves returns the non-expired certificates seen in leaf
-// position, in deterministic order.
-func (n *Notary) unexpiredLeaves() []*x509.Certificate {
+// unexpiredLeafRefs returns the handles of non-expired certificates seen in
+// leaf position, ordered by SHA-1 fingerprint for determinism (refs are
+// interning-order-dependent and must never drive output order).
+func (n *Notary) unexpiredLeafRefs() []corpus.Ref {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	fps := make([]string, 0, len(n.entries))
-	for fp, e := range n.entries {
+	refs := make([]corpus.Ref, 0, len(n.entries))
+	for ref, e := range n.entries {
 		if e.SeenAsLeaf && n.unexpired(e.Cert) {
-			fps = append(fps, fp)
+			refs = append(refs, ref)
 		}
 	}
-	sort.Strings(fps)
-	out := make([]*x509.Certificate, len(fps))
-	for i, fp := range fps {
-		out[i] = n.entries[fp].Cert
-	}
-	return out
+	sort.Slice(refs, func(i, j int) bool { return n.c.SHA1(refs[i]) < n.c.SHA1(refs[j]) })
+	return refs
 }
 
-// observedCAs returns the CA certificates on record (traffic or import) that
-// are not in leaf position — the intermediate pool for path building.
-func (n *Notary) observedCAs() []*x509.Certificate {
+// observedCARefs returns the handles of CA certificates on record (traffic
+// or import) — the intermediate pool for path building.
+func (n *Notary) observedCARefs() []corpus.Ref {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	var out []*x509.Certificate
-	for _, e := range n.entries {
+	var out []corpus.Ref
+	for ref, e := range n.entries {
 		if e.Cert.IsCA {
-			out = append(out, e.Cert)
+			out = append(out, ref)
 		}
 	}
 	return out
@@ -403,20 +418,29 @@ func (r *StoreReport) PerRootCounts() []float64 {
 // to validating roots, then projects the attribution onto each store.
 func (n *Notary) Validate(stores ...*rootstore.Store) []*StoreReport {
 	union := rootstore.Union("union", stores...)
-	verifier := chain.NewVerifier(union.Certificates(), n.observedCAs(), n.at)
+	cas := n.observedCARefs()
+	var verifier *chain.Verifier
+	if union.Corpus() == n.c {
+		// Common case: stores and database share one corpus, so the
+		// verifier is assembled from existing handles — no certificate is
+		// re-interned or re-fingerprinted.
+		verifier = chain.NewVerifierFromStore(union, cas, n.at)
+	} else {
+		verifier = chain.NewVerifierIn(n.c, union.Certificates(), n.c.Certs(cas), n.at)
+	}
 
 	// Path building is the expensive step (one ECDSA verification per new
 	// issuer edge); leaves are independent, so fan them across the parallel
 	// engine, answering repeated (pool, leaf) lookups from the chain cache.
 	// The verifier is safe for concurrent use: its indexes are read-only
 	// after construction and the signature cache is lock-protected.
-	leaves := n.unexpiredLeaves()
+	leaves := n.unexpiredLeafRefs()
 	span := n.observer.StartSpan(union.Name(), KeyValidateSpan)
 	n.observer.Counter(KeyValidateLeaves).Add(int64(len(leaves)))
 	// The error is ctx cancellation only; the background context never ends.
 	leafRoots, _ := parallel.Map(context.Background(), len(leaves),
 		func(_ context.Context, i int) ([]certid.Identity, error) {
-			return n.cache.ValidatingRoots(verifier, leaves[i]), nil
+			return n.cache.ValidatingRootsRef(verifier, leaves[i]), nil
 		},
 		parallel.WithWorkers(n.workers), parallel.WithObserver(n.observer))
 	span.End()

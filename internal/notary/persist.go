@@ -1,30 +1,49 @@
 package notary
 
 import (
-	"crypto/x509"
 	"encoding/gob"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 	"time"
+
+	"tangledmass/internal/corpus"
 )
 
 // Snapshot is the serialized form of a Notary database. The real Notary
 // aggregates into a central database that outlives any one process (§4.2,
 // "aggregating them into a central database"); Save/Load give the
 // reproduction the same property.
+//
+// Version history:
+//
+//   - v1 stored each entry's DER inline, so a certificate recorded in many
+//     snapshots (or appearing once per entry) was encoded redundantly.
+//   - v2 stores one deduplicated DER table for the whole snapshot and has
+//     entries reference it by index — the on-disk mirror of the in-memory
+//     corpus. Load accepts both.
+//
+// The struct is the superset of both formats: gob leaves fields absent
+// from the stream at their zero values, so one decoder serves every
+// version.
 type snapshot struct {
 	// Version guards the format.
 	Version int
 	At      time.Time
 	// Sessions is the observation count.
 	Sessions int64
-	Entries  []snapshotEntry
+	// DER is the deduplicated certificate table (v2+): one encoding per
+	// distinct certificate, ordered by SHA-1 fingerprint.
+	DER     [][]byte
+	Entries []snapshotEntry
 }
 
 type snapshotEntry struct {
-	DER        []byte
+	// DER is the certificate encoding, inline (v1 snapshots only).
+	DER []byte
+	// Cert indexes the snapshot's DER table (v2+).
+	Cert       int
 	SeenAsLeaf bool
 	FromStore  bool
 	Sessions   int64
@@ -40,26 +59,29 @@ type portCount struct {
 	Count int64
 }
 
-const snapshotVersion = 1
+const snapshotVersion = 2
 
 // Save writes the database to w in a self-describing binary format.
+// Entries are ordered by SHA-1 fingerprint, so identical databases produce
+// byte-identical snapshots regardless of observation order.
 func (n *Notary) Save(w io.Writer) error {
 	n.mu.RLock()
 	snap := snapshot{Version: snapshotVersion, At: n.at, Sessions: n.sessions}
-	fps := make([]string, 0, len(n.entries))
-	for fp := range n.entries {
-		fps = append(fps, fp)
+	refs := make([]sortRef, 0, len(n.entries))
+	for ref := range n.entries {
+		refs = append(refs, sortRef{fp: n.c.SHA1(ref), ref: ref})
 	}
-	sort.Strings(fps) // deterministic files for identical databases
-	for _, fp := range fps {
-		e := n.entries[fp]
+	sort.Slice(refs, func(i, j int) bool { return refs[i].fp < refs[j].fp })
+	for i, sr := range refs {
+		e := n.entries[sr.ref]
 		ports := make([]portCount, 0, len(e.Ports))
 		for p, c := range e.Ports {
 			ports = append(ports, portCount{Port: p, Count: c})
 		}
 		sort.Slice(ports, func(i, j int) bool { return ports[i].Port < ports[j].Port })
+		snap.DER = append(snap.DER, n.c.DER(sr.ref))
 		snap.Entries = append(snap.Entries, snapshotEntry{
-			DER:        e.Cert.Raw,
+			Cert:       i,
 			SeenAsLeaf: e.SeenAsLeaf,
 			FromStore:  e.FromStore,
 			Sessions:   e.Sessions,
@@ -75,24 +97,38 @@ func (n *Notary) Save(w io.Writer) error {
 	return nil
 }
 
-// Load reads a database written by Save. The snapshot's reference time is
-// restored with it.
-func Load(r io.Reader) (*Notary, error) {
+type sortRef struct {
+	fp  string
+	ref corpus.Ref
+}
+
+// Load reads a database written by Save — the current format or the v1
+// inline-DER layout. The snapshot's reference time is restored with it.
+// Certificates are interned through the corpus on the way in; opts are
+// applied to the restored Notary (e.g. WithCorpus, WithObserver).
+func Load(r io.Reader, opts ...Option) (*Notary, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("notary: decoding snapshot: %w", err)
 	}
-	if snap.Version != snapshotVersion {
+	if snap.Version < 1 || snap.Version > snapshotVersion {
 		return nil, fmt.Errorf("notary: unsupported snapshot version %d", snap.Version)
 	}
-	n := New(snap.At)
+	n := New(snap.At, opts...)
 	n.sessions = snap.Sessions
 	for _, se := range snap.Entries {
-		cert, err := x509.ParseCertificate(se.DER)
+		der := se.DER
+		if snap.Version >= 2 {
+			if se.Cert < 0 || se.Cert >= len(snap.DER) {
+				return nil, fmt.Errorf("notary: snapshot entry references certificate %d of %d", se.Cert, len(snap.DER))
+			}
+			der = snap.DER[se.Cert]
+		}
+		ref, err := n.c.Intern(der)
 		if err != nil {
 			return nil, fmt.Errorf("notary: snapshot certificate: %w", err)
 		}
-		e := n.entry(cert)
+		e := n.entryRef(ref)
 		e.SeenAsLeaf = se.SeenAsLeaf
 		e.FromStore = se.FromStore
 		e.Sessions = se.Sessions
@@ -113,7 +149,7 @@ func (n *Notary) SaveFile(path string) error {
 		return fmt.Errorf("notary: creating %s: %w", tmp, err)
 	}
 	if err := n.Save(f); err != nil {
-		_ = f.Close()   // best-effort cleanup: the Save error wins
+		_ = f.Close() // best-effort cleanup: the Save error wins
 		_ = os.Remove(tmp)
 		return err
 	}
@@ -129,11 +165,11 @@ func (n *Notary) SaveFile(path string) error {
 }
 
 // LoadFile reads a database from path.
-func LoadFile(path string) (*Notary, error) {
+func LoadFile(path string, opts ...Option) (*Notary, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("notary: opening %s: %w", path, err)
 	}
 	defer f.Close()
-	return Load(f)
+	return Load(f, opts...)
 }

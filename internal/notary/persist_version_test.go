@@ -1,0 +1,189 @@
+package notary_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+	"time"
+
+	"tangledmass/internal/certgen"
+	"tangledmass/internal/notary"
+)
+
+// The v1 on-disk layout, reconstructed field-for-field: each entry carried
+// its DER inline, there was no top-level certificate table. gob matches
+// struct fields by name, so encoding these decodes through the current
+// superset snapshot struct exactly as a real v1 file would.
+type v1Snapshot struct {
+	Version  int
+	At       time.Time
+	Sessions int64
+	Entries  []v1Entry
+}
+
+type v1Entry struct {
+	DER        []byte
+	SeenAsLeaf bool
+	FromStore  bool
+	Sessions   int64
+	FirstSeen  time.Time
+	LastSeen   time.Time
+	Ports      []v1Port
+}
+
+type v1Port struct {
+	Port  int
+	Count int64
+}
+
+// The v2 layout, for crafting corrupt snapshots the public API can't
+// produce.
+type v2Snapshot struct {
+	Version  int
+	At       time.Time
+	Sessions int64
+	DER      [][]byte
+	Entries  []v2Entry
+}
+
+type v2Entry struct {
+	Cert       int
+	SeenAsLeaf bool
+	Sessions   int64
+}
+
+// TestLoadV1Snapshot writes a legacy inline-DER snapshot and checks the
+// current Load restores it with full fidelity, then upgrades it: re-saving
+// the loaded database and loading that must preserve everything again.
+func TestLoadV1Snapshot(t *testing.T) {
+	g := certgen.NewGenerator(60)
+	root, err := g.SelfSignedCA("V1 Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := g.Leaf(root, "v1.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := certgen.Epoch.Add(24 * time.Hour)
+	legacy := v1Snapshot{
+		Version:  1,
+		At:       certgen.Epoch,
+		Sessions: 7,
+		Entries: []v1Entry{
+			{
+				DER:        leaf.Cert.Raw,
+				SeenAsLeaf: true,
+				Sessions:   7,
+				FirstSeen:  certgen.Epoch,
+				LastSeen:   seen,
+				Ports:      []v1Port{{Port: 443, Count: 5}, {Port: 993, Count: 2}},
+			},
+			{
+				DER:       root.Cert.Raw,
+				FromStore: true,
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(legacy); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := notary.Load(&buf)
+	if err != nil {
+		t.Fatalf("loading v1 snapshot: %v", err)
+	}
+	checkV1Contents := func(n *notary.Notary, label string) {
+		t.Helper()
+		if n.NumUnique() != 2 || n.Sessions() != 7 {
+			t.Fatalf("%s: unique/sessions = %d/%d, want 2/7", label, n.NumUnique(), n.Sessions())
+		}
+		if !n.At().Equal(certgen.Epoch) {
+			t.Errorf("%s: reference time not restored", label)
+		}
+		le := n.Lookup(leaf.Cert)
+		if le == nil || !le.SeenAsLeaf || le.Sessions != 7 {
+			t.Fatalf("%s: leaf entry = %+v", label, le)
+		}
+		if le.Ports[443] != 5 || le.Ports[993] != 2 {
+			t.Errorf("%s: ports = %v", label, le.Ports)
+		}
+		if !le.FirstSeen.Equal(certgen.Epoch) || !le.LastSeen.Equal(seen) {
+			t.Errorf("%s: observation window = %v..%v", label, le.FirstSeen, le.LastSeen)
+		}
+		re := n.Lookup(root.Cert)
+		if re == nil || !re.FromStore || re.SeenAsLeaf {
+			t.Fatalf("%s: root entry = %+v", label, re)
+		}
+	}
+	checkV1Contents(n, "v1 load")
+
+	// Upgrade: re-save writes the current format; nothing may be lost.
+	var v2 bytes.Buffer
+	if err := n.Save(&v2); err != nil {
+		t.Fatal(err)
+	}
+	back, err := notary.Load(&v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkV1Contents(back, "v2 reload")
+}
+
+// TestSaveLoadSaveIdempotent pins the upgrade path as a fixed point: once a
+// database has been through Save, loading and re-saving must reproduce the
+// bytes exactly.
+func TestSaveLoadSaveIdempotent(t *testing.T) {
+	n, _ := fedDB(t)
+	var first bytes.Buffer
+	if err := n.Save(&first); err != nil {
+		t.Fatal(err)
+	}
+	back, err := notary.Load(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := back.Save(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("Save -> Load -> Save changed the snapshot bytes")
+	}
+}
+
+func TestLoadRejectsUnknownVersion(t *testing.T) {
+	for _, v := range []int{0, 3, 99} {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(v1Snapshot{Version: v}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := notary.Load(&buf); err == nil {
+			t.Errorf("version %d accepted", v)
+		}
+	}
+}
+
+func TestLoadRejectsBadCertIndex(t *testing.T) {
+	g := certgen.NewGenerator(61)
+	root, err := g.SelfSignedCA("Bad Index Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range []int{-1, 1, 5} {
+		bad := v2Snapshot{
+			Version: 2,
+			At:      certgen.Epoch,
+			DER:     [][]byte{root.Cert.Raw},
+			Entries: []v2Entry{{Cert: idx, SeenAsLeaf: true, Sessions: 1}},
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(bad); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := notary.Load(&buf); err == nil {
+			t.Errorf("certificate index %d accepted", idx)
+		}
+	}
+}

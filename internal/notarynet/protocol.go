@@ -13,6 +13,8 @@ import (
 	"crypto/x509"
 	"encoding/base64"
 	"fmt"
+
+	"tangledmass/internal/corpus"
 )
 
 // Request is one protocol message from client to server.
@@ -59,17 +61,19 @@ func EncodeCert(c *x509.Certificate) string {
 	return base64.StdEncoding.EncodeToString(c.Raw)
 }
 
-// DecodeCert parses a wire certificate.
+// DecodeCert parses a wire certificate through the shared corpus: a
+// certificate already seen by this process (in a store, a tap, a snapshot)
+// decodes to its canonical interned instance without re-parsing.
 func DecodeCert(s string) (*x509.Certificate, error) {
 	der, err := base64.StdEncoding.DecodeString(s)
 	if err != nil {
 		return nil, fmt.Errorf("notarynet: bad base64: %w", err)
 	}
-	cert, err := x509.ParseCertificate(der)
+	ref, err := corpus.Intern(der)
 	if err != nil {
 		return nil, fmt.Errorf("notarynet: bad certificate: %w", err)
 	}
-	return cert, nil
+	return corpus.CertOf(ref), nil
 }
 
 // EncodeChain renders a chain for the wire.

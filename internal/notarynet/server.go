@@ -8,7 +8,7 @@ import (
 	"sync"
 	"time"
 
-	"tangledmass/internal/certid"
+	"tangledmass/internal/corpus"
 	"tangledmass/internal/notary"
 	"tangledmass/internal/obs"
 	"tangledmass/internal/rootstore"
@@ -223,7 +223,7 @@ func (s *Server) dispatch(req Request) Response {
 		rep := s.n.ValidateOne(store)
 		counts := make([]int, len(roots))
 		for i, r := range roots {
-			counts[i] = rep.PerRoot[certid.IdentityOf(r)]
+			counts[i] = rep.PerRoot[corpus.IdentityOf(r)]
 		}
 		s.obs.Counter(KeyQueryTotal).Inc()
 		return Response{OK: true, Validated: rep.Validated, PerRootCount: counts}

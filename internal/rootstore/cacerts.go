@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"tangledmass/internal/certid"
+	"tangledmass/internal/corpus"
 )
 
 // Android keeps its system root store as a directory of PEM files, one per
@@ -111,25 +112,14 @@ func validCacertsName(name string) bool {
 	return true
 }
 
-// ParsePEMCertificates parses every CERTIFICATE block in data.
+// ParsePEMCertificates parses every CERTIFICATE block in data through the
+// shared corpus, so a bundle loaded twice costs one parse.
 func ParsePEMCertificates(data []byte) ([]*x509.Certificate, error) {
-	var certs []*x509.Certificate
-	for {
-		var block *pem.Block
-		block, data = pem.Decode(data)
-		if block == nil {
-			break
-		}
-		if block.Type != pemCertType {
-			continue
-		}
-		cert, err := x509.ParseCertificate(block.Bytes)
-		if err != nil {
-			return nil, fmt.Errorf("parsing certificate: %w", err)
-		}
-		certs = append(certs, cert)
+	refs, err := corpus.ParsePEM(data)
+	if err != nil {
+		return nil, fmt.Errorf("rootstore: parsing PEM bundle: %w", err)
 	}
-	return certs, nil
+	return corpus.Shared().Certs(refs), nil
 }
 
 // EncodePEM renders the store as a concatenated PEM bundle.

@@ -1,0 +1,166 @@
+package rootstore_test
+
+import (
+	"crypto/x509"
+	"testing"
+	"testing/quick"
+
+	"tangledmass/internal/cauniverse"
+	"tangledmass/internal/certid"
+	"tangledmass/internal/corpus"
+	"tangledmass/internal/rootstore"
+)
+
+// This file pins the corpus-backed set operations to the pre-refactor
+// semantics: Diff and Intersect must agree exactly with an independent
+// computation over certid.IdentityOf sets, with no corpus, refs, or
+// digests involved on the reference side.
+
+// identitySet computes the reference membership set straight from the
+// certificates, bypassing the store's ref-based internals.
+func identitySet(certs []*x509.Certificate) map[certid.Identity]bool {
+	set := make(map[certid.Identity]bool, len(certs))
+	for _, c := range certs {
+		set[certid.IdentityOf(c)] = true
+	}
+	return set
+}
+
+// assertDiffMatchesReference checks rootstore.Diff(a, b) against the
+// identity-set computation.
+func assertDiffMatchesReference(t *testing.T, a, b *rootstore.Store) {
+	t.Helper()
+	sa, sb := identitySet(a.Certificates()), identitySet(b.Certificates())
+	var onlyA, onlyB, both int
+	for id := range sa {
+		if sb[id] {
+			both++
+		} else {
+			onlyA++
+		}
+	}
+	for id := range sb {
+		if !sa[id] {
+			onlyB++
+		}
+	}
+
+	d := rootstore.Diff(a, b)
+	if len(d.OnlyA) != onlyA || len(d.OnlyB) != onlyB || len(d.Both) != both {
+		t.Fatalf("Diff(%s, %s) = %d/%d/%d (onlyA/onlyB/both), reference says %d/%d/%d",
+			a.Name(), b.Name(), len(d.OnlyA), len(d.OnlyB), len(d.Both), onlyA, onlyB, both)
+	}
+	// Every reported certificate must land in the reference bucket its
+	// identity says it belongs to.
+	for _, c := range d.OnlyA {
+		id := certid.IdentityOf(c)
+		if !sa[id] || sb[id] {
+			t.Fatalf("Diff(%s, %s): %s misfiled in OnlyA", a.Name(), b.Name(), c.Subject.CommonName)
+		}
+	}
+	for _, c := range d.OnlyB {
+		id := certid.IdentityOf(c)
+		if sa[id] || !sb[id] {
+			t.Fatalf("Diff(%s, %s): %s misfiled in OnlyB", a.Name(), b.Name(), c.Subject.CommonName)
+		}
+	}
+	for _, c := range d.Both {
+		id := certid.IdentityOf(c)
+		if !sa[id] || !sb[id] {
+			t.Fatalf("Diff(%s, %s): %s misfiled in Both", a.Name(), b.Name(), c.Subject.CommonName)
+		}
+	}
+}
+
+// assertIntersectMatchesReference checks rootstore.Intersect(a, b) against
+// the identity-set computation.
+func assertIntersectMatchesReference(t *testing.T, a, b *rootstore.Store) {
+	t.Helper()
+	sb := identitySet(b.Certificates())
+	want := make(map[certid.Identity]bool)
+	for _, c := range a.Certificates() {
+		if id := certid.IdentityOf(c); sb[id] {
+			want[id] = true
+		}
+	}
+
+	inter := rootstore.Intersect("i", a, b)
+	if inter.Len() != len(want) {
+		t.Fatalf("Intersect(%s, %s).Len() = %d, reference says %d", a.Name(), b.Name(), inter.Len(), len(want))
+	}
+	for _, c := range inter.Certificates() {
+		if !want[certid.IdentityOf(c)] {
+			t.Fatalf("Intersect(%s, %s): %s not in reference set", a.Name(), b.Name(), c.Subject.CommonName)
+		}
+	}
+}
+
+// TestCorpusDiffIntersectFullUniverse exercises every ordered pair of the
+// full CA-universe stores — the same stores the paper's tables are computed
+// from — so any drift between the ref-based implementation and plain
+// identity-set semantics shows up on real data.
+func TestCorpusDiffIntersectFullUniverse(t *testing.T) {
+	u := cauniverse.Default()
+	stores := []*rootstore.Store{
+		u.AOSP("4.1"), u.AOSP("4.2"), u.AOSP("4.4"),
+		u.Mozilla(), u.IOS7(), u.AggregatedAndroid(),
+	}
+	for _, a := range stores {
+		for _, b := range stores {
+			assertDiffMatchesReference(t, a, b)
+			assertIntersectMatchesReference(t, a, b)
+		}
+	}
+}
+
+// TestPropCorpusDiffIntersectRandomSubsets drives the same comparison over
+// random bitmask-picked substores, including stores sharing one corpus and
+// stores built in separate corpora.
+func TestPropCorpusDiffIntersectRandomSubsets(t *testing.T) {
+	pool := universeCerts(t)
+	err := quick.Check(func(a, b uint16, separate bool) bool {
+		sa := pick(pool, a, "a")
+		var sb *rootstore.Store
+		if separate {
+			// A store in its own corpus: Diff/Intersect must still
+			// agree with identity semantics across corpus boundaries.
+			sb = rootstore.NewIn("b", corpus.New())
+			for i := 0; i < 16; i++ {
+				if b&(1<<i) != 0 {
+					sb.Add(pool[i])
+				}
+			}
+		} else {
+			sb = pick(pool, b, "b")
+		}
+		assertDiffMatchesReference(t, sa, sb)
+		assertIntersectMatchesReference(t, sa, sb)
+		return !t.Failed()
+	}, &quick.Config{MaxCount: 150})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestContentKeyTracksByteMembership pins the incremental XOR digest: two
+// stores have equal ContentKeys exactly when their DER membership is
+// byte-identical, and removing an added certificate restores the key.
+func TestContentKeyTracksByteMembership(t *testing.T) {
+	pool := universeCerts(t)
+	err := quick.Check(func(a, b uint16, idx uint8) bool {
+		sa, sb := pick(pool, a, "a"), pick(pool, b, "b")
+		if (sa.ContentKey() == sb.ContentKey()) != (a == b) {
+			return false
+		}
+		// Add/Remove round trip restores the key.
+		key := sa.ContentKey()
+		c := pool[int(idx)%16]
+		if sa.Add(c) {
+			sa.Remove(certid.IdentityOf(c))
+		}
+		return sa.ContentKey() == key
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}

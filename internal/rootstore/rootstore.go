@@ -7,32 +7,52 @@
 // or the store observed on one device in the wild. It also reads and writes
 // the on-disk format Android uses (/system/etc/security/cacerts: one PEM file
 // per root named <subject-hash>.<n>).
+//
+// Membership is held as corpus.Ref handles into a content-addressed
+// certificate corpus: the store never re-parses or re-fingerprints a
+// certificate, and its pool content key is maintained incrementally on
+// Add/Remove instead of re-sorting and re-hashing the whole pool.
 package rootstore
 
 import (
 	"crypto/x509"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"tangledmass/internal/certid"
+	"tangledmass/internal/corpus"
 )
 
 // Store is a set of root certificates indexed by the paper's certificate
 // identity. Insertion order is preserved for deterministic iteration. The
-// zero value is not usable; construct with New.
+// zero value is not usable; construct with New or NewIn.
 type Store struct {
 	name  string
+	c     *corpus.Corpus
 	order []certid.Identity
-	byID  map[certid.Identity]*x509.Certificate
+	byID  map[certid.Identity]corpus.Ref
+	// digest is the XOR of member content digests — an incremental,
+	// order-independent fingerprint of the exact membership bytes,
+	// updated on Add and Remove. chain derives its pool keys from it.
+	digest corpus.Digest
 }
 
-// New returns an empty store with the given name.
-func New(name string) *Store {
-	return &Store{name: name, byID: make(map[certid.Identity]*x509.Certificate)}
+// New returns an empty store with the given name, interning into the
+// process-wide shared corpus.
+func New(name string) *Store { return NewIn(name, corpus.Shared()) }
+
+// NewIn returns an empty store interning into the given corpus. Stores
+// that are compared or pooled together should share one corpus.
+func NewIn(name string, c *corpus.Corpus) *Store {
+	return &Store{name: name, c: c, byID: make(map[certid.Identity]corpus.Ref)}
 }
 
 // Name returns the store's name (e.g. "AOSP 4.4").
 func (s *Store) Name() string { return s.name }
+
+// Corpus returns the intern table the store's refs resolve against.
+func (s *Store) Corpus() *corpus.Corpus { return s.c }
 
 // Len returns the number of distinct (by identity) certificates.
 func (s *Store) Len() int { return len(s.order) }
@@ -42,12 +62,22 @@ func (s *Store) Len() int { return len(s.order) }
 // the first-seen instance wins, mirroring how a device's store keeps one
 // file per root.
 func (s *Store) Add(cert *x509.Certificate) bool {
-	id := certid.IdentityOf(cert)
-	if _, ok := s.byID[id]; ok {
+	return s.AddRef(s.c.InternCert(cert))
+}
+
+// AddRef inserts an already-interned certificate by handle. The ref must
+// come from the store's corpus.
+func (s *Store) AddRef(ref corpus.Ref) bool {
+	e := s.c.Entry(ref)
+	if e == nil {
 		return false
 	}
-	s.byID[id] = cert
-	s.order = append(s.order, id)
+	if _, ok := s.byID[e.Identity]; ok {
+		return false
+	}
+	s.byID[e.Identity] = ref
+	s.order = append(s.order, e.Identity)
+	s.digest.XOR(e.Digest)
 	return true
 }
 
@@ -65,7 +95,8 @@ func (s *Store) AddAll(certs []*x509.Certificate) int {
 // Remove deletes the certificate with the given identity, returning whether
 // it was present.
 func (s *Store) Remove(id certid.Identity) bool {
-	if _, ok := s.byID[id]; !ok {
+	ref, ok := s.byID[id]
+	if !ok {
 		return false
 	}
 	delete(s.byID, id)
@@ -75,12 +106,13 @@ func (s *Store) Remove(id certid.Identity) bool {
 			break
 		}
 	}
+	s.digest.XOR(s.c.Entry(ref).Digest)
 	return true
 }
 
 // Contains reports whether an equivalent certificate is present.
 func (s *Store) Contains(cert *x509.Certificate) bool {
-	_, ok := s.byID[certid.IdentityOf(cert)]
+	_, ok := s.byID[s.c.Identity(s.c.InternCert(cert))]
 	return ok
 }
 
@@ -92,7 +124,22 @@ func (s *Store) ContainsIdentity(id certid.Identity) bool {
 
 // Get returns the stored certificate for id, or nil.
 func (s *Store) Get(id certid.Identity) *x509.Certificate {
-	return s.byID[id]
+	if ref, ok := s.byID[id]; ok {
+		return s.c.Cert(ref)
+	}
+	return nil
+}
+
+// Ref returns the corpus handle for id (zero when absent).
+func (s *Store) Ref(id certid.Identity) corpus.Ref { return s.byID[id] }
+
+// Refs returns the member handles in insertion order.
+func (s *Store) Refs() []corpus.Ref {
+	out := make([]corpus.Ref, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.byID[id])
+	}
+	return out
 }
 
 // Certificates returns the certificates in insertion order. The returned
@@ -100,7 +147,7 @@ func (s *Store) Get(id certid.Identity) *x509.Certificate {
 func (s *Store) Certificates() []*x509.Certificate {
 	out := make([]*x509.Certificate, 0, len(s.order))
 	for _, id := range s.order {
-		out = append(out, s.byID[id])
+		out = append(out, s.c.Cert(s.byID[id]))
 	}
 	return out
 }
@@ -112,22 +159,46 @@ func (s *Store) Identities() []certid.Identity {
 	return out
 }
 
+// ContentKey is an order-independent fingerprint of the exact membership
+// bytes, maintained incrementally: adding a member XORs its content digest
+// in, removing XORs it back out. Two stores with equal ContentKeys hold
+// byte-identical membership (up to ordering). The member count is appended
+// so the empty store and degenerate XOR cancellations stay distinct.
+func (s *Store) ContentKey() string {
+	return s.digest.Hex() + "/" + strconv.Itoa(len(s.order))
+}
+
+// ContentDigest returns the raw XOR accumulator behind ContentKey.
+func (s *Store) ContentDigest() corpus.Digest { return s.digest }
+
 // Clone returns a deep copy of the membership (certificates themselves are
-// shared, which is safe: x509.Certificate values are treated as immutable).
+// shared through the corpus, which treats them as immutable).
 func (s *Store) Clone(name string) *Store {
-	c := New(name)
+	c := NewIn(name, s.c)
 	for _, id := range s.order {
 		c.byID[id] = s.byID[id]
 		c.order = append(c.order, id)
 	}
+	c.digest = s.digest
 	return c
 }
 
 // Union returns a new store containing every certificate present in any of
-// the inputs (first instance of each identity wins).
+// the inputs (first instance of each identity wins). The union interns into
+// the first input's corpus (the shared corpus when there are no inputs).
 func Union(name string, stores ...*Store) *Store {
-	u := New(name)
+	cp := corpus.Shared()
+	if len(stores) > 0 {
+		cp = stores[0].c
+	}
+	u := NewIn(name, cp)
 	for _, st := range stores {
+		if st.c == cp {
+			for _, ref := range st.Refs() {
+				u.AddRef(ref)
+			}
+			continue
+		}
 		for _, c := range st.Certificates() {
 			u.Add(c)
 		}
@@ -138,10 +209,10 @@ func Union(name string, stores ...*Store) *Store {
 // Intersect returns a new store with the certificates of a whose identities
 // also appear in b.
 func Intersect(name string, a, b *Store) *Store {
-	out := New(name)
-	for _, c := range a.Certificates() {
-		if b.Contains(c) {
-			out.Add(c)
+	out := NewIn(name, a.c)
+	for _, id := range a.order {
+		if b.ContainsIdentity(id) {
+			out.AddRef(a.byID[id])
 		}
 	}
 	return out
@@ -150,10 +221,10 @@ func Intersect(name string, a, b *Store) *Store {
 // Subtract returns a new store with the certificates of a whose identities
 // do not appear in b.
 func Subtract(name string, a, b *Store) *Store {
-	out := New(name)
-	for _, c := range a.Certificates() {
-		if !b.Contains(c) {
-			out.Add(c)
+	out := NewIn(name, a.c)
+	for _, id := range a.order {
+		if !b.ContainsIdentity(id) {
+			out.AddRef(a.byID[id])
 		}
 	}
 	return out
@@ -169,16 +240,17 @@ type DiffResult struct {
 // Diff compares two stores under certificate equivalence.
 func Diff(a, b *Store) DiffResult {
 	var d DiffResult
-	for _, c := range a.Certificates() {
-		if b.Contains(c) {
+	for _, id := range a.order {
+		c := a.c.Cert(a.byID[id])
+		if b.ContainsIdentity(id) {
 			d.Both = append(d.Both, c)
 		} else {
 			d.OnlyA = append(d.OnlyA, c)
 		}
 	}
-	for _, c := range b.Certificates() {
-		if !a.Contains(c) {
-			d.OnlyB = append(d.OnlyB, c)
+	for _, id := range b.order {
+		if !a.ContainsIdentity(id) {
+			d.OnlyB = append(d.OnlyB, b.c.Cert(b.byID[id]))
 		}
 	}
 	return d
@@ -187,15 +259,16 @@ func Diff(a, b *Store) DiffResult {
 // ByteIntersectCount counts the certificates of a that appear byte-identical
 // (same DER encoding) in b. Contrast with Intersect, which matches under the
 // paper's subject+key equivalence: §2 reports 117 byte-shared roots between
-// AOSP 4.4 and Mozilla while Table 4 counts 130 equivalence-shared.
+// AOSP 4.4 and Mozilla while Table 4 counts 130 equivalence-shared. Byte
+// identity is answered from interned content digests — no DER is touched.
 func ByteIntersectCount(a, b *Store) int {
-	raw := make(map[string]bool, b.Len())
-	for _, c := range b.Certificates() {
-		raw[string(c.Raw)] = true
+	raw := make(map[corpus.Digest]bool, b.Len())
+	for _, ref := range b.Refs() {
+		raw[b.c.Entry(ref).Digest] = true
 	}
 	n := 0
-	for _, c := range a.Certificates() {
-		if raw[string(c.Raw)] {
+	for _, ref := range a.Refs() {
+		if raw[a.c.Entry(ref).Digest] {
 			n++
 		}
 	}

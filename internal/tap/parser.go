@@ -16,6 +16,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"tangledmass/internal/corpus"
 )
 
 // TLS record and handshake constants (RFC 5246).
@@ -38,10 +40,23 @@ type StreamParser struct {
 	// OnChain is invoked once, with the parsed chain leaf-first.
 	OnChain func(chain []*x509.Certificate)
 
+	// Corpus is the intern table chain members are parsed through (nil
+	// means the process-wide shared corpus). Interning at the tap matters
+	// doubly: the reassembly buffers below are reused across records, and
+	// the corpus copies the DER out of them before parsing.
+	Corpus *corpus.Corpus
+
 	rec      []byte // pending record-layer bytes
 	hs       []byte // reassembled handshake stream
 	done     bool
 	hardFail bool
+}
+
+func (p *StreamParser) corpusOrShared() *corpus.Corpus {
+	if p.Corpus != nil {
+		return p.Corpus
+	}
+	return corpus.Shared()
 }
 
 // Done reports whether the parser has emitted a chain or given up.
@@ -103,7 +118,7 @@ func (p *StreamParser) drainHandshake() error {
 		if msgType != handshakeTypeCert {
 			continue
 		}
-		chain, err := parseCertificateMessage(msg)
+		chain, err := p.parseCertificateMessage(msg)
 		if err != nil {
 			return err
 		}
@@ -117,7 +132,10 @@ func (p *StreamParser) drainHandshake() error {
 
 // parseCertificateMessage decodes the TLS ≤1.2 Certificate message body:
 // a 3-byte total length, then 3-byte-length-prefixed DER certificates.
-func parseCertificateMessage(msg []byte) ([]*x509.Certificate, error) {
+// Each certificate is interned — a repeat observation of a chain costs
+// content hashes, not parses, and the emitted *x509.Certificate values are
+// the canonical corpus instances, not fresh copies aliasing p's buffers.
+func (p *StreamParser) parseCertificateMessage(msg []byte) ([]*x509.Certificate, error) {
 	if len(msg) < 3 {
 		return nil, fmt.Errorf("%w: short certificate message", ErrParse)
 	}
@@ -126,6 +144,7 @@ func parseCertificateMessage(msg []byte) ([]*x509.Certificate, error) {
 	if total != len(msg) {
 		return nil, fmt.Errorf("%w: certificate list length %d != %d", ErrParse, total, len(msg))
 	}
+	cp := p.corpusOrShared()
 	var chain []*x509.Certificate
 	for len(msg) > 0 {
 		if len(msg) < 3 {
@@ -136,11 +155,11 @@ func parseCertificateMessage(msg []byte) ([]*x509.Certificate, error) {
 		if n > len(msg) {
 			return nil, fmt.Errorf("%w: certificate entry overruns message", ErrParse)
 		}
-		cert, err := x509.ParseCertificate(msg[:n])
+		ref, err := cp.Intern(msg[:n])
 		if err != nil {
 			return nil, fmt.Errorf("%w: bad DER: %v", ErrParse, err)
 		}
-		chain = append(chain, cert)
+		chain = append(chain, cp.Cert(ref))
 		msg = msg[n:]
 	}
 	return chain, nil

@@ -18,6 +18,7 @@ import (
 	"tangledmass/internal/cauniverse"
 	"tangledmass/internal/certid"
 	"tangledmass/internal/chain"
+	"tangledmass/internal/corpus"
 	"tangledmass/internal/rootstore"
 )
 
@@ -100,7 +101,7 @@ func (p *Policy) UsageOf(id certid.Identity) Usage {
 func (p *Policy) RootsFor(u Usage) []*x509.Certificate {
 	var out []*x509.Certificate
 	for _, c := range p.store.Certificates() {
-		if p.UsageOf(certid.IdentityOf(c)).Has(u) {
+		if p.UsageOf(corpus.IdentityOf(c)).Has(u) {
 			out = append(out, c)
 		}
 	}
@@ -133,7 +134,7 @@ func AndroidPolicy(store *rootstore.Store) *Policy {
 func MozillaStylePolicy(u *cauniverse.Universe, store *rootstore.Store) *Policy {
 	p := NewPolicy(store, AllUsages)
 	for _, r := range u.Roots() {
-		id := certid.IdentityOf(r.Issued.Cert)
+		id := corpus.IdentityOf(r.Issued.Cert)
 		if !store.ContainsIdentity(id) {
 			continue
 		}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"tangledmass/internal/corpus"
 	"tangledmass/internal/notary"
 	"tangledmass/internal/parallel"
 	"tangledmass/internal/tlsnet"
@@ -86,7 +87,14 @@ func (s *Scanner) scanOne(ctx context.Context, hp tlsnet.HostPort, timeout time.
 		return res
 	}
 	defer tconn.Close()
-	res.Chain = tconn.ConnectionState().PeerCertificates
+	// Every TLS handshake yields freshly-parsed certificates; intern them so
+	// the returned chain carries the canonical corpus instances and repeat
+	// scans of one host dedup to the same entries downstream.
+	peers := tconn.ConnectionState().PeerCertificates
+	res.Chain = make([]*x509.Certificate, len(peers))
+	for i, c := range peers {
+		res.Chain[i] = corpus.CertOf(corpus.InternCert(c))
+	}
 	return res
 }
 

@@ -26,14 +26,16 @@ echo "==> go test -race ./..."
 go test -race ./...
 
 # The bench-gate compares the Table/Figure benchmarks against the committed
-# serial baseline and fails on a >25% ns/op regression. BENCH_GATE=off skips
-# it (useful on loaded or throttled machines where timings are meaningless).
+# serial baseline and fails on a >25% ns/op regression or a >25% allocs/op
+# regression (allocations are deterministic, so the alloc gate is stable
+# even on loaded machines). BENCH_GATE=off skips it (useful on loaded or
+# throttled machines where timings are meaningless).
 if [ "${BENCH_GATE:-on}" = "off" ]; then
 	echo "==> bench-gate: skipped (BENCH_GATE=off)"
 else
-	echo "==> bench-gate: Table/Figure vs BENCH_pr4.json (tolerance 25%)"
-	go test -run '^$' -bench 'Table|Figure' -benchtime "${BENCH_TIME:-3x}" . |
-		go run ./cmd/benchjson gate -baseline BENCH_pr4.json -match 'Table|Figure' -tolerance 0.25
+	echo "==> bench-gate: Table/Figure vs BENCH_pr5.json (tolerance 25% time, 25% allocs)"
+	go test -run '^$' -bench 'Table|Figure' -benchmem -benchtime "${BENCH_TIME:-3x}" . |
+		go run ./cmd/benchjson gate -baseline BENCH_pr5.json -match 'Table|Figure' -tolerance 0.25 -alloc-tolerance 0.25
 fi
 
 echo "verify: all gates passed"
