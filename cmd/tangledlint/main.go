@@ -6,19 +6,38 @@
 //
 // Usage:
 //
-//	tangledlint [./... | <module-dir>]
+//	tangledlint [flags] [./... | <module-dir>]
 //
 // With no argument or "./...", the module containing the current directory
-// is analyzed. Findings print as "file:line: [rule] message"; the exit code
-// is 1 when there are findings, 2 on usage or load errors, 0 when clean.
+// is analyzed. Findings print as "file:line: [rule] message" with paths
+// relative to the module root; the exit code is 1 when there are findings,
+// 2 on usage or load errors, 0 when clean.
+//
+// Flags:
+//
+//	-format text|json   output format; json emits one JSON object per
+//	                    finding, one per line, stable across machines and
+//	                    worker counts (CI problem matchers key off it)
+//	-workers N          lint worker count (default GOMAXPROCS); output is
+//	                    byte-identical at any value
+//	-baseline FILE      suppress findings listed in FILE (text format, one
+//	                    finding per line; # comments and blanks ignored) —
+//	                    the incremental-adoption mechanism for new rules
+//	-write-baseline FILE
+//	                    write the current findings to FILE as a baseline
+//	                    and exit 0
 package main
 
 import (
+	"bufio"
+	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"tangledmass/internal/lint"
 )
@@ -38,16 +57,30 @@ func main() {
 
 // run executes the driver and returns the number of findings printed.
 func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("tangledlint", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	format := fs.String("format", "text", "output format: text or json")
+	workers := fs.Int("workers", 0, "lint worker count (<1 means GOMAXPROCS)")
+	baselinePath := fs.String("baseline", "", "baseline file of findings to suppress")
+	writeBaseline := fs.String("write-baseline", "", "write current findings to this baseline file and exit clean")
+	usage := fmt.Errorf("usage: tangledlint [-format text|json] [-workers N] [-baseline FILE] [-write-baseline FILE] [./... | <module-dir>]")
+	if err := fs.Parse(args); err != nil {
+		return 0, usage
+	}
+	if *format != "text" && *format != "json" {
+		return 0, usage
+	}
+
 	root := "."
-	switch len(args) {
+	switch fs.NArg() {
 	case 0:
 		// module at the current directory
 	case 1:
-		if args[0] != "./..." {
-			root = args[0]
+		if fs.Arg(0) != "./..." {
+			root = fs.Arg(0)
 		}
 	default:
-		return 0, fmt.Errorf("usage: tangledlint [./... | <module-dir>]")
+		return 0, usage
 	}
 	root, err := findModuleRoot(root)
 	if err != nil {
@@ -57,13 +90,108 @@ func run(args []string, out io.Writer) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	findings := lint.Run(m, lint.Analyzers())
+	findings := lint.Run(m, lint.Analyzers(), lint.WithWorkers(*workers))
+
+	if *baselinePath != "" {
+		known, err := readBaseline(*baselinePath)
+		if err != nil {
+			return 0, err
+		}
+		kept := findings[:0]
+		for _, f := range findings {
+			if !known[f.String()] {
+				kept = append(kept, f)
+			}
+		}
+		findings = kept
+	}
+
+	if *writeBaseline != "" {
+		if err := writeBaselineFile(*writeBaseline, findings); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	}
+
+	w := bufio.NewWriter(out)
 	for _, f := range findings {
-		if _, err := fmt.Fprintln(out, relativize(f).String()); err != nil {
+		var err error
+		if *format == "json" {
+			err = writeJSON(w, f)
+		} else {
+			_, err = fmt.Fprintln(w, f.String())
+		}
+		if err != nil {
 			return 0, fmt.Errorf("writing findings: %w", err)
 		}
 	}
+	if err := w.Flush(); err != nil {
+		return 0, fmt.Errorf("writing findings: %w", err)
+	}
 	return len(findings), nil
+}
+
+// jsonFinding is the machine-readable rendering of one finding. Field
+// order is fixed by the struct, so the bytes are stable for a given
+// finding list regardless of worker count or platform.
+type jsonFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// writeJSON emits one finding as a single JSON line.
+func writeJSON(w io.Writer, f lint.Finding) error {
+	data, err := json.Marshal(jsonFinding{
+		File: f.Pos.Filename,
+		Line: f.Pos.Line,
+		Col:  f.Pos.Column,
+		Rule: f.Rule,
+		Msg:  f.Msg,
+	})
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", data)
+	return err
+}
+
+// readBaseline loads a baseline file: one rendered finding per line, with
+// blank lines and # comments skipped.
+func readBaseline(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	known := make(map[string]bool)
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		known[line] = true
+	}
+	return known, nil
+}
+
+// writeBaselineFile persists the findings as a baseline. The header makes
+// the file self-describing; an empty findings list writes a header-only
+// baseline, the steady state the repo is held to.
+func writeBaselineFile(path string, findings []lint.Finding) error {
+	var b strings.Builder
+	b.WriteString("# tangledlint baseline: findings accepted for incremental adoption.\n")
+	b.WriteString("# Regenerate with `make lint-baseline`. Keep this empty: fix findings\n")
+	b.WriteString("# or suppress them inline with a reasoned //lint:ignore instead.\n")
+	for _, f := range findings {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return fmt.Errorf("writing baseline: %w", err)
+	}
+	return nil
 }
 
 // findModuleRoot walks up from dir to the nearest directory with a go.mod.
@@ -82,19 +210,4 @@ func findModuleRoot(dir string) (string, error) {
 		}
 		d = parent
 	}
-}
-
-// relativize rewrites the finding's file path relative to the working
-// directory when possible, matching compiler diagnostics.
-func relativize(f lint.Finding) lint.Finding {
-	wd, err := os.Getwd()
-	if err != nil {
-		return f
-	}
-	rel, err := filepath.Rel(wd, f.Pos.Filename)
-	if err != nil || len(rel) >= len(f.Pos.Filename) {
-		return f
-	}
-	f.Pos.Filename = rel
-	return f
 }

@@ -1,18 +1,24 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
 
+// fixtureDir is the analyzer fixture module every driver test points at.
+func fixtureDir() string {
+	return filepath.Join("..", "..", "internal", "lint", "testdata", "src")
+}
+
 // TestRunFixtureModule points the driver at the analyzer fixture module and
 // checks the reporting contract: one "file:line: [rule] message" line per
 // finding and a positive count.
 func TestRunFixtureModule(t *testing.T) {
-	fixture := filepath.Join("..", "..", "internal", "lint", "testdata", "src")
 	var out strings.Builder
-	n, err := run([]string{fixture}, &out)
+	n, err := run([]string{fixtureDir()}, &out)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -58,5 +64,86 @@ func TestRunUsage(t *testing.T) {
 func TestRunNoModule(t *testing.T) {
 	if _, err := run([]string{t.TempDir()}, &strings.Builder{}); err == nil {
 		t.Fatal("want error for directory without go.mod")
+	}
+}
+
+// TestJSONByteIdentityAcrossWorkers is the acceptance gate for the
+// parallelized walk: -format=json output must be byte-identical at 1 and 8
+// workers — the tool obeys the determinism invariant it checks.
+func TestJSONByteIdentityAcrossWorkers(t *testing.T) {
+	render := func(workers string) string {
+		var out strings.Builder
+		n, err := run([]string{"-format", "json", "-workers", workers, fixtureDir()}, &out)
+		if err != nil {
+			t.Fatalf("run(workers=%s): %v", workers, err)
+		}
+		if n == 0 {
+			t.Fatalf("run(workers=%s): no findings from fixture module", workers)
+		}
+		return out.String()
+	}
+	one, eight := render("1"), render("8")
+	if one != eight {
+		t.Errorf("JSON output differs between 1 and 8 workers:\n--- workers=1\n%s\n--- workers=8\n%s", one, eight)
+	}
+}
+
+// TestJSONFormat checks the machine-readable contract: one JSON object per
+// line with the fields the CI problem matcher keys off, and relative
+// slash-separated paths.
+func TestJSONFormat(t *testing.T) {
+	var out strings.Builder
+	if _, err := run([]string{"-format", "json", fixtureDir()}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(out.String(), "\n"), "\n") {
+		var f struct {
+			File string `json:"file"`
+			Line int    `json:"line"`
+			Col  int    `json:"col"`
+			Rule string `json:"rule"`
+			Msg  string `json:"msg"`
+		}
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("line is not a JSON finding: %q: %v", line, err)
+		}
+		if f.File == "" || f.Line <= 0 || f.Rule == "" || f.Msg == "" {
+			t.Errorf("incomplete finding: %q", line)
+		}
+		if filepath.IsAbs(f.File) || strings.Contains(f.File, "\\") {
+			t.Errorf("file not relative slash path: %q", f.File)
+		}
+	}
+}
+
+// TestBaselineRoundTrip writes a baseline from the fixture's findings and
+// re-runs against it: every finding must be filtered, exit count zero —
+// the incremental-adoption path for a new rule.
+func TestBaselineRoundTrip(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "baseline.txt")
+	if _, err := run([]string{"-write-baseline", baseline, fixtureDir()}, &strings.Builder{}); err != nil {
+		t.Fatalf("writing baseline: %v", err)
+	}
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatalf("reading baseline back: %v", err)
+	}
+	if !strings.Contains(string(data), "[detsink]") {
+		t.Fatal("baseline lacks the fixture's detsink findings")
+	}
+	var out strings.Builder
+	n, err := run([]string{"-baseline", baseline, fixtureDir()}, &out)
+	if err != nil {
+		t.Fatalf("run with baseline: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("findings survived their own baseline:\n%s", out.String())
+	}
+}
+
+// TestBadFormat rejects unknown -format values with a usage error.
+func TestBadFormat(t *testing.T) {
+	if _, err := run([]string{"-format", "xml", fixtureDir()}, &strings.Builder{}); err == nil {
+		t.Fatal("want usage error for -format xml")
 	}
 }

@@ -1,0 +1,350 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// DetSink proves the byte-identity guarantee statically: same seed, any
+// worker count, identical campaign artifacts. detrand polices randomness
+// inside the simulation substrates; DetSink closes the remaining gap — a
+// nondeterministic value flowing through any number of helper layers into
+// an artifact encoder. Using the facts engine, every function in the module
+// exports a determinism-taint fact when it (or anything it statically
+// calls) iterates a map in nondeterministic order, reads the wall clock, or
+// draws unseeded randomness; the rule then flags artifact sinks — JSON/gob
+// encodes in the artifact-producing packages — whose enclosing function
+// carries a taint, with the full witness chain in the message.
+//
+// The map-iteration taint is heuristic in the safe direction: a range over
+// a map is exempt when its body is pure commutative accumulation (x++,
+// x += v, keyed stores m2[k] = f(v) indexed by the range key), or when the
+// enclosing function also calls a recognized sort — the collect-then-sort
+// idiom the deterministic layers use. Wall-clock and randomness taints obey
+// the detrand sanction table, so the seeded sources and the injected clock
+// do not taint their callers; calls through interfaces and function values
+// are invisible to propagation, which makes dependency injection the
+// sanctioned escape hatch it is meant to be.
+var DetSink = &Analyzer{
+	Name:   "detsink",
+	Doc:    "flag artifact sinks (JSON/gob encodes of campaign output) reachable from unsorted map iteration, time.Now, or unseeded randomness",
+	Run:    runDetSink,
+	Export: exportDetSink,
+}
+
+// detSinkPackages are the artifact-producing packages (by base name) whose
+// encoder calls count as sinks: campaign artifacts, analysis aggregates,
+// observability snapshots, notary persistence, dataset serialization, and
+// the report/stats shaping layers that feed paper figures.
+var detSinkPackages = map[string]bool{
+	"analysis": true,
+	"campaign": true,
+	"dataset":  true,
+	"notary":   true,
+	"obs":      true,
+	"report":   true,
+	"stats":    true,
+}
+
+// detSinkCalls are the encoder entry points treated as artifact sinks.
+var detSinkCalls = map[string]string{
+	"encoding/json.Marshal":           "json.Marshal",
+	"encoding/json.MarshalIndent":     "json.MarshalIndent",
+	"(*encoding/json.Encoder).Encode": "json.Encoder.Encode",
+	"(*encoding/gob.Encoder).Encode":  "gob.Encoder.Encode",
+}
+
+// detSinkSorts are the sort entry points that sanction map iteration in the
+// same function: their presence marks the collect-then-sort idiom.
+var detSinkSorts = map[string]bool{
+	"sort.Strings":            true,
+	"sort.Ints":               true,
+	"sort.Float64s":           true,
+	"sort.Slice":              true,
+	"sort.SliceStable":        true,
+	"sort.Sort":               true,
+	"sort.Stable":             true,
+	"slices.Sort":             true,
+	"slices.SortFunc":         true,
+	"slices.SortStableFunc":   true,
+	"slices.Sorted":           true,
+	"slices.SortedFunc":       true,
+	"slices.SortedStableFunc": true,
+}
+
+// detRandExempt are the math/rand constructors that are deterministic given
+// a fixed seed; only the package-level draw functions (implicitly seeded
+// from the global source) taint.
+var detRandExempt = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// taintFact is the per-function determinism-taint fact: the function, or
+// something it statically calls, produces scheduling- or environment-
+// dependent values.
+type taintFact struct {
+	// kind is the root cause category.
+	kind string
+	// desc is the full witness chain, phrased to complete the sentence
+	// "this function ...".
+	desc string
+}
+
+// exportDetSink computes taint facts for every function of the package:
+// direct sources first, then a fixpoint propagating callee facts (facts of
+// imported packages are already present — the engine walks bottom-up).
+func exportDetSink(p *Pass) {
+	funcs := p.packageFuncs()
+	for _, df := range funcs {
+		if t := directTaint(p, df.decl); t != nil {
+			p.ExportFact(df.fn, t)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, df := range funcs {
+			if p.Fact(df.fn) != nil {
+				continue
+			}
+			if t := calleeTaint(p, df); t != nil {
+				p.ExportFact(df.fn, t)
+				changed = true
+			}
+		}
+	}
+}
+
+// calleeTaint returns the propagated fact for the first (by position)
+// statically-resolved call to a tainted module function, or nil.
+func calleeTaint(p *Pass, df declFunc) *taintFact {
+	var found *taintFact
+	ast.Inspect(df.decl.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := p.Callee(call)
+		if callee == nil || callee == df.fn || !p.ModuleFunc(callee) {
+			return true
+		}
+		if t, ok := p.Fact(callee).(*taintFact); ok {
+			found = &taintFact{kind: t.kind, desc: "calls " + shortFuncName(callee) + ", which " + t.desc}
+		}
+		return true
+	})
+	return found
+}
+
+// directTaint scans one declaration (nested literals included) for
+// first-hand nondeterminism sources and returns the earliest one.
+func directTaint(p *Pass, decl *ast.FuncDecl) *taintFact {
+	base := p.Pkg.Base()
+	filename := filepath.Base(p.Module.Fset.Position(decl.Pos()).Filename)
+	if detRandSanctioned[base][filename] {
+		return nil // the seeded source / injected clock itself
+	}
+
+	type source struct {
+		pos   token.Pos
+		fact  taintFact
+		isMap bool
+	}
+	var sources []source
+	hasSort := false
+
+	ast.Inspect(decl, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			name := p.CalleeName(node)
+			switch {
+			case detSinkSorts[name]:
+				hasSort = true
+			case name == "time.Now":
+				sources = append(sources, source{pos: node.Pos(), fact: taintFact{
+					kind: "wall clock",
+					desc: "reads the wall clock (time.Now) at " + p.relPos(node.Pos()),
+				}})
+			case isUnseededRand(name):
+				sources = append(sources, source{pos: node.Pos(), fact: taintFact{
+					kind: "unseeded randomness",
+					desc: "draws unseeded randomness (" + name + ") at " + p.relPos(node.Pos()),
+				}})
+			}
+		case *ast.RangeStmt:
+			if t := p.TypeOf(node.X); t != nil {
+				if _, ok := types.Unalias(t).Underlying().(*types.Map); ok {
+					if orderSensitiveRange(p, node, map[types.Object]bool{}) {
+						sources = append(sources, source{pos: node.Pos(), isMap: true, fact: taintFact{
+							kind: "map iteration",
+							desc: "ranges over a map in nondeterministic order at " + p.relPos(node.Pos()),
+						}})
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	for _, s := range sources {
+		if s.isMap && hasSort {
+			continue // collect-then-sort idiom
+		}
+		return &s.fact
+	}
+	return nil
+}
+
+// isUnseededRand reports whether name is a package-level math/rand or
+// crypto/rand draw (implicitly seeded from the process-global source, or
+// inherently nondeterministic).
+func isUnseededRand(name string) bool {
+	for _, prefix := range [...]string{"math/rand.", "math/rand/v2.", "crypto/rand."} {
+		if rest, ok := strings.CutPrefix(name, prefix); ok {
+			return !detRandExempt[rest]
+		}
+	}
+	return false
+}
+
+// orderSensitiveRange reports whether a map range's body depends on
+// iteration order. A body is order-insensitive when every statement is
+// commutative accumulation (x++, x--, compound assignment), a keyed store
+// whose index is one of the enclosing range keys (m2[k] = f(v) touches a
+// distinct key per iteration), a local declaration, or control flow
+// recursing into such statements. Anything else — appends, plain stores,
+// calls for effect, returns, breaks — makes iteration order observable.
+func orderSensitiveRange(p *Pass, rng *ast.RangeStmt, keys map[types.Object]bool) bool {
+	if id, ok := rng.Key.(*ast.Ident); ok && id.Name != "_" {
+		if obj := p.Pkg.Info.Defs[id]; obj != nil {
+			keys[obj] = true
+		}
+	}
+	return orderSensitiveStmts(p, rng.Body.List, keys)
+}
+
+func orderSensitiveStmts(p *Pass, stmts []ast.Stmt, keys map[types.Object]bool) bool {
+	for _, stmt := range stmts {
+		if orderSensitiveStmt(p, stmt, keys) {
+			return true
+		}
+	}
+	return false
+}
+
+func orderSensitiveStmt(p *Pass, stmt ast.Stmt, keys map[types.Object]bool) bool {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		switch s.Tok {
+		case token.DEFINE:
+			return false
+		case token.ASSIGN:
+			for _, lhs := range s.Lhs {
+				if !keyedOrBlank(p, lhs, keys) {
+					return true
+				}
+			}
+			return false
+		default: // compound assignment: commutative accumulation
+			return false
+		}
+	case *ast.IncDecStmt:
+		return false
+	case *ast.DeclStmt, *ast.EmptyStmt:
+		return false
+	case *ast.BranchStmt:
+		// continue is order-insensitive (skips one iteration); break/goto
+		// make which iterations ran depend on order.
+		return s.Tok != token.CONTINUE
+	case *ast.BlockStmt:
+		return orderSensitiveStmts(p, s.List, keys)
+	case *ast.IfStmt:
+		if s.Init != nil && orderSensitiveStmt(p, s.Init, keys) {
+			return true
+		}
+		if orderSensitiveStmts(p, s.Body.List, keys) {
+			return true
+		}
+		if s.Else != nil {
+			return orderSensitiveStmt(p, s.Else, keys)
+		}
+		return false
+	case *ast.ForStmt:
+		return orderSensitiveStmts(p, s.Body.List, keys)
+	case *ast.RangeStmt:
+		if t := p.TypeOf(s.X); t != nil {
+			if _, ok := types.Unalias(t).Underlying().(*types.Map); ok {
+				return orderSensitiveRange(p, s, keys)
+			}
+		}
+		return orderSensitiveStmts(p, s.Body.List, keys)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok && orderSensitiveStmts(p, cc.Body, keys) {
+				return true
+			}
+		}
+		return false
+	default:
+		return true
+	}
+}
+
+// keyedOrBlank reports whether lhs is the blank identifier or an index
+// expression keyed exactly by one of the enclosing range-key variables.
+func keyedOrBlank(p *Pass, lhs ast.Expr, keys map[types.Object]bool) bool {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		return e.Name == "_"
+	case *ast.IndexExpr:
+		id, ok := ast.Unparen(e.Index).(*ast.Ident)
+		return ok && keys[p.Pkg.Info.Uses[id]]
+	}
+	return false
+}
+
+// shortFuncName renders a function compactly for witness chains:
+// "pkg.Func" or "(*pkg.Type).Method".
+func shortFuncName(fn *types.Func) string {
+	name := fn.FullName()
+	if fn.Pkg() != nil {
+		path := fn.Pkg().Path()
+		if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			name = strings.ReplaceAll(name, path, path[i+1:])
+		}
+	}
+	return name
+}
+
+func runDetSink(p *Pass) {
+	if !detSinkPackages[p.Pkg.Base()] {
+		return
+	}
+	for _, df := range p.packageFuncs() {
+		fact, ok := p.Fact(df.fn).(*taintFact)
+		if !ok {
+			continue
+		}
+		ast.Inspect(df.decl.Body, func(n ast.Node) bool {
+			callExpr, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			if sink, isSink := detSinkCalls[p.CalleeName(callExpr)]; isSink {
+				p.Reportf(callExpr.Pos(),
+					"artifact sink %s is on a nondeterministic path (%s): this function %s; sort before encoding or inject the clock/seed so artifacts stay byte-identical",
+					sink, fact.kind, fact.desc)
+			}
+			return true
+		})
+	}
+}

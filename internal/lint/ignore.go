@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"go/token"
 	"strings"
 )
 
@@ -12,27 +13,92 @@ const ignorePrefix = "//lint:ignore "
 // fileIgnorePrefix suppresses a rule for the whole file.
 const fileIgnorePrefix = "//lint:file-ignore "
 
-// ignoreIndex records which (file, line, rule) and (file, rule) pairs are
-// suppressed.
-type ignoreIndex struct {
-	byLine map[string]map[int]map[string]bool
-	byFile map[string]map[string]bool
+// directive is one parsed //lint:ignore or //lint:file-ignore comment. The
+// used flag records whether the directive suppressed at least one finding
+// in the current run; directives that suppress nothing are themselves
+// findings (UnusedIgnoreRule) when every rule they name was enabled.
+type directive struct {
+	pos      token.Position
+	rules    []string
+	fileWide bool
+	used     bool
 }
 
-func (idx *ignoreIndex) suppressed(f Finding) bool {
-	if f.Rule == DirectiveRule {
-		return false
-	}
-	if rules := idx.byFile[f.Pos.Filename]; rules[f.Rule] {
-		return true
-	}
-	lines := idx.byLine[f.Pos.Filename]
-	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
-		if lines[line][f.Rule] {
+func (d *directive) covers(rule string) bool {
+	for _, r := range d.rules {
+		if r == rule {
 			return true
 		}
 	}
 	return false
+}
+
+// ignoreIndex locates the directives that may suppress a finding: by
+// (file, line) for inline directives, by file for file-wide ones.
+type ignoreIndex struct {
+	byLine map[string]map[int][]*directive
+	byFile map[string][]*directive
+	all    []*directive
+}
+
+// suppressed reports whether some directive covers f, marking every
+// matching directive used — all of them, not just the first, so a
+// redundant duplicate does not masquerade as load-bearing. The pseudo-rules
+// (malformed and stale directives) cannot be suppressed.
+func (idx *ignoreIndex) suppressed(f Finding) bool {
+	if f.Rule == DirectiveRule || f.Rule == UnusedIgnoreRule {
+		return false
+	}
+	matched := false
+	for _, d := range idx.byFile[f.Pos.Filename] {
+		if d.covers(f.Rule) {
+			d.used = true
+			matched = true
+		}
+	}
+	lines := idx.byLine[f.Pos.Filename]
+	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, d := range lines[line] {
+			if d.covers(f.Rule) {
+				d.used = true
+				matched = true
+			}
+		}
+	}
+	return matched
+}
+
+// unused returns an UnusedIgnoreRule finding for every directive that
+// suppressed nothing, restricted to directives whose named rules all ran:
+// a partial run (a single analyzer, or none) proves nothing about what a
+// directive naming other rules would have suppressed.
+func (idx *ignoreIndex) unused(ran map[string]bool) []Finding {
+	var out []Finding
+	for _, d := range idx.all {
+		if d.used {
+			continue
+		}
+		judgeable := true
+		for _, r := range d.rules {
+			if !ran[r] {
+				judgeable = false
+				break
+			}
+		}
+		if !judgeable {
+			continue
+		}
+		kind := "//lint:ignore"
+		if d.fileWide {
+			kind = "//lint:file-ignore"
+		}
+		out = append(out, Finding{
+			Pos:  d.pos,
+			Rule: UnusedIgnoreRule,
+			Msg:  kind + " " + strings.Join(d.rules, ",") + " suppresses no findings; delete the stale directive",
+		})
+	}
+	return out
 }
 
 // buildIgnoreIndex scans every comment of the module for lint directives.
@@ -41,8 +107,8 @@ func (idx *ignoreIndex) suppressed(f Finding) bool {
 // gate.
 func buildIgnoreIndex(m *Module) (*ignoreIndex, []Finding) {
 	idx := &ignoreIndex{
-		byLine: make(map[string]map[int]map[string]bool),
-		byFile: make(map[string]map[string]bool),
+		byLine: make(map[string]map[int][]*directive),
+		byFile: make(map[string][]*directive),
 	}
 	known := KnownRules()
 	var bad []Finding
@@ -79,23 +145,17 @@ func buildIgnoreIndex(m *Module) (*ignoreIndex, []Finding) {
 						})
 						continue
 					}
-					end := m.Fset.Position(c.End())
-					for _, rule := range rules {
-						if prefix == fileIgnorePrefix {
-							if idx.byFile[pos.Filename] == nil {
-								idx.byFile[pos.Filename] = make(map[string]bool)
-							}
-							idx.byFile[pos.Filename][rule] = true
-							continue
-						}
-						if idx.byLine[pos.Filename] == nil {
-							idx.byLine[pos.Filename] = make(map[int]map[string]bool)
-						}
-						if idx.byLine[pos.Filename][end.Line] == nil {
-							idx.byLine[pos.Filename][end.Line] = make(map[string]bool)
-						}
-						idx.byLine[pos.Filename][end.Line][rule] = true
+					d := &directive{pos: pos, rules: rules, fileWide: prefix == fileIgnorePrefix}
+					idx.all = append(idx.all, d)
+					if d.fileWide {
+						idx.byFile[pos.Filename] = append(idx.byFile[pos.Filename], d)
+						continue
 					}
+					end := m.Fset.Position(c.End())
+					if idx.byLine[pos.Filename] == nil {
+						idx.byLine[pos.Filename] = make(map[int][]*directive)
+					}
+					idx.byLine[pos.Filename][end.Line] = append(idx.byLine[pos.Filename][end.Line], d)
 				}
 			}
 		}

@@ -24,12 +24,16 @@
 package lint
 
 import (
+	"context"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"sort"
 	"strings"
+
+	"tangledmass/internal/parallel"
 )
 
 // Finding is one analyzer report, rendered as "file:line: [rule] message".
@@ -121,13 +125,28 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description of the rule.
 	Doc string
-	// Run inspects one package and reports findings through the pass.
+	// Run inspects one package and reports findings through the pass. Run
+	// may read facts but must not export them: it can execute concurrently
+	// with other packages' Run passes.
 	Run func(*Pass)
+	// Export, when non-nil, runs before any Run pass, package by package in
+	// dependency order, and attaches this rule's facts to the package's
+	// objects (Pass.ExportFact). By the time a package exports, the facts of
+	// everything it imports are final.
+	Export func(*Pass)
 }
 
 // DirectiveRule is the pseudo-rule malformed //lint: directives are reported
 // under. It is always checked and cannot be suppressed.
 const DirectiveRule = "lintdirective"
+
+// UnusedIgnoreRule is the pseudo-rule stale suppressions are reported
+// under: a //lint:ignore or //lint:file-ignore directive that suppressed
+// zero findings of the rules it names. Like DirectiveRule it cannot itself
+// be suppressed — a stale directive must be deleted, not ignored harder. A
+// directive is only judged when every rule it names was enabled in the
+// run; partial runs say nothing about what a directive would suppress.
+const UnusedIgnoreRule = "unusedignore"
 
 // Analyzers returns the full registered suite in stable order.
 func Analyzers() []*Analyzer {
@@ -142,38 +161,95 @@ func Analyzers() []*Analyzer {
 		SleepRetry,
 		ObsKey,
 		ParallelMerge,
+		DetSink,
+		RefScope,
+		MergeOrder,
 	}
 }
 
 // KnownRules returns every valid rule name for directive validation,
 // independent of which analyzers a particular run enables.
 func KnownRules() map[string]bool {
-	rules := map[string]bool{DirectiveRule: true}
+	rules := map[string]bool{DirectiveRule: true, UnusedIgnoreRule: true}
 	for _, a := range Analyzers() {
 		rules[a.Name] = true
 	}
 	return rules
 }
 
+// RunOption configures one Run.
+type RunOption func(*runConfig)
+
+type runConfig struct {
+	workers int
+}
+
+// WithWorkers bounds the reporting-phase fan-out. Values < 1 (and the
+// default) mean GOMAXPROCS. The output is byte-identical at any worker
+// count — the tool obeys the determinism invariant it checks.
+func WithWorkers(n int) RunOption {
+	return func(c *runConfig) { c.workers = n }
+}
+
 // Run applies the analyzers to every package of the module, filters findings
 // through //lint:ignore directives, and returns the surviving findings plus
-// any malformed-directive findings, sorted by position then rule.
-func Run(m *Module, analyzers []*Analyzer) []Finding {
-	var raw []Finding
+// any malformed-directive and stale-directive findings, sorted by position
+// then rule. Positions are module-root-relative, so output is stable across
+// machines and working directories.
+//
+// Run has two phases. The export phase walks packages sequentially in
+// dependency order, letting each analyzer's Export hook attach facts to the
+// package's objects; this IS the bottom-up DAG walk, so it cannot fan out.
+// The reporting phase is read-only over the module and the fact store and
+// fans out across packages through internal/parallel; per-package findings
+// are merged in package order, so the result is a pure function of the
+// module.
+func Run(m *Module, analyzers []*Analyzer, opts ...RunOption) []Finding {
+	cfg := runConfig{}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+
+	m.Facts = newFacts()
+	var discard []Finding
 	for _, pkg := range m.Packages {
+		m.Facts.indexDecls(pkg)
 		for _, a := range analyzers {
-			pass := &Pass{Module: m, Pkg: pkg, rule: a.Name, findings: &raw}
-			a.Run(pass)
+			if a.Export == nil {
+				continue
+			}
+			a.Export(&Pass{Module: m, Pkg: pkg, rule: a.Name, findings: &discard})
 		}
 	}
 
+	perPkg, _ := parallel.Map(context.Background(), len(m.Packages),
+		func(_ context.Context, i int) ([]Finding, error) {
+			var out []Finding
+			for _, a := range analyzers {
+				a.Run(&Pass{Module: m, Pkg: m.Packages[i], rule: a.Name, findings: &out})
+			}
+			return out, nil
+		}, parallel.WithWorkers(cfg.workers))
+
 	idx, bad := buildIgnoreIndex(m)
 	findings := bad
-	for _, f := range raw {
-		if idx.suppressed(f) {
-			continue
+	for _, pkgFindings := range perPkg {
+		for _, f := range pkgFindings {
+			if idx.suppressed(f) {
+				continue
+			}
+			findings = append(findings, f)
 		}
-		findings = append(findings, f)
+	}
+
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	findings = append(findings, idx.unused(ran)...)
+
+	for i := range findings {
+		findings[i].Pos = relativePosition(m.Root, findings[i].Pos)
 	}
 
 	sort.Slice(findings, func(i, j int) bool {
@@ -187,9 +263,28 @@ func Run(m *Module, analyzers []*Analyzer) []Finding {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
 	})
 	return findings
+}
+
+// relativePosition rewrites a position's filename relative to the module
+// root (slash-separated), so findings and baselines are stable across
+// machines. Positions already relative, or outside the root, are returned
+// unchanged.
+func relativePosition(root string, pos token.Position) token.Position {
+	if pos.Filename == "" || !filepath.IsAbs(pos.Filename) {
+		return pos
+	}
+	rel, err := filepath.Rel(root, pos.Filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return pos
+	}
+	pos.Filename = filepath.ToSlash(rel)
+	return pos
 }
 
 // errorType is the universe error interface.

@@ -29,13 +29,12 @@ func loadFixture(t *testing.T) *Module {
 	return fixture.mod
 }
 
-// normalize renders findings as the driver would, with paths relative to the
-// fixture root so the goldens are location-independent.
+// normalize renders findings as the driver would. Run already returns
+// module-root-relative slash paths, so the goldens are location-independent
+// without any trimming here.
 func normalize(findings []Finding) []string {
-	prefix := filepath.Join("testdata", "src") + string(filepath.Separator)
 	lines := make([]string, 0, len(findings))
 	for _, f := range findings {
-		f.Pos.Filename = filepath.ToSlash(strings.TrimPrefix(f.Pos.Filename, prefix))
 		lines = append(lines, f.String())
 	}
 	return lines
@@ -172,16 +171,66 @@ func TestCleanPackagesStayClean(t *testing.T) {
 	}
 }
 
-// TestKnownRules asserts every analyzer name and the directive pseudo-rule
+// TestKnownRules asserts every analyzer name and the directive pseudo-rules
 // are registered for directive validation.
 func TestKnownRules(t *testing.T) {
 	rules := KnownRules()
 	if !rules[DirectiveRule] {
 		t.Errorf("KnownRules missing %s", DirectiveRule)
 	}
+	if !rules[UnusedIgnoreRule] {
+		t.Errorf("KnownRules missing %s", UnusedIgnoreRule)
+	}
 	for _, a := range Analyzers() {
 		if !rules[a.Name] {
 			t.Errorf("KnownRules missing analyzer %s", a.Name)
 		}
+	}
+}
+
+// TestWorkerCountInvariance asserts the determinism invariant the tool
+// polices for everyone else: the finding list is identical at any worker
+// count, including the serial reference execution.
+func TestWorkerCountInvariance(t *testing.T) {
+	m := loadFixture(t)
+	want := normalize(Run(m, Analyzers(), WithWorkers(1)))
+	for _, workers := range []int{2, 8} {
+		got := normalize(Run(m, Analyzers(), WithWorkers(workers)))
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d findings, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d: finding %d = %q, want %q", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRelativePositions asserts every finding's path is module-root-relative
+// and slash-separated, the contract CI annotations and baselines rely on.
+func TestRelativePositions(t *testing.T) {
+	m := loadFixture(t)
+	for _, f := range Run(m, Analyzers()) {
+		if filepath.IsAbs(f.Pos.Filename) {
+			t.Errorf("absolute path in finding: %s", f)
+		}
+		if strings.Contains(f.Pos.Filename, "\\") || strings.Contains(f.Pos.Filename, "testdata") {
+			t.Errorf("path not module-root-relative slash form: %s", f)
+		}
+	}
+}
+
+// TestUnusedIgnoreNotSuppressible asserts a stale directive cannot be hidden
+// by another directive: unusedignore findings survive even file-wide
+// suppression attempts, like lintdirective findings do.
+func TestUnusedIgnoreNotSuppressible(t *testing.T) {
+	m := loadFixture(t)
+	idx, _ := buildIgnoreIndex(m)
+	f := Finding{Rule: UnusedIgnoreRule}
+	f.Pos.Filename = "unusedignore/unusedignore.go"
+	f.Pos.Line = 6
+	if idx.suppressed(f) {
+		t.Error("unusedignore finding was suppressed; pseudo-rules must not be suppressible")
 	}
 }

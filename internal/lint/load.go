@@ -17,7 +17,7 @@ import (
 
 // Module is a loaded, type-checked Go module.
 type Module struct {
-	// Root is the directory containing go.mod, as passed to LoadModule.
+	// Root is the absolute directory containing go.mod.
 	Root string
 	// Path is the module path declared in go.mod.
 	Path string
@@ -25,6 +25,9 @@ type Module struct {
 	Fset *token.FileSet
 	// Packages lists every package in dependency order.
 	Packages []*Package
+	// Facts is the cross-package fact store of the current Run; it is
+	// replaced at the start of every Run.
+	Facts *Facts
 }
 
 var moduleLineRE = regexp.MustCompile(`(?m)^module\s+(\S+)`)
@@ -39,6 +42,10 @@ var moduleLineRE = regexp.MustCompile(`(?m)^module\s+(\S+)`)
 // importer; module-local imports are served from the packages loaded here,
 // so the loader has no dependencies outside the standard library.
 func LoadModule(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, fmt.Errorf("lint: resolving module root: %w", err)
+	}
 	modData, err := os.ReadFile(filepath.Join(root, "go.mod"))
 	if err != nil {
 		return nil, fmt.Errorf("lint: reading module file: %w", err)

@@ -1,0 +1,400 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MergeOrder is the interprocedural extension of parallelmerge. That rule
+// sees only writes spelled inside a `go func(){...}` literal; a helper
+// function that mutates a shared map, called from an internal/parallel
+// callback, slips straight past it — the callback body is just a call. The
+// facts engine closes the gap: every function exports a shared-write fact
+// describing the unguarded map writes and slice appends it performs against
+// package-level variables, its receiver, or its parameters (propagated
+// through same-module helpers), and this rule flags calls to such functions
+// from ForEach/Map/Accumulate worker callbacks whenever the written
+// aggregate lives outside the callback — i.e. is shared across shards.
+//
+// Accumulate's merge argument is exempt: it runs sequentially after the
+// barrier, in ascending shard order — mutating shared state there is the
+// engine's whole design. Writes through a helper's own parameters are only
+// flagged when the call site passes in something declared outside the
+// callback; the engine-supplied arguments (the shard accumulator, the task
+// index) are shard-private by construction. Helpers that take a lock are
+// left to locksafe, mirroring parallelmerge.
+var MergeOrder = &Analyzer{
+	Name:   "mergeorder",
+	Doc:    "flag internal/parallel callbacks calling helpers that write shared maps/slices; fold per-shard and combine in the merge step",
+	Run:    runMergeOrder,
+	Export: exportMergeOrder,
+}
+
+// globalTarget marks a shared write against a package-level variable (the
+// other targets are recvIndex and parameter indices, as in paramIndex).
+const globalTarget = -3
+
+// mergeOrderWrite is one unguarded aggregate write a function performs.
+type mergeOrderWrite struct {
+	// target is globalTarget, recvIndex, or a 0-based parameter index.
+	target int
+	// name is the aggregate as written at the original site.
+	name string
+	// desc is the witness chain, phrased to complete "…, which <desc>".
+	desc string
+}
+
+// mergeOrderFact is the per-function shared-write fact.
+type mergeOrderFact struct {
+	writes []mergeOrderWrite
+}
+
+// addWrite appends w unless an equivalent (target, name) write is present,
+// keeping facts small and fixpoints terminating.
+func (f *mergeOrderFact) addWrite(w mergeOrderWrite) bool {
+	for _, have := range f.writes {
+		if have.target == w.target && have.name == w.name {
+			return false
+		}
+	}
+	f.writes = append(f.writes, w)
+	return true
+}
+
+// exportMergeOrder computes shared-write facts for the package: direct
+// writes first, then a fixpoint folding in callee facts (cross-package
+// facts are already final — the engine walks bottom-up). Facts are
+// accumulated locally and exported once complete, because the store is
+// write-once.
+func exportMergeOrder(p *Pass) {
+	if p.Pkg.Base() == "parallel" {
+		return // the engine's own writes are the sanctioned primitive
+	}
+	funcs := p.packageFuncs()
+	local := make(map[*types.Func]*mergeOrderFact)
+	for _, df := range funcs {
+		if takesLock(df.decl.Body) {
+			continue // mutex-guarded writes are locksafe's jurisdiction
+		}
+		fact := &mergeOrderFact{}
+		directWrites(p, df, fact)
+		local[df.fn] = fact
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, df := range funcs {
+			fact := local[df.fn]
+			if fact == nil {
+				continue
+			}
+			if propagateWrites(p, df, fact, local) {
+				changed = true
+			}
+		}
+	}
+	for _, df := range funcs {
+		if fact := local[df.fn]; fact != nil && len(fact.writes) > 0 {
+			p.ExportFact(df.fn, fact)
+		}
+	}
+}
+
+// directWrites collects the function's own unguarded map writes and slice
+// appends against globals, the receiver, or parameters. Slice index
+// assignment is deliberately not a write: out[i] = v indexed by a private
+// task index is the engine's documented deterministic collection pattern.
+func directWrites(p *Pass, df declFunc, fact *mergeOrderFact) {
+	record := func(e ast.Expr, verb string) {
+		_, obj := rootObject(p, ast.Unparen(e))
+		if obj == nil {
+			return
+		}
+		name := types.ExprString(ast.Unparen(e))
+		target := noParam
+		switch {
+		case obj.Parent() == p.Pkg.Types.Scope():
+			target = globalTarget
+		case obj == receiverObj(df.fn):
+			target = recvIndex
+		default:
+			if i := paramIndex(df.fn, obj); i >= 0 {
+				target = i
+			}
+		}
+		if target == noParam {
+			return // function-local aggregate: private by construction
+		}
+		fact.addWrite(mergeOrderWrite{
+			target: target,
+			name:   name,
+			desc:   verb + " " + name + " at " + p.relPos(e.Pos()),
+		})
+	}
+	ast.Inspect(df.decl.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range stmt.Lhs {
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if _, isMap := types.Unalias(p.TypeOf(ast.Unparen(idx.X))).Underlying().(*types.Map); isMap {
+						record(idx.X, "writes map")
+					}
+				}
+				if i < len(stmt.Rhs) && isAppendOf(p, lhs, stmt.Rhs[i]) {
+					record(lhs, "appends to slice")
+				}
+			}
+		case *ast.IncDecStmt:
+			if idx, ok := ast.Unparen(stmt.X).(*ast.IndexExpr); ok {
+				if _, isMap := types.Unalias(p.TypeOf(ast.Unparen(idx.X))).Underlying().(*types.Map); isMap {
+					record(idx.X, "writes map")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isAppendOf reports whether rhs is `append(lhs-rooted slice, ...)` — the
+// grow-in-place idiom whose result lands back in a shared variable.
+func isAppendOf(p *Pass, lhs, rhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fun.Name != "append" {
+		return false
+	}
+	_, isBuiltin := p.Pkg.Info.Uses[fun].(*types.Builtin)
+	if !isBuiltin {
+		return false
+	}
+	_, obj := rootObject(p, ast.Unparen(lhs))
+	return obj != nil
+}
+
+// propagateWrites folds callee facts into fact: a call to a helper that
+// writes its receiver/parameter aggregate becomes a write of whatever this
+// function passed in those positions, when that is itself a global,
+// receiver, or parameter. Reports true when fact grew.
+func propagateWrites(p *Pass, df declFunc, fact *mergeOrderFact, local map[*types.Func]*mergeOrderFact) bool {
+	grew := false
+	ast.Inspect(df.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := p.Callee(call)
+		if callee == nil || callee == df.fn || !p.ModuleFunc(callee) {
+			return true
+		}
+		cf := local[callee]
+		if cf == nil {
+			cf, _ = p.Fact(callee).(*mergeOrderFact)
+		}
+		if cf == nil {
+			return true
+		}
+		for _, w := range cf.writes {
+			chained := mergeOrderWrite{
+				name: w.name,
+				desc: "calls " + shortFuncName(callee) + ", which " + w.desc,
+			}
+			if w.target == globalTarget {
+				chained.target = globalTarget
+				if fact.addWrite(chained) {
+					grew = true
+				}
+				continue
+			}
+			arg := callArg(call, w.target)
+			if arg == nil {
+				continue
+			}
+			_, obj := rootObject(p, ast.Unparen(arg))
+			if obj == nil {
+				continue
+			}
+			name := types.ExprString(ast.Unparen(arg))
+			switch {
+			case obj.Parent() == p.Pkg.Types.Scope():
+				chained.target, chained.name = globalTarget, name
+			case obj == receiverObj(df.fn):
+				chained.target, chained.name = recvIndex, name
+			default:
+				i := paramIndex(df.fn, obj)
+				if i < 0 {
+					continue // callee writes a local of ours: shard-private here
+				}
+				chained.target, chained.name = i, name
+			}
+			if fact.addWrite(chained) {
+				grew = true
+			}
+		}
+		return true
+	})
+	return grew
+}
+
+// parallelEntry returns the entry-point name ("ForEach", "Map",
+// "Accumulate") when call invokes one of internal/parallel's fan-out
+// primitives (matched by package base name, so fixture modules qualify).
+func parallelEntry(p *Pass, call *ast.CallExpr) string {
+	fn := p.Callee(call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	pkg := fn.Pkg().Path()
+	if pkg != "parallel" && !hasSuffixPath(pkg, "parallel") {
+		return ""
+	}
+	switch fn.Name() {
+	case "ForEach", "Map", "Accumulate":
+		return fn.Name()
+	}
+	return ""
+}
+
+// hasSuffixPath reports whether path ends with "/"+elem.
+func hasSuffixPath(path, elem string) bool {
+	return len(path) > len(elem)+1 &&
+		path[len(path)-len(elem)-1] == '/' && path[len(path)-len(elem):] == elem
+}
+
+func runMergeOrder(p *Pass) {
+	if p.Pkg.Base() == "parallel" {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			entry := parallelEntry(p, call)
+			if entry == "" {
+				return true
+			}
+			for _, arg := range workerCallbacks(p, entry, call) {
+				checkCallback(p, entry, arg)
+			}
+			return true
+		})
+	}
+}
+
+// workerCallbacks selects the call's worker-side function arguments: every
+// unnamed func-typed argument, minus Accumulate's trailing merge (it runs
+// sequentially after the barrier) and any named Option values.
+func workerCallbacks(p *Pass, entry string, call *ast.CallExpr) []ast.Expr {
+	var cbs []ast.Expr
+	for _, arg := range call.Args {
+		t := p.TypeOf(arg)
+		if t == nil {
+			continue
+		}
+		if _, isNamed := types.Unalias(t).(*types.Named); isNamed {
+			continue // Option and friends: configuration, not work
+		}
+		if _, isFunc := t.Underlying().(*types.Signature); isFunc {
+			cbs = append(cbs, arg)
+		}
+	}
+	if entry == "Accumulate" && len(cbs) > 0 {
+		cbs = cbs[:len(cbs)-1] // merge runs post-barrier, in shard order
+	}
+	return cbs
+}
+
+// checkCallback applies the fact check to one worker callback argument:
+// a function literal is walked for calls to fact-carrying helpers; a
+// direct function or method value is checked against its own fact.
+func checkCallback(p *Pass, entry string, arg ast.Expr) {
+	switch cb := ast.Unparen(arg).(type) {
+	case *ast.FuncLit:
+		if takesLock(cb.Body) {
+			return
+		}
+		ast.Inspect(cb.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := p.Callee(call)
+			if callee == nil || !p.ModuleFunc(callee) {
+				return true
+			}
+			fact, ok := p.Fact(callee).(*mergeOrderFact)
+			if !ok {
+				return true
+			}
+			reportSharedCall(p, entry, cb, call, callee, fact)
+			return true
+		})
+	default:
+		callee := calleeOfValue(p, arg)
+		if callee == nil || !p.ModuleFunc(callee) {
+			return
+		}
+		fact, ok := p.Fact(callee).(*mergeOrderFact)
+		if !ok {
+			return
+		}
+		for _, w := range fact.writes {
+			// Parameter writes are fed by the engine (shard index,
+			// accumulator) and therefore shard-private; globals and the
+			// bound receiver are shared across every shard.
+			if w.target == globalTarget || w.target == recvIndex {
+				p.Reportf(arg.Pos(),
+					"parallel.%s worker callback %s %s; shards race and merge in scheduling order — fold per-shard accumulators and combine in Accumulate's merge instead",
+					entry, shortFuncName(callee), w.desc)
+				return
+			}
+		}
+	}
+}
+
+// reportSharedCall reports a literal-callback call to a helper whose fact
+// writes an aggregate shared across shards.
+func reportSharedCall(p *Pass, entry string, lit *ast.FuncLit, call *ast.CallExpr, callee *types.Func, fact *mergeOrderFact) {
+	for _, w := range fact.writes {
+		var shared bool
+		var at token.Pos = call.Pos()
+		switch {
+		case w.target == globalTarget:
+			shared = true
+		default:
+			arg := callArg(call, w.target)
+			if arg == nil {
+				continue
+			}
+			_, obj := rootObject(p, ast.Unparen(arg))
+			shared = obj != nil && !declaredWithin(obj, lit)
+			at = arg.Pos()
+		}
+		if shared {
+			p.Reportf(at,
+				"parallel.%s worker callback calls %s, which %s; the aggregate is shared across shards, so contents depend on scheduling — fold per-shard accumulators and combine in Accumulate's merge instead",
+				entry, shortFuncName(callee), w.desc)
+			return
+		}
+	}
+}
+
+// calleeOfValue resolves a function or method value expression (`helper`,
+// `s.addTo`) to its *types.Func, or nil.
+func calleeOfValue(p *Pass, e ast.Expr) *types.Func {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Pkg.Info.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,86 @@
+// Package analysis exercises detsink: it has the base name of an
+// artifact-producing package, so its JSON/gob encodes are sinks, and the
+// fixtures route nondeterminism into them directly, via a local helper,
+// and via a cross-package helper.
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"sort"
+	"time"
+
+	"sandbox/maputil"
+)
+
+// DumpCounts ranges over the map straight into the encoder's input — the
+// direct, single-function violation.
+func DumpCounts(counts map[string]int) ([]byte, error) {
+	var rows []string
+	for k := range counts {
+		rows = append(rows, k)
+	}
+	return json.Marshal(rows)
+}
+
+// DumpViaHelper is the violation the syntax-level suite missed: the map
+// iteration happens two packages away in maputil.Keys, and only the taint
+// fact connects it to the Marshal here.
+func DumpViaHelper(counts map[string]int) ([]byte, error) {
+	return json.Marshal(maputil.Keys(counts))
+}
+
+// stamp hides the wall clock behind a local helper.
+func stamp() int64 {
+	return time.Now().Unix()
+}
+
+// DumpStamped reaches time.Now through stamp and gob-encodes the result.
+func DumpStamped(counts int) ([]byte, error) {
+	var buf bytes.Buffer
+	payload := struct {
+		N    int
+		When int64
+	}{counts, stamp()}
+	err := gob.NewEncoder(&buf).Encode(payload)
+	return buf.Bytes(), err
+}
+
+// DumpSorted is the sanctioned collect-then-sort idiom: same map range,
+// but the sort in this function makes the output order a pure function of
+// the input.
+func DumpSorted(counts map[string]int) ([]byte, error) {
+	var rows []string
+	for k := range counts {
+		rows = append(rows, k)
+	}
+	sort.Strings(rows)
+	return json.Marshal(rows)
+}
+
+// DumpViaSortedHelper consumes the clean twin helper: no taint to carry.
+func DumpViaSortedHelper(counts map[string]int) ([]byte, error) {
+	return json.Marshal(maputil.SortedKeys(counts))
+}
+
+// Tally only accumulates commutatively over the map — order-insensitive,
+// so encoding the total is clean.
+func Tally(counts map[string]int) ([]byte, error) {
+	total := 0
+	for _, v := range counts {
+		total += v
+	}
+	return json.Marshal(total)
+}
+
+// DumpLegacy demonstrates the reasoned suppression path for a sink kept
+// bug-compatible with a published artifact.
+func DumpLegacy(counts map[string]int) ([]byte, error) {
+	var rows []string
+	for k := range counts {
+		rows = append(rows, k)
+	}
+	//lint:ignore detsink legacy artifact is diffed order-insensitively downstream
+	return json.Marshal(rows)
+}

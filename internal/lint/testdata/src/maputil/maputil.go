@@ -1,0 +1,33 @@
+// Package maputil holds the cross-package helpers the detsink and
+// mergeorder fixtures route their violations through: the taint (unsorted
+// map iteration) and the shared-write (parameter map mutation) live here,
+// two packages away from the call sites that get flagged.
+package maputil
+
+import "sort"
+
+// Keys collects map keys in iteration order — nondeterministic, and the
+// taint fact says so.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is the clean twin: collect, then sort.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Bump mutates its map parameter — the shared-write fact mergeorder
+// propagates to call sites.
+func Bump(m map[string]int, k string) {
+	m[k]++
+}

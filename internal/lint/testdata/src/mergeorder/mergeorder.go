@@ -1,0 +1,97 @@
+// Package mergeorder exercises the interprocedural parallelmerge
+// extension: internal/parallel worker callbacks that mutate shared
+// aggregates through helper functions — a package-level map, a method on a
+// captured struct, and a map parameter fed through a cross-package helper.
+package mergeorder
+
+import (
+	"context"
+
+	"sandbox/maputil"
+	"sandbox/parallel"
+)
+
+// totals is the package-level aggregate the helper below mutates.
+var totals = map[string]int{}
+
+// bump hides the shared write behind a call — invisible to the literal-only
+// goroutine check.
+func bump(k string) {
+	totals[k]++
+}
+
+// TallyGlobal fans out and lets every shard write the package-level map
+// through bump: racy, and merged in scheduling order.
+func TallyGlobal(ctx context.Context, names []string) error {
+	return parallel.ForEach(ctx, len(names), func(ctx context.Context, i int) error {
+		bump(names[i])
+		return nil
+	})
+}
+
+// Hist accumulates into its receiver's map.
+type Hist struct {
+	counts map[int]int
+}
+
+// observe writes the receiver's shared map.
+func (h *Hist) observe(ctx context.Context, i int) error {
+	h.counts[i%8]++
+	return nil
+}
+
+// TallyMethod passes the method value straight to the engine: every shard
+// shares h's map.
+func TallyMethod(ctx context.Context, h *Hist, n int) error {
+	return parallel.ForEach(ctx, n, h.observe)
+}
+
+// TallyShared captures one map and lets every shard bump it through the
+// cross-package helper: the write is two calls away from the literal.
+func TallyShared(ctx context.Context, names []string) (map[string]int, error) {
+	counts := map[string]int{}
+	err := parallel.ForEach(ctx, len(names), func(ctx context.Context, i int) error {
+		maputil.Bump(counts, names[i])
+		return nil
+	})
+	return counts, err
+}
+
+// TallyFolded is the sanctioned shape: shard-private accumulators mutated
+// through the same helper, combined in Accumulate's sequential merge.
+func TallyFolded(ctx context.Context, names []string) (map[string]int, error) {
+	return parallel.Accumulate(ctx, len(names),
+		func() map[string]int { return map[string]int{} },
+		func(acc map[string]int, start, end int) map[string]int {
+			for i := start; i < end; i++ {
+				maputil.Bump(acc, names[i])
+			}
+			return acc
+		},
+		func(into, from map[string]int) map[string]int {
+			for k, v := range from {
+				into[k] += v
+			}
+			return into
+		})
+}
+
+// TallyLocal mutates a map declared inside the callback: shard-private,
+// clean.
+func TallyLocal(ctx context.Context, names []string) error {
+	return parallel.ForEach(ctx, len(names), func(ctx context.Context, i int) error {
+		scratch := map[string]int{}
+		maputil.Bump(scratch, names[i])
+		return nil
+	})
+}
+
+// TallySanctioned keeps one deliberately shared write under a reasoned
+// suppression: the aggregate is append-only commutative counts.
+func TallySanctioned(ctx context.Context, names []string) error {
+	return parallel.ForEach(ctx, len(names), func(ctx context.Context, i int) error {
+		//lint:ignore mergeorder commutative counter increments; diffed order-insensitively in tests
+		bump(names[i])
+		return nil
+	})
+}

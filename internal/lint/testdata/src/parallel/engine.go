@@ -1,0 +1,55 @@
+// engine.go mirrors the real internal/parallel fan-out primitives so the
+// mergeorder fixtures can call them with realistic signatures. The bodies
+// are serial reference implementations — the lint rules care about the
+// call shapes, not the scheduling.
+package parallel
+
+import "context"
+
+// Option configures one fan-out call; a named func type, so the rules can
+// tell configuration arguments from worker callbacks.
+type Option func(*config)
+
+type config struct {
+	workers int
+}
+
+// WithWorkers bounds the pool.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// ForEach runs fn for every index in [0, n).
+func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error, opts ...Option) error {
+	cfg := config{}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	for i := 0; i < n; i++ {
+		if err := fn(ctx, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map collects fn's results into a slice indexed by i.
+func Map[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) (T, error), opts ...Option) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, n, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		out[i] = v
+		return err
+	}, opts...)
+	return out, err
+}
+
+// Accumulate folds [0, n) shard by shard and merges in shard order.
+func Accumulate[A any](ctx context.Context, n int, newA func() A, fold func(acc A, start, end int) A, merge func(into, from A) A, opts ...Option) (A, error) {
+	acc := newA()
+	if n <= 0 {
+		return acc, ctx.Err()
+	}
+	acc = fold(acc, 0, n)
+	return merge(newA(), acc), nil
+}

@@ -1,0 +1,23 @@
+// Package unusedignore exercises the stale-suppression check: directives
+// that suppress nothing are findings, directives that earn their keep are
+// not.
+package unusedignore
+
+//lint:file-ignore detrand legacy blanket suppression; nothing here draws randomness anymore
+
+import (
+	"fmt"
+	"os"
+)
+
+// Tidy once exited directly; the suppression outlived the fix.
+func Tidy() error {
+	//lint:ignore noexit stale: the os.Exit below was replaced by an error return
+	return fmt.Errorf("tidy: unsupported")
+}
+
+// Leave still exits, so its directive suppresses a real finding and stays
+// clean.
+func Leave() {
+	os.Exit(6) //lint:ignore noexit demo of a load-bearing suppression
+}

@@ -14,7 +14,7 @@ echo "==> go vet ./..."
 go vet ./...
 
 echo "==> tangledlint ./..."
-go run ./cmd/tangledlint ./...
+go run ./cmd/tangledlint -baseline lint-baseline.txt ./...
 
 echo "==> metrics-smoke: debug endpoint sanity"
 ./scripts/metrics_smoke.sh
@@ -33,9 +33,9 @@ go test -race ./...
 if [ "${BENCH_GATE:-on}" = "off" ]; then
 	echo "==> bench-gate: skipped (BENCH_GATE=off)"
 else
-	echo "==> bench-gate: Table/Figure vs BENCH_pr5.json (tolerance 25% time, 25% allocs)"
+	echo "==> bench-gate: Table/Figure vs BENCH_pr6.json (tolerance 25% time, 25% allocs)"
 	go test -run '^$' -bench 'Table|Figure' -benchmem -benchtime "${BENCH_TIME:-3x}" . |
-		go run ./cmd/benchjson gate -baseline BENCH_pr5.json -match 'Table|Figure' -tolerance 0.25 -alloc-tolerance 0.25
+		go run ./cmd/benchjson gate -baseline BENCH_pr6.json -match 'Table|Figure' -tolerance 0.25 -alloc-tolerance 0.25
 fi
 
 echo "verify: all gates passed"
