@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test lint lint-baseline vet chaos metrics-smoke bench bench-gate verify
+.PHONY: build test lint lint-baseline vet chaos crash metrics-smoke bench bench-gate verify
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,12 @@ test:
 chaos:
 	$(GO) test -race -v -run TestChaosCampaignDeterministic ./internal/campaign/
 
+# The crash gate: crash the notary after every write/sync/rename boundary
+# of a full ingest and prove recovery yields exactly the acknowledged
+# prefix, byte-for-byte, for three seeds.
+crash:
+	$(GO) test -race -v -run TestCrashpointSweep ./internal/notary/
+
 # The observability gate: boot collectd, scrape its debug endpoint, and
 # check the payload is well-formed snapshot JSON.
 metrics-smoke:
@@ -43,7 +49,7 @@ bench:
 # failing on a >25% ns/op regression.
 bench-gate:
 	$(GO) test -run '^$$' -bench 'Table|Figure' -benchmem -benchtime 3x . | \
-		$(GO) run ./cmd/benchjson gate -baseline BENCH_pr6.json -match 'Table|Figure' -tolerance 0.25 -alloc-tolerance 0.25
+		$(GO) run ./cmd/benchjson gate -baseline BENCH_pr7.json -match 'Table|Figure' -tolerance 0.25 -alloc-tolerance 0.25
 
 verify:
 	./verify.sh

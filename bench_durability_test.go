@@ -1,0 +1,83 @@
+package tangledmass
+
+// Durability benchmarks: the cost of the notary's write-ahead journal and
+// of crash recovery, both over the deterministic in-memory filesystem so
+// the numbers measure framing, checksumming, and replay — not the host
+// disk. Sweeps alongside the Table/Figure benchmarks into the BENCH JSON
+// record; the verify bench-gate does not gate on them (wall-clock for I/O
+// paths is machine-dependent), they are tracked for trend only.
+
+import (
+	"testing"
+
+	"tangledmass/internal/certgen"
+	"tangledmass/internal/faultfs"
+	"tangledmass/internal/notary"
+)
+
+// durabilityBatch builds a 64-observation batch from the shared fixture
+// world — the unit of group commit the daemon sees under load.
+func durabilityBatch(b *testing.B) []notary.Observation {
+	b.Helper()
+	f := benchFixtures(b)
+	leaves := f.world.Leaves()
+	if len(leaves) < 64 {
+		b.Fatal("fixture world too small")
+	}
+	batch := make([]notary.Observation, 64)
+	for i := range batch {
+		l := leaves[i]
+		batch[i] = notary.Observation{Chain: l.Chain, Port: l.Port, SeenAt: l.SeenAt}
+	}
+	return batch
+}
+
+// BenchmarkWALAppend measures one group commit: encode the batch into
+// length-prefixed CRC-framed journal records, a single write, a single
+// sync, then the in-memory apply.
+func BenchmarkWALAppend(b *testing.B) {
+	batch := durabilityBatch(b)
+	mem := faultfs.NewMem(1)
+	db, err := notary.Open(mem, "data", certgen.Epoch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Append(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecovery measures a cold boot over a dirty directory: load the
+// checksummed snapshot, replay a 1,024-record journal, and cut the boot
+// checkpoint. The dirty state is rebuilt outside the timer each iteration.
+func BenchmarkRecovery(b *testing.B) {
+	batch := durabilityBatch(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		mem := faultfs.NewMem(1)
+		db, err := notary.Open(mem, "data", certgen.Epoch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 1024/len(batch); j++ {
+			if err := db.Append(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// No Close: the final checkpoint is skipped, so the journal —
+		// not a snapshot — carries the records into the next boot.
+		mem.Reboot()
+		b.StartTimer()
+		rdb, err := notary.Open(mem, "data", certgen.Epoch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rdb.Notary().Sessions() == 0 {
+			b.Fatal("recovery lost the journal")
+		}
+	}
+}

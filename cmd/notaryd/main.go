@@ -5,12 +5,21 @@
 //
 // Usage:
 //
-//	notaryd [-addr 127.0.0.1:7511] [-prefeed 20000] [-seed 1] [-debug 127.0.0.1:7581]
+//	notaryd [-addr 127.0.0.1:7511] [-data DIR] [-checkpoint 5m]
+//	        [-prefeed 20000] [-seed 1] [-debug 127.0.0.1:7581]
+//
+// -data DIR makes the database durable: on boot the daemon recovers from
+// DIR (newest checksummed snapshot plus write-ahead-journal replay), every
+// accepted observation is journaled and fsynced before its acknowledgment
+// is sent, a checkpoint runs every -checkpoint interval, and a graceful
+// shutdown (SIGINT) drains connections and checkpoints the final state.
+// Without -data the database is in-memory only, as before.
 //
 // -prefeed N seeds the database from an N-leaf simulated TLS internet so a
 // fresh daemon immediately answers validation queries; 0 starts empty.
-// -debug mounts the observability snapshot (ingest counters, sensor
-// gauges) as JSON on an HTTP listener.
+// With -data, the prefeed runs only when recovery produced an empty
+// database. -debug mounts the observability snapshot (ingest counters,
+// sensor gauges, journal/checkpoint counters) as JSON on an HTTP listener.
 package main
 
 import (
@@ -18,8 +27,11 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sync"
+	"time"
 
 	"tangledmass/internal/certgen"
+	"tangledmass/internal/faultfs"
 	"tangledmass/internal/notary"
 	"tangledmass/internal/notarynet"
 	"tangledmass/internal/obs"
@@ -30,46 +42,166 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("notaryd: ")
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7511", "listen address")
-		prefeed = flag.Int("prefeed", 20000, "pre-feed the database from an N-leaf simulated internet (0 = start empty)")
-		seed    = flag.Int64("seed", 1, "seed for the pre-feed world")
-		debug   = flag.String("debug", "", "serve the observability snapshot over HTTP on this address (empty: disabled)")
+		addr       = flag.String("addr", "127.0.0.1:7511", "listen address")
+		dataDir    = flag.String("data", "", "durable data directory (empty: in-memory only)")
+		checkpoint = flag.Duration("checkpoint", 5*time.Minute, "periodic checkpoint interval with -data (0 disables)")
+		prefeed    = flag.Int("prefeed", 20000, "pre-feed the database from an N-leaf simulated internet (0 = start empty)")
+		seed       = flag.Int64("seed", 1, "seed for the pre-feed world")
+		debug      = flag.String("debug", "", "serve the observability snapshot over HTTP on this address (empty: disabled)")
 	)
 	flag.Parse()
-	if err := run(*addr, *prefeed, *seed, *debug); err != nil {
+	cfg := config{
+		addr:       *addr,
+		dataDir:    *dataDir,
+		checkpoint: *checkpoint,
+		prefeed:    *prefeed,
+		seed:       *seed,
+		debug:      *debug,
+	}
+	d, err := boot(cfg)
+	if err != nil {
 		log.Fatal(err)
 	}
-}
-
-func run(addr string, prefeed int, seed int64, debug string) error {
-	n := notary.New(certgen.Epoch)
-	if prefeed > 0 {
-		log.Printf("pre-feeding from a %d-leaf simulated TLS internet (seed %d)...", prefeed, seed)
-		world, err := tlsnet.NewWorld(tlsnet.Config{Seed: seed, NumLeaves: prefeed})
-		if err != nil {
-			return err
-		}
-		tlsnet.Feed(world, n)
-		log.Print(n.String())
-	}
-
-	srv, err := notarynet.NewServer(n, addr)
-	if err != nil {
-		return err
-	}
-	log.Printf("serving on %s", srv.Addr())
-	if debug != "" {
-		ln, err := obs.ServeDebug(debug, srv.Observer())
-		if err != nil {
-			return err
-		}
-		defer ln.Close()
-		log.Printf("debug listening on %s", ln.Addr())
-	}
-
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
 	<-stop
 	log.Print("shutting down")
-	return srv.Close()
+	if err := d.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// config collects the daemon's knobs — a plain struct so the lifecycle
+// tests can boot daemons without touching flags.
+type config struct {
+	addr       string
+	dataDir    string
+	checkpoint time.Duration
+	prefeed    int
+	seed       int64
+	debug      string
+}
+
+// daemon is one running notaryd: the (possibly durable) database, the
+// network server and the optional debug listener, with Close tearing them
+// down in drain order.
+type daemon struct {
+	srv     *notarynet.Server
+	db      *notary.DB // nil when running in-memory only
+	debugLn interface{ Close() error }
+
+	stopCheckpoint chan struct{}
+	checkpointDone sync.WaitGroup
+	closeOnce      sync.Once
+	closeErr       error
+}
+
+// boot builds a daemon from cfg: recover (or create) the database, prefeed
+// if empty, start serving, start the checkpoint loop.
+func boot(cfg config) (*daemon, error) {
+	observer := obs.New()
+	var n *notary.Notary
+	var db *notary.DB
+	if cfg.dataDir != "" {
+		var err error
+		db, err = notary.Open(faultfs.Disk, cfg.dataDir, certgen.Epoch, notary.WithObserver(observer))
+		if err != nil {
+			return nil, err
+		}
+		n = db.Notary()
+		log.Printf("recovered %s from %s (generation %d)", n.String(), cfg.dataDir, db.Gen())
+	} else {
+		n = notary.New(certgen.Epoch, notary.WithObserver(observer))
+	}
+
+	if cfg.prefeed > 0 && n.Sessions() == 0 && n.NumUnique() == 0 {
+		log.Printf("pre-feeding from a %d-leaf simulated TLS internet (seed %d)...", cfg.prefeed, cfg.seed)
+		world, err := tlsnet.NewWorld(tlsnet.Config{Seed: cfg.seed, NumLeaves: cfg.prefeed})
+		if err != nil {
+			if db != nil {
+				_ = db.Close()
+			}
+			return nil, err
+		}
+		tlsnet.Feed(world, n)
+		// The prefeed wrote straight to memory; one checkpoint makes it
+		// durable before anything is served.
+		if db != nil {
+			if err := db.Checkpoint(); err != nil {
+				_ = db.Close()
+				return nil, err
+			}
+		}
+		log.Print(n.String())
+	}
+
+	srvOpts := []notarynet.Option{notarynet.WithObserver(observer)}
+	if db != nil {
+		// Route writes through the journal: the network acknowledgment and
+		// the fsync acknowledgment become one and the same.
+		srvOpts = append(srvOpts, notarynet.WithIngester(db))
+	}
+	srv, err := notarynet.NewServer(n, cfg.addr, srvOpts...)
+	if err != nil {
+		if db != nil {
+			_ = db.Close()
+		}
+		return nil, err
+	}
+	log.Printf("serving on %s", srv.Addr())
+
+	d := &daemon{srv: srv, db: db, stopCheckpoint: make(chan struct{})}
+	if cfg.debug != "" {
+		ln, err := obs.ServeDebug(cfg.debug, srv.Observer())
+		if err != nil {
+			_ = d.Close()
+			return nil, err
+		}
+		d.debugLn = ln
+		log.Printf("debug listening on %s", ln.Addr())
+	}
+
+	if db != nil && cfg.checkpoint > 0 {
+		d.checkpointDone.Add(1)
+		go func() {
+			defer d.checkpointDone.Done()
+			ticker := time.NewTicker(cfg.checkpoint)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if err := db.Checkpoint(); err != nil {
+						log.Printf("checkpoint: %v", err)
+					}
+				case <-d.stopCheckpoint:
+					return
+				}
+			}
+		}()
+	}
+	return d, nil
+}
+
+// Close drains the daemon: stop the checkpoint loop, stop accepting and
+// finish in-flight requests, then checkpoint the final state and release
+// the journal. Safe to call more than once.
+func (d *daemon) Close() error {
+	d.closeOnce.Do(func() {
+		close(d.stopCheckpoint)
+		d.checkpointDone.Wait()
+		if d.debugLn != nil {
+			_ = d.debugLn.Close()
+		}
+		err := d.srv.Close()
+		if d.db != nil {
+			// After the drain: every acknowledged observation is already
+			// fsynced in the journal; the final checkpoint folds them into
+			// one clean snapshot generation.
+			if cerr := d.db.Close(); err == nil {
+				err = cerr
+			}
+		}
+		d.closeErr = err
+	})
+	return d.closeErr
 }

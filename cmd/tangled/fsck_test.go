@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tangledmass/internal/certgen"
+	"tangledmass/internal/corpus"
+	"tangledmass/internal/faultfs"
+	"tangledmass/internal/notary"
+)
+
+func TestCmdFsck(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	db, err := notary.Open(faultfs.Disk, dir, certgen.Epoch, notary.WithCorpus(corpus.New()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := certgen.NewGenerator(95)
+	root, err := g.SelfSignedCA("Fsck CLI Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ObserveCA(root.Cert, 443); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out := capture(t, func() error { return cmdFsck([]string{dir}) })
+	for _, want := range []string{"snapshot:", "journal:", "clean"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fsck output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Damage the directory: fsck must report the issue and fail.
+	if err := os.WriteFile(filepath.Join(dir, "snap-99.v3"), []byte("TANGLED-NOTARY-SNAP3\nbad"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdFsck([]string{dir}); err == nil {
+		t.Error("fsck over a corrupt snapshot should fail")
+	}
+
+	if err := cmdFsck(nil); err == nil {
+		t.Error("fsck without a directory should error")
+	}
+	if err := cmdFsck([]string{filepath.Join(dir, "missing")}); err == nil {
+		t.Error("fsck of a missing directory should error")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"tangledmass/internal/analysis"
 	"tangledmass/internal/cauniverse"
 	"tangledmass/internal/certid"
+	"tangledmass/internal/notary"
 	"tangledmass/internal/report"
 	"tangledmass/internal/rootstore"
 )
@@ -71,6 +72,8 @@ func run(args []string) error {
 		return cmdShow(args[1:])
 	case "campaign":
 		return cmdCampaign(args[1:])
+	case "fsck":
+		return cmdFsck(args[1:])
 	case "-h", "--help", "help":
 		usage()
 		return nil
@@ -90,7 +93,8 @@ func usage() {
   tangled surface <store>                 TLS attack surface under trust policies
   tangled fleet [-scale F] [-export DIR] [-load DIR]  fleet analyses
   tangled show [-pem] <cert-name>         openssl-style certificate dump
-  tangled campaign [-scale F] [-seed N] [-frozen-clock]  run the pipeline, dump the obs snapshot as JSON`)
+  tangled campaign [-scale F] [-seed N] [-frozen-clock]  run the pipeline, dump the obs snapshot as JSON
+  tangled fsck <data-dir>                 verify a notaryd data directory offline`)
 }
 
 // resolveStore maps a name or cacerts path to a store.
@@ -212,6 +216,24 @@ func cmdAudit(args []string) error {
 			}
 			fmt.Printf("  %s  %-50s %s\n", certid.SubjectHashString(c), c.Subject.CommonName, class)
 		}
+	}
+	return nil
+}
+
+// cmdFsck verifies a notaryd data directory offline: snapshot checksums,
+// journal frame CRCs, and the one-live-generation layout. Exit status 1
+// when any check fails, so scripts can gate on it.
+func cmdFsck(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("fsck needs one data directory")
+	}
+	r, err := notary.FsckDir(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.String())
+	if !r.Healthy() {
+		return fmt.Errorf("%d integrity issue(s) in %s", len(r.Issues), args[0])
 	}
 	return nil
 }

@@ -1,0 +1,72 @@
+package faultfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Entry is one fault-ledger cell: how many times one fault kind fired
+// against one path.
+type Entry struct {
+	Kind  Kind
+	Path  string
+	Count int
+}
+
+// Snapshot returns the ledger sorted by kind then path. Because every
+// decision is a pure function of (seed, scope, path, ordinal), two runs
+// with the same seed and workload produce byte-identical snapshots — the
+// same central assertion the faultnet ledger carries for the network.
+func (in *Injector) Snapshot() []Entry {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var out []Entry
+	for kind, paths := range in.ledger {
+		for p, count := range paths {
+			out = append(out, Entry{Kind: kind, Path: p, Count: count})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Path < out[j].Path
+	})
+	return out
+}
+
+// Total returns the number of faults injected so far.
+func (in *Injector) Total() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.total
+}
+
+// Ops returns how many fault decisions ran per path, faulted or not,
+// sorted by path — the denominator for the ledger's rates.
+func (in *Injector) Ops() []Entry {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Entry, 0, len(in.ops))
+	for p, count := range in.ops {
+		out = append(out, Entry{Path: p, Count: count})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// String renders the full ledger — per-path decision counts, then
+// per-kind fault counts — in a stable textual form, for golden
+// comparisons and logs.
+func (in *Injector) String() string {
+	var b strings.Builder
+	b.WriteString("faultfs ledger\n")
+	for _, e := range in.Ops() {
+		b.WriteString(fmt.Sprintf("ops %-32s %d\n", e.Path, e.Count))
+	}
+	for _, e := range in.Snapshot() {
+		b.WriteString(fmt.Sprintf("%-11s %-24s %d\n", e.Kind, e.Path, e.Count))
+	}
+	return b.String()
+}

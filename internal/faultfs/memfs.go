@@ -1,0 +1,346 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"path"
+	"sort"
+	"sync"
+
+	"tangledmass/internal/stats"
+)
+
+// ErrCrashed is the sentinel every MemFS operation returns once the
+// simulated machine has crashed. The crash harness stops the workload on
+// the first ErrCrashed, reboots the filesystem, and runs recovery.
+var ErrCrashed = errors.New("faultfs: simulated crash")
+
+// MemFS is an in-memory filesystem with explicit crash semantics, the
+// substrate of the crashpoint recovery sweep. It models the page cache /
+// stable storage split:
+//
+//   - Write appends to a file's volatile buffer; the bytes become durable
+//     only when Sync returns nil.
+//   - Create, Rename and Remove change the volatile namespace; the name
+//     change becomes durable only when SyncDir on the parent returns nil.
+//   - Reboot discards volatile state: files revert to their last synced
+//     content plus a seed-determined prefix of any unsynced appended
+//     suffix (the torn tail a real crash mid-writeback leaves), and the
+//     namespace reverts to its last SyncDir'd form.
+//
+// CrashAfter(n) arms a crash at the n-th boundary operation (Write, file
+// Sync, SyncDir, Rename — the operations after which the sweep injects a
+// crash). The n-th operation itself completes; every operation after it
+// fails with ErrCrashed until Reboot. The torn-tail length for each file
+// is a pure function of (seed, path, crash ordinal), so a sweep under one
+// seed replays byte-identically.
+type MemFS struct {
+	seed int64
+
+	mu      sync.Mutex
+	dirs    map[string]bool
+	view    map[string]*memNode // volatile namespace
+	dur     map[string]*memNode // namespace as of the last SyncDir
+	ops     int                 // boundary operations performed
+	crashAt int                 // 0 = disarmed
+	crashed bool
+	crashes int // reboot ordinal, feeds the torn-tail draw
+}
+
+// memNode is one file: volatile content plus the durable prefix fixed by
+// the last successful Sync.
+type memNode struct {
+	buf []byte
+	dur []byte
+}
+
+// NewMem returns an empty crashable filesystem. The seed drives only the
+// torn-tail lengths applied at Reboot.
+func NewMem(seed int64) *MemFS {
+	return &MemFS{
+		seed: seed,
+		dirs: map[string]bool{".": true},
+		view: make(map[string]*memNode),
+		dur:  make(map[string]*memNode),
+	}
+}
+
+// CrashAfter arms a crash at the n-th (1-based) boundary operation from
+// now. Pass 0 to disarm.
+func (m *MemFS) CrashAfter(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ops = 0
+	m.crashAt = n
+}
+
+// Boundaries returns how many boundary operations (Write, Sync, SyncDir,
+// Rename) have run — the crashpoint count a profiling pass hands to the
+// sweep.
+func (m *MemFS) Boundaries() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops
+}
+
+// Crashed reports whether the filesystem is in the post-crash state.
+func (m *MemFS) Crashed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashed
+}
+
+// boundary counts one boundary op and fires the armed crash. Caller holds
+// mu. The operation with ordinal crashAt completes before the crash takes
+// effect, so "crash after the n-th boundary" is exact.
+func (m *MemFS) boundary() {
+	m.ops++
+	if m.crashAt > 0 && m.ops >= m.crashAt {
+		m.crashed = true
+		m.crashAt = 0
+	}
+}
+
+// Reboot models the machine coming back: the namespace reverts to the
+// last SyncDir'd state and each surviving file keeps its synced prefix
+// plus a deterministic share of its unsynced appended suffix. It clears
+// the crashed state and disarms any pending crashpoint.
+func (m *MemFS) Reboot() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashes++
+	m.view = make(map[string]*memNode, len(m.dur))
+	for p, node := range m.dur {
+		kept := append([]byte(nil), node.dur...)
+		// Unsynced appended bytes may have partially reached the platter.
+		// The surviving prefix length is a pure function of (seed, path,
+		// reboot ordinal), so sweeps replay identically per seed.
+		if len(node.buf) > len(node.dur) && bytes.Equal(node.buf[:len(node.dur)], node.dur) {
+			suffix := node.buf[len(node.dur):]
+			h := fnv.New64a()
+			_, _ = io.WriteString(h, fmt.Sprintf("%d|%s|%d", m.seed, p, m.crashes))
+			keep := stats.NewSource(int64(h.Sum64())).Intn(len(suffix) + 1)
+			kept = append(kept, suffix[:keep]...)
+		}
+		fresh := &memNode{buf: kept, dur: append([]byte(nil), kept...)}
+		m.view[p] = fresh
+		m.dur[p] = fresh
+	}
+	m.crashed = false
+	m.crashAt = 0
+	m.ops = 0
+}
+
+func (m *MemFS) clean(p string) string { return path.Clean(p) }
+
+func (m *MemFS) checkDir(p string) error {
+	d := path.Dir(p)
+	if !m.dirs[d] {
+		return fmt.Errorf("faultfs: directory %s does not exist", d)
+	}
+	return nil
+}
+
+// Create implements FS.
+func (m *MemFS) Create(p string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	p = m.clean(p)
+	if err := m.checkDir(p); err != nil {
+		return nil, err
+	}
+	node := &memNode{}
+	m.view[p] = node
+	return &memFile{fs: m, node: node, path: p, writable: true}, nil
+}
+
+// Open implements FS.
+func (m *MemFS) Open(p string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	p = m.clean(p)
+	node, ok := m.view[p]
+	if !ok {
+		return nil, fmt.Errorf("faultfs: open %s: file does not exist", p)
+	}
+	return &memFile{fs: m, node: node, path: p}, nil
+}
+
+// Rename implements FS. The volatile namespace changes immediately; the
+// change is durable only after SyncDir.
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	oldpath, newpath = m.clean(oldpath), m.clean(newpath)
+	node, ok := m.view[oldpath]
+	if !ok {
+		return fmt.Errorf("faultfs: rename %s: file does not exist", oldpath)
+	}
+	if err := m.checkDir(newpath); err != nil {
+		return err
+	}
+	m.view[newpath] = node
+	if oldpath != newpath {
+		delete(m.view, oldpath)
+	}
+	m.boundary()
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(p string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	p = m.clean(p)
+	if _, ok := m.view[p]; !ok {
+		return fmt.Errorf("faultfs: remove %s: file does not exist", p)
+	}
+	delete(m.view, p)
+	return nil
+}
+
+// ReadDir implements FS.
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	dir = m.clean(dir)
+	if !m.dirs[dir] {
+		return nil, fmt.Errorf("faultfs: readdir %s: directory does not exist", dir)
+	}
+	var names []string
+	for p := range m.view {
+		if path.Dir(p) == dir {
+			names = append(names, path.Base(p))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SyncDir implements FS: the volatile namespace for dir becomes durable.
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	dir = m.clean(dir)
+	if !m.dirs[dir] {
+		return fmt.Errorf("faultfs: syncdir %s: directory does not exist", dir)
+	}
+	for p := range m.dur {
+		if path.Dir(p) == dir {
+			if _, ok := m.view[p]; !ok {
+				delete(m.dur, p)
+			}
+		}
+	}
+	for p, node := range m.view {
+		if path.Dir(p) == dir {
+			m.dur[p] = node
+		}
+	}
+	m.boundary()
+	return nil
+}
+
+// MkdirAll implements FS. Directory creation is durable immediately — the
+// durability layer creates its data directory once, outside the crash
+// window the sweep studies.
+func (m *MemFS) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	dir = m.clean(dir)
+	for d := dir; ; d = path.Dir(d) {
+		m.dirs[d] = true
+		if d == "." || d == "/" || path.Dir(d) == d {
+			break
+		}
+	}
+	return nil
+}
+
+type memFile struct {
+	fs       *MemFS
+	node     *memNode
+	path     string
+	writable bool
+	off      int
+	closed   bool
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.fs.crashed {
+		return 0, ErrCrashed
+	}
+	if f.closed {
+		return 0, fmt.Errorf("faultfs: write to closed file %s", f.path)
+	}
+	if !f.writable {
+		return 0, fmt.Errorf("faultfs: %s opened read-only", f.path)
+	}
+	f.node.buf = append(f.node.buf, p...)
+	f.fs.boundary()
+	return len(p), nil
+}
+
+func (f *memFile) Read(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.fs.crashed {
+		return 0, ErrCrashed
+	}
+	if f.closed {
+		return 0, fmt.Errorf("faultfs: read from closed file %s", f.path)
+	}
+	if f.off >= len(f.node.buf) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.node.buf[f.off:])
+	f.off += n
+	return n, nil
+}
+
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.fs.crashed {
+		return ErrCrashed
+	}
+	if f.closed {
+		return fmt.Errorf("faultfs: sync of closed file %s", f.path)
+	}
+	f.node.dur = append(f.node.dur[:0], f.node.buf...)
+	f.fs.boundary()
+	return nil
+}
+
+func (f *memFile) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.closed = true
+	return nil
+}

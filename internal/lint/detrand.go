@@ -14,8 +14,10 @@ import (
 // entry points: stats/rand.go (the seeded source), certgen/drbg.go (the
 // deterministic byte stream key generation consumes), and resilient/clock.go
 // (the substitutable wall-clock boundary the fault-injection harness swaps
-// out). faultnet and resilient are held to the same rule — their fault
-// decisions and backoff jitter must replay byte-identically from a seed.
+// out). faultnet, faultfs, and resilient are held to the same rule — their
+// fault decisions and backoff jitter must replay byte-identically from a
+// seed, and faultfs's torn-write prefixes must be a pure function of the
+// seed so the crashpoint sweep reproduces.
 var DetRand = &Analyzer{
 	Name: "detrand",
 	Doc:  "flag math/rand, crypto/rand, and time.Now in deterministic simulation packages outside the seeded entry points",
@@ -30,6 +32,7 @@ var detRandPackages = map[string]bool{
 	"certgen":    true,
 	"stats":      true,
 	"faultnet":   true,
+	"faultfs":    true,
 	"resilient":  true,
 }
 

@@ -37,12 +37,15 @@ var DetSink = &Analyzer{
 
 // detSinkPackages are the artifact-producing packages (by base name) whose
 // encoder calls count as sinks: campaign artifacts, analysis aggregates,
-// observability snapshots, notary persistence, dataset serialization, and
-// the report/stats shaping layers that feed paper figures.
+// observability snapshots, notary persistence (snapshots and journal
+// frames), the fault-injection ledgers that crash tests diff across runs,
+// dataset serialization, and the report/stats shaping layers that feed
+// paper figures.
 var detSinkPackages = map[string]bool{
 	"analysis": true,
 	"campaign": true,
 	"dataset":  true,
+	"faultfs":  true,
 	"notary":   true,
 	"obs":      true,
 	"report":   true,

@@ -12,4 +12,23 @@ const (
 	// KeyIngestChains counts chains recorded through the batched
 	// ObserveAll ingest path.
 	KeyIngestChains = "notary.ingest.chains"
+	// KeyWALAppends counts records group-committed to the write-ahead
+	// journal (cert introductions plus state records).
+	KeyWALAppends = "notary.wal.appends"
+	// KeyWALBytes counts journal bytes made durable.
+	KeyWALBytes = "notary.wal.bytes"
+	// KeyWALFsyncs counts journal group-commit fsyncs (one per
+	// acknowledged batch).
+	KeyWALFsyncs = "notary.wal.fsyncs"
+	// KeyRecoverReplayed counts journal state records re-applied during
+	// recovery.
+	KeyRecoverReplayed = "notary.recover.replayed"
+	// KeyRecoverTruncated counts recoveries that truncated a torn journal
+	// tail at the first bad checksum.
+	KeyRecoverTruncated = "notary.recover.truncated"
+	// KeyCheckpointCount counts completed checkpoints (snapshot published
+	// + journal truncated).
+	KeyCheckpointCount = "notary.checkpoint.count"
+	// KeyCheckpointFailures counts checkpoints abandoned on an I/O error.
+	KeyCheckpointFailures = "notary.checkpoint.failures"
 )

@@ -171,13 +171,23 @@ func (n *Notary) observeLocked(o Observation, refs []corpus.Ref) {
 	if len(o.Chain) == 0 {
 		return
 	}
+	n.applyRefs(o, refs)
+}
+
+// applyRefs applies one observation given only interned handles — shared
+// by live ingest and WAL replay, where chains arrive as refs without
+// re-decoded x509 structs. Caller holds mu.
+func (n *Notary) applyRefs(o Observation, refs []corpus.Ref) {
+	if len(refs) == 0 {
+		return
+	}
 	at := o.SeenAt
 	if at.IsZero() {
 		at = n.at
 	}
 	n.sessions++
-	for i := range o.Chain {
-		e := n.entryRef(refs[i])
+	for i, ref := range refs {
+		e := n.entryRef(ref)
 		e.Sessions++
 		e.Ports[o.Port]++
 		e.touch(at)

@@ -1,14 +1,17 @@
 package notary
 
 import (
+	"bytes"
+	"crypto/sha256"
 	"encoding/gob"
 	"fmt"
 	"io"
-	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
 	"tangledmass/internal/corpus"
+	"tangledmass/internal/faultfs"
 )
 
 // Snapshot is the serialized form of a Notary database. The real Notary
@@ -22,9 +25,13 @@ import (
 //     snapshots (or appearing once per entry) was encoded redundantly.
 //   - v2 stores one deduplicated DER table for the whole snapshot and has
 //     entries reference it by index — the on-disk mirror of the in-memory
-//     corpus. Load accepts both.
+//     corpus.
+//   - v3 wraps the v2 payload in a crash-evident envelope: a fixed magic
+//     prefix and a SHA-256 trailer over everything before it. A torn or
+//     bit-flipped snapshot fails the checksum instead of decoding into
+//     silently partial state. Load accepts all three.
 //
-// The struct is the superset of both formats: gob leaves fields absent
+// The struct is the superset of the gob formats: gob leaves fields absent
 // from the stream at their zero values, so one decoder serves every
 // version.
 type snapshot struct {
@@ -59,11 +66,17 @@ type portCount struct {
 	Count int64
 }
 
-const snapshotVersion = 2
+const snapshotVersion = 3
 
-// Save writes the database to w in a self-describing binary format.
-// Entries are ordered by SHA-1 fingerprint, so identical databases produce
-// byte-identical snapshots regardless of observation order.
+// snapshotMagic opens every v3 snapshot. Legacy v1/v2 files are bare gob
+// streams; gob's own framing can never begin with this byte sequence, so
+// the prefix is an unambiguous version switch.
+const snapshotMagic = "TANGLED-NOTARY-SNAP3\n"
+
+// Save writes the database to w in the v3 checksummed format: magic
+// prefix, gob payload, SHA-256 trailer over both. Entries are ordered by
+// SHA-1 fingerprint, so identical databases produce byte-identical
+// snapshots regardless of observation order.
 func (n *Notary) Save(w io.Writer) error {
 	n.mu.RLock()
 	snap := snapshot{Version: snapshotVersion, At: n.at, Sessions: n.sessions}
@@ -91,8 +104,16 @@ func (n *Notary) Save(w io.Writer) error {
 		})
 	}
 	n.mu.RUnlock()
-	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+
+	var payload bytes.Buffer
+	payload.WriteString(snapshotMagic)
+	if err := gob.NewEncoder(&payload).Encode(snap); err != nil {
 		return fmt.Errorf("notary: encoding snapshot: %w", err)
+	}
+	sum := sha256.Sum256(payload.Bytes())
+	payload.Write(sum[:])
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("notary: writing snapshot: %w", err)
 	}
 	return nil
 }
@@ -102,17 +123,43 @@ type sortRef struct {
 	ref corpus.Ref
 }
 
-// Load reads a database written by Save — the current format or the v1
-// inline-DER layout. The snapshot's reference time is restored with it.
-// Certificates are interned through the corpus on the way in; opts are
-// applied to the restored Notary (e.g. WithCorpus, WithObserver).
+// Load reads a database written by Save — the checksummed v3 envelope or
+// the legacy v1/v2 bare-gob layouts. The snapshot's reference time is
+// restored with it. A v3 snapshot that is truncated or corrupted anywhere
+// fails the SHA-256 check; legacy snapshots are rejected on any decode,
+// version, index, or certificate-parse inconsistency rather than loaded
+// partially. Certificates are interned through the corpus on the way in;
+// opts are applied to the restored Notary (e.g. WithCorpus, WithObserver).
 func Load(r io.Reader, opts ...Option) (*Notary, error) {
-	var snap snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("notary: decoding snapshot: %w", err)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("notary: reading snapshot: %w", err)
 	}
-	if snap.Version < 1 || snap.Version > snapshotVersion {
-		return nil, fmt.Errorf("notary: unsupported snapshot version %d", snap.Version)
+	var snap snapshot
+	if bytes.HasPrefix(data, []byte(snapshotMagic)) {
+		if len(data) < len(snapshotMagic)+sha256.Size {
+			return nil, fmt.Errorf("notary: snapshot truncated before checksum trailer (%d bytes)", len(data))
+		}
+		body, trailer := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+		if sum := sha256.Sum256(body); !bytes.Equal(sum[:], trailer) {
+			return nil, fmt.Errorf("notary: snapshot checksum mismatch (torn or corrupted write)")
+		}
+		if err := gob.NewDecoder(bytes.NewReader(body[len(snapshotMagic):])).Decode(&snap); err != nil {
+			return nil, fmt.Errorf("notary: decoding v3 snapshot: %w", err)
+		}
+		if snap.Version != snapshotVersion {
+			return nil, fmt.Errorf("notary: v3 envelope carries version %d", snap.Version)
+		}
+	} else {
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+			return nil, fmt.Errorf("notary: decoding snapshot: %w", err)
+		}
+		if snap.Version < 1 || snap.Version > 2 {
+			return nil, fmt.Errorf("notary: unsupported snapshot version %d", snap.Version)
+		}
+	}
+	if snap.Sessions < 0 {
+		return nil, fmt.Errorf("notary: snapshot carries negative session count %d", snap.Sessions)
 	}
 	n := New(snap.At, opts...)
 	n.sessions = snap.Sessions
@@ -141,32 +188,67 @@ func Load(r io.Reader, opts ...Option) (*Notary, error) {
 	return n, nil
 }
 
-// SaveFile writes the database to path atomically (write + rename).
+// SaveFile writes the database to path crash-safely: write to a temporary
+// name, fsync the file, rename over the final name, and fsync the
+// containing directory. A crash at any point leaves either the old
+// snapshot or the new one under the final name — never an empty or torn
+// file.
 func (n *Notary) SaveFile(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	dir := filepath.Dir(path)
+	return n.saveFS(faultfs.Disk, dir, filepath.Base(path))
+}
+
+// saveFS is SaveFile over an arbitrary filesystem — the durability layer
+// routes checkpoints through it so the fault injector and crash harness
+// can drive every I/O step.
+func (n *Notary) saveFS(fsys faultfs.FS, dir, base string) error {
+	final := faultfs.Join(dir, base)
+	tmp := final + ".tmp"
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("notary: creating %s: %w", tmp, err)
 	}
 	if err := n.Save(f); err != nil {
 		_ = f.Close() // best-effort cleanup: the Save error wins
-		_ = os.Remove(tmp)
+		_ = fsys.Remove(tmp)
 		return err
 	}
+	// fsync before rename: the rename must never publish a name whose
+	// content is still in the page cache only.
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("notary: syncing %s: %w", tmp, err)
+	}
 	if err := f.Close(); err != nil {
-		_ = os.Remove(tmp)
+		_ = fsys.Remove(tmp)
 		return fmt.Errorf("notary: closing %s: %w", tmp, err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		_ = os.Remove(tmp)
+	if err := fsys.Rename(tmp, final); err != nil {
+		_ = fsys.Remove(tmp)
 		return fmt.Errorf("notary: renaming snapshot: %w", err)
+	}
+	// fsync the directory so the rename itself survives a crash.
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("notary: syncing directory %s: %w", dir, err)
 	}
 	return nil
 }
 
+// SaveFileIn is SaveFile over an arbitrary filesystem — the crash harness
+// drives the write-fsync-rename-fsync protocol through MemFS with it.
+func (n *Notary) SaveFileIn(fsys faultfs.FS, dir, base string) error {
+	return n.saveFS(fsys, dir, base)
+}
+
 // LoadFile reads a database from path.
 func LoadFile(path string, opts ...Option) (*Notary, error) {
-	f, err := os.Open(path)
+	return loadFS(faultfs.Disk, path, opts...)
+}
+
+// loadFS is LoadFile over an arbitrary filesystem.
+func loadFS(fsys faultfs.FS, path string, opts ...Option) (*Notary, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("notary: opening %s: %w", path, err)
 	}

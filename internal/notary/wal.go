@@ -1,0 +1,354 @@
+package notary
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+
+	"tangledmass/internal/corpus"
+	"tangledmass/internal/faultfs"
+)
+
+// The write-ahead journal is an append-only sequence of length-prefixed,
+// per-record-checksummed frames:
+//
+//	[uint32 LE payload length][uint32 LE CRC32C(payload)][payload]
+//
+// preceded by a fixed magic header written and fsynced at creation time.
+// The payload's first byte is the record type:
+//
+//   - walRecCert introduces a certificate: the rest is its DER encoding.
+//     Certificates are assigned journal-local indexes in introduction
+//     order, so a chain observed a thousand times serializes its DER once
+//     per journal generation — the journal twin of snapshot v2's dedup
+//     table.
+//   - walRecObs is one observation: port, observation instant, and the
+//     chain as cert indexes.
+//   - walRecCA is one CA sighting (ObserveCA): port and one cert index.
+//   - walRecImport marks one certificate as store-imported.
+//
+// A batch of records is written with a single Write call and one fsync —
+// group commit. Nothing is acknowledged before that fsync returns, so
+// recovery truncating an unchecksummable tail can only ever drop
+// unacknowledged records.
+const walMagic = "TANGLED-NOTARY-WAL1\n"
+
+const (
+	walRecCert   = byte(1)
+	walRecObs    = byte(2)
+	walRecCA     = byte(3)
+	walRecImport = byte(4)
+)
+
+// crcTable is the Castagnoli polynomial — hardware-accelerated CRC32C.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// walWriter appends framed records to an open journal file.
+type walWriter struct {
+	f       faultfs.File
+	pending bytes.Buffer
+	records int // records in pending
+	// certIdx maps interned certificates to their journal-local index.
+	certIdx map[corpus.Ref]uint32
+}
+
+// createWAL creates a journal at path: magic header written, fsynced, and
+// the directory entry made durable. Only after it returns may records be
+// acknowledged against the file.
+func createWAL(fsys faultfs.FS, dir, base string) (*walWriter, error) {
+	path := faultfs.Join(dir, base)
+	f, err := fsys.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("notary: creating journal %s: %w", path, err)
+	}
+	if _, err := f.Write([]byte(walMagic)); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("notary: writing journal header %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("notary: syncing journal header %s: %w", path, err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("notary: syncing directory %s: %w", dir, err)
+	}
+	return &walWriter{f: f, certIdx: make(map[corpus.Ref]uint32)}, nil
+}
+
+// frame appends one framed record to the pending group-commit buffer.
+func (w *walWriter) frame(payload []byte) {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	w.pending.Write(hdr[:])
+	w.pending.Write(payload)
+	w.records++
+}
+
+// addCerts frames cert-introduction records for any chain member the
+// journal has not yet serialized and returns the chain as journal-local
+// indexes.
+func (w *walWriter) addCerts(c *corpus.Corpus, refs []corpus.Ref) []uint32 {
+	idxs := make([]uint32, len(refs))
+	for i, ref := range refs {
+		idx, ok := w.certIdx[ref]
+		if !ok {
+			idx = uint32(len(w.certIdx))
+			w.certIdx[ref] = idx
+			der := c.DER(ref)
+			payload := make([]byte, 1+len(der))
+			payload[0] = walRecCert
+			copy(payload[1:], der)
+			w.frame(payload)
+		}
+		idxs[i] = idx
+	}
+	return idxs
+}
+
+// addObs frames one observation record (plus any new cert records).
+func (w *walWriter) addObs(c *corpus.Corpus, o Observation, refs []corpus.Ref) {
+	idxs := w.addCerts(c, refs)
+	payload := make([]byte, 0, 1+4+8+4+4*len(idxs))
+	payload = append(payload, walRecObs)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(o.Port))
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(walInstant(o.SeenAt)))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(idxs)))
+	for _, idx := range idxs {
+		payload = binary.LittleEndian.AppendUint32(payload, idx)
+	}
+	w.frame(payload)
+}
+
+// addCA frames one ObserveCA record.
+func (w *walWriter) addCA(c *corpus.Corpus, ref corpus.Ref, port int) {
+	idxs := w.addCerts(c, []corpus.Ref{ref})
+	payload := make([]byte, 0, 1+4+4)
+	payload = append(payload, walRecCA)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(port))
+	payload = binary.LittleEndian.AppendUint32(payload, idxs[0])
+	w.frame(payload)
+}
+
+// addImport frames one store-import record.
+func (w *walWriter) addImport(c *corpus.Corpus, ref corpus.Ref) {
+	idxs := w.addCerts(c, []corpus.Ref{ref})
+	payload := make([]byte, 0, 1+4)
+	payload = append(payload, walRecImport)
+	payload = binary.LittleEndian.AppendUint32(payload, idxs[0])
+	w.frame(payload)
+}
+
+// commit group-commits the pending records: one write, one fsync. It
+// returns the committed byte count. On error the journal tail is in an
+// unknown state and the caller must fence further appends until a
+// checkpoint starts a fresh journal.
+func (w *walWriter) commit() (int, int, error) {
+	n := w.pending.Len()
+	recs := w.records
+	w.records = 0
+	if n == 0 {
+		return 0, 0, nil
+	}
+	data := w.pending.Bytes()
+	w.pending.Reset()
+	if _, err := w.f.Write(data); err != nil {
+		return recs, 0, fmt.Errorf("notary: appending %d journal records: %w", recs, err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return recs, 0, fmt.Errorf("notary: syncing journal: %w", err)
+	}
+	return recs, n, nil
+}
+
+func (w *walWriter) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// walInstant maps an observation instant to its journal encoding: 0 for
+// the zero time (meaning "use the database reference time"), UnixNano
+// otherwise.
+func walInstant(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
+}
+
+// walRecord is one decoded journal record.
+type walRecord struct {
+	kind   byte
+	der    []byte    // walRecCert
+	port   int       // walRecObs, walRecCA
+	seenAt time.Time // walRecObs
+	chain  []uint32  // walRecObs: cert indexes
+	cert   uint32    // walRecCA, walRecImport
+}
+
+// walScan parses journal bytes. It returns the decoded records, the byte
+// offset of the first undecodable frame (-1 when the file is clean), and
+// a description of why scanning stopped. A short or checksum-failing tail
+// is the expected signature of a crash mid-group-commit; anything before
+// a valid frame boundary is never skipped over.
+func walScan(data []byte) (recs []walRecord, tornAt int64, tornWhy string) {
+	if len(data) < len(walMagic) || !bytes.Equal(data[:len(walMagic)], []byte(walMagic)) {
+		return nil, 0, "missing or torn journal header"
+	}
+	off := int64(len(walMagic))
+	rest := data[len(walMagic):]
+	for len(rest) > 0 {
+		if len(rest) < 8 {
+			return recs, off, fmt.Sprintf("torn frame header (%d trailing bytes)", len(rest))
+		}
+		length := binary.LittleEndian.Uint32(rest[0:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if uint64(length) > uint64(len(rest)-8) {
+			return recs, off, fmt.Sprintf("torn frame payload (%d of %d bytes)", len(rest)-8, length)
+		}
+		payload := rest[8 : 8+length]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return recs, off, "frame checksum mismatch"
+		}
+		rec, err := decodeWALRecord(payload)
+		if err != nil {
+			return recs, off, err.Error()
+		}
+		recs = append(recs, rec)
+		off += int64(8 + length)
+		rest = rest[8+length:]
+	}
+	return recs, -1, ""
+}
+
+func decodeWALRecord(payload []byte) (walRecord, error) {
+	if len(payload) == 0 {
+		return walRecord{}, fmt.Errorf("empty record payload")
+	}
+	rec := walRecord{kind: payload[0]}
+	body := payload[1:]
+	switch rec.kind {
+	case walRecCert:
+		if len(body) == 0 {
+			return walRecord{}, fmt.Errorf("cert record with no DER")
+		}
+		rec.der = body
+	case walRecObs:
+		if len(body) < 16 {
+			return walRecord{}, fmt.Errorf("observation record too short (%d bytes)", len(body))
+		}
+		rec.port = int(binary.LittleEndian.Uint32(body[0:4]))
+		// UTC, not local: replayed entries must serialize byte-identically
+		// to live-applied ones, and gob's time encoding includes the zone.
+		if ns := int64(binary.LittleEndian.Uint64(body[4:12])); ns != 0 {
+			rec.seenAt = time.Unix(0, ns).UTC()
+		}
+		count := binary.LittleEndian.Uint32(body[12:16])
+		if uint64(len(body)-16) != uint64(count)*4 {
+			return walRecord{}, fmt.Errorf("observation record chain length mismatch")
+		}
+		rec.chain = make([]uint32, count)
+		for i := range rec.chain {
+			rec.chain[i] = binary.LittleEndian.Uint32(body[16+4*i : 20+4*i])
+		}
+	case walRecCA:
+		if len(body) != 8 {
+			return walRecord{}, fmt.Errorf("CA record length %d", len(body))
+		}
+		rec.port = int(binary.LittleEndian.Uint32(body[0:4]))
+		rec.cert = binary.LittleEndian.Uint32(body[4:8])
+	case walRecImport:
+		if len(body) != 4 {
+			return walRecord{}, fmt.Errorf("import record length %d", len(body))
+		}
+		rec.cert = binary.LittleEndian.Uint32(body[0:4])
+	default:
+		return walRecord{}, fmt.Errorf("unknown record type %d", rec.kind)
+	}
+	return rec, nil
+}
+
+// replayWAL applies a journal to the database: certificates are interned
+// as their introduction records arrive, observations re-applied in log
+// order. It returns the number of state records applied (observations,
+// CA sightings, imports — cert introductions are bookkeeping) and the
+// truncation offset (-1 for a clean tail). Decode errors inside the
+// checksummed region reference the journal's own cert table; a record
+// indexing past it is corruption and stops replay at that frame.
+func replayWAL(fsys faultfs.FS, path string, n *Notary) (applied int, tornAt int64, tornWhy string, err error) {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return 0, -1, "", fmt.Errorf("notary: opening journal %s: %w", path, err)
+	}
+	data, err := io.ReadAll(f)
+	cerr := f.Close()
+	if err != nil {
+		return 0, -1, "", fmt.Errorf("notary: reading journal %s: %w", path, err)
+	}
+	if cerr != nil {
+		return 0, -1, "", fmt.Errorf("notary: closing journal %s: %w", path, cerr)
+	}
+	recs, tornAt, tornWhy := walScan(data)
+	var certs []corpus.Ref
+	resolve := func(idx uint32) (corpus.Ref, bool) { // journal-local index -> ref
+		if uint64(idx) >= uint64(len(certs)) {
+			return 0, false
+		}
+		return certs[idx], true
+	}
+	for i, rec := range recs {
+		switch rec.kind {
+		case walRecCert:
+			ref, ierr := n.c.Intern(rec.der)
+			if ierr != nil {
+				return applied, tornAt, tornWhy, fmt.Errorf("notary: journal record %d: %w", i, ierr)
+			}
+			certs = append(certs, ref)
+		case walRecObs:
+			refs := make([]corpus.Ref, len(rec.chain))
+			for j, idx := range rec.chain {
+				ref, ok := resolve(idx)
+				if !ok {
+					return applied, tornAt, tornWhy, fmt.Errorf("notary: journal record %d references certificate %d of %d", i, idx, len(certs))
+				}
+				refs[j] = ref
+			}
+			o := Observation{Port: rec.port, SeenAt: rec.seenAt}
+			n.mu.Lock()
+			n.applyRefs(o, refs)
+			n.mu.Unlock()
+			applied++
+		case walRecCA:
+			ref, ok := resolve(rec.cert)
+			if !ok {
+				return applied, tornAt, tornWhy, fmt.Errorf("notary: journal record %d references certificate %d of %d", i, rec.cert, len(certs))
+			}
+			n.mu.Lock()
+			n.sessions++
+			e := n.entryRef(ref)
+			e.Sessions++
+			e.Ports[rec.port]++
+			e.touch(n.at)
+			n.mu.Unlock()
+			applied++
+		case walRecImport:
+			ref, ok := resolve(rec.cert)
+			if !ok {
+				return applied, tornAt, tornWhy, fmt.Errorf("notary: journal record %d references certificate %d of %d", i, rec.cert, len(certs))
+			}
+			n.mu.Lock()
+			n.entryRef(ref).FromStore = true
+			n.mu.Unlock()
+			applied++
+		}
+	}
+	return applied, tornAt, tornWhy, nil
+}

@@ -1,0 +1,132 @@
+package notary
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+	"time"
+)
+
+// buildFrame frames one payload exactly as walWriter.frame does.
+func buildFrame(payload []byte) []byte {
+	out := make([]byte, 8, 8+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.Checksum(payload, crcTable))
+	return append(out, payload...)
+}
+
+// obsPayload encodes a walRecObs payload by hand.
+func obsPayload(port int, seenAt int64, chain []uint32) []byte {
+	p := []byte{walRecObs}
+	p = binary.LittleEndian.AppendUint32(p, uint32(port))
+	p = binary.LittleEndian.AppendUint64(p, uint64(seenAt))
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(chain)))
+	for _, idx := range chain {
+		p = binary.LittleEndian.AppendUint32(p, idx)
+	}
+	return p
+}
+
+func TestWALScanClean(t *testing.T) {
+	data := []byte(walMagic)
+	data = append(data, buildFrame(obsPayload(443, 0, []uint32{0, 1}))...)
+	data = append(data, buildFrame(obsPayload(993, 12345, []uint32{2}))...)
+	recs, tornAt, why := walScan(data)
+	if tornAt != -1 || why != "" {
+		t.Fatalf("clean journal reported torn at %d (%s)", tornAt, why)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	if recs[0].port != 443 || len(recs[0].chain) != 2 {
+		t.Errorf("record 0 = %+v", recs[0])
+	}
+	if !recs[0].seenAt.IsZero() {
+		t.Error("zero instant should decode as the zero time")
+	}
+	if recs[1].seenAt.IsZero() || recs[1].seenAt.Location() != time.UTC {
+		t.Errorf("record 1 instant = %v, want non-zero UTC", recs[1].seenAt)
+	}
+}
+
+func TestWALScanMissingHeader(t *testing.T) {
+	for _, data := range [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("TANGLED-NOTARY-XXX1\nrest"),
+	} {
+		if _, tornAt, why := walScan(data); tornAt != 0 || why == "" {
+			t.Errorf("header %q: tornAt=%d why=%q, want 0 with reason", data, tornAt, why)
+		}
+	}
+}
+
+// TestWALScanTornTails covers every way a crash mid-group-commit can cut
+// the file: inside a frame header, inside a payload, and a bit flip that
+// fails the CRC. Scanning must keep everything before the tear and report
+// the exact tear offset.
+func TestWALScanTornTails(t *testing.T) {
+	good := buildFrame(obsPayload(443, 99, []uint32{0}))
+	base := append([]byte(walMagic), good...)
+	tail := buildFrame(obsPayload(8883, 100, []uint32{1, 2}))
+
+	t.Run("short header", func(t *testing.T) {
+		data := append(append([]byte{}, base...), tail[:5]...)
+		recs, tornAt, why := walScan(data)
+		if len(recs) != 1 || tornAt != int64(len(base)) || why == "" {
+			t.Fatalf("recs=%d tornAt=%d why=%q", len(recs), tornAt, why)
+		}
+	})
+	t.Run("short payload", func(t *testing.T) {
+		data := append(append([]byte{}, base...), tail[:len(tail)-3]...)
+		recs, tornAt, why := walScan(data)
+		if len(recs) != 1 || tornAt != int64(len(base)) || why == "" {
+			t.Fatalf("recs=%d tornAt=%d why=%q", len(recs), tornAt, why)
+		}
+	})
+	t.Run("crc flip", func(t *testing.T) {
+		data := append(append([]byte{}, base...), tail...)
+		data[len(base)+10] ^= 0x01 // inside the tail frame's payload
+		recs, tornAt, why := walScan(data)
+		if len(recs) != 1 || tornAt != int64(len(base)) || why != "frame checksum mismatch" {
+			t.Fatalf("recs=%d tornAt=%d why=%q", len(recs), tornAt, why)
+		}
+	})
+	t.Run("flip in first frame keeps nothing", func(t *testing.T) {
+		data := append(append([]byte{}, base...), tail...)
+		data[len(walMagic)+9] ^= 0x01
+		recs, tornAt, why := walScan(data)
+		if len(recs) != 0 || tornAt != int64(len(walMagic)) || why == "" {
+			t.Fatalf("recs=%d tornAt=%d why=%q", len(recs), tornAt, why)
+		}
+	})
+}
+
+func TestWALScanRejectsMalformedRecords(t *testing.T) {
+	cases := map[string][]byte{
+		"empty payload":     {},
+		"unknown type":      {0xEE, 1, 2, 3},
+		"obs too short":     {walRecObs, 1, 2},
+		"obs chain len lie": obsPayload(443, 0, []uint32{0})[:17],
+		"cert no der":       {walRecCert},
+		"ca wrong length":   {walRecCA, 1, 2, 3},
+		"import wrong len":  {walRecImport, 1, 2, 3, 4, 5},
+	}
+	for name, payload := range cases {
+		data := append([]byte(walMagic), buildFrame(payload)...)
+		recs, tornAt, why := walScan(data)
+		if len(recs) != 0 || tornAt != int64(len(walMagic)) || why == "" {
+			t.Errorf("%s: recs=%d tornAt=%d why=%q, want stop at frame", name, len(recs), tornAt, why)
+		}
+	}
+}
+
+func TestWALInstant(t *testing.T) {
+	if walInstant(time.Time{}) != 0 {
+		t.Error("zero time must encode as 0")
+	}
+	at := time.Date(2013, time.November, 2, 3, 4, 5, 6, time.UTC)
+	if got := walInstant(at); got != at.UnixNano() {
+		t.Errorf("walInstant = %d, want %d", got, at.UnixNano())
+	}
+}

@@ -10,6 +10,10 @@ const (
 	// KeyIngestDedupe counts re-sent observations absorbed by the
 	// idempotency window.
 	KeyIngestDedupe = "notarynet.ingest.dedupe.hit"
+	// KeyIngestRejected counts observations refused by the write path —
+	// with the durable ingester, journal commits that failed before
+	// acknowledgment (the sensor retries them).
+	KeyIngestRejected = "notarynet.ingest.rejected"
 	// KeyQueryTotal counts read-side requests (has_record, stats,
 	// validate).
 	KeyQueryTotal = "notarynet.query.total"

@@ -14,6 +14,7 @@ import (
 // uniform New(addr, ...Option) shape.
 type options struct {
 	observer       *obs.Observer
+	ingester       Ingester
 	timeout        time.Duration
 	retry          *resilient.Retrier
 	breaker        *resilient.Breaker
@@ -29,6 +30,15 @@ type Option func(*options)
 // debug handler always work) and the client stays silent.
 func WithObserver(o *obs.Observer) Option {
 	return func(op *options) { op.observer = o }
+}
+
+// WithIngester routes the server's write operations (observe, observe_ca)
+// through ing instead of straight into the in-memory Notary. notaryd
+// passes the durable notary.DB here, making the network acknowledgment
+// and the fsync acknowledgment one and the same. Client-side it is
+// ignored.
+func WithIngester(ing Ingester) Option {
+	return func(op *options) { op.ingester = ing }
 }
 
 // WithTimeout bounds one client round trip. Zero (the default) means one

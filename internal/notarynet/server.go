@@ -2,6 +2,7 @@ package notarynet
 
 import (
 	"bufio"
+	"crypto/x509"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -23,10 +24,31 @@ const maxLineBytes = 8 << 20
 // seconds, so a few thousand recent IDs is plenty; older ones age out.
 const seenCap = 4096
 
+// Ingester is the server's write path. The default wraps the Notary
+// directly (in-memory only); daemons running the durable layer pass the
+// notary.DB via WithIngester so every accepted observation is journaled
+// and fsynced before the sensor sees its acknowledgment. A non-nil error
+// turns into a protocol-level error response — the sensor retries, and
+// nothing unacknowledged is double-counted thanks to the idempotency IDs.
+type Ingester interface {
+	Observe(o notary.Observation) error
+	ObserveCA(cert *x509.Certificate, port int) error
+}
+
+// notaryIngester adapts the bare in-memory Notary to the Ingester shape.
+type notaryIngester struct{ n *notary.Notary }
+
+func (ni notaryIngester) Observe(o notary.Observation) error { ni.n.Observe(o); return nil }
+func (ni notaryIngester) ObserveCA(cert *x509.Certificate, port int) error {
+	ni.n.ObserveCA(cert, port)
+	return nil
+}
+
 // Server exposes a Notary over TCP. Construct with NewServer; Close stops
 // it.
 type Server struct {
 	n   *notary.Notary
+	ing Ingester
 	ln  net.Listener
 	obs *obs.Observer
 
@@ -51,7 +73,11 @@ func NewServer(n *notary.Notary, addr string, opts ...Option) (*Server, error) {
 	if observer == nil {
 		observer = obs.New()
 	}
-	s := &Server{n: n, ln: ln, obs: observer, seen: make(map[string]bool)}
+	ing := op.ingester
+	if ing == nil {
+		ing = notaryIngester{n: n}
+	}
+	s := &Server{n: n, ing: ing, ln: ln, obs: observer, seen: make(map[string]bool)}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -155,6 +181,19 @@ func (s *Server) duplicate(id string) bool {
 	return false
 }
 
+// forget drops an idempotency ID recorded by duplicate — used when the
+// ingest behind it failed, so the eventual retry is processed rather than
+// deduplicated. The ID stays in seenOrder; the aging loop tolerates
+// already-deleted entries.
+func (s *Server) forget(id string) {
+	if id == "" {
+		return
+	}
+	s.mu.Lock()
+	delete(s.seen, id)
+	s.mu.Unlock()
+}
+
 func (s *Server) dispatch(req Request) Response {
 	switch req.Op {
 	case "observe":
@@ -172,8 +211,14 @@ func (s *Server) dispatch(req Request) Response {
 			s.obs.Counter(KeyIngestDedupe).Inc()
 			return Response{OK: true}
 		}
+		if err := s.ing.Observe(notary.Observation{Chain: chain, Port: req.Port}); err != nil {
+			// The observation was NOT durably recorded: forget the ID so the
+			// sensor's retry is not absorbed as a duplicate and lost.
+			s.forget(req.ID)
+			s.obs.Counter(KeyIngestRejected).Inc()
+			return Response{Error: "observe: " + err.Error()}
+		}
 		s.obs.Counter(KeyIngestTotal).Inc()
-		s.n.Observe(notary.Observation{Chain: chain, Port: req.Port})
 		return Response{OK: true}
 
 	case "observe_ca":
@@ -185,8 +230,12 @@ func (s *Server) dispatch(req Request) Response {
 			s.obs.Counter(KeyIngestDedupe).Inc()
 			return Response{OK: true}
 		}
+		if err := s.ing.ObserveCA(cert, req.Port); err != nil {
+			s.forget(req.ID)
+			s.obs.Counter(KeyIngestRejected).Inc()
+			return Response{Error: "observe_ca: " + err.Error()}
+		}
 		s.obs.Counter(KeyIngestTotal).Inc()
-		s.n.ObserveCA(cert, req.Port)
 		return Response{OK: true}
 
 	case "has_record":

@@ -22,6 +22,17 @@ echo "==> metrics-smoke: debug endpoint sanity"
 echo "==> chaos: campaign under injected faults"
 go test -race -run TestChaosCampaignDeterministic ./internal/campaign/
 
+# The crash gate: re-run the notary ingest, crashing after every write/
+# sync/rename boundary, and prove recovery always yields exactly the
+# acknowledged prefix. CRASH_GATE=off skips the dedicated stage (the sweep
+# still runs inside the full test pass below unless that is also trimmed).
+if [ "${CRASH_GATE:-on}" = "off" ]; then
+	echo "==> crash: skipped (CRASH_GATE=off)"
+else
+	echo "==> crash: notary crashpoint recovery sweep"
+	go test -race -run TestCrashpointSweep ./internal/notary/
+fi
+
 echo "==> go test -race ./..."
 go test -race ./...
 
@@ -33,9 +44,9 @@ go test -race ./...
 if [ "${BENCH_GATE:-on}" = "off" ]; then
 	echo "==> bench-gate: skipped (BENCH_GATE=off)"
 else
-	echo "==> bench-gate: Table/Figure vs BENCH_pr6.json (tolerance 25% time, 25% allocs)"
+	echo "==> bench-gate: Table/Figure vs BENCH_pr7.json (tolerance 25% time, 25% allocs)"
 	go test -run '^$' -bench 'Table|Figure' -benchmem -benchtime "${BENCH_TIME:-3x}" . |
-		go run ./cmd/benchjson gate -baseline BENCH_pr6.json -match 'Table|Figure' -tolerance 0.25 -alloc-tolerance 0.25
+		go run ./cmd/benchjson gate -baseline BENCH_pr7.json -match 'Table|Figure' -tolerance 0.25 -alloc-tolerance 0.25
 fi
 
 echo "verify: all gates passed"
