@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test lint lint-baseline vet chaos crash metrics-smoke bench bench-gate verify
+.PHONY: build test lint lint-baseline vet chaos crash metrics-smoke dataset-smoke bench bench-gate verify
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,11 @@ crash:
 metrics-smoke:
 	./scripts/metrics_smoke.sh
 
+# The interchange gate: export a fleet, convert JSONL -> columnar, verify
+# both directories, and check the verifier rejects a truncated file.
+dataset-smoke:
+	./scripts/dataset_smoke.sh
+
 # Full benchmark sweep with -benchmem, emitting a BENCH JSON record.
 bench:
 	./scripts/bench.sh
@@ -49,7 +54,7 @@ bench:
 # failing on a >25% ns/op regression.
 bench-gate:
 	$(GO) test -run '^$$' -bench 'Table|Figure' -benchmem -benchtime 3x . | \
-		$(GO) run ./cmd/benchjson gate -baseline BENCH_pr7.json -match 'Table|Figure' -tolerance 0.25 -alloc-tolerance 0.25
+		$(GO) run ./cmd/benchjson gate -baseline BENCH_pr8.json -match 'Table|Figure' -tolerance 0.25 -alloc-tolerance 0.25
 
 verify:
 	./verify.sh

@@ -198,6 +198,57 @@ func BenchmarkDatasetRead(b *testing.B) {
 	os.RemoveAll(dir)
 }
 
+// BenchmarkDatasetReadColumnar measures loading the same fleet from the v2
+// columnar format: one bulk intern of the deduplicated DER table and flat
+// column decodes instead of the JSONL path's per-handset JSON parsing and
+// fingerprint resolution.
+func BenchmarkDatasetReadColumnar(b *testing.B) {
+	f := benchFixtures(b)
+	ctx := context.Background()
+	dir := filepath.Join(b.TempDir(), "ds")
+	if err := dataset.NewWriter(dir, dataset.WithFormat(dataset.Columnar)).Write(ctx, f.pop); err != nil {
+		b.Fatal(err)
+	}
+	r := dataset.NewReader(dir, dataset.WithUniverse(f.universe))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := r.Read(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.TotalSessions() != f.pop.TotalSessions() {
+			b.Fatal("round-trip session mismatch")
+		}
+	}
+	b.StopTimer()
+	os.RemoveAll(dir)
+}
+
+// BenchmarkDatasetConvert measures a full v1→v2 re-encode: JSONL load plus
+// columnar write, the `tangled dataset convert` hot path.
+func BenchmarkDatasetConvert(b *testing.B) {
+	f := benchFixtures(b)
+	ctx := context.Background()
+	src := filepath.Join(b.TempDir(), "src")
+	dst := filepath.Join(b.TempDir(), "dst")
+	if err := dataset.NewWriter(src).Write(ctx, f.pop); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := dataset.NewReader(src, dataset.WithUniverse(f.universe)).Read(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := dataset.NewWriter(dst, dataset.WithFormat(dataset.Columnar)).Write(ctx, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	os.RemoveAll(src)
+	os.RemoveAll(dst)
+}
+
 // BenchmarkTapExtraction measures passive chain extraction: a full TLS 1.2
 // handshake through the tap relay with parser attached.
 func BenchmarkTapExtraction(b *testing.B) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 
@@ -102,16 +103,18 @@ func cmdFleet(args []string) error {
 	scale := fs.Float64("scale", 0.25, "session-quota scale")
 	seed := fs.Int64("seed", 1, "seed")
 	export := fs.String("export", "", "write the generated fleet as a dataset directory")
+	format := fs.String("format", "jsonl", "dataset format for -export (jsonl|columnar)")
 	load := fs.String("load", "", "load a fleet from a dataset directory instead of generating")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx := context.Background()
 	var (
 		pop *population.Population
 		err error
 	)
 	if *load != "" {
-		pop, err = dataset.Read(*load, nil)
+		pop, err = dataset.NewReader(*load).Read(ctx)
 	} else {
 		pop, err = population.Generate(population.Config{Seed: *seed, SessionScale: *scale})
 	}
@@ -125,7 +128,11 @@ func cmdFleet(args []string) error {
 	fmt.Println()
 	fmt.Print(report.Table5(analysis.Table5(pop)))
 	if *export != "" {
-		if err := dataset.Write(*export, pop); err != nil {
+		f, err := datasetFormat(*format)
+		if err != nil {
+			return err
+		}
+		if err := dataset.NewWriter(*export, dataset.WithFormat(f)).Write(ctx, pop); err != nil {
 			return err
 		}
 		fmt.Printf("\ndataset written to %s\n", *export)

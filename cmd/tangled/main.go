@@ -68,6 +68,8 @@ func run(args []string) error {
 		return cmdSurface(args[1:])
 	case "fleet":
 		return cmdFleet(args[1:])
+	case "dataset":
+		return cmdDataset(args[1:])
 	case "show":
 		return cmdShow(args[1:])
 	case "campaign":
@@ -92,6 +94,9 @@ func usage() {
   tangled minimize [-threshold N] [-sweep] <store>  propose §8 store pruning
   tangled surface <store>                 TLS attack surface under trust policies
   tangled fleet [-scale F] [-export DIR] [-load DIR]  fleet analyses
+  tangled dataset convert [-format F] <src> <dst>  re-encode a dataset (jsonl|columnar)
+  tangled dataset inspect <dir>           summarize a dataset directory
+  tangled dataset verify <dir>            integrity-check a dataset (checksums, references)
   tangled show [-pem] <cert-name>         openssl-style certificate dump
   tangled campaign [-scale F] [-seed N] [-frozen-clock]  run the pipeline, dump the obs snapshot as JSON
   tangled fsck <data-dir>                 verify a notaryd data directory offline`)

@@ -10,8 +10,6 @@ import (
 	"sort"
 
 	"tangledmass/internal/cauniverse"
-	"tangledmass/internal/certid"
-	"tangledmass/internal/corpus"
 	"tangledmass/internal/population"
 	"tangledmass/internal/rootstore"
 )
@@ -48,27 +46,15 @@ func Table2(p *population.Population, k int) (devices, manufacturers []CountRow)
 
 // Table2 returns the top-k devices and manufacturers by session count.
 func (e *Engine) Table2(p *population.Population, k int) (devices, manufacturers []CountRow) {
-	type acc struct{ dev, man map[string]int }
-	a := accumulate(e, len(p.Sessions),
-		func() acc { return acc{dev: map[string]int{}, man: map[string]int{}} },
-		func(a acc, start, end int) acc {
-			for i := start; i < end; i++ {
-				s := p.Sessions[i]
-				a.dev[s.Handset.Manufacturer+" "+s.Handset.Model]++
-				a.man[s.Handset.Manufacturer]++
-			}
-			return a
-		},
-		func(into, from acc) acc {
-			for k, n := range from.dev {
-				into.dev[k] += n
-			}
-			for k, n := range from.man {
-				into.man[k] += n
-			}
-			return into
-		})
-	return topK(a.dev, k), topK(a.man, k)
+	c := reduce(e, p, NewTable2Aggregate)
+	return truncRows(c.Devices, k), truncRows(c.Manufacturers, k)
+}
+
+func truncRows(rows []CountRow, k int) []CountRow {
+	if k < len(rows) {
+		return rows[:k]
+	}
+	return rows
 }
 
 func topK(m map[string]int, k int) []CountRow {
@@ -107,43 +93,7 @@ func Figure1(p *population.Population) []ScatterPoint {
 
 // Figure1 aggregates the fleet into the extended-store scatter.
 func (e *Engine) Figure1(p *population.Population) []ScatterPoint {
-	type key struct {
-		man, ver   string
-		aosp, xtra int
-	}
-	agg := accumulate(e, len(p.Sessions),
-		func() map[key]int { return map[key]int{} },
-		func(agg map[key]int, start, end int) map[key]int {
-			for i := start; i < end; i++ {
-				h := p.Sessions[i].Handset
-				agg[key{h.Manufacturer, h.Version, h.AOSPCount, h.ExtraCount}]++
-			}
-			return agg
-		},
-		func(into, from map[key]int) map[key]int {
-			for k, n := range from {
-				into[k] += n
-			}
-			return into
-		})
-	out := make([]ScatterPoint, 0, len(agg))
-	for k, n := range agg {
-		out = append(out, ScatterPoint{k.man, k.ver, k.aosp, k.xtra, n})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Manufacturer != b.Manufacturer {
-			return a.Manufacturer < b.Manufacturer
-		}
-		if a.Version != b.Version {
-			return a.Version < b.Version
-		}
-		if a.AOSPCerts != b.AOSPCerts {
-			return a.AOSPCerts < b.AOSPCerts
-		}
-		return a.ExtraCerts < b.ExtraCerts
-	})
-	return out
+	return reduce(e, p, NewFigure1Aggregate)
 }
 
 // MarkerSize buckets a session count into Figure 1's log2 marker-size
@@ -185,67 +135,7 @@ func ComputeHeadlines(p *population.Population) Headlines {
 
 // ComputeHeadlines derives the §5/§6 headline numbers from the fleet.
 func (e *Engine) ComputeHeadlines(p *population.Population) Headlines {
-	h := Headlines{
-		TotalSessions:    p.TotalSessions(),
-		Handsets:         len(p.Handsets),
-		UniqueRoots:      p.UniqueRootIdentities(),
-		ExtendedFraction: p.ExtendedSessionFraction(),
-		RootedFraction:   p.RootedSessionFraction(),
-	}
-	type acc struct {
-		models                                     map[string]bool
-		old, oldOver40, rooted, rootedExcl, intcpt int
-	}
-	a := accumulate(e, len(p.Sessions),
-		func() acc { return acc{models: map[string]bool{}} },
-		func(a acc, start, end int) acc {
-			for i := start; i < end; i++ {
-				s := p.Sessions[i]
-				hs := s.Handset
-				a.models[hs.Manufacturer+"/"+hs.Model] = true
-				if hs.Version == "4.1" || hs.Version == "4.2" {
-					a.old++
-					if hs.ExtraCount > 40 {
-						a.oldOver40++
-					}
-				}
-				if hs.Rooted {
-					a.rooted++
-					if hs.RootedExclusive {
-						a.rootedExcl++
-					}
-				}
-				if s.Intercepted {
-					a.intcpt++
-				}
-			}
-			return a
-		},
-		func(into, from acc) acc {
-			for m := range from.models {
-				into.models[m] = true
-			}
-			into.old += from.old
-			into.oldOver40 += from.oldOver40
-			into.rooted += from.rooted
-			into.rootedExcl += from.rootedExcl
-			into.intcpt += from.intcpt
-			return into
-		})
-	h.InterceptedSessions = a.intcpt
-	h.Models = len(a.models)
-	if a.old > 0 {
-		h.Over40Fraction41_42 = float64(a.oldOver40) / float64(a.old)
-	}
-	if a.rooted > 0 {
-		h.RootedExclusiveOfRoots = float64(a.rootedExcl) / float64(a.rooted)
-	}
-	for _, hs := range p.Handsets {
-		if hs.MissingCount > 0 {
-			h.MissingHandsets++
-		}
-	}
-	return h
+	return reduce(e, p, NewHeadlinesAggregate)
 }
 
 // MonthCount is one month of the collection window with its session count.
@@ -263,30 +153,7 @@ func SessionsPerMonth(p *population.Population) []MonthCount {
 // SessionsPerMonth histograms the fleet's sessions over the collection
 // window.
 func (e *Engine) SessionsPerMonth(p *population.Population) []MonthCount {
-	counts := accumulate(e, len(p.Sessions),
-		func() map[string]int { return map[string]int{} },
-		func(counts map[string]int, start, end int) map[string]int {
-			for i := start; i < end; i++ {
-				counts[p.Sessions[i].At.Format("2006-01")]++
-			}
-			return counts
-		},
-		func(into, from map[string]int) map[string]int {
-			for m, n := range from {
-				into[m] += n
-			}
-			return into
-		})
-	months := make([]string, 0, len(counts))
-	for m := range counts {
-		months = append(months, m)
-	}
-	sort.Strings(months)
-	out := make([]MonthCount, len(months))
-	for i, m := range months {
-		out[i] = MonthCount{Month: m, Sessions: counts[m]}
-	}
-	return out
+	return reduce(e, p, NewMonthsAggregate)
 }
 
 // RootedExclusive is one Table 5 row: a root found exclusively on rooted
@@ -307,89 +174,9 @@ func Table5(p *population.Population) []RootedExclusive {
 
 // Table5 detects certificates that appear exclusively on rooted handsets.
 func (e *Engine) Table5(p *population.Population) []RootedExclusive {
-	u := p.Universe
-	aosp44 := u.AOSP("4.4")
-	type tally struct {
-		rooted, nonRooted int
-		subject           string
-	}
-	type acc struct {
-		counts map[certid.Identity]*tally
-		cn     map[certid.Identity]string
-	}
-	// The CN recorded for an identity is the one carried by the first
-	// handset (in fleet order) that introduced it — an order-sensitive
-	// merge that stays deterministic because shards fold ascending handset
-	// ranges and merge in ascending shard order.
-	a := accumulate(e, len(p.Handsets),
-		func() acc {
-			return acc{counts: map[certid.Identity]*tally{}, cn: map[certid.Identity]string{}}
-		},
-		func(a acc, start, end int) acc {
-			for i := start; i < end; i++ {
-				h := p.Handsets[i]
-				for _, id := range h.Store.Identities() {
-					if aosp44.ContainsIdentity(id) {
-						continue
-					}
-					t := a.counts[id]
-					if t == nil {
-						t = &tally{subject: id.Subject}
-						a.counts[id] = t
-						if c := h.Store.Get(id); c != nil {
-							a.cn[id] = c.Subject.CommonName
-						}
-					}
-					if h.Rooted {
-						t.rooted++
-					} else {
-						t.nonRooted++
-					}
-				}
-			}
-			return a
-		},
-		func(into, from acc) acc {
-			for id, t := range from.counts {
-				if have := into.counts[id]; have != nil {
-					have.rooted += t.rooted
-					have.nonRooted += t.nonRooted
-					continue
-				}
-				into.counts[id] = t
-				// The CN travels with the identity's creating shard only:
-				// later shards never override an earlier first sighting.
-				if name, ok := from.cn[id]; ok {
-					into.cn[id] = name
-				}
-			}
-			return into
-		})
-	counts, cn := a.counts, a.cn
-	nameByID := map[certid.Identity]string{}
-	for _, r := range u.Roots() {
-		nameByID[corpus.IdentityOf(r.Issued.Cert)] = r.Name
-	}
-	var out []RootedExclusive
-	for id, t := range counts {
-		if t.rooted >= 1 && t.nonRooted == 0 {
-			name := nameByID[id]
-			if name == "" {
-				name = cn[id]
-			}
-			if name == "" {
-				name = id.Subject
-			}
-			out = append(out, RootedExclusive{Subject: id.Subject, Name: name, Devices: t.rooted})
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Devices != out[j].Devices {
-			return out[i].Devices > out[j].Devices
-		}
-		return out[i].Name < out[j].Name
+	return reduce(e, p, func() Aggregate[Batch, []RootedExclusive] {
+		return NewTable5Aggregate(p.Universe)
 	})
-	return out
 }
 
 // MissingReport lists the handsets missing AOSP roots (§5's "only 5

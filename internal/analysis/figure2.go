@@ -2,10 +2,8 @@ package analysis
 
 import (
 	"crypto/x509"
-	"sort"
 
-	"tangledmass/internal/certid"
-	"tangledmass/internal/corpus"
+	"tangledmass/internal/cauniverse"
 	"tangledmass/internal/notary"
 	"tangledmass/internal/population"
 )
@@ -25,7 +23,12 @@ const (
 // PresenceClass classifies one certificate against the Mozilla and iOS7
 // stores and the Notary's records, as Figure 2's legend does.
 func PresenceClass(cert *x509.Certificate, p *population.Population, n *notary.Notary) Fig2Class {
-	u := p.Universe
+	return presenceClass(cert, p.Universe, n)
+}
+
+// presenceClass is PresenceClass against a bare universe — what the
+// incremental Figure 2 aggregate captures at construction.
+func presenceClass(cert *x509.Certificate, u *cauniverse.Universe, n *notary.Notary) Fig2Class {
 	inMoz := u.Mozilla().Contains(cert)
 	inIOS := u.IOS7().Contains(cert)
 	switch {
@@ -74,117 +77,9 @@ func Figure2(p *population.Population, n *notary.Notary, minSessions int) []Attr
 
 // Figure2 builds the attribution matrix; see the package-level Figure2.
 func (e *Engine) Figure2(p *population.Population, n *notary.Notary, minSessions int) []AttributionCell {
-	u := p.Universe
-	nameByID := map[certid.Identity]string{}
-	for _, r := range u.Roots() {
-		nameByID[corpus.IdentityOf(r.Issued.Cert)] = r.Name
-	}
-
-	type groupKey struct{ kind, name string }
-	type acc struct {
-		groupTotal map[groupKey]int
-		certCount  map[groupKey]map[certid.Identity]int
-		certObj    map[certid.Identity]*x509.Certificate
-	}
-	a := accumulate(e, len(p.Sessions),
-		func() acc {
-			return acc{
-				groupTotal: map[groupKey]int{},
-				certCount:  map[groupKey]map[certid.Identity]int{},
-				certObj:    map[certid.Identity]*x509.Certificate{},
-			}
-		},
-		func(a acc, start, end int) acc {
-			for i := start; i < end; i++ {
-				h := p.Sessions[i].Handset
-				// Rooted handsets are analyzed separately (§4.1: "We analyzed
-				// rooted handsets separately from operator and manufacturer
-				// root stores to avoid any bias") — see Table5.
-				if h.ExtraCount == 0 || h.Rooted {
-					continue
-				}
-				aosp := u.AOSP(h.Version)
-				user := h.Device.UserStore()
-				groups := []groupKey{
-					{"manufacturer", h.Manufacturer + " " + h.Version},
-					{"operator", h.Operator + "(" + h.Country + ")"},
-				}
-				for _, g := range groups {
-					a.groupTotal[g]++
-					if a.certCount[g] == nil {
-						a.certCount[g] = map[certid.Identity]int{}
-					}
-					for _, c := range h.Store.Certificates() {
-						// Attribute firmware additions only: user-installed
-						// roots (the §5.2 per-device VPN certificates) are not
-						// vendor or operator behaviour.
-						if aosp.Contains(c) || user.Contains(c) {
-							continue
-						}
-						id := corpus.IdentityOf(c)
-						a.certCount[g][id]++
-						a.certObj[id] = c
-					}
-				}
-			}
-			return a
-		},
-		func(into, from acc) acc {
-			for g, n := range from.groupTotal {
-				into.groupTotal[g] += n
-			}
-			for g, m := range from.certCount {
-				if into.certCount[g] == nil {
-					into.certCount[g] = m
-					continue
-				}
-				for id, n := range m {
-					into.certCount[g][id] += n
-				}
-			}
-			// The serial loop overwrites certObj on every sighting, so the
-			// representative instance is the LAST one in session order:
-			// later shards override earlier ones.
-			for id, c := range from.certObj {
-				into.certObj[id] = c
-			}
-			return into
-		})
-	groupTotal, certCount, certObj := a.groupTotal, a.certCount, a.certObj
-
-	var cells []AttributionCell
-	for g, total := range groupTotal {
-		if total < minSessions {
-			continue
-		}
-		for id, count := range certCount[g] {
-			cert := certObj[id]
-			name := nameByID[id]
-			if name == "" {
-				name = cert.Subject.CommonName
-			}
-			cells = append(cells, AttributionCell{
-				Group:     g.name,
-				GroupKind: g.kind,
-				CertName:  name,
-				CertHash:  certid.SubjectHashString(cert),
-				Sessions:  count,
-				Ratio:     float64(count) / float64(total),
-				Class:     PresenceClass(cert, p, n),
-			})
-		}
-	}
-	sort.Slice(cells, func(i, j int) bool {
-		a, b := cells[i], cells[j]
-		if a.GroupKind != b.GroupKind {
-			return a.GroupKind < b.GroupKind
-		}
-		if a.Group != b.Group {
-			return a.Group < b.Group
-		}
-		return a.CertName < b.CertName
+	return reduce(e, p, func() Aggregate[Batch, []AttributionCell] {
+		return NewFigure2Aggregate(p.Universe, n, minSessions)
 	})
-	return cells
 }
 
 // ClassShares summarizes the fraction of distinct displayed certificates in

@@ -1,11 +1,8 @@
 package analysis
 
 import (
-	"context"
-
 	"tangledmass/internal/cauniverse"
 	"tangledmass/internal/notary"
-	"tangledmass/internal/parallel"
 	"tangledmass/internal/rootstore"
 	"tangledmass/internal/stats"
 )
@@ -63,29 +60,17 @@ func ValidateCategories(n *notary.Notary, cats []Category) []CategoryValidation 
 }
 
 // ValidateCategories runs the Notary validation analysis over categories in
-// one pass. The chain building itself fans out (and caches) inside the
-// Notary; the per-category report shaping — per-root count extraction and
-// ECDF construction — fans out here.
+// one pass: the chain building fans out (and caches) inside the Notary's
+// AttributeLeaves, and the per-leaf attributions feed the mergeable
+// validation aggregate that projects them onto every category.
 func (e *Engine) ValidateCategories(n *notary.Notary, cats []Category) []CategoryValidation {
 	stores := make([]*rootstore.Store, len(cats))
 	for i, c := range cats {
 		stores[i] = c.Store
 	}
-	reports := n.Validate(stores...)
-	// Shaping cannot fail and runs under a background context, so the
-	// error is dropped by design.
-	out, _ := parallel.Map(context.Background(), len(cats),
-		func(_ context.Context, i int) (CategoryValidation, error) {
-			rep := reports[i]
-			return CategoryValidation{
-				Name:         cats[i].Name,
-				TotalRoots:   cats[i].Store.Len(),
-				ZeroFraction: rep.ZeroValidationFraction(),
-				Validated:    rep.Validated,
-				ECDF:         stats.NewECDF(rep.PerRootCounts()),
-			}, nil
-		}, e.popts()...)
-	return out
+	agg := NewValidationAggregate(cats)
+	agg.Add(n.AttributeLeaves(stores, n.UnexpiredLeafRefs()))
+	return agg.Result()
 }
 
 // Table3 validates the four AOSP versions plus Mozilla and iOS7, returning

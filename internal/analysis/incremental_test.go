@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"encoding/json"
+	"testing"
+
+	"tangledmass/internal/population"
+	"tangledmass/internal/rootstore"
+)
+
+var batchSizes = []int{1, 7, 64}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// checkIncremental verifies the Aggregate contract for one analysis: feeding
+// batches one Add at a time, and merging independent per-batch aggregates in
+// batch order, are both byte-identical to a single Add of the whole fleet.
+func checkIncremental[R any](t *testing.T, name string, p *population.Population, newAgg func() Aggregate[Batch, R]) {
+	t.Helper()
+	oneShot := newAgg()
+	oneShot.Add(Batch{Handsets: p.Handsets, Sessions: p.Sessions})
+	want := mustJSON(t, oneShot.Result())
+	for _, size := range batchSizes {
+		seq, merged := newAgg(), newAgg()
+		for _, b := range Batches(p, size) {
+			seq.Add(b)
+			part := newAgg()
+			part.Add(b)
+			merged.Merge(part)
+		}
+		if got := mustJSON(t, seq.Result()); got != want {
+			t.Errorf("%s: sequential Adds at batch size %d diverge from one-shot", name, size)
+		}
+		if got := mustJSON(t, merged.Result()); got != want {
+			t.Errorf("%s: ordered Merge at batch size %d diverges from one-shot", name, size)
+		}
+	}
+}
+
+func TestAggregatesIncrementalEqualsOneShot(t *testing.T) {
+	p, n := fixtures(t)
+	checkIncremental(t, "Table2", p, NewTable2Aggregate)
+	checkIncremental(t, "Figure1", p, NewFigure1Aggregate)
+	checkIncremental(t, "Headlines", p, NewHeadlinesAggregate)
+	checkIncremental(t, "Months", p, NewMonthsAggregate)
+	checkIncremental(t, "Table5", p, func() Aggregate[Batch, []RootedExclusive] {
+		return NewTable5Aggregate(p.Universe)
+	})
+	checkIncremental(t, "Figure2", p, func() Aggregate[Batch, []AttributionCell] {
+		return NewFigure2Aggregate(p.Universe, n, 10)
+	})
+}
+
+// TestBatchesPartition checks Batches hands out every handset exactly once
+// with exactly its own contiguous sessions.
+func TestBatchesPartition(t *testing.T) {
+	p, _ := fixtures(t)
+	for _, size := range batchSizes {
+		var handsets, sessions int
+		for _, b := range Batches(p, size) {
+			if size > 0 && len(b.Handsets) > size {
+				t.Fatalf("batch holds %d handsets, cap %d", len(b.Handsets), size)
+			}
+			want := 0
+			for _, h := range b.Handsets {
+				want += h.SessionCount
+			}
+			if len(b.Sessions) != want {
+				t.Fatalf("batch pairs %d sessions with handsets owning %d", len(b.Sessions), want)
+			}
+			for _, s := range b.Sessions {
+				found := false
+				for _, h := range b.Handsets {
+					if s.Handset == h {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatal("batch carries a session of a foreign handset")
+				}
+			}
+			handsets += len(b.Handsets)
+			sessions += len(b.Sessions)
+		}
+		if handsets != len(p.Handsets) || sessions != len(p.Sessions) {
+			t.Fatalf("batches cover %d/%d handsets/sessions, want %d/%d",
+				handsets, sessions, len(p.Handsets), len(p.Sessions))
+		}
+	}
+}
+
+// TestValidationAggregateIncremental attributes the Notary's leaves in
+// chunks — rebuilding the attribution per chunk, as a streaming consumer
+// would — and checks the merged projection matches one attribution pass.
+func TestValidationAggregateIncremental(t *testing.T) {
+	p, n := fixtures(t)
+	cats := Figure3Categories(p.Universe)
+	stores := make([]*rootstore.Store, len(cats))
+	for i, c := range cats {
+		stores[i] = c.Store
+	}
+	leaves := n.UnexpiredLeafRefs()
+	oneShot := NewValidationAggregate(cats)
+	oneShot.Add(n.AttributeLeaves(stores, leaves))
+	want := mustJSON(t, oneShot.Result())
+
+	for _, chunk := range []int{100, 999} {
+		merged := NewValidationAggregate(cats)
+		for start := 0; start < len(leaves); start += chunk {
+			end := start + chunk
+			if end > len(leaves) {
+				end = len(leaves)
+			}
+			part := NewValidationAggregate(cats)
+			part.Add(n.AttributeLeaves(stores, leaves[start:end]))
+			merged.Merge(part)
+		}
+		if got := mustJSON(t, merged.Result()); got != want {
+			t.Errorf("chunked leaf attribution (chunk %d) diverges from one pass", chunk)
+		}
+	}
+
+	// The engine path is the same projection.
+	if got := mustJSON(t, NewEngine().ValidateCategories(n, cats)); got != want {
+		t.Errorf("Engine.ValidateCategories diverges from the validation aggregate")
+	}
+}
+
+// TestEngineMatchesOneShotAggregates pins the acceptance matrix: for seeds
+// 1–3 the engine's sharded reduce is byte-identical to a one-shot aggregate
+// fold at every worker count.
+func TestEngineMatchesOneShotAggregates(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		p, err := population.Generate(population.Config{Seed: seed, SessionScale: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		whole := Batch{Handsets: p.Handsets, Sessions: p.Sessions}
+		type artifact struct {
+			name string
+			want string
+			got  func(e *Engine) any
+		}
+		t2 := NewTable2Aggregate()
+		f1 := NewFigure1Aggregate()
+		hl := NewHeadlinesAggregate()
+		mo := NewMonthsAggregate()
+		t5 := NewTable5Aggregate(p.Universe)
+		f2 := NewFigure2Aggregate(p.Universe, nil, 10)
+		for _, a := range []interface{ Add(Batch) }{t2, f1, hl, mo, t5, f2} {
+			a.Add(whole)
+		}
+		arts := []artifact{
+			{"Table2", mustJSON(t, t2.Result()), func(e *Engine) any {
+				d, m := e.Table2(p, len(p.Handsets))
+				return Table2Counts{Devices: d, Manufacturers: m}
+			}},
+			{"Figure1", mustJSON(t, f1.Result()), func(e *Engine) any { return e.Figure1(p) }},
+			{"Headlines", mustJSON(t, hl.Result()), func(e *Engine) any { return e.ComputeHeadlines(p) }},
+			{"Months", mustJSON(t, mo.Result()), func(e *Engine) any { return e.SessionsPerMonth(p) }},
+			{"Table5", mustJSON(t, t5.Result()), func(e *Engine) any { return e.Table5(p) }},
+			{"Figure2", mustJSON(t, f2.Result()), func(e *Engine) any { return e.Figure2(p, nil, 10) }},
+		}
+		for _, w := range workerCounts {
+			e := NewEngine(WithWorkers(w))
+			for _, a := range arts {
+				if got := mustJSON(t, a.got(e)); got != a.want {
+					t.Errorf("seed %d workers %d: %s diverges from one-shot aggregate", seed, w, a.name)
+				}
+			}
+		}
+	}
+}

@@ -192,6 +192,84 @@ func (c *Corpus) InternChain(chain []*x509.Certificate) []Ref {
 	return refs
 }
 
+// InternAll interns a batch of encodings in one table transaction. Digests
+// are checked against the table first, only genuinely new content is
+// parsed, and every new entry lands in a single copy-on-write append — n
+// new certificates cost one entries-slice copy instead of n. This is the
+// bulk path for loaders that materialize a whole deduplicated DER table at
+// once (dataset columnar files, notary snapshots).
+func (c *Corpus) InternAll(ders [][]byte) ([]Ref, error) {
+	refs := make([]Ref, len(ders))
+	sums := make([]Digest, len(ders))
+	var miss []int
+	c.mu.RLock()
+	for i, der := range ders {
+		sums[i] = Digest(sha256.Sum256(der))
+		if ref, ok := c.byHash[sums[i]]; ok {
+			refs[i] = ref
+		} else {
+			miss = append(miss, i)
+		}
+	}
+	c.mu.RUnlock()
+	if hits := int64(len(ders) - len(miss)); hits > 0 {
+		c.nHits.Add(hits)
+		c.hits.Add(hits)
+	}
+	if len(miss) == 0 {
+		return refs, nil
+	}
+
+	// Parse the misses outside the lock; duplicate digests within the batch
+	// are resolved under the lock below (the first instance wins).
+	owned := make([][]byte, len(miss))
+	certs := make([]*x509.Certificate, len(miss))
+	for k, i := range miss {
+		owned[k] = bytes.Clone(ders[i])
+		cert, err := x509.ParseCertificate(owned[k])
+		if err != nil {
+			return nil, fmt.Errorf("corpus: parsing certificate %d of batch: %w", i, err)
+		}
+		certs[k] = cert
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	entries := *c.entries.Load()
+	next := make([]*Entry, len(entries), len(entries)+len(miss))
+	copy(next, entries)
+	for k, i := range miss {
+		sum := sums[i]
+		if ref, ok := c.byHash[sum]; ok {
+			// Inserted by a concurrent intern or an earlier batch duplicate.
+			refs[i] = ref
+			c.hit()
+			continue
+		}
+		cert := certs[k]
+		e := &Entry{
+			Ref:         Ref(len(next) + 1),
+			DER:         owned[k],
+			Cert:        cert,
+			Identity:    certid.Identity{Subject: certid.SubjectString(cert), Key: certid.KeyIdentity(cert)},
+			SHA1:        certid.SHA1Fingerprint(cert),
+			SHA256:      sum.Hex(),
+			MD5:         certid.MD5Fingerprint(cert),
+			SubjectHash: certid.SubjectHash32(cert),
+			Digest:      sum,
+		}
+		next = append(next, e)
+		c.byHash[sum] = e.Ref
+		refs[i] = e.Ref
+		c.nInterned.Add(1)
+		c.nBytes.Add(int64(len(e.DER)))
+		c.interned.Inc()
+		c.bytesC.Add(int64(len(e.DER)))
+	}
+	c.entries.Store(&next)
+	return refs, nil
+}
+
 // insert adds a new entry under sum, resolving the insert race in favour
 // of the first writer.
 func (c *Corpus) insert(sum Digest, der []byte, cert *x509.Certificate) Ref {

@@ -323,3 +323,61 @@ func TestSharedHelpers(t *testing.T) {
 func pemEncode(typ string, der []byte) []byte {
 	return pem.EncodeToMemory(&pem.Block{Type: typ, Bytes: der})
 }
+
+func TestInternAll(t *testing.T) {
+	c := corpus.New()
+	certs := genCerts(t, 109, 3)
+	pre, err := c.Intern(certs[0].Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch mixing an already-interned cert, a new cert, and an in-batch
+	// duplicate: refs come back in input order, deduplicated.
+	refs, err := c.InternAll([][]byte{certs[0].Raw, certs[1].Raw, certs[1].Raw, certs[2].Raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 4 {
+		t.Fatalf("refs = %d, want 4", len(refs))
+	}
+	if refs[0] != pre {
+		t.Fatal("already-interned DER got a fresh ref from InternAll")
+	}
+	if refs[1] != refs[2] {
+		t.Fatal("in-batch duplicate DER interned to different refs")
+	}
+	for i, want := range []int{0, 1, 1, 2} {
+		if !bytes.Equal(c.DER(refs[i]), certs[want].Raw) {
+			t.Fatalf("ref %d does not round-trip to its input DER", i)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+
+	// A second pass is all hits and adds nothing.
+	again, err := c.InternAll([][]byte{certs[2].Raw, certs[0].Raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] != refs[3] || again[1] != pre {
+		t.Fatal("second InternAll pass returned different refs")
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len grew to %d on an all-hit batch", c.Len())
+	}
+
+	// A bad DER anywhere fails the whole batch without corrupting state.
+	if _, err := c.InternAll([][]byte{certs[0].Raw, []byte("junk")}); err == nil {
+		t.Fatal("garbage DER in a batch interned without error")
+	}
+	if c.Len() != 3 {
+		t.Fatalf("failed batch left entries behind: len = %d", c.Len())
+	}
+
+	empty, err := c.InternAll(nil)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("InternAll(nil) = %v, %v", empty, err)
+	}
+}

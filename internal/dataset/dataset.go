@@ -1,213 +1,263 @@
 // Package dataset serializes a device population to disk and back — the
 // interchange layer a real measurement pipeline needs between collection
-// and analysis. A dataset directory holds:
+// and analysis. Two on-disk formats are supported:
 //
-//	certs.pem       every distinct certificate appearing in any store,
-//	                one PEM block each
-//	handsets.jsonl  one JSON object per handset, referencing certificates
-//	                by SHA-256 fingerprint
+//   - JSONL (the v1 interchange format): certs.pem holds every distinct
+//     certificate as a PEM block; handsets.jsonl holds one JSON object per
+//     handset referencing certificates by SHA-256 fingerprint. Text-diffable
+//     and toolable, but every load re-decodes hex fingerprints per handset.
+//   - Columnar (v2): a single sectioned, seekable binary file
+//     (handsets.col) with a magic header, a deduplicated DER table exactly
+//     like the notary's snapshot v3, and per-column sections (IDs,
+//     profiles, flags, session counts, store membership as sorted DER-table
+//     indices), each CRC32C-checksummed so readers can seek straight to a
+//     column and loaders reject truncation and bit-flips.
 //
-// Sessions are derived from the per-handset session counts on load, exactly
-// as the generator derives them, so a written-and-reloaded dataset yields
-// identical analysis results.
+// Construct a Writer or Reader with functional options:
+//
+//	w := dataset.NewWriter(dir, dataset.WithFormat(dataset.Columnar))
+//	err := w.Write(ctx, pop)
+//	p, err := dataset.NewReader(dir).Read(ctx)   // format auto-detected
+//
+// Certificates resolve through a content-addressed corpus (the process
+// shared corpus by default): a load interns the deduplicated certificate
+// table once and reconstructs every store by Ref handle, so nothing is
+// parsed or fingerprinted twice. Sessions are derived from the per-handset
+// session counts on load, exactly as the generator derives them, so a
+// written-and-reloaded dataset yields identical analysis results.
 package dataset
 
 import (
-	"bufio"
-	"crypto/x509"
-	"encoding/json"
-	"encoding/pem"
+	"context"
 	"fmt"
 	"os"
-	"path/filepath"
-	"sort"
 
 	"tangledmass/internal/cauniverse"
 	"tangledmass/internal/corpus"
-	"tangledmass/internal/device"
+	"tangledmass/internal/obs"
 	"tangledmass/internal/population"
-	"tangledmass/internal/rootstore"
 )
 
 const (
 	certsFile    = "certs.pem"
 	handsetsFile = "handsets.jsonl"
+	columnarFile = "handsets.col"
 )
 
-// HandsetRecord is the JSONL schema for one handset.
-type HandsetRecord struct {
-	ID           int    `json:"id"`
-	Model        string `json:"model"`
-	Manufacturer string `json:"manufacturer"`
-	Operator     string `json:"operator"`
-	Country      string `json:"country"`
-	Version      string `json:"version"`
-	Rooted       bool   `json:"rooted"`
-	// RootedExclusive marks handsets carrying Table 5 rooted-only roots.
-	RootedExclusive bool `json:"rooted_exclusive,omitempty"`
-	Intercepted     bool `json:"intercepted"`
-	Sessions        int  `json:"sessions"`
-	// System and User reference certificates in certs.pem by SHA-256.
-	System []string `json:"system"`
-	User   []string `json:"user,omitempty"`
+// Format selects a dataset's on-disk layout.
+type Format int
+
+const (
+	// Auto means: detect on read (a directory holding handsets.col is
+	// columnar, else JSONL); write the JSONL interchange format.
+	Auto Format = iota
+	// JSONL is the v1 text format (certs.pem + handsets.jsonl).
+	JSONL
+	// Columnar is the v2 sectioned binary format (handsets.col).
+	Columnar
+)
+
+// String names the format for reports and CLI output.
+func (f Format) String() string {
+	switch f {
+	case JSONL:
+		return "jsonl"
+	case Columnar:
+		return "columnar"
+	default:
+		return "auto"
+	}
 }
 
-// Write serializes p into dir, creating it if needed.
+// config carries the resolved options of a Writer or Reader.
+type config struct {
+	format   Format
+	corpus   *corpus.Corpus
+	universe *cauniverse.Universe
+	observer *obs.Observer
+}
+
+// Option configures a Writer or Reader.
+type Option func(*config)
+
+// WithFormat pins the on-disk format. The default (Auto) detects the
+// format on read and writes JSONL.
+func WithFormat(f Format) Option {
+	return func(c *config) { c.format = f }
+}
+
+// WithCorpus sets the intern table certificates resolve through (default:
+// the process-wide shared corpus). Populations loaded for analysis should
+// share one corpus with the stores and Notary they are compared against.
+func WithCorpus(cp *corpus.Corpus) Option {
+	return func(c *config) { c.corpus = cp }
+}
+
+// WithUniverse sets the CA universe loaded populations are assembled
+// against (default: the shared default universe).
+func WithUniverse(u *cauniverse.Universe) Option {
+	return func(c *config) { c.universe = u }
+}
+
+// WithObserver attaches the dataset.* counters (bytes read and written,
+// certificates interned on load, handset batches merged). Nil observers
+// no-op.
+func WithObserver(o *obs.Observer) Option {
+	return func(c *config) { c.observer = o }
+}
+
+func resolve(opts []Option) config {
+	cfg := config{corpus: corpus.Shared()}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.corpus == nil {
+		cfg.corpus = corpus.Shared()
+	}
+	if cfg.universe == nil {
+		cfg.universe = cauniverse.Default()
+	}
+	return cfg
+}
+
+// Writer serializes populations into one dataset directory. Construct with
+// NewWriter; safe for sequential reuse, one Write per call.
+type Writer struct {
+	dir string
+	cfg config
+}
+
+// NewWriter returns a writer for the dataset directory dir (created on the
+// first Write if needed).
+func NewWriter(dir string, opts ...Option) *Writer {
+	return &Writer{dir: dir, cfg: resolve(opts)}
+}
+
+// Write serializes p into the writer's directory in the configured format
+// (Auto writes JSONL).
+func (w *Writer) Write(ctx context.Context, p *population.Population) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("dataset: write cancelled: %w", err)
+	}
+	if err := os.MkdirAll(w.dir, 0o755); err != nil {
+		return fmt.Errorf("dataset: creating %s: %w", w.dir, err)
+	}
+	switch w.cfg.format {
+	case Columnar:
+		return writeColumnar(ctx, w.dir, p, w.cfg)
+	default:
+		return writeJSONL(ctx, w.dir, p, w.cfg)
+	}
+}
+
+// Reader loads populations from one dataset directory. Construct with
+// NewReader.
+type Reader struct {
+	dir string
+	cfg config
+}
+
+// NewReader returns a reader for the dataset directory dir.
+func NewReader(dir string, opts ...Option) *Reader {
+	return &Reader{dir: dir, cfg: resolve(opts)}
+}
+
+// format resolves Auto to the directory's actual layout.
+func (r *Reader) format() Format {
+	if r.cfg.format != Auto {
+		return r.cfg.format
+	}
+	if _, err := os.Stat(columnarPath(r.dir)); err == nil {
+		return Columnar
+	}
+	return JSONL
+}
+
+// Read loads the dataset, reconstructing live devices and assembling a
+// Population against the configured universe.
+func (r *Reader) Read(ctx context.Context) (*population.Population, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: read cancelled: %w", err)
+	}
+	switch r.format() {
+	case Columnar:
+		return readColumnar(ctx, r.dir, r.cfg)
+	default:
+		return readJSONL(ctx, r.dir, r.cfg)
+	}
+}
+
+// Info summarizes a dataset directory.
+type Info struct {
+	// Format is the resolved on-disk layout.
+	Format Format
+	// Handsets, Certs and Sessions are the record counts; Bytes is the
+	// total on-disk size of the dataset files.
+	Handsets int
+	Certs    int
+	Sessions int
+	Bytes    int64
+	// Sections lists the columnar file's sections (nil for JSONL).
+	Sections []SectionInfo
+}
+
+// SectionInfo describes one section of a columnar dataset file.
+type SectionInfo struct {
+	Name   string
+	Offset int64
+	Length int64
+	CRC32C uint32
+}
+
+// Inspect summarizes the dataset without materializing the population: a
+// columnar file answers from its header and meta section; a JSONL dataset
+// is scanned without device reconstruction.
+func (r *Reader) Inspect(ctx context.Context) (*Info, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: inspect cancelled: %w", err)
+	}
+	switch r.format() {
+	case Columnar:
+		return inspectColumnar(r.dir, r.cfg, false)
+	default:
+		return inspectJSONL(r.dir, r.cfg, false)
+	}
+}
+
+// Verify checks the dataset's integrity without assembling a population:
+// every columnar section is read and CRC-checked (truncation and bit-flips
+// fail loudly); a JSONL dataset is fully parsed and every certificate
+// reference resolved. The summary of the verified dataset is returned.
+func (r *Reader) Verify(ctx context.Context) (*Info, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: verify cancelled: %w", err)
+	}
+	switch r.format() {
+	case Columnar:
+		return inspectColumnar(r.dir, r.cfg, true)
+	default:
+		return inspectJSONL(r.dir, r.cfg, true)
+	}
+}
+
+// Write serializes p into dir in the JSONL format.
+//
+// Deprecated: construct a Writer (NewWriter with options) and call its
+// ctx-first Write. This wrapper remains for v1 callers.
 func Write(dir string, p *population.Population) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("dataset: creating %s: %w", dir, err)
-	}
-
-	// Collect distinct certificates across all stores.
-	seen := map[string]*x509.Certificate{}
-	collect := func(s *rootstore.Store) []string {
-		fps := make([]string, 0, s.Len())
-		for _, c := range s.Certificates() {
-			fp := corpus.SHA256Of(c)
-			seen[fp] = c
-			fps = append(fps, fp)
-		}
-		return fps
-	}
-
-	hf, err := os.Create(filepath.Join(dir, handsetsFile))
-	if err != nil {
-		return fmt.Errorf("dataset: creating handsets file: %w", err)
-	}
-	defer hf.Close()
-	hw := bufio.NewWriter(hf)
-	enc := json.NewEncoder(hw)
-	for _, h := range p.Handsets {
-		rec := HandsetRecord{
-			ID:              h.ID,
-			Model:           h.Model,
-			Manufacturer:    h.Manufacturer,
-			Operator:        h.Operator,
-			Country:         h.Country,
-			Version:         h.Version,
-			Rooted:          h.Rooted,
-			RootedExclusive: h.RootedExclusive,
-			Intercepted:     h.Intercepted,
-			Sessions:        h.SessionCount,
-			System:          collect(h.Device.SystemStore()),
-			User:            collect(h.Device.UserStore()),
-		}
-		if err := enc.Encode(rec); err != nil {
-			return fmt.Errorf("dataset: writing handset %d: %w", h.ID, err)
-		}
-	}
-	if err := hw.Flush(); err != nil {
-		return fmt.Errorf("dataset: flushing handsets: %w", err)
-	}
-
-	cf, err := os.Create(filepath.Join(dir, certsFile))
-	if err != nil {
-		return fmt.Errorf("dataset: creating certs file: %w", err)
-	}
-	defer cf.Close()
-	cw := bufio.NewWriter(cf)
-	fps := make([]string, 0, len(seen))
-	for fp := range seen {
-		fps = append(fps, fp)
-	}
-	sort.Strings(fps)
-	for _, fp := range fps {
-		if err := pem.Encode(cw, &pem.Block{Type: "CERTIFICATE", Bytes: seen[fp].Raw}); err != nil {
-			return fmt.Errorf("dataset: writing certificate: %w", err)
-		}
-	}
-	if err := cw.Flush(); err != nil {
-		return fmt.Errorf("dataset: flushing certs: %w", err)
-	}
-	return nil
+	return NewWriter(dir).Write(context.Background(), p)
 }
 
-// Read loads a dataset written by Write, reconstructing live devices and
-// assembling a Population against u (nil means the default universe).
+// Read loads a dataset from dir, assembling against u (nil means the
+// default universe).
+//
+// Deprecated: construct a Reader (NewReader with options, WithUniverse
+// replacing the u argument) and call its ctx-first Read. This wrapper
+// remains for v1 callers.
 func Read(dir string, u *cauniverse.Universe) (*population.Population, error) {
-	if u == nil {
-		u = cauniverse.Default()
+	opts := []Option{}
+	if u != nil {
+		opts = append(opts, WithUniverse(u))
 	}
-	certData, err := os.ReadFile(filepath.Join(dir, certsFile))
-	if err != nil {
-		return nil, fmt.Errorf("dataset: reading certs: %w", err)
-	}
-	certs, err := rootstore.ParsePEMCertificates(certData)
-	if err != nil {
-		return nil, fmt.Errorf("dataset: parsing certs: %w", err)
-	}
-	byFP := make(map[string]*x509.Certificate, len(certs))
-	for _, c := range certs {
-		byFP[corpus.SHA256Of(c)] = c
-	}
-	resolve := func(fps []string, what string, id int) ([]*x509.Certificate, error) {
-		out := make([]*x509.Certificate, 0, len(fps))
-		for _, fp := range fps {
-			c, ok := byFP[fp]
-			if !ok {
-				return nil, fmt.Errorf("dataset: handset %d references unknown %s certificate %s", id, what, fp)
-			}
-			out = append(out, c)
-		}
-		return out, nil
-	}
-
-	hf, err := os.Open(filepath.Join(dir, handsetsFile))
-	if err != nil {
-		return nil, fmt.Errorf("dataset: opening handsets: %w", err)
-	}
-	defer hf.Close()
-	scanner := bufio.NewScanner(hf)
-	scanner.Buffer(make([]byte, 64<<10), 8<<20)
-	var handsets []*population.Handset
-	for scanner.Scan() {
-		line := scanner.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var rec HandsetRecord
-		if err := json.Unmarshal(line, &rec); err != nil {
-			return nil, fmt.Errorf("dataset: handset record: %w", err)
-		}
-		system, err := resolve(rec.System, "system", rec.ID)
-		if err != nil {
-			return nil, err
-		}
-		user, err := resolve(rec.User, "user", rec.ID)
-		if err != nil {
-			return nil, err
-		}
-		prof := device.Profile{
-			Model:        rec.Model,
-			Manufacturer: rec.Manufacturer,
-			Operator:     rec.Operator,
-			Country:      rec.Country,
-			Version:      rec.Version,
-		}
-		// Reconstruct the device: the serialized system store becomes the
-		// base image (an exact snapshot, so no separate additions), user
-		// certificates are re-installed, and rooting is restored.
-		base := rootstore.New(prof.Manufacturer + " " + prof.Model + " system")
-		base.AddAll(system)
-		d := device.New(prof, base, nil)
-		if rec.Rooted {
-			d.Root()
-		}
-		for _, c := range user {
-			d.AddUserCert(c)
-		}
-		handsets = append(handsets, &population.Handset{
-			ID:              rec.ID,
-			Profile:         prof,
-			Rooted:          rec.Rooted,
-			RootedExclusive: rec.RootedExclusive,
-			Device:          d,
-			SessionCount:    rec.Sessions,
-			Intercepted:     rec.Intercepted,
-		})
-	}
-	if err := scanner.Err(); err != nil {
-		return nil, fmt.Errorf("dataset: scanning handsets: %w", err)
-	}
-	return population.Assemble(u, handsets), nil
+	return NewReader(dir, opts...).Read(context.Background())
 }

@@ -1,0 +1,18 @@
+package dataset
+
+// Metric keys the interchange layer emits (see the registry in README.md).
+// Package-prefixed compile-time constants, per the obskey lint rule.
+const (
+	// KeyReadBytes accumulates dataset file bytes read by loads, inspects
+	// and verifies.
+	KeyReadBytes = "dataset.read.bytes"
+	// KeyWriteBytes accumulates dataset file bytes written.
+	KeyWriteBytes = "dataset.write.bytes"
+	// KeyCertsInterned counts certificates interned through the corpus
+	// while loading (DER-table entries plus PEM blocks).
+	KeyCertsInterned = "dataset.certs.interned"
+	// KeyBatchesMerged counts handset-reconstruction batches merged into a
+	// loaded population (the columnar reader fans handset assembly out in
+	// contiguous shards; each shard merged in order counts once).
+	KeyBatchesMerged = "dataset.batches.merged"
+)

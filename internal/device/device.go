@@ -59,6 +59,25 @@ func New(profile Profile, aospBase *rootstore.Store, firmwareAdditions []*x509.C
 	return d
 }
 
+// Restore rebuilds a device from captured stores — the dataset loader's
+// constructor. The system store is adopted as-is (a serialized store is an
+// exact snapshot of the device's system image, so no base-image clone or
+// re-composition happens), user certificates arrive in their own store,
+// and rooting is restored directly. A nil user store means none were
+// installed.
+func Restore(profile Profile, system, user *rootstore.Store, rooted bool) *Device {
+	if user == nil {
+		user = rootstore.NewIn(fmt.Sprintf("%s %s user", profile.Manufacturer, profile.Model), system.Corpus())
+	}
+	return &Device{
+		Profile:  profile,
+		rooted:   rooted,
+		system:   system,
+		user:     user,
+		disabled: make(map[certid.Identity]bool),
+	}
+}
+
 // Rooted reports whether the device has been rooted.
 func (d *Device) Rooted() bool { return d.rooted }
 
@@ -117,11 +136,41 @@ func (d *Device) Disabled(id certid.Identity) bool { return d.disabled[id] }
 
 // EffectiveStore returns the trust set apps actually validate against:
 // system plus user certificates, minus disabled entries. The result is a
-// fresh store; mutating it does not affect the device.
+// fresh store; mutating it does not affect the device. Membership is
+// copied by handle when the stores share a corpus — no certificate is
+// re-interned or re-fingerprinted — preserving the system-then-user
+// insertion order.
 func (d *Device) EffectiveStore() *rootstore.Store {
-	eff := rootstore.New(fmt.Sprintf("%s %s effective", d.Manufacturer, d.Model))
-	for _, src := range []*rootstore.Store{d.system, d.user} {
-		for _, c := range src.Certificates() {
+	name := fmt.Sprintf("%s %s effective", d.Manufacturer, d.Model)
+	if len(d.disabled) == 0 {
+		// Nothing is disabled on the vast majority of devices: clone the
+		// system membership wholesale instead of re-inserting it
+		// certificate by certificate.
+		eff := d.system.Clone(name)
+		if d.user.Len() > 0 {
+			if d.user.Corpus() == eff.Corpus() {
+				for _, id := range d.user.Identities() {
+					eff.AddRef(d.user.Ref(id))
+				}
+			} else {
+				for _, c := range d.user.Certificates() {
+					eff.Add(c)
+				}
+			}
+		}
+		return eff
+	}
+	eff := rootstore.NewSized(name, d.system.Corpus(), d.system.Len()+d.user.Len())
+	for _, s := range []*rootstore.Store{d.system, d.user} {
+		if s.Corpus() == eff.Corpus() {
+			for _, id := range s.Identities() {
+				if !d.disabled[id] {
+					eff.AddRef(s.Ref(id))
+				}
+			}
+			continue
+		}
+		for _, c := range s.Certificates() {
 			if !d.disabled[corpus.IdentityOf(c)] {
 				eff.Add(c)
 			}

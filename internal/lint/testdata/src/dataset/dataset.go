@@ -1,0 +1,70 @@
+// Package dataset exercises the artifact-sink and Ref-provenance hazards
+// of a columnar dataset writer: the section directory must not be emitted
+// in map-iteration order, and process-local interning Refs must not land
+// in the on-disk format.
+package dataset
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"sort"
+
+	"sandbox/corpus"
+)
+
+// Manifest is the serialized shape of a dataset directory listing.
+type Manifest struct {
+	Sections []string `json:"sections"`
+}
+
+// DumpDirectory ranges over the section map straight into the sink — the
+// written manifest would change byte order from run to run.
+func DumpDirectory(sections map[string]int64) ([]byte, error) {
+	var names []string
+	for name := range sections {
+		names = append(names, name)
+	}
+	return json.Marshal(Manifest{Sections: names})
+}
+
+// DumpDirectorySorted is the sanctioned collect-then-sort idiom: same map
+// range, deterministic bytes.
+func DumpDirectorySorted(sections map[string]int64) ([]byte, error) {
+	var names []string
+	for name := range sections {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return json.Marshal(Manifest{Sections: names})
+}
+
+// SavedColumn serializes a Ref: the handle is process-local interning
+// state — a loader must resolve a fingerprint or table index instead.
+type SavedColumn struct {
+	Name string     `json:"name"`
+	Root corpus.Ref `json:"root"`
+}
+
+// WriteColumn gob-encodes a deterministic payload: the encode itself is
+// clean, the Ref field above is the finding.
+func WriteColumn(col SavedColumn) ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(col)
+	return buf.Bytes(), err
+}
+
+// derTable keys by Ref next to its single issuing corpus — the sanctioned
+// intern-side lookup shape.
+type derTable struct {
+	c   *corpus.Corpus
+	idx map[corpus.Ref]int
+}
+
+// Index builds the Ref→table-index mapping a writer uses in memory.
+func (t *derTable) Index(ders [][]byte) {
+	t.idx = make(map[corpus.Ref]int)
+	for i, der := range ders {
+		t.idx[t.c.Intern(der)] = i
+	}
+}

@@ -310,10 +310,12 @@ func (n *Notary) HasRecord(cert *x509.Certificate) bool {
 	return n.byID[id]
 }
 
-// unexpiredLeafRefs returns the handles of non-expired certificates seen in
+// UnexpiredLeafRefs returns the handles of non-expired certificates seen in
 // leaf position, ordered by SHA-1 fingerprint for determinism (refs are
-// interning-order-dependent and must never drive output order).
-func (n *Notary) unexpiredLeafRefs() []corpus.Ref {
+// interning-order-dependent and must never drive output order). This is the
+// leaf universe Validate attributes; incremental consumers slice it into
+// batches for AttributeLeaves.
+func (n *Notary) UnexpiredLeafRefs() []corpus.Ref {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	refs := make([]corpus.Ref, 0, len(n.entries))
@@ -422,11 +424,25 @@ func (r *StoreReport) PerRootCounts() []float64 {
 	return out
 }
 
-// Validate runs the paper's validation analysis for every store in one
-// crypto pass: it builds each leaf's chains once against the union of all
-// stores' roots (plus every observed CA as intermediate), attributes leaves
-// to validating roots, then projects the attribution onto each store.
-func (n *Notary) Validate(stores ...*rootstore.Store) []*StoreReport {
+// LeafAttribution records which root identities validate one Notary leaf —
+// the unit Validate projects onto stores, exposed so incremental consumers
+// (the analysis package's mergeable aggregates) can attribute leaves batch
+// by batch.
+type LeafAttribution struct {
+	Leaf  corpus.Ref
+	Roots []certid.Identity
+}
+
+// AttributeLeaves builds each leaf's chains against the union of the given
+// stores' roots (plus every observed CA as intermediate) and reports, per
+// leaf, the root identities validating it, in the order leaves were given.
+//
+// Path building is the expensive step (one ECDSA verification per new
+// issuer edge); leaves are independent, so they fan across the parallel
+// engine, answering repeated (pool, leaf) lookups from the chain cache.
+// The verifier is safe for concurrent use: its indexes are read-only
+// after construction and the signature cache is lock-protected.
+func (n *Notary) AttributeLeaves(stores []*rootstore.Store, leaves []corpus.Ref) []LeafAttribution {
 	union := rootstore.Union("union", stores...)
 	cas := n.observedCARefs()
 	var verifier *chain.Verifier
@@ -439,25 +455,28 @@ func (n *Notary) Validate(stores ...*rootstore.Store) []*StoreReport {
 		verifier = chain.NewVerifierIn(n.c, union.Certificates(), n.c.Certs(cas), n.at)
 	}
 
-	// Path building is the expensive step (one ECDSA verification per new
-	// issuer edge); leaves are independent, so fan them across the parallel
-	// engine, answering repeated (pool, leaf) lookups from the chain cache.
-	// The verifier is safe for concurrent use: its indexes are read-only
-	// after construction and the signature cache is lock-protected.
-	leaves := n.unexpiredLeafRefs()
 	span := n.observer.StartSpan(union.Name(), KeyValidateSpan)
 	n.observer.Counter(KeyValidateLeaves).Add(int64(len(leaves)))
 	// The error is ctx cancellation only; the background context never ends.
-	leafRoots, _ := parallel.Map(context.Background(), len(leaves),
-		func(_ context.Context, i int) ([]certid.Identity, error) {
-			return n.cache.ValidatingRootsRef(verifier, leaves[i]), nil
+	out, _ := parallel.Map(context.Background(), len(leaves),
+		func(_ context.Context, i int) (LeafAttribution, error) {
+			return LeafAttribution{Leaf: leaves[i], Roots: n.cache.ValidatingRootsRef(verifier, leaves[i])}, nil
 		},
 		parallel.WithWorkers(n.workers), parallel.WithObserver(n.observer))
 	span.End()
+	return out
+}
 
-	perRoot := make(map[certid.Identity]int, union.Len())
-	for _, ids := range leafRoots {
-		for _, id := range ids {
+// Validate runs the paper's validation analysis for every store in one
+// crypto pass: it builds each leaf's chains once against the union of all
+// stores' roots (plus every observed CA as intermediate), attributes leaves
+// to validating roots, then projects the attribution onto each store.
+func (n *Notary) Validate(stores ...*rootstore.Store) []*StoreReport {
+	attrs := n.AttributeLeaves(stores, n.UnexpiredLeafRefs())
+
+	perRoot := map[certid.Identity]int{}
+	for _, a := range attrs {
+		for _, id := range a.Roots {
 			perRoot[id]++
 		}
 	}
@@ -468,8 +487,8 @@ func (n *Notary) Validate(stores ...*rootstore.Store) []*StoreReport {
 		for _, id := range s.Identities() {
 			rep.PerRoot[id] = perRoot[id]
 		}
-		for _, ids := range leafRoots {
-			for _, id := range ids {
+		for _, a := range attrs {
+			for _, id := range a.Roots {
 				if s.ContainsIdentity(id) {
 					rep.Validated++
 					break

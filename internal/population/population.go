@@ -375,31 +375,59 @@ func (p *Population) placeInterception(src *stats.Source) error {
 func (p *Population) finalizeHandsets(u *cauniverse.Universe) {
 	_ = parallel.ForEach(context.Background(), len(p.Handsets), func(_ context.Context, i int) error {
 		h := p.Handsets[i]
-		h.Store = h.Device.EffectiveStore()
-		aosp := u.AOSP(h.Version)
-		for _, c := range h.Store.Certificates() {
-			if aosp.Contains(c) {
-				h.AOSPCount++
-			} else {
-				h.ExtraCount++
-			}
+		// Loaders that already materialized the effective membership (the
+		// columnar reader) pre-set Store; everything else captures it here.
+		if h.Store == nil {
+			h.Store = h.Device.EffectiveStore()
 		}
-		h.MissingCount = aosp.Len() - h.AOSPCount
 		return nil
 	})
+	// A fleet holds far fewer distinct store memberships than handsets
+	// (firmware variants repeat across devices), so the AOSP comparison runs
+	// once per distinct (version, membership) pair and fans the counts out.
+	// Compare by precomputed identity: no certificate is re-interned or
+	// re-fingerprinted here.
+	type storeCounts struct{ aosp, extra, missing int }
+	cache := map[string]storeCounts{}
+	for _, h := range p.Handsets {
+		key := h.Version + "\x00" + h.Store.ContentKey()
+		c, ok := cache[key]
+		if !ok {
+			aosp := u.AOSP(h.Version)
+			for _, id := range h.Store.Identities() {
+				if aosp.ContainsIdentity(id) {
+					c.aosp++
+				} else {
+					c.extra++
+				}
+			}
+			c.missing = aosp.Len() - c.aosp
+			cache[key] = c
+		}
+		h.AOSPCount, h.ExtraCount, h.MissingCount = c.aosp, c.extra, c.missing
+	}
 }
 
 func (p *Population) emitSessions() {
+	total := 0
+	for _, h := range p.Handsets {
+		total += h.SessionCount
+	}
+	// One backing array for the whole fleet's sessions: the capacity is
+	// exact, so the pointers handed out below stay valid.
+	backing := make([]Session, 0, total)
+	p.Sessions = make([]*Session, 0, total)
 	id := 0
 	for _, h := range p.Handsets {
 		for i := 0; i < h.SessionCount; i++ {
 			id++
-			p.Sessions = append(p.Sessions, &Session{
+			backing = append(backing, Session{
 				ID:          id,
 				Handset:     h,
 				At:          sessionTime(id),
 				Intercepted: h.Intercepted && i == 0,
 			})
+			p.Sessions = append(p.Sessions, &backing[len(backing)-1])
 		}
 	}
 }

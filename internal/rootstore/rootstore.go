@@ -17,6 +17,8 @@ package rootstore
 import (
 	"crypto/x509"
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 	"strconv"
 
@@ -46,6 +48,19 @@ func New(name string) *Store { return NewIn(name, corpus.Shared()) }
 // that are compared or pooled together should share one corpus.
 func NewIn(name string, c *corpus.Corpus) *Store {
 	return &Store{name: name, c: c, byID: make(map[certid.Identity]corpus.Ref)}
+}
+
+// NewSized is NewIn with capacity hints: the index map and insertion-order
+// slice are pre-sized for n members, so bulk loaders (dataset readers,
+// snapshot restores) pay one allocation per structure instead of a growth
+// series.
+func NewSized(name string, c *corpus.Corpus, n int) *Store {
+	return &Store{
+		name:  name,
+		c:     c,
+		byID:  make(map[certid.Identity]corpus.Ref, n),
+		order: make([]certid.Identity, 0, n),
+	}
 }
 
 // Name returns the store's name (e.g. "AOSP 4.4").
@@ -172,15 +187,21 @@ func (s *Store) ContentKey() string {
 func (s *Store) ContentDigest() corpus.Digest { return s.digest }
 
 // Clone returns a deep copy of the membership (certificates themselves are
-// shared through the corpus, which treats them as immutable).
+// shared through the corpus, which treats them as immutable). The index map
+// is cloned wholesale — no per-entry rehashing — so cloning is cheap enough
+// to stamp out per-device stores from a shared prototype.
 func (s *Store) Clone(name string) *Store {
-	c := NewIn(name, s.c)
-	for _, id := range s.order {
-		c.byID[id] = s.byID[id]
-		c.order = append(c.order, id)
+	byID := maps.Clone(s.byID)
+	if byID == nil {
+		byID = make(map[certid.Identity]corpus.Ref)
 	}
-	c.digest = s.digest
-	return c
+	return &Store{
+		name:   name,
+		c:      s.c,
+		order:  slices.Clone(s.order),
+		byID:   byID,
+		digest: s.digest,
+	}
 }
 
 // Union returns a new store containing every certificate present in any of

@@ -1,7 +1,7 @@
 #!/bin/sh
 # bench.sh runs the full benchmark sweep with -benchmem and emits a
 # machine-readable JSON record (ns/op, B/op, allocs/op per benchmark) via
-# cmd/benchjson. The committed BENCH_pr7.json is the serial baseline the
+# cmd/benchjson. The committed BENCH_pr8.json is the serial baseline the
 # verify bench-gate compares against.
 #
 # Usage:
@@ -11,15 +11,15 @@
 #   BENCH_TIME     -benchtime value (default 3x: heavy analysis benchmarks
 #                  run in hundreds of ms, so a few iterations are stable)
 #   BENCH_PATTERN  -bench pattern (default ".")
-#   BENCH_LABEL    label stored in the JSON record (default "pr7")
+#   BENCH_LABEL    label stored in the JSON record (default "pr8")
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_pr7.json}
+out=${1:-BENCH_pr8.json}
 benchtime=${BENCH_TIME:-3x}
 pattern=${BENCH_PATTERN:-.}
-label=${BENCH_LABEL:-pr7}
+label=${BENCH_LABEL:-pr8}
 
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT INT TERM

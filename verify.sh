@@ -19,6 +19,9 @@ go run ./cmd/tangledlint -baseline lint-baseline.txt ./...
 echo "==> metrics-smoke: debug endpoint sanity"
 ./scripts/metrics_smoke.sh
 
+echo "==> dataset-smoke: interchange round-trip + corruption rejection"
+./scripts/dataset_smoke.sh
+
 echo "==> chaos: campaign under injected faults"
 go test -race -run TestChaosCampaignDeterministic ./internal/campaign/
 
@@ -44,9 +47,9 @@ go test -race ./...
 if [ "${BENCH_GATE:-on}" = "off" ]; then
 	echo "==> bench-gate: skipped (BENCH_GATE=off)"
 else
-	echo "==> bench-gate: Table/Figure vs BENCH_pr7.json (tolerance 25% time, 25% allocs)"
+	echo "==> bench-gate: Table/Figure vs BENCH_pr8.json (tolerance 25% time, 25% allocs)"
 	go test -run '^$' -bench 'Table|Figure' -benchmem -benchtime "${BENCH_TIME:-3x}" . |
-		go run ./cmd/benchjson gate -baseline BENCH_pr7.json -match 'Table|Figure' -tolerance 0.25 -alloc-tolerance 0.25
+		go run ./cmd/benchjson gate -baseline BENCH_pr8.json -match 'Table|Figure' -tolerance 0.25 -alloc-tolerance 0.25
 fi
 
 echo "verify: all gates passed"
