@@ -4,7 +4,11 @@
 
 GO ?= go
 
-.PHONY: build test lint lint-baseline vet chaos crash metrics-smoke dataset-smoke bench bench-gate verify
+# The committed benchmark baseline the bench gate compares against; thread
+# a different file with `make bench-gate BENCH_BASELINE=BENCH_prX.json`.
+BENCH_BASELINE ?= BENCH_pr8.json
+
+.PHONY: build test lint lint-baseline vet chaos crash metrics-smoke dataset-smoke bench bench-gate slo-gate verify ci
 
 build:
 	$(GO) build ./...
@@ -48,13 +52,28 @@ dataset-smoke:
 
 # Full benchmark sweep with -benchmem, emitting a BENCH JSON record.
 bench:
-	./scripts/bench.sh
+	BENCH_BASELINE=$(BENCH_BASELINE) ./scripts/bench.sh
 
 # Compare the Table/Figure benchmarks against the committed serial baseline,
 # failing on a >25% ns/op regression.
 bench-gate:
 	$(GO) test -run '^$$' -bench 'Table|Figure' -benchmem -benchtime 3x . | \
-		$(GO) run ./cmd/benchjson gate -baseline BENCH_pr8.json -match 'Table|Figure' -tolerance 0.25 -alloc-tolerance 0.25
+		$(GO) run ./cmd/benchjson gate -baseline $(BENCH_BASELINE) -match 'Table|Figure' -tolerance 0.25 -alloc-tolerance 0.25
+
+# The SLO gate: a bounded loadgen burst against a sharded in-process
+# notary, failing on a p99 ingest latency or error-budget violation.
+# Sizes and objectives via SLO_* env knobs (see scripts/slo_gate.sh).
+slo-gate:
+	./scripts/slo_gate.sh
 
 verify:
-	./verify.sh
+	BENCH_BASELINE=$(BENCH_BASELINE) ./verify.sh
+
+# Exactly what the CI verify job runs, for reproducing CI results locally:
+# the full verify chain with the machine-sensitive gates off (CI runners
+# have noisy timings), one iteration of every benchmark, and a small
+# relaxed-threshold loadgen smoke.
+ci:
+	BENCH_GATE=off SLO_GATE=off ./verify.sh
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) run ./cmd/tangled loadgen -shards 2 -sessions 600 -clients 4 -batch 32 -leaves 120 -p99-ms 2000 -error-budget 0.02

@@ -6,7 +6,13 @@
 // Usage:
 //
 //	notaryd [-addr 127.0.0.1:7511] [-data DIR] [-checkpoint 5m]
-//	        [-prefeed 20000] [-seed 1] [-debug 127.0.0.1:7581]
+//	        [-prefeed 20000] [-seed 1] [-debug 127.0.0.1:7581] [-shards N]
+//
+// -shards N (N > 1) runs the database as a sharded cluster: observations
+// are routed across N notary shards by leaf content address, each with its
+// own chain cache (and, with -data, its own WAL and snapshot generation
+// under DIR/shard-NNN), and queries are answered from the shard-ordered
+// merged view — byte-identical to what a single-shard daemon would serve.
 //
 // -data DIR makes the database durable: on boot the daemon recovers from
 // DIR (newest checksummed snapshot plus write-ahead-journal replay), every
@@ -34,6 +40,7 @@ import (
 	"tangledmass/internal/faultfs"
 	"tangledmass/internal/notary"
 	"tangledmass/internal/notarynet"
+	"tangledmass/internal/notaryshard"
 	"tangledmass/internal/obs"
 	"tangledmass/internal/tlsnet"
 )
@@ -48,6 +55,7 @@ func main() {
 		prefeed    = flag.Int("prefeed", 20000, "pre-feed the database from an N-leaf simulated internet (0 = start empty)")
 		seed       = flag.Int64("seed", 1, "seed for the pre-feed world")
 		debug      = flag.String("debug", "", "serve the observability snapshot over HTTP on this address (empty: disabled)")
+		shards     = flag.Int("shards", 1, "run N notary shards behind a consistent-hash router (1 = unsharded)")
 	)
 	flag.Parse()
 	cfg := config{
@@ -57,6 +65,7 @@ func main() {
 		prefeed:    *prefeed,
 		seed:       *seed,
 		debug:      *debug,
+		shards:     *shards,
 	}
 	d, err := boot(cfg)
 	if err != nil {
@@ -80,6 +89,7 @@ type config struct {
 	prefeed    int
 	seed       int64
 	debug      string
+	shards     int
 }
 
 // daemon is one running notaryd: the (possibly durable) database, the
@@ -87,7 +97,9 @@ type config struct {
 // down in drain order.
 type daemon struct {
 	srv     *notarynet.Server
-	db      *notary.DB // nil when running in-memory only
+	db      *notary.DB           // nil when sharded or in-memory only
+	cluster *notaryshard.Cluster // nil when unsharded
+	durable bool
 	debugLn interface{ Close() error }
 
 	stopCheckpoint chan struct{}
@@ -96,14 +108,44 @@ type daemon struct {
 	closeErr       error
 }
 
+// checkpointStore runs one checkpoint against whichever store the daemon
+// holds; a no-op for a pure in-memory daemon.
+func (d *daemon) checkpointStore() error {
+	if !d.durable {
+		return nil
+	}
+	if d.cluster != nil {
+		return d.cluster.Checkpoint()
+	}
+	return d.db.Checkpoint()
+}
+
 // boot builds a daemon from cfg: recover (or create) the database, prefeed
 // if empty, start serving, start the checkpoint loop.
 func boot(cfg config) (*daemon, error) {
 	observer := obs.New()
-	var n *notary.Notary
-	var db *notary.DB
-	if cfg.dataDir != "" {
-		var err error
+	durable := cfg.dataDir != ""
+	var (
+		n       *notary.Notary
+		db      *notary.DB
+		cluster *notaryshard.Cluster
+		err     error
+	)
+	if cfg.shards > 1 {
+		if durable {
+			cluster, err = notaryshard.Open(faultfs.Disk, cfg.dataDir, certgen.Epoch, cfg.shards,
+				notaryshard.WithObserver(observer))
+			if err != nil {
+				return nil, err
+			}
+			log.Printf("recovered %d shards from %s (%d sessions)", cfg.shards, cfg.dataDir, cluster.Sessions())
+		} else {
+			cluster, err = notaryshard.New(certgen.Epoch, cfg.shards, notaryshard.WithObserver(observer))
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else if durable {
 		db, err = notary.Open(faultfs.Disk, cfg.dataDir, certgen.Epoch, notary.WithObserver(observer))
 		if err != nil {
 			return nil, err
@@ -113,46 +155,84 @@ func boot(cfg config) (*daemon, error) {
 	} else {
 		n = notary.New(certgen.Epoch, notary.WithObserver(observer))
 	}
-
-	if cfg.prefeed > 0 && n.Sessions() == 0 && n.NumUnique() == 0 {
-		log.Printf("pre-feeding from a %d-leaf simulated TLS internet (seed %d)...", cfg.prefeed, cfg.seed)
-		world, err := tlsnet.NewWorld(tlsnet.Config{Seed: cfg.seed, NumLeaves: cfg.prefeed})
-		if err != nil {
-			if db != nil {
-				_ = db.Close()
-			}
-			return nil, err
+	closeStore := func() {
+		if cluster != nil {
+			_ = cluster.Close()
 		}
-		tlsnet.Feed(world, n)
-		// The prefeed wrote straight to memory; one checkpoint makes it
-		// durable before anything is served.
-		if db != nil {
-			if err := db.Checkpoint(); err != nil {
-				_ = db.Close()
-				return nil, err
-			}
-		}
-		log.Print(n.String())
-	}
-
-	srvOpts := []notarynet.Option{notarynet.WithObserver(observer)}
-	if db != nil {
-		// Route writes through the journal: the network acknowledgment and
-		// the fsync acknowledgment become one and the same.
-		srvOpts = append(srvOpts, notarynet.WithIngester(db))
-	}
-	srv, err := notarynet.NewServer(n, cfg.addr, srvOpts...)
-	if err != nil {
 		if db != nil {
 			_ = db.Close()
 		}
+	}
+
+	empty := false
+	if cluster != nil {
+		empty = cluster.Sessions() == 0 && cluster.NumUnique() == 0
+	} else {
+		empty = n.Sessions() == 0 && n.NumUnique() == 0
+	}
+	if cfg.prefeed > 0 && empty {
+		log.Printf("pre-feeding from a %d-leaf simulated TLS internet (seed %d)...", cfg.prefeed, cfg.seed)
+		world, err := tlsnet.NewWorld(tlsnet.Config{Seed: cfg.seed, NumLeaves: cfg.prefeed})
+		if err != nil {
+			closeStore()
+			return nil, err
+		}
+		if cluster != nil {
+			err = tlsnet.FeedTo(world, cluster)
+		} else {
+			tlsnet.Feed(world, n)
+		}
+		if err != nil {
+			closeStore()
+			return nil, err
+		}
+		// The single-node prefeed wrote straight to memory; one checkpoint
+		// makes it durable before anything is served. (The sharded prefeed
+		// journals as it goes; its checkpoint just folds the WAL.)
+		if durable {
+			var cerr error
+			if cluster != nil {
+				cerr = cluster.Checkpoint()
+			} else {
+				cerr = db.Checkpoint()
+			}
+			if cerr != nil {
+				closeStore()
+				return nil, cerr
+			}
+		}
+	}
+
+	srvOpts := []notarynet.Option{notarynet.WithObserver(observer)}
+	var view notarynet.View
+	if cluster != nil {
+		// The cluster is its own ingester: it routes, and each shard
+		// journals when durable.
+		view = cluster
+	} else {
+		view = n
+		if db != nil {
+			// Route writes through the journal: the network acknowledgment
+			// and the fsync acknowledgment become one and the same.
+			srvOpts = append(srvOpts, notarynet.WithIngester(db))
+		}
+	}
+	srv, err := notarynet.NewServer(view, cfg.addr, srvOpts...)
+	if err != nil {
+		closeStore()
 		return nil, err
 	}
 	log.Printf("serving on %s", srv.Addr())
 
-	d := &daemon{srv: srv, db: db, stopCheckpoint: make(chan struct{})}
+	d := &daemon{srv: srv, db: db, cluster: cluster, durable: durable, stopCheckpoint: make(chan struct{})}
 	if cfg.debug != "" {
-		ln, err := obs.ServeDebug(cfg.debug, srv.Observer())
+		snapFn := srv.Observer().Snapshot
+		if cluster != nil {
+			// The cluster snapshot merges the shared router observer with
+			// every shard's private one.
+			snapFn = cluster.Snapshot
+		}
+		ln, err := obs.ServeDebugFunc(cfg.debug, snapFn)
 		if err != nil {
 			_ = d.Close()
 			return nil, err
@@ -161,7 +241,7 @@ func boot(cfg config) (*daemon, error) {
 		log.Printf("debug listening on %s", ln.Addr())
 	}
 
-	if db != nil && cfg.checkpoint > 0 {
+	if durable && cfg.checkpoint > 0 {
 		d.checkpointDone.Add(1)
 		go func() {
 			defer d.checkpointDone.Done()
@@ -170,7 +250,7 @@ func boot(cfg config) (*daemon, error) {
 			for {
 				select {
 				case <-ticker.C:
-					if err := db.Checkpoint(); err != nil {
+					if err := d.checkpointStore(); err != nil {
 						log.Printf("checkpoint: %v", err)
 					}
 				case <-d.stopCheckpoint:
@@ -193,10 +273,15 @@ func (d *daemon) Close() error {
 			_ = d.debugLn.Close()
 		}
 		err := d.srv.Close()
+		// After the drain: every acknowledged observation is already
+		// fsynced in the journal; the final checkpoint folds them into
+		// one clean snapshot generation.
+		if d.cluster != nil {
+			if cerr := d.cluster.Close(); err == nil {
+				err = cerr
+			}
+		}
 		if d.db != nil {
-			// After the drain: every acknowledged observation is already
-			// fsynced in the journal; the final checkpoint folds them into
-			// one clean snapshot generation.
 			if cerr := d.db.Close(); err == nil {
 				err = cerr
 			}

@@ -76,6 +76,8 @@ func run(args []string) error {
 		return cmdCampaign(args[1:])
 	case "fsck":
 		return cmdFsck(args[1:])
+	case "loadgen":
+		return cmdLoadgen(args[1:])
 	case "-h", "--help", "help":
 		usage()
 		return nil
@@ -99,7 +101,8 @@ func usage() {
   tangled dataset verify <dir>            integrity-check a dataset (checksums, references)
   tangled show [-pem] <cert-name>         openssl-style certificate dump
   tangled campaign [-scale F] [-seed N] [-frozen-clock]  run the pipeline, dump the obs snapshot as JSON
-  tangled fsck <data-dir>                 verify a notaryd data directory offline`)
+  tangled fsck <data-dir>                 verify a notaryd data directory offline
+  tangled loadgen [-shards N] [-sessions N] [-p99-ms MS]  drive load at a (sharded) notary, gate on p99`)
 }
 
 // resolveStore maps a name or cacerts path to a store.

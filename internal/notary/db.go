@@ -219,6 +219,10 @@ func (db *DB) Append(batch []Observation) error {
 // Observe journals and applies a single observation.
 func (db *DB) Observe(o Observation) error { return db.Append([]Observation{o}) }
 
+// ObserveAll is Append under the name the in-memory Notary uses, so the
+// durable database satisfies the same feed interfaces (tlsnet.Sink).
+func (db *DB) ObserveAll(batch []Observation) error { return db.Append(batch) }
+
 // ObserveCA journals and applies one CA sighting (Notary.ObserveCA).
 func (db *DB) ObserveCA(cert *x509.Certificate, port int) error {
 	db.mu.Lock()

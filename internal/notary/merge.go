@@ -1,0 +1,69 @@
+package notary
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Absorb folds another Notary's state into n: per-certificate session
+// counts and port tallies sum, observation windows widen to the union,
+// the leaf/store flags OR, and the session total adds. Every fold is a
+// commutative monoid over entries keyed by corpus.Ref, so absorbing a set
+// of disjoint observation partitions in any order reconstructs exactly
+// the database a single Notary fed the concatenated stream would hold —
+// the property the sharded cluster's merge path (internal/notaryshard)
+// builds its byte-identical-artifacts guarantee on.
+//
+// Both databases must share one corpus (so Refs agree) and one reference
+// time (so expiry agrees); anything else is a programming error, reported
+// rather than silently re-interned.
+func (n *Notary) Absorb(from *Notary) error {
+	if from == nil || from == n {
+		return nil
+	}
+	if from.c != n.c {
+		return fmt.Errorf("notary: absorb across corpora (corpus %d into %d)", from.c.ID(), n.c.ID())
+	}
+	if !from.at.Equal(n.at) {
+		return fmt.Errorf("notary: absorb across reference times (%s into %s)", from.at, n.at)
+	}
+
+	// Snapshot the source under its own lock, then release it before
+	// taking n's — no lock-order coupling between the two databases. The
+	// map range is collected and sorted by Ref: the fold is commutative,
+	// but a deterministic application order keeps the code auditable.
+	from.mu.RLock()
+	entries := make([]Entry, 0, len(from.entries))
+	for _, e := range from.entries {
+		cp := *e
+		cp.Ports = make(map[int]int64, len(e.Ports))
+		for p, c := range e.Ports {
+			cp.Ports[p] = c
+		}
+		entries = append(entries, cp)
+	}
+	sessions := from.sessions
+	from.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Ref < entries[j].Ref })
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sessions += sessions
+	for i := range entries {
+		src := &entries[i]
+		e := n.entryRef(src.Ref)
+		e.Sessions += src.Sessions
+		for p, c := range src.Ports {
+			e.Ports[p] += c
+		}
+		e.SeenAsLeaf = e.SeenAsLeaf || src.SeenAsLeaf
+		e.FromStore = e.FromStore || src.FromStore
+		if !src.FirstSeen.IsZero() {
+			e.touch(src.FirstSeen)
+		}
+		if !src.LastSeen.IsZero() {
+			e.touch(src.LastSeen)
+		}
+	}
+	return nil
+}

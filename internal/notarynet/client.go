@@ -200,6 +200,28 @@ func (c *Client) Observe(ctx context.Context, chain []*x509.Certificate, port in
 	return err
 }
 
+// ChainObservation is one chain for ObserveBatch.
+type ChainObservation struct {
+	Chain []*x509.Certificate
+	Port  int
+}
+
+// ObserveBatch submits many observed chains in one request, amortizing the
+// round trip. The whole batch shares one idempotency ID: a retry after a
+// lost response is applied exactly once end to end (and, against the
+// sharded router, exactly once per shard).
+func (c *Client) ObserveBatch(ctx context.Context, batch []ChainObservation) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	items := make([]BatchItem, len(batch))
+	for i, o := range batch {
+		items[i] = BatchItem{Chain: EncodeChain(o.Chain), Port: o.Port}
+	}
+	_, err := c.roundTrip(ctx, Request{Op: "observe_batch", Batch: items})
+	return err
+}
+
 // ObserveCA submits one CA certificate seen in traffic (non-leaf).
 func (c *Client) ObserveCA(ctx context.Context, cert *x509.Certificate, port int) error {
 	_, err := c.roundTrip(ctx, Request{Op: "observe_ca", Cert: EncodeCert(cert), Port: port})

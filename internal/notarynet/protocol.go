@@ -19,8 +19,8 @@ import (
 
 // Request is one protocol message from client to server.
 type Request struct {
-	// Op selects the operation: "observe", "observe_ca", "has_record",
-	// "stats", "validate".
+	// Op selects the operation: "observe", "observe_batch", "observe_ca",
+	// "has_record", "stats", "validate".
 	Op string `json:"op"`
 	// ID is a client-unique idempotency token. A client that re-sends a
 	// mutating request after a lost response keeps the ID, and the server
@@ -28,6 +28,10 @@ type Request struct {
 	ID string `json:"id,omitempty"`
 	// Chain is the observed chain, leaf first, base64 DER (observe).
 	Chain []string `json:"chain,omitempty"`
+	// Batch carries many observations in one request (observe_batch) — the
+	// sensor-side amortization that lets loadgen sustain millions of
+	// sessions without a round trip each.
+	Batch []BatchItem `json:"batch,omitempty"`
 	// Cert is a single base64 DER certificate (observe_ca, has_record).
 	Cert string `json:"cert,omitempty"`
 	// Port is the observation port (observe, observe_ca).
@@ -54,6 +58,17 @@ type Response struct {
 	// Validate fields.
 	Validated    int   `json:"validated,omitempty"`
 	PerRootCount []int `json:"per_root_count,omitempty"` // aligned with request root order
+
+	// Applied is how many observations an observe_batch recorded.
+	Applied int `json:"applied,omitempty"`
+}
+
+// BatchItem is one observation inside an observe_batch request.
+type BatchItem struct {
+	// Chain is the observed chain, leaf first, base64 DER.
+	Chain []string `json:"chain"`
+	// Port is the observation port.
+	Port int `json:"port,omitempty"`
 }
 
 // EncodeCert renders a certificate for the wire.

@@ -35,6 +35,37 @@ type Ingester interface {
 	ObserveCA(cert *x509.Certificate, port int) error
 }
 
+// BatchIngester is the write path for observe_batch when the ingester
+// needs the request's idempotency ID — the sharded router applies a batch
+// shard by shard and must remember, per shard, which IDs that shard has
+// already committed, so a retry after a mid-batch failure is applied
+// exactly once per shard. The server's own whole-batch dedupe still
+// absorbs retries whose first attempt fully succeeded.
+type BatchIngester interface {
+	Ingester
+	ObserveBatch(id string, batch []notary.Observation) error
+}
+
+// batchAppender is the atomic batch shape notary.DB already has: one
+// Append is one group commit, applied in memory only after it is durable,
+// so a failed Append never leaves a partially acknowledged batch behind.
+type batchAppender interface {
+	Append(batch []notary.Observation) error
+}
+
+// View is the server's read path: the queries has_record, stats and
+// validate are answered from it. The bare *notary.Notary satisfies it; a
+// sharded notaryshard.Cluster answers from its shard-ordered merged view,
+// which is what keeps remote validation byte-identical at any shard
+// count.
+type View interface {
+	HasRecord(cert *x509.Certificate) bool
+	NumUnique() int
+	NumUnexpired() int
+	Sessions() int64
+	ValidateOne(s *rootstore.Store) *notary.StoreReport
+}
+
 // notaryIngester adapts the bare in-memory Notary to the Ingester shape.
 type notaryIngester struct{ n *notary.Notary }
 
@@ -47,10 +78,10 @@ func (ni notaryIngester) ObserveCA(cert *x509.Certificate, port int) error {
 // Server exposes a Notary over TCP. Construct with NewServer; Close stops
 // it.
 type Server struct {
-	n   *notary.Notary
-	ing Ingester
-	ln  net.Listener
-	obs *obs.Observer
+	view View
+	ing  Ingester
+	ln   net.Listener
+	obs  *obs.Observer
 
 	mu        sync.Mutex
 	closed    bool
@@ -59,12 +90,25 @@ type Server struct {
 	seenOrder []string
 }
 
-// NewServer starts a server for n on addr ("127.0.0.1:0" for an ephemeral
-// port). Options: WithObserver shares an observer (the default is a
-// private one, so Snapshot and the debug handler always have something to
-// serve).
-func NewServer(n *notary.Notary, addr string, opts ...Option) (*Server, error) {
+// NewServer starts a server answering reads from v on addr ("127.0.0.1:0"
+// for an ephemeral port). Writes go through the WithIngester option when
+// given; otherwise v itself must be writable — a bare *notary.Notary or
+// anything implementing Ingester (the sharded cluster). Options:
+// WithObserver shares an observer (the default is a private one, so
+// Snapshot and the debug handler always have something to serve).
+func NewServer(v View, addr string, opts ...Option) (*Server, error) {
 	op := buildOptions(opts)
+	ing := op.ingester
+	if ing == nil {
+		switch w := v.(type) {
+		case *notary.Notary:
+			ing = notaryIngester{n: w}
+		case Ingester:
+			ing = w
+		default:
+			return nil, fmt.Errorf("notarynet: view %T is not writable; pass WithIngester", v)
+		}
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("notarynet: listening on %s: %w", addr, err)
@@ -73,11 +117,7 @@ func NewServer(n *notary.Notary, addr string, opts ...Option) (*Server, error) {
 	if observer == nil {
 		observer = obs.New()
 	}
-	ing := op.ingester
-	if ing == nil {
-		ing = notaryIngester{n: n}
-	}
-	s := &Server{n: n, ing: ing, ln: ln, obs: observer, seen: make(map[string]bool)}
+	s := &Server{view: v, ing: ing, ln: ln, obs: observer, seen: make(map[string]bool)}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -238,21 +278,66 @@ func (s *Server) dispatch(req Request) Response {
 		s.obs.Counter(KeyIngestTotal).Inc()
 		return Response{OK: true}
 
+	case "observe_batch":
+		if len(req.Batch) == 0 {
+			return Response{Error: "observe_batch: empty batch"}
+		}
+		batch := make([]notary.Observation, len(req.Batch))
+		for i, item := range req.Batch {
+			chain, err := DecodeChain(item.Chain)
+			if err != nil {
+				return Response{Error: err.Error()}
+			}
+			if len(chain) == 0 {
+				return Response{Error: fmt.Sprintf("observe_batch: empty chain at index %d", i)}
+			}
+			batch[i] = notary.Observation{Chain: chain, Port: item.Port}
+		}
+		if s.duplicate(req.ID) {
+			s.obs.Counter(KeyIngestDedupe).Inc()
+			return Response{OK: true, Applied: len(batch)}
+		}
+		// Delegation order matters for retry safety: a BatchIngester (the
+		// sharded router) tracks the ID per shard, an atomic appender (the
+		// durable DB) commits all-or-nothing, and only the plain in-memory
+		// Notary takes the item loop, where partial application is harmless
+		// because Observe never fails.
+		var err error
+		switch ing := s.ing.(type) {
+		case BatchIngester:
+			err = ing.ObserveBatch(req.ID, batch)
+		case batchAppender:
+			err = ing.Append(batch)
+		default:
+			for _, o := range batch {
+				if err = s.ing.Observe(o); err != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			s.forget(req.ID)
+			s.obs.Counter(KeyIngestRejected).Inc()
+			return Response{Error: "observe_batch: " + err.Error()}
+		}
+		s.obs.Counter(KeyIngestTotal).Add(int64(len(batch)))
+		return Response{OK: true, Applied: len(batch)}
+
 	case "has_record":
 		cert, err := DecodeCert(req.Cert)
 		if err != nil {
 			return Response{Error: err.Error()}
 		}
 		s.obs.Counter(KeyQueryTotal).Inc()
-		return Response{OK: true, Recorded: s.n.HasRecord(cert)}
+		return Response{OK: true, Recorded: s.view.HasRecord(cert)}
 
 	case "stats":
 		s.obs.Counter(KeyQueryTotal).Inc()
 		return Response{
 			OK:        true,
-			Unique:    s.n.NumUnique(),
-			Unexpired: s.n.NumUnexpired(),
-			Sessions:  s.n.Sessions(),
+			Unique:    s.view.NumUnique(),
+			Unexpired: s.view.NumUnexpired(),
+			Sessions:  s.view.Sessions(),
 		}
 
 	case "validate":
@@ -269,7 +354,7 @@ func (s *Server) dispatch(req Request) Response {
 		}
 		store := rootstore.New(name)
 		store.AddAll(roots)
-		rep := s.n.ValidateOne(store)
+		rep := s.view.ValidateOne(store)
 		counts := make([]int, len(roots))
 		for i, r := range roots {
 			counts[i] = rep.PerRoot[corpus.IdentityOf(r)]

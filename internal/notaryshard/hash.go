@@ -1,0 +1,42 @@
+// Package notaryshard scales the notary horizontally: a router fronts N
+// independent notary shards, placing every observation by the content
+// address of its leaf certificate, and a shard-ordered merge reconstructs
+// exactly the database a single notary would hold. Placement depends only
+// on certificate bytes — never on seeds, arrival order, or shard count of
+// a previous run — so the merged artifacts (Tables 3/4, Figures 1–3) are
+// byte-identical at any shard count.
+package notaryshard
+
+import (
+	"encoding/binary"
+
+	"tangledmass/internal/corpus"
+)
+
+// ShardFor places a certificate digest on one of n shards using jump
+// consistent hashing (Lamping & Veach, "A Fast, Minimal Memory, Consistent
+// Hash Algorithm"). Properties the cluster leans on:
+//
+//   - deterministic: a pure function of the digest bytes and n, so every
+//     router, every process, every run agrees on placement;
+//   - balanced: keys split uniformly across the n shards;
+//   - monotone: growing n from k to k+1 only moves keys onto the new
+//     shard, never between existing shards — resharding a durable cluster
+//     relocates the minimum of data.
+//
+// The key is the first 8 bytes of the SHA-256 content address, which the
+// corpus already computes for interning; the remaining 24 bytes buy
+// nothing against a uniform hash.
+func ShardFor(d corpus.Digest, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	key := binary.BigEndian.Uint64(d[:8])
+	var b, j int64 = -1, 0
+	for j < int64(n) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}

@@ -123,3 +123,42 @@ func (s HistogramSnapshot) Merge(other HistogramSnapshot) HistogramSnapshot {
 	}
 	return out
 }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucketed counts
+// by linear interpolation within the containing bucket, the standard
+// Prometheus histogram_quantile estimator. The first bucket interpolates
+// from zero; observations in the overflow region clamp to the largest
+// bound — the estimate is then a lower bound, which is the conservative
+// direction for an SLO gate (overflow means the gate fails anyway). An
+// empty snapshot reports 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, b := range s.Buckets {
+		prevCum := cum
+		cum += b.Count
+		if float64(cum) < rank {
+			continue
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Buckets[i-1].UpperBound
+		}
+		if b.Count == 0 {
+			return b.UpperBound
+		}
+		frac := (rank - float64(prevCum)) / float64(b.Count)
+		return lower + (b.UpperBound-lower)*frac
+	}
+	// The rank falls in the overflow region.
+	return s.Buckets[len(s.Buckets)-1].UpperBound
+}

@@ -1,0 +1,70 @@
+package resilient
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Pacer spaces requests to a sustained rate — the load generator's
+// throttle. It is an interval pacer, not a token bucket: each Wait
+// reserves the next slot at exactly 1/rate after the previous one (or now,
+// if the caller fell behind), so a loadgen client emits steady traffic
+// instead of bursts that would make p99 measurements meaningless. Safe
+// for concurrent use; a zero or negative rate never waits.
+type Pacer struct {
+	interval time.Duration
+	clock    Clock
+
+	mu   sync.Mutex
+	next time.Time
+}
+
+// NewPacer builds a pacer for perSecond requests per second. perSecond ≤ 0
+// means unlimited: Wait returns immediately.
+func NewPacer(perSecond float64) *Pacer {
+	p := &Pacer{clock: SystemClock()}
+	if perSecond > 0 {
+		p.interval = time.Duration(float64(time.Second) / perSecond)
+	}
+	return p
+}
+
+// WithClock substitutes the time source, for deterministic tests. Returns
+// p for chaining.
+func (p *Pacer) WithClock(c Clock) *Pacer {
+	if c.Now != nil && c.Sleep != nil {
+		p.clock = c
+	}
+	return p
+}
+
+// Wait blocks until the caller's reserved slot arrives, or ctx is done —
+// the only error it returns is ctx.Err(). Slots are handed out under the
+// lock but slept outside it, so concurrent callers queue up distinct
+// future slots instead of serializing their sleeps.
+func (p *Pacer) Wait(ctx context.Context) error {
+	if p == nil || p.interval <= 0 {
+		return ctx.Err()
+	}
+	now := p.clock.Now()
+	p.mu.Lock()
+	slot := p.next
+	if slot.Before(now) {
+		slot = now
+	}
+	p.next = slot.Add(p.interval)
+	p.mu.Unlock()
+	if d := slot.Sub(now); d > 0 {
+		if dl, ok := ctx.Deadline(); ok && now.Add(d).After(dl) {
+			// The slot is past the deadline; sleeping the full interval would
+			// just delay the inevitable.
+			if rem := dl.Sub(now); rem > 0 {
+				p.clock.Sleep(rem)
+			}
+			return context.DeadlineExceeded
+		}
+		p.clock.Sleep(d)
+	}
+	return ctx.Err()
+}

@@ -8,18 +8,23 @@
 #   scripts/bench.sh [output.json]
 #
 # Knobs (environment):
-#   BENCH_TIME     -benchtime value (default 3x: heavy analysis benchmarks
-#                  run in hundreds of ms, so a few iterations are stable)
-#   BENCH_PATTERN  -bench pattern (default ".")
-#   BENCH_LABEL    label stored in the JSON record (default "pr8")
+#   BENCH_TIME      -benchtime value (default 3x: heavy analysis benchmarks
+#                   run in hundreds of ms, so a few iterations are stable)
+#   BENCH_PATTERN   -bench pattern (default ".")
+#   BENCH_BASELINE  baseline filename the verify bench-gate compares
+#                   against; used as the default output path and label
+#                   source (default BENCH_pr8.json)
+#   BENCH_LABEL     label stored in the JSON record (default: derived from
+#                   the baseline name, e.g. BENCH_pr8.json -> "pr8")
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_pr8.json}
+baseline=${BENCH_BASELINE:-BENCH_pr8.json}
+out=${1:-$baseline}
 benchtime=${BENCH_TIME:-3x}
 pattern=${BENCH_PATTERN:-.}
-label=${BENCH_LABEL:-pr8}
+label=${BENCH_LABEL:-$(basename "$baseline" .json | sed 's/^BENCH_//')}
 
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT INT TERM

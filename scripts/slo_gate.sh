@@ -1,0 +1,65 @@
+#!/bin/sh
+# slo_gate.sh is the ingest-latency SLO gate: boot a sharded in-process
+# notary topology, drive a bounded loadgen burst through the real wire
+# protocol (batched observes, idempotent retries), and fail unless the
+# measured p99 ingest latency and the request error rate stay inside the
+# committed objectives. The machine-readable verdict (config, latency
+# distribution, per-shard p99s, violations) is written as SLO JSON; the
+# committed SLO_pr9.json is the reference record of the gate passing.
+#
+# Usage:
+#   scripts/slo_gate.sh [output.json]
+#
+# Knobs (environment):
+#   SLO_SESSIONS      observations to send (default 4000)
+#   SLO_SHARDS        shard count of the in-process topology (default 4)
+#   SLO_CLIENTS       concurrent loadgen clients (default 8)
+#   SLO_BATCH         observations per request (default 64)
+#   SLO_LEAVES        synthetic leaf population (default 400)
+#   SLO_P99_MS        p99 objective in milliseconds (default 150)
+#   SLO_ERROR_BUDGET  tolerated request error rate (default 0)
+#   SLO_FAULT_SEED    inject dial faults with this seed (default 0 = none)
+#   SLO_LABEL         label recorded in the JSON document (default pr9)
+#   VERIFY_ARTIFACTS_DIR  if set, the SLO document is also copied there so
+#                     CI can upload it when the gate (or any stage) fails
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=${1:-}
+sessions=${SLO_SESSIONS:-4000}
+shards=${SLO_SHARDS:-4}
+clients=${SLO_CLIENTS:-8}
+batch=${SLO_BATCH:-64}
+leaves=${SLO_LEAVES:-400}
+p99=${SLO_P99_MS:-150}
+budget=${SLO_ERROR_BUDGET:-0}
+fault_seed=${SLO_FAULT_SEED:-0}
+label=${SLO_LABEL:-pr9}
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT INT TERM
+[ -n "$out" ] || out="$workdir/SLO_pr9.json"
+
+echo "==> building tangled"
+go build -o "$workdir/tangled" ./cmd/tangled
+
+echo "==> loadgen: $sessions sessions, $shards shards, $clients clients, batch $batch (p99 <= ${p99}ms, error budget $budget)"
+status=0
+"$workdir/tangled" loadgen \
+    -shards "$shards" -sessions "$sessions" -clients "$clients" \
+    -batch "$batch" -leaves "$leaves" -fault-seed "$fault_seed" \
+    -p99-ms "$p99" -error-budget "$budget" \
+    -label "$label" -json "$out" || status=$?
+
+# Preserve the SLO document for CI artifact upload whatever the verdict.
+if [ -n "${VERIFY_ARTIFACTS_DIR:-}" ]; then
+    mkdir -p "$VERIFY_ARTIFACTS_DIR"
+    cp "$out" "$VERIFY_ARTIFACTS_DIR/SLO_${label}.json" 2>/dev/null || true
+fi
+
+if [ "$status" -ne 0 ]; then
+    echo "slo-gate: FAILED (see $out)" >&2
+    exit "$status"
+fi
+echo "slo-gate: SLO met"

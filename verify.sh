@@ -43,13 +43,28 @@ go test -race ./...
 # serial baseline and fails on a >25% ns/op regression or a >25% allocs/op
 # regression (allocations are deterministic, so the alloc gate is stable
 # even on loaded machines). BENCH_GATE=off skips it (useful on loaded or
-# throttled machines where timings are meaningless).
+# throttled machines where timings are meaningless). BENCH_BASELINE picks
+# a different committed baseline file.
+BENCH_BASELINE=${BENCH_BASELINE:-BENCH_pr8.json}
 if [ "${BENCH_GATE:-on}" = "off" ]; then
 	echo "==> bench-gate: skipped (BENCH_GATE=off)"
 else
-	echo "==> bench-gate: Table/Figure vs BENCH_pr8.json (tolerance 25% time, 25% allocs)"
+	echo "==> bench-gate: Table/Figure vs $BENCH_BASELINE (tolerance 25% time, 25% allocs)"
 	go test -run '^$' -bench 'Table|Figure' -benchmem -benchtime "${BENCH_TIME:-3x}" . |
-		go run ./cmd/benchjson gate -baseline BENCH_pr8.json -match 'Table|Figure' -tolerance 0.25 -alloc-tolerance 0.25
+		go run ./cmd/benchjson gate -baseline "$BENCH_BASELINE" -match 'Table|Figure' -tolerance 0.25 -alloc-tolerance 0.25
+fi
+
+# The SLO gate: boot a sharded notary topology, drive a bounded loadgen
+# burst through the wire protocol, and fail on a p99 ingest latency or
+# error-budget violation (objectives and sizes via SLO_* env knobs; see
+# scripts/slo_gate.sh). SLO_GATE=off skips it — shared CI runners have
+# noisy latency, so like the bench gate the hard thresholds stay local and
+# CI runs a relaxed smoke instead.
+if [ "${SLO_GATE:-on}" = "off" ]; then
+	echo "==> slo-gate: skipped (SLO_GATE=off)"
+else
+	echo "==> slo-gate: loadgen p99/error-budget SLO"
+	./scripts/slo_gate.sh
 fi
 
 echo "verify: all gates passed"
