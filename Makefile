@@ -6,7 +6,7 @@ GO ?= go
 
 # The committed benchmark baseline the bench gate compares against; thread
 # a different file with `make bench-gate BENCH_BASELINE=BENCH_prX.json`.
-BENCH_BASELINE ?= BENCH_pr8.json
+BENCH_BASELINE ?= BENCH_pr10.json
 
 .PHONY: build test lint lint-baseline vet chaos crash metrics-smoke dataset-smoke bench bench-gate slo-gate verify ci
 

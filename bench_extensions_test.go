@@ -172,7 +172,7 @@ func BenchmarkDatasetWrite(b *testing.B) {
 	dir := b.TempDir()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := dataset.Write(filepath.Join(dir, "ds"), f.pop); err != nil {
+		if err := dataset.NewWriter(filepath.Join(dir, "ds"), dataset.WithFormat(dataset.JSONL)).Write(context.Background(), f.pop); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -181,12 +181,12 @@ func BenchmarkDatasetWrite(b *testing.B) {
 func BenchmarkDatasetRead(b *testing.B) {
 	f := benchFixtures(b)
 	dir := filepath.Join(b.TempDir(), "ds")
-	if err := dataset.Write(dir, f.pop); err != nil {
+	if err := dataset.NewWriter(dir, dataset.WithFormat(dataset.JSONL)).Write(context.Background(), f.pop); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p, err := dataset.Read(dir, f.universe)
+		p, err := dataset.NewReader(dir, dataset.WithUniverse(f.universe)).Read(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

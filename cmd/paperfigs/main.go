@@ -42,7 +42,7 @@ func main() {
 		seed   = flag.Int64("seed", 1, "seed for all generators")
 		scale  = flag.Float64("scale", 1.0, "session-quota scale (1.0 = 15,970 sessions)")
 		leaves = flag.Int("leaves", 20000, "number of simulated TLS internet certificates")
-		only   = flag.String("only", "", "comma-separated subset: table1..table6,figure1..figure3,headlines")
+		only   = flag.String("only", "", "comma-separated subset: table1..table6,figure1..figure3,headlines,attribution")
 		jsonTo = flag.String("json", "", "also write every computed artifact as JSON to this file")
 		csvDir = flag.String("csvdir", "", "also write plot-ready CSV files for the figures into this directory")
 	)
@@ -83,7 +83,8 @@ func run(seed int64, scale float64, leaves int, only, jsonTo, csvDir string) err
 	}
 
 	var pop *population.Population
-	needPop := want("table2") || want("table5") || want("figure1") || want("figure2") || want("headlines")
+	needPop := want("table2") || want("table5") || want("figure1") || want("figure2") ||
+		want("headlines") || want("attribution")
 	if needPop {
 		fmt.Fprintln(os.Stderr, "generating device population...")
 		pop, err = population.Generate(population.Config{Seed: seed, Universe: u, SessionScale: scale})
@@ -169,6 +170,13 @@ func run(seed int64, scale float64, leaves int, only, jsonTo, csvDir string) err
 		rows := analysis.Table5(pop)
 		artifacts["table5"] = rows
 		fmt.Print(report.Table5(rows))
+	}
+
+	if want("attribution") {
+		section("Interception attribution: store tampering vs. app misvalidation")
+		ta := analysis.ComputeTrustAttribution(pop)
+		artifacts["trust_attribution"] = ta
+		fmt.Print(report.TrustAttributionTable(ta))
 	}
 
 	if want("table6") {

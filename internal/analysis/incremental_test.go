@@ -56,6 +56,7 @@ func TestAggregatesIncrementalEqualsOneShot(t *testing.T) {
 	checkIncremental(t, "Figure2", p, func() Aggregate[Batch, []AttributionCell] {
 		return NewFigure2Aggregate(p.Universe, n, 10)
 	})
+	checkIncremental(t, "TrustAttribution", p, NewTrustAttributionAggregate)
 }
 
 // TestBatchesPartition checks Batches hands out every handset exactly once
@@ -155,7 +156,8 @@ func TestEngineMatchesOneShotAggregates(t *testing.T) {
 		mo := NewMonthsAggregate()
 		t5 := NewTable5Aggregate(p.Universe)
 		f2 := NewFigure2Aggregate(p.Universe, nil, 10)
-		for _, a := range []interface{ Add(Batch) }{t2, f1, hl, mo, t5, f2} {
+		ta := NewTrustAttributionAggregate()
+		for _, a := range []interface{ Add(Batch) }{t2, f1, hl, mo, t5, f2, ta} {
 			a.Add(whole)
 		}
 		arts := []artifact{
@@ -168,6 +170,7 @@ func TestEngineMatchesOneShotAggregates(t *testing.T) {
 			{"Months", mustJSON(t, mo.Result()), func(e *Engine) any { return e.SessionsPerMonth(p) }},
 			{"Table5", mustJSON(t, t5.Result()), func(e *Engine) any { return e.Table5(p) }},
 			{"Figure2", mustJSON(t, f2.Result()), func(e *Engine) any { return e.Figure2(p, nil, 10) }},
+			{"TrustAttribution", mustJSON(t, ta.Result()), func(e *Engine) any { return e.ComputeTrustAttribution(p) }},
 		}
 		for _, w := range workerCounts {
 			e := NewEngine(WithWorkers(w))

@@ -39,6 +39,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 		{"MissingHandsets", func(e *Engine) any { return e.MissingHandsets(p) }},
 		{"RoamingCandidates", func(e *Engine) any { return e.RoamingCandidates(p) }},
 		{"Figure2", func(e *Engine) any { return e.Figure2(p, n, 10) }},
+		{"TrustAttribution", func(e *Engine) any { return e.ComputeTrustAttribution(p) }},
 		{"Table3", func(e *Engine) any { return e.Table3(n, p.Universe) }},
 		{"Figure3ECDF", func(e *Engine) any {
 			return e.ValidateCategories(n, Figure3Categories(p.Universe))
@@ -86,6 +87,7 @@ func TestArtifactBytesIdenticalAcrossWorkerCounts(t *testing.T) {
 				"missing":         e.MissingHandsets(pop),
 				"roaming":         e.RoamingCandidates(pop),
 				"figure2":         e.Figure2(pop, ndb, 5),
+				"trust_attr":      e.ComputeTrustAttribution(pop),
 				"table3":          e.Table3(ndb, pop.Universe),
 				"figure3":         e.ValidateCategories(ndb, Figure3Categories(pop.Universe)),
 				"port_dist":       ndb.PortDistribution(),

@@ -46,6 +46,7 @@ func TestArtifactBytesIdenticalAcrossShardCounts(t *testing.T) {
 				"missing":         e.MissingHandsets(pop),
 				"roaming":         e.RoamingCandidates(pop),
 				"figure2":         e.Figure2(pop, ndb, 5),
+				"trust_attr":      e.ComputeTrustAttribution(pop),
 				"table3":          e.Table3(ndb, pop.Universe),
 				"figure3":         e.ValidateCategories(ndb, Figure3Categories(pop.Universe)),
 				"port_dist":       ndb.PortDistribution(),

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"testing"
+
+	"tangledmass/internal/trusteval"
+)
+
+// TestTrustAttributionPartitionsSessions pins the acceptance invariant: the
+// causes partition the fleet's sessions exactly — per-cause counts sum to
+// the session total, the detail rows re-sum to the same total, and Exposed
+// is exactly the non-clean remainder.
+func TestTrustAttributionPartitionsSessions(t *testing.T) {
+	p, _ := fixtures(t)
+	ta := ComputeTrustAttribution(p)
+
+	if ta.TotalSessions != len(p.Sessions) {
+		t.Fatalf("TotalSessions = %d, want %d", ta.TotalSessions, len(p.Sessions))
+	}
+	var byCause int
+	for _, c := range ta.ByCause {
+		byCause += c.Sessions
+	}
+	if byCause != ta.TotalSessions {
+		t.Errorf("sum(ByCause) = %d, want %d — causes must partition sessions", byCause, ta.TotalSessions)
+	}
+	var rows, clean int
+	for _, r := range ta.Rows {
+		if r.Sessions <= 0 {
+			t.Errorf("row %+v carries a non-positive count", r)
+		}
+		rows += r.Sessions
+		if r.Cause == string(trusteval.CauseClean) {
+			clean += r.Sessions
+		}
+	}
+	if rows != ta.TotalSessions {
+		t.Errorf("sum(Rows) = %d, want %d", rows, ta.TotalSessions)
+	}
+	if ta.Exposed != ta.TotalSessions-clean {
+		t.Errorf("Exposed = %d, want total−clean = %d", ta.Exposed, ta.TotalSessions-clean)
+	}
+
+	// ByCause follows the engine's fixed precedence order with every cause
+	// present, so renderers can index it positionally.
+	causes := trusteval.Causes()
+	if len(ta.ByCause) != len(causes) {
+		t.Fatalf("ByCause has %d entries, want %d", len(ta.ByCause), len(causes))
+	}
+	for i, c := range causes {
+		if ta.ByCause[i].Cause != string(c) {
+			t.Errorf("ByCause[%d] = %q, want %q", i, ta.ByCause[i].Cause, c)
+		}
+	}
+}
+
+// TestTrustAttributionShares sanity-checks the fleet-level shares the app
+// catalog implies: tampered stores and misvalidating app profiles both
+// explain a real minority of sessions, and most sessions stay clean.
+func TestTrustAttributionShares(t *testing.T) {
+	p, _ := fixtures(t)
+	ta := ComputeTrustAttribution(p)
+
+	share := func(cause trusteval.Cause) float64 {
+		for _, c := range ta.ByCause {
+			if c.Cause == string(cause) {
+				return float64(c.Sessions) / float64(ta.TotalSessions)
+			}
+		}
+		return 0
+	}
+	if s := share(trusteval.CauseStoreTampering); s <= 0 {
+		t.Error("no sessions attributed to store tampering")
+	}
+	if s := share(trusteval.CauseAppAcceptAll); s <= 0.01 || s >= 0.30 {
+		t.Errorf("accept-all share = %.3f, want a minority but non-trivial share", s)
+	}
+	if s := share(trusteval.CauseAppNoHostname); s <= 0 {
+		t.Error("no sessions attributed to skipped hostname verification")
+	}
+	if s := share(trusteval.CausePinBypass); s <= 0 {
+		t.Error("no sessions attributed to pin bypass")
+	}
+	if s := share(trusteval.CauseClean); s <= 0.5 {
+		t.Errorf("clean share = %.3f, want a majority", s)
+	}
+
+	// The channel split must only ever pair store-tampering with a
+	// non-firmware channel and vice versa: the cause and the channel are
+	// both derived from TamperChannel, so a mismatch means the aggregate
+	// and the signals diverged.
+	for _, r := range ta.Rows {
+		tampered := r.Channel != "firmware"
+		if (r.Cause == string(trusteval.CauseStoreTampering)) != tampered &&
+			r.Cause == string(trusteval.CauseStoreTampering) {
+			t.Errorf("store-tampering row on firmware channel: %+v", r)
+		}
+		if tampered && r.Cause != string(trusteval.CauseStoreTampering) {
+			t.Errorf("non-firmware channel row attributed to %s — store tampering must take precedence: %+v", r.Cause, r)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"tangledmass/internal/population"
 	"tangledmass/internal/resilient"
 	"tangledmass/internal/tlsnet"
+	"tangledmass/internal/trusteval"
 )
 
 // config collects the campaign knobs behind Run's functional options.
@@ -42,6 +43,7 @@ type config struct {
 	submitRetry   *resilient.Retrier
 	observer      *obs.Observer
 	now           func() time.Time
+	pins          trusteval.PinChecker
 }
 
 // Option configures a campaign run.
@@ -57,6 +59,13 @@ func WithNotary(addr string) Option {
 // interception proxy.
 func WithProxy(p *mitm.Proxy) Option {
 	return func(c *config) { c.proxy = p }
+}
+
+// WithPins enables the trust-evaluation engine's pin layer in every
+// session's client (typically a *pinning.Store built from the origin's
+// sites).
+func WithPins(p trusteval.PinChecker) Option {
+	return func(c *config) { c.pins = p }
 }
 
 // WithTargets sets the domains each session probes. The default is the full
@@ -137,6 +146,10 @@ type Stats struct {
 	// ObserveFailed counts notary observations lost even after retries.
 	ObserveFailed   int
 	UntrustedProbes int
+	// MisvalidatedProbes counts untrusted probes that the session's app
+	// policy accepted anyway (the trust-evaluation engine's override
+	// path) — the campaign-side app-misvalidation signal.
+	MisvalidatedProbes int
 	// ProbeFaults tallies failed probes across all sessions by their typed
 	// kind ("refused", "reset", "timeout", …).
 	ProbeFaults map[string]int
@@ -206,6 +219,7 @@ func Run(ctx context.Context, pop *population.Population, origin *tlsnet.Server,
 		}
 		stats.ObserveFailed += res.observeFailed
 		stats.UntrustedProbes += res.untrusted
+		stats.MisvalidatedProbes += res.misvalidated
 		for kind, n := range res.faults {
 			stats.ProbeFaults[kind] += n
 		}
@@ -216,6 +230,7 @@ func Run(ctx context.Context, pop *population.Population, origin *tlsnet.Server,
 	cfg.observer.Counter(KeySubmitFailed).Add(int64(stats.SubmitFailed))
 	cfg.observer.Counter(KeyObserveFailed).Add(int64(stats.ObserveFailed))
 	cfg.observer.Counter(KeyUntrustedProbes).Add(int64(stats.UntrustedProbes))
+	cfg.observer.Counter(KeyMisvalidatedProbes).Add(int64(stats.MisvalidatedProbes))
 	stats.Obs = cfg.observer.Snapshot()
 	return stats, nil
 }
@@ -226,6 +241,7 @@ type sessionResult struct {
 	submitFailed  bool
 	observeFailed int
 	untrusted     int
+	misvalidated  int
 	faults        map[string]int
 }
 
@@ -245,8 +261,9 @@ func (cfg *config) session(ctx context.Context, s *population.Session) sessionRe
 		return sessionResult{failed: true}
 	}
 	res := sessionResult{
-		untrusted: len(rep.UntrustedProbes()),
-		faults:    rep.FaultTally(),
+		untrusted:    len(rep.UntrustedProbes()),
+		misvalidated: len(rep.MisvalidatedProbes()),
+		faults:       rep.FaultTally(),
 	}
 	if err := cfg.submit(ctx, rep, scope); err != nil {
 		res.submitFailed = true
@@ -269,6 +286,13 @@ func (cfg *config) runSession(ctx context.Context, s *population.Session, scope 
 		netalyzr.WithProbeTimeout(cfg.probeTimeout),
 		netalyzr.WithObserver(cfg.observer),
 		netalyzr.WithSession(scope),
+		// Each session runs as its handset's drawn app profile, so the
+		// trust-evaluation engine inside the client applies the same
+		// policy the attribution analysis assumes for this session.
+		netalyzr.WithPolicy(s.Policy),
+	}
+	if cfg.pins != nil {
+		opts = append(opts, netalyzr.WithPins(cfg.pins))
 	}
 	if cfg.targets != nil {
 		opts = append(opts, netalyzr.WithTargets(cfg.targets))

@@ -17,4 +17,7 @@ const (
 	KeyObserveFailed = "campaign.observe.failed"
 	// KeyUntrustedProbes counts probes whose chain failed device validation.
 	KeyUntrustedProbes = "campaign.probe.untrusted"
+	// KeyMisvalidatedProbes counts untrusted probes the session's app
+	// policy accepted anyway — interception the app made possible.
+	KeyMisvalidatedProbes = "campaign.probe.misvalidated"
 )

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"net"
 	"sync"
 	"time"
 )
@@ -58,6 +59,7 @@ type options struct {
 	rsaBits      int
 	keyName      string
 	dnsNames     []string
+	ipAddresses  []net.IP
 	isCA         bool
 	maxPath      int
 	permittedDNS []string
@@ -115,6 +117,13 @@ func WithKeyName(name string) Option {
 // WithDNSNames sets leaf SAN dNSName entries.
 func WithDNSNames(names ...string) Option {
 	return func(o *options) { o.dnsNames = names }
+}
+
+// WithIPAddresses sets leaf SAN iPAddress entries, for services reached by
+// literal address — hostname verification then matches the IP exactly,
+// never via wildcards.
+func WithIPAddresses(ips ...net.IP) Option {
+	return func(o *options) { o.ipAddresses = ips }
 }
 
 // WithNameConstraints restricts a CA to issuing for the given DNS domains
@@ -303,6 +312,7 @@ func (g *Generator) issue(cn string, parent *Issued, o options) (*Issued, error)
 		tmpl.KeyUsage = x509.KeyUsageDigitalSignature | x509.KeyUsageKeyEncipherment
 		tmpl.ExtKeyUsage = []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth, x509.ExtKeyUsageClientAuth}
 		tmpl.DNSNames = o.dnsNames
+		tmpl.IPAddresses = o.ipAddresses
 	}
 	parentCert := tmpl
 	signerKey := key
@@ -347,7 +357,7 @@ func (g *Generator) Leaf(parent *Issued, cn string, opts ...Option) (*Issued, er
 	defer g.mu.Unlock()
 	o := applyOptions(opts)
 	o.isCA = false
-	if len(o.dnsNames) == 0 {
+	if len(o.dnsNames) == 0 && len(o.ipAddresses) == 0 {
 		o.dnsNames = []string{cn}
 	}
 	return g.issue(cn, parent, o)

@@ -16,12 +16,14 @@
 package chain
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"crypto/x509"
 	"encoding/hex"
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -343,30 +345,86 @@ var ErrHostMismatch = errors.New("chain: certificate does not cover the requeste
 // CA whose name constraints exclude the host.
 var ErrNameConstraint = errors.New("chain: host excluded by a CA name constraint")
 
+// CanonicalHost returns host in the form the hostname checks compare on:
+// lowercased, with a single trailing dot (the DNS root label) trimmed.
+// x509.Certificate.VerifyHostname applies this normalization internally;
+// applying it here too keeps the name-constraint check judging the same
+// spelling, so the two layers can never disagree about which host they saw.
+func CanonicalHost(host string) string {
+	host = strings.ToLower(host)
+	if n := len(host); n > 0 && host[n-1] == '.' {
+		host = host[:n-1]
+	}
+	return host
+}
+
+// LeafCoversHost reports whether the leaf certificate covers host (judging
+// the canonical form). It is the hostname layer of VerifyForHost on its
+// own, exposed so the trust-evaluation engine can score the hostname
+// dimension independently of chain building.
+func LeafCoversHost(cert *x509.Certificate, host string) error {
+	return cert.VerifyHostname(CanonicalHost(host))
+}
+
 // VerifyForHost verifies cert for use as a TLS server certificate for host:
 // the leaf must cover host, and at least one path to a trusted root must
 // cross only CAs whose (permitted-subtree) name constraints allow it. This
 // is the check that makes a name-constrained operator CA safe to ship in
 // firmware: it can anchor its own services but not gmail.com.
+//
+// Error precedence is fixed: a leaf that does not cover the host reports
+// ErrHostMismatch even when name constraints would also exclude it — the
+// leaf check is the first a client performs, and both checks judge the
+// canonical host so neither can pass a spelling the other rejects. When
+// several valid paths permit the host, the winner is canonical — shortest
+// path first, ties broken by comparing member content digests — and does
+// not depend on pool construction order.
 func (v *Verifier) VerifyForHost(cert *x509.Certificate, host string) ([]*x509.Certificate, error) {
-	if err := cert.VerifyHostname(host); err != nil {
+	h := CanonicalHost(host)
+	if err := cert.VerifyHostname(h); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrHostMismatch, err)
 	}
-	chains := v.Chains(cert)
-	if len(chains) == 0 {
+	refChains := v.chainRefs(v.c.InternCert(cert))
+	if len(refChains) == 0 {
 		return nil, ErrNoChain
 	}
-	for _, path := range chains {
-		if pathPermitsHost(path, host) {
-			return path, nil
+	var best []corpus.Ref
+	for _, refs := range refChains {
+		if !v.pathPermitsHost(refs, h) {
+			continue
+		}
+		if best == nil || v.pathLess(refs, best) {
+			best = refs
 		}
 	}
-	return nil, ErrNameConstraint
+	if best == nil {
+		return nil, ErrNameConstraint
+	}
+	return v.c.Certs(best), nil
 }
 
-// pathPermitsHost checks every CA's permitted DNS subtrees against host.
-func pathPermitsHost(path []*x509.Certificate, host string) bool {
-	for _, ca := range path[1:] {
+// pathLess orders candidate paths canonically: shorter first, then by
+// lexicographic comparison of member content digests. Content digests are
+// stable across processes and pool insertion orders, unlike the DFS
+// discovery order chainRefs yields.
+func (v *Verifier) pathLess(a, b []corpus.Ref) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		da, db := v.c.Entry(a[i]).Digest, v.c.Entry(b[i]).Digest
+		if c := bytes.Compare(da[:], db[:]); c != 0 {
+			return c < 0
+		}
+	}
+	return false
+}
+
+// pathPermitsHost checks every CA's permitted DNS subtrees against the
+// canonical host.
+func (v *Verifier) pathPermitsHost(path []corpus.Ref, host string) bool {
+	for _, ref := range path[1:] {
+		ca := v.c.Cert(ref)
 		if len(ca.PermittedDNSDomains) == 0 {
 			continue
 		}
@@ -386,8 +444,10 @@ func pathPermitsHost(path []*x509.Certificate, host string) bool {
 
 // hostInDomain implements RFC 5280 DNS subtree matching: the host equals
 // the domain or ends with "."+domain (a leading dot on the constraint
-// anchors subdomains only).
+// anchors subdomains only). The host must already be canonical; the
+// constraint is lowercased here since certificates may carry any casing.
 func hostInDomain(host, domain string) bool {
+	domain = strings.ToLower(domain)
 	if domain == "" {
 		return true
 	}

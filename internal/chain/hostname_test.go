@@ -1,0 +1,180 @@
+package chain
+
+// Hostname-verification edge cases for VerifyForHost: wildcard scope, IP
+// SANs, trailing-dot canonicalization, the ErrHostMismatch-over-
+// ErrNameConstraint precedence, and the determinism of the winning path.
+
+import (
+	"crypto/x509"
+	"errors"
+	"net"
+	"testing"
+
+	"tangledmass/internal/certgen"
+)
+
+func hostPKI(t *testing.T) (v *Verifier, wild, ip, plain *x509.Certificate) {
+	t.Helper()
+	g := certgen.NewGenerator(150)
+	root, err := g.SelfSignedCA("Host Edge Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := g.Leaf(root, "wild", certgen.WithDNSNames("*.api.example.com"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, err := g.Leaf(root, "ip-endpoint", certgen.WithIPAddresses(net.ParseIP("192.0.2.7")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := g.Leaf(root, "plain.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewVerifier([]*x509.Certificate{root.Cert}, nil, certgen.Epoch), w.Cert, i.Cert, p.Cert
+}
+
+func TestWildcardCoversOneLabelOnly(t *testing.T) {
+	v, wild, _, _ := hostPKI(t)
+	if _, err := v.VerifyForHost(wild, "v1.api.example.com"); err != nil {
+		t.Errorf("one-label wildcard match rejected: %v", err)
+	}
+	// RFC 6125 §6.4.3: the wildcard stands in for exactly one leftmost
+	// label — it never spans label boundaries, and never matches the parent.
+	for _, host := range []string{"a.b.api.example.com", "api.example.com", "example.com"} {
+		if _, err := v.VerifyForHost(wild, host); !errors.Is(err, ErrHostMismatch) {
+			t.Errorf("VerifyForHost(wild, %q) = %v, want ErrHostMismatch", host, err)
+		}
+	}
+}
+
+func TestIPSANMatching(t *testing.T) {
+	v, _, ip, plain := hostPKI(t)
+	if _, err := v.VerifyForHost(ip, "192.0.2.7"); err != nil {
+		t.Errorf("IP SAN rejected its own literal: %v", err)
+	}
+	if _, err := v.VerifyForHost(ip, "192.0.2.8"); !errors.Is(err, ErrHostMismatch) {
+		t.Errorf("other address = %v, want ErrHostMismatch", err)
+	}
+	// A DNS-only certificate never covers an IP literal, and the IP
+	// certificate's CN does not double as a DNS SAN.
+	if _, err := v.VerifyForHost(plain, "192.0.2.7"); !errors.Is(err, ErrHostMismatch) {
+		t.Errorf("DNS leaf vs IP literal = %v, want ErrHostMismatch", err)
+	}
+	if _, err := v.VerifyForHost(ip, "ip-endpoint"); !errors.Is(err, ErrHostMismatch) {
+		t.Errorf("CN fallback = %v, want ErrHostMismatch", err)
+	}
+}
+
+func TestTrailingDotAndCaseCanonicalized(t *testing.T) {
+	v, wild, _, plain := hostPKI(t)
+	for _, host := range []string{"plain.example.com.", "PLAIN.example.COM", "Plain.Example.Com."} {
+		if _, err := v.VerifyForHost(plain, host); err != nil {
+			t.Errorf("VerifyForHost(plain, %q) = %v, want success", host, err)
+		}
+	}
+	if _, err := v.VerifyForHost(wild, "V1.API.example.com."); err != nil {
+		t.Errorf("canonicalized wildcard match rejected: %v", err)
+	}
+	if got := CanonicalHost("Plain.Example.COM."); got != "plain.example.com" {
+		t.Errorf("CanonicalHost = %q", got)
+	}
+}
+
+// TestHostMismatchBeatsNameConstraint pins the documented precedence: when
+// the leaf fails to cover the host AND every path crosses an excluding
+// constraint, the verdict is ErrHostMismatch — the leaf check comes first.
+func TestHostMismatchBeatsNameConstraint(t *testing.T) {
+	g := certgen.NewGenerator(151)
+	opRoot, err := g.SelfSignedCA("Precedence Operator CA",
+		certgen.WithNameConstraints("operator.example"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := g.Leaf(opRoot, "portal.operator.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifier([]*x509.Certificate{opRoot.Cert}, nil, certgen.Epoch)
+
+	// Sanity: each failure mode alone reports its own error.
+	abuse, err := g.Leaf(opRoot, "gmail.com", certgen.WithKeyName("prec-abuse"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.VerifyForHost(abuse.Cert, "gmail.com"); !errors.Is(err, ErrNameConstraint) {
+		t.Fatalf("constraint-only case = %v, want ErrNameConstraint", err)
+	}
+	// Both apply: leaf covers portal.operator.example only, gmail.com is
+	// also outside the CA's permitted subtree. Host mismatch must win, and
+	// spelling variants of the host must not flip the verdict.
+	for _, host := range []string{"gmail.com", "GMAIL.com.", "gmail.COM"} {
+		if _, err := v.VerifyForHost(leaf.Cert, host); !errors.Is(err, ErrHostMismatch) {
+			t.Errorf("VerifyForHost(leaf, %q) = %v, want ErrHostMismatch", host, err)
+		}
+	}
+}
+
+// TestWinningPathDeterministic checks that when two same-length paths
+// permit the host, VerifyForHost returns the digest-canonical one no matter
+// the order roots and intermediates entered the pool.
+func TestWinningPathDeterministic(t *testing.T) {
+	g := certgen.NewGenerator(152)
+	rootX, _ := g.SelfSignedCA("Path Root X")
+	rootY, _ := g.SelfSignedCA("Path Root Y")
+	// One intermediate key certified by both roots: two 3-cert paths.
+	i1, err := g.Intermediate(rootX, "Path Inter", certgen.WithKeyName("pathkey"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := g.Intermediate(rootY, "Path Inter", certgen.WithKeyName("pathkey"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := g.Leaf(i1, "path.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	orders := [][2][]*x509.Certificate{
+		{{rootX.Cert, rootY.Cert}, {i1.Cert, i2.Cert}},
+		{{rootY.Cert, rootX.Cert}, {i2.Cert, i1.Cert}},
+		{{rootX.Cert, rootY.Cert}, {i2.Cert, i1.Cert}},
+		{{rootY.Cert, rootX.Cert}, {i1.Cert, i2.Cert}},
+	}
+	var want []*x509.Certificate
+	for n, o := range orders {
+		v := NewVerifier(o[0], o[1], certgen.Epoch)
+		if got := len(v.Chains(leaf.Cert)); got != 2 {
+			t.Fatalf("order %d: %d candidate paths, want 2", n, got)
+		}
+		path, err := v.VerifyForHost(leaf.Cert, "path.example.com")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(path) != 3 || path[0].Subject.CommonName != "path.example.com" {
+			t.Fatalf("order %d: path %d certs", n, len(path))
+		}
+		if want == nil {
+			want = path
+			continue
+		}
+		for i := range path {
+			if path[i] != want[i] {
+				t.Fatalf("order %d: winning path differs from order 0 at position %d", n, i)
+			}
+		}
+	}
+
+	// The shorter path always beats the longer one: trust i1's subject+key
+	// directly as a root and the 2-cert path wins over the 3-cert one.
+	v := NewVerifier([]*x509.Certificate{rootX.Cert, i2.Cert}, []*x509.Certificate{i1.Cert}, certgen.Epoch)
+	path, err := v.VerifyForHost(leaf.Cert, "path.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 {
+		t.Errorf("shortest-path rule: got %d certs, want 2", len(path))
+	}
+}

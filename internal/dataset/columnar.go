@@ -45,6 +45,15 @@ import (
 //	sessions  per-handset session count (uvarint)
 //	system    per-handset store membership: member count, then strictly
 //	user      increasing DER-table indices, delta-encoded (uvarints)
+//	apps      app validation profiles: a string pool of app names (count,
+//	          then length-prefixed names in first-encounter order),
+//	          followed by per-handset profile lists — profile count, then
+//	          per profile a pool index (uvarint) and one flags byte:
+//	          bit0 accept-all, bit1 skip-hostname, bit2 bypass-pins
+//
+// The apps section is optional on read: files written before it decode with
+// policy-free devices, and session emission falls back to the strict
+// platform default. Writers always emit it.
 //
 // Every section is independently CRC32C-checksummed, so a reader can seek
 // straight to one column, and truncation or a flipped bit anywhere fails
@@ -53,7 +62,7 @@ import (
 const columnarMagic = "TANGLED-DATASET-COL1\n"
 
 // maxColumnarSections bounds the directory a reader will accept; the format
-// defines eight.
+// defines nine.
 const maxColumnarSections = 64
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -191,6 +200,44 @@ func writeColumnar(ctx context.Context, dir string, p *population.Population, cf
 		}
 		return out
 	}
+	// apps: self-contained app-name pool plus per-handset (index, flags)
+	// profile lists in draw order, so a round-trip rotates sessions over the
+	// same policy sequence the generator produced.
+	var appPool []string
+	appPoolIdx := map[string]int{}
+	appBody := []byte(nil)
+	for _, h := range p.Handsets {
+		pols := h.Device.Policies()
+		appBody = binary.AppendUvarint(appBody, uint64(len(pols)))
+		for _, pol := range pols {
+			idx, ok := appPoolIdx[pol.App]
+			if !ok {
+				idx = len(appPool)
+				appPoolIdx[pol.App] = idx
+				appPool = append(appPool, pol.App)
+			}
+			appBody = binary.AppendUvarint(appBody, uint64(idx))
+			var fb byte
+			if pol.AcceptAll {
+				fb |= 1
+			}
+			if pol.SkipHostname {
+				fb |= 2
+			}
+			if pol.BypassPins {
+				fb |= 4
+			}
+			appBody = append(appBody, fb)
+		}
+	}
+	apps := binary.AppendUvarint(nil, uint64(len(appPool)))
+	for _, s := range appPool {
+		apps = binary.AppendUvarint(apps, uint64(len(s)))
+		apps = append(apps, s...)
+	}
+	apps = binary.AppendUvarint(apps, uint64(n))
+	apps = append(apps, appBody...)
+
 	sections := []section{
 		{"meta", meta},
 		{"der", der},
@@ -200,6 +247,7 @@ func writeColumnar(ctx context.Context, dir string, p *population.Population, cf
 		{"sessions", sessions},
 		{"system", encodeMembership(sysRefs)},
 		{"user", encodeMembership(usrRefs)},
+		{"apps", apps},
 	}
 
 	// Assemble the header + directory, then stream the payloads.
@@ -342,6 +390,17 @@ func openColumnar(dir string) (*columnarDir, error) {
 
 func (cd *columnarDir) Close() error { return cd.f.Close() }
 
+// has reports whether the directory lists a section — the optional-section
+// probe (apps) that keeps old files loadable.
+func (cd *columnarDir) has(name string) bool {
+	for _, si := range cd.sections {
+		if si.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
 // read fetches a section payload by name, verifying its checksum.
 func (cd *columnarDir) read(name string) ([]byte, error) {
 	for _, si := range cd.sections {
@@ -430,6 +489,9 @@ type columns struct {
 	sessionN []int
 	system   membership
 	user     membership
+	// policies holds each handset's app validation profiles in draw order;
+	// nil when the file predates the apps section.
+	policies [][]device.ValidationPolicy
 }
 
 // decodeColumns reads every section, verifies checksums and decodes the
@@ -603,6 +665,69 @@ func decodeColumns(cd *columnarDir) (*columns, error) {
 	if err := decodeMembership("user", &c.user); err != nil {
 		return nil, err
 	}
+
+	// apps is optional: files written before the app-profile column load
+	// with policy-free devices.
+	if cd.has("apps") {
+		appsBuf, err := cd.read("apps")
+		if err != nil {
+			return nil, err
+		}
+		ab := &colBuf{name: "apps", b: appsBuf}
+		appPoolLen, err := ab.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if appPoolLen > uint64(len(appsBuf)) {
+			return nil, fmt.Errorf("dataset: section \"apps\": implausible pool size %d", appPoolLen)
+		}
+		appPool := make([]string, appPoolLen)
+		for i := range appPool {
+			ln, err := ab.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			s, err := ab.take(int(ln))
+			if err != nil {
+				return nil, err
+			}
+			appPool[i] = string(s)
+		}
+		if err := ab.count(n); err != nil {
+			return nil, err
+		}
+		c.policies = make([][]device.ValidationPolicy, n)
+		for i := 0; i < n; i++ {
+			k, err := ab.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if k > appPoolLen {
+				return nil, fmt.Errorf("dataset: section \"apps\": handset %d claims %d profiles from a %d-name pool", i, k, appPoolLen)
+			}
+			pols := make([]device.ValidationPolicy, 0, k)
+			for j := uint64(0); j < k; j++ {
+				idx, err := ab.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				if idx >= appPoolLen {
+					return nil, fmt.Errorf("dataset: section \"apps\": pool index %d out of range", idx)
+				}
+				fb, err := ab.take(1)
+				if err != nil {
+					return nil, err
+				}
+				pols = append(pols, device.ValidationPolicy{
+					App:          appPool[idx],
+					AcceptAll:    fb[0]&1 != 0,
+					SkipHostname: fb[0]&2 != 0,
+					BypassPins:   fb[0]&4 != 0,
+				})
+			}
+			c.policies[i] = pols
+		}
+	}
 	return &c, nil
 }
 
@@ -675,12 +800,18 @@ func readColumnar(ctx context.Context, dir string, cfg config) (*population.Popu
 			}
 		}
 		rooted := cols.flags[i]&1 != 0
+		dev := device.Restore(prof, system, user, rooted)
+		if cols.policies != nil {
+			for _, pol := range cols.policies[i] {
+				dev.AddPolicy(pol)
+			}
+		}
 		return &population.Handset{
 			ID:              cols.ids[i],
 			Profile:         prof,
 			Rooted:          rooted,
 			RootedExclusive: cols.flags[i]&2 != 0,
-			Device:          device.Restore(prof, system, user, rooted),
+			Device:          dev,
 			Store:           captured,
 			SessionCount:    cols.sessionN[i],
 			Intercepted:     cols.flags[i]&4 != 0,

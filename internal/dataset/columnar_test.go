@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"tangledmass/internal/analysis"
@@ -71,6 +72,9 @@ func artifacts(t *testing.T, p *population.Population) []byte {
 		"figure2":       analysis.Figure2(p, nil, 10),
 		"months":        analysis.SessionsPerMonth(p),
 		"table5":        analysis.Table5(p),
+		// Depends on the serialized app profiles: byte equality here proves
+		// the policy column round-trips in both formats.
+		"trust_attribution": analysis.ComputeTrustAttribution(p),
 	}
 	b, err := json.Marshal(doc)
 	if err != nil {
@@ -101,6 +105,40 @@ func TestCrossFormatGoldenArtifacts(t *testing.T) {
 			}
 			if got := artifacts(t, back); string(got) != string(want) {
 				t.Errorf("seed %d: %s round-trip changed analysis artifacts", seed, name)
+			}
+		}
+	}
+}
+
+// TestPolicyRoundTripBothFormats checks the app-profile column directly:
+// every handset's policy set — names, flags and draw order — survives a
+// write/read cycle in both formats, and the emitted sessions rotate over
+// the same policies as the generated fleet.
+func TestPolicyRoundTripBothFormats(t *testing.T) {
+	orig := genPop(t)
+	ctx := context.Background()
+	for _, format := range []Format{JSONL, Columnar} {
+		dir := t.TempDir()
+		if err := NewWriter(dir, WithFormat(format)).Write(ctx, orig); err != nil {
+			t.Fatal(err)
+		}
+		back, err := NewReader(dir).Read(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range orig.Handsets {
+			a, b := orig.Handsets[i], back.Handsets[i]
+			pa, pb := a.Device.Policies(), b.Device.Policies()
+			if len(pa) == 0 {
+				t.Fatalf("%s: handset %d generated with no app profiles", format, a.ID)
+			}
+			if !reflect.DeepEqual(pa, pb) {
+				t.Fatalf("%s: handset %d policies differ after round-trip:\n%+v\n%+v", format, a.ID, pa, pb)
+			}
+		}
+		for i := range orig.Sessions {
+			if orig.Sessions[i].Policy != back.Sessions[i].Policy {
+				t.Fatalf("%s: session %d policy differs after round-trip", format, orig.Sessions[i].ID)
 			}
 		}
 	}
@@ -199,8 +237,8 @@ func TestColumnarInspectAndVerifyInfo(t *testing.T) {
 		if info.Certs == 0 {
 			t.Errorf("%s: certs = 0", name)
 		}
-		if len(info.Sections) != 8 {
-			t.Errorf("%s: %d sections, want 8", name, len(info.Sections))
+		if len(info.Sections) != 9 {
+			t.Errorf("%s: %d sections, want 9", name, len(info.Sections))
 		}
 	}
 }

@@ -239,25 +239,3 @@ func (r *Reader) Verify(ctx context.Context) (*Info, error) {
 		return inspectJSONL(r.dir, r.cfg, true)
 	}
 }
-
-// Write serializes p into dir in the JSONL format.
-//
-// Deprecated: construct a Writer (NewWriter with options) and call its
-// ctx-first Write. This wrapper remains for v1 callers.
-func Write(dir string, p *population.Population) error {
-	return NewWriter(dir).Write(context.Background(), p)
-}
-
-// Read loads a dataset from dir, assembling against u (nil means the
-// default universe).
-//
-// Deprecated: construct a Reader (NewReader with options, WithUniverse
-// replacing the u argument) and call its ctx-first Read. This wrapper
-// remains for v1 callers.
-func Read(dir string, u *cauniverse.Universe) (*population.Population, error) {
-	opts := []Option{}
-	if u != nil {
-		opts = append(opts, WithUniverse(u))
-	}
-	return NewReader(dir, opts...).Read(context.Background())
-}

@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -23,7 +24,7 @@ func genPop(t *testing.T) *population.Population {
 func TestWriteReadRoundTrip(t *testing.T) {
 	orig := genPop(t)
 	dir := t.TempDir()
-	if err := Write(dir, orig); err != nil {
+	if err := NewWriter(dir).Write(context.Background(), orig); err != nil {
 		t.Fatal(err)
 	}
 	for _, f := range []string{certsFile, handsetsFile} {
@@ -31,7 +32,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 			t.Fatalf("missing %s: %v", f, err)
 		}
 	}
-	back, err := Read(dir, orig.Universe)
+	back, err := NewReader(dir, WithUniverse(orig.Universe)).Read(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,10 +60,10 @@ func TestWriteReadRoundTrip(t *testing.T) {
 func TestAnalysesSurviveRoundTrip(t *testing.T) {
 	orig := genPop(t)
 	dir := t.TempDir()
-	if err := Write(dir, orig); err != nil {
+	if err := NewWriter(dir).Write(context.Background(), orig); err != nil {
 		t.Fatal(err)
 	}
-	back, err := Read(dir, orig.Universe)
+	back, err := NewReader(dir, WithUniverse(orig.Universe)).Read(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestAnalysesSurviveRoundTrip(t *testing.T) {
 }
 
 func TestReadErrors(t *testing.T) {
-	if _, err := Read(t.TempDir(), nil); err == nil {
+	if _, err := NewReader(t.TempDir()).Read(context.Background()); err == nil {
 		t.Error("empty dir should error")
 	}
 
@@ -97,7 +98,7 @@ func TestReadErrors(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, handsetsFile), []byte(rec), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Read(dir, nil); err == nil {
+	if _, err := NewReader(dir).Read(context.Background()); err == nil {
 		t.Error("dangling fingerprint should error")
 	}
 
@@ -109,7 +110,7 @@ func TestReadErrors(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir2, handsetsFile), []byte("{broken\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Read(dir2, nil); err == nil {
+	if _, err := NewReader(dir2).Read(context.Background()); err == nil {
 		t.Error("corrupt JSONL should error")
 	}
 }
@@ -117,10 +118,10 @@ func TestReadErrors(t *testing.T) {
 func TestWriteDeterministicCerts(t *testing.T) {
 	p := genPop(t)
 	dirA, dirB := t.TempDir(), t.TempDir()
-	if err := Write(dirA, p); err != nil {
+	if err := NewWriter(dirA).Write(context.Background(), p); err != nil {
 		t.Fatal(err)
 	}
-	if err := Write(dirB, p); err != nil {
+	if err := NewWriter(dirB).Write(context.Background(), p); err != nil {
 		t.Fatal(err)
 	}
 	a, err := os.ReadFile(filepath.Join(dirA, certsFile))

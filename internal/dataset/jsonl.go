@@ -33,6 +33,43 @@ type HandsetRecord struct {
 	// System and User reference certificates in certs.pem by SHA-256.
 	System []string `json:"system"`
 	User   []string `json:"user,omitempty"`
+	// Profiles carries the handset's app validation profiles in draw order.
+	// Absent in datasets written before the app-profile column; loaders then
+	// leave the device policy-free and sessions fall back to the strict
+	// platform default.
+	Profiles []PolicyRecord `json:"app_profiles,omitempty"`
+}
+
+// PolicyRecord is the serialized form of one app validation profile
+// (device.ValidationPolicy). Flags are omitted when false, so the strict
+// profiles serialize as just their name.
+type PolicyRecord struct {
+	App          string `json:"app"`
+	AcceptAll    bool   `json:"accept_all,omitempty"`
+	SkipHostname bool   `json:"skip_hostname,omitempty"`
+	BypassPins   bool   `json:"bypass_pins,omitempty"`
+}
+
+// policyRecords converts a device's policy set to its serialized form.
+func policyRecords(d *device.Device) []PolicyRecord {
+	pols := d.Policies()
+	if len(pols) == 0 {
+		return nil
+	}
+	out := make([]PolicyRecord, len(pols))
+	for i, p := range pols {
+		out[i] = PolicyRecord{App: p.App, AcceptAll: p.AcceptAll, SkipHostname: p.SkipHostname, BypassPins: p.BypassPins}
+	}
+	return out
+}
+
+// restorePolicies replays serialized app profiles onto a restored device in
+// recorded order, so Generate and a load round-trip rotate sessions over
+// identical policy sequences.
+func restorePolicies(d *device.Device, recs []PolicyRecord) {
+	for _, r := range recs {
+		d.AddPolicy(device.ValidationPolicy{App: r.App, AcceptAll: r.AcceptAll, SkipHostname: r.SkipHostname, BypassPins: r.BypassPins})
+	}
 }
 
 // countingWriter counts bytes on their way to the underlying writer so the
@@ -97,6 +134,7 @@ func writeJSONL(ctx context.Context, dir string, p *population.Population, cfg c
 			Sessions:        h.SessionCount,
 			System:          collect(h.Device.SystemStore()),
 			User:            collect(h.Device.UserStore()),
+			Profiles:        policyRecords(h.Device),
 		}
 		if err := enc.Encode(rec); err != nil {
 			return fmt.Errorf("dataset: writing handset %d: %w", h.ID, err)
@@ -212,12 +250,14 @@ func readJSONL(ctx context.Context, dir string, cfg config) (*population.Populat
 				user.AddRef(ref)
 			}
 		}
+		dev := device.Restore(prof, system, user, rec.Rooted)
+		restorePolicies(dev, rec.Profiles)
 		handsets = append(handsets, &population.Handset{
 			ID:              rec.ID,
 			Profile:         prof,
 			Rooted:          rec.Rooted,
 			RootedExclusive: rec.RootedExclusive,
-			Device:          device.Restore(prof, system, user, rec.Rooted),
+			Device:          dev,
 			SessionCount:    rec.Sessions,
 			Intercepted:     rec.Intercepted,
 		})

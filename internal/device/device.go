@@ -42,6 +42,11 @@ type Device struct {
 	user     *rootstore.Store
 	disabled map[certid.Identity]bool
 	apps     []App
+	policies []ValidationPolicy
+	// channels records how each post-firmware certificate entered the
+	// trust set (user settings vs rooted system-store write). Firmware
+	// composition is never recorded: absence means ChannelFirmware.
+	channels map[certid.Identity]Channel
 }
 
 // New builds a device whose system store is the AOSP base for its version
@@ -54,6 +59,7 @@ func New(profile Profile, aospBase *rootstore.Store, firmwareAdditions []*x509.C
 		system:   aospBase.Clone(fmt.Sprintf("%s %s system", profile.Manufacturer, profile.Model)),
 		user:     rootstore.New(fmt.Sprintf("%s %s user", profile.Manufacturer, profile.Model)),
 		disabled: make(map[certid.Identity]bool),
+		channels: make(map[certid.Identity]Channel),
 	}
 	d.system.AddAll(firmwareAdditions)
 	return d
@@ -69,13 +75,22 @@ func Restore(profile Profile, system, user *rootstore.Store, rooted bool) *Devic
 	if user == nil {
 		user = rootstore.NewIn(fmt.Sprintf("%s %s user", profile.Manufacturer, profile.Model), system.Corpus())
 	}
-	return &Device{
+	d := &Device{
 		Profile:  profile,
 		rooted:   rooted,
 		system:   system,
 		user:     user,
 		disabled: make(map[certid.Identity]bool),
+		channels: make(map[certid.Identity]Channel),
 	}
+	// User-store membership is serialized separately, so the user channel
+	// survives a round trip; rooted system-store writes are not
+	// distinguishable from firmware in a snapshot and stay unrecorded
+	// (population.Handset.TamperChannel carries that bit instead).
+	for _, id := range user.Identities() {
+		d.channels[id] = ChannelUser
+	}
+	return d
 }
 
 // Rooted reports whether the device has been rooted.
@@ -100,6 +115,7 @@ func (d *Device) AddSystemCert(cert *x509.Certificate) error {
 		return ErrReadOnlyStore
 	}
 	d.system.Add(cert)
+	d.channels[corpus.IdentityOf(cert)] = ChannelRootInstall
 	return nil
 }
 
@@ -117,6 +133,7 @@ func (d *Device) RemoveSystemCert(id certid.Identity) error {
 // do this on any device (§2) — no root required.
 func (d *Device) AddUserCert(cert *x509.Certificate) {
 	d.user.Add(cert)
+	d.channels[corpus.IdentityOf(cert)] = ChannelUser
 }
 
 // DisableCert marks a certificate as distrusted through system settings.

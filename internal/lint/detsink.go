@@ -42,14 +42,15 @@ var DetSink = &Analyzer{
 // dataset serialization, and the report/stats shaping layers that feed
 // paper figures.
 var detSinkPackages = map[string]bool{
-	"analysis": true,
-	"campaign": true,
-	"dataset":  true,
-	"faultfs":  true,
-	"notary":   true,
-	"obs":      true,
-	"report":   true,
-	"stats":    true,
+	"analysis":  true,
+	"campaign":  true,
+	"dataset":   true,
+	"faultfs":   true,
+	"notary":    true,
+	"obs":       true,
+	"report":    true,
+	"stats":     true,
+	"trusteval": true,
 }
 
 // detSinkCalls are the encoder entry points treated as artifact sinks.

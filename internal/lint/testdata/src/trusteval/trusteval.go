@@ -1,0 +1,46 @@
+// Package trusteval exercises the verdict emitter's artifact-sink and
+// Ref-provenance hazards: attribution counts must not be encoded in
+// map-iteration order, and a serialized verdict must not carry
+// process-local interning Refs.
+package trusteval
+
+import (
+	"encoding/json"
+	"sort"
+
+	"sandbox/corpus"
+)
+
+// SavedVerdict serializes a Ref: the winning root must be persisted as a
+// fingerprint, not an interning handle.
+type SavedVerdict struct {
+	Cause string     `json:"cause"`
+	Root  corpus.Ref `json:"root"`
+}
+
+// verdictMemo holds a Ref without serializing it: fine.
+type verdictMemo struct {
+	cause string
+	root  corpus.Ref
+}
+
+// DumpCauses ranges over the attribution-count map straight into the
+// sink — the emitted cause order would change run to run.
+func DumpCauses(counts map[string]int) ([]byte, error) {
+	var causes []string
+	for cause := range counts {
+		causes = append(causes, cause)
+	}
+	return json.Marshal(causes)
+}
+
+// DumpCausesSorted is the sanctioned collect-then-sort idiom: a fixed
+// cause order keeps the artifact byte-stable.
+func DumpCausesSorted(counts map[string]int) ([]byte, error) {
+	var causes []string
+	for cause := range counts {
+		causes = append(causes, cause)
+	}
+	sort.Strings(causes)
+	return json.Marshal(causes)
+}

@@ -1,0 +1,74 @@
+package mitm
+
+// App-policy interception scenarios: what the §7 proxy gets away with when
+// the client app's own validation is broken.
+
+import (
+	"context"
+	"testing"
+
+	"tangledmass/internal/certgen"
+	"tangledmass/internal/device"
+	"tangledmass/internal/netalyzr"
+	"tangledmass/internal/tlsnet"
+	"tangledmass/internal/trusteval"
+)
+
+// TestAcceptAllAppMisvalidatesInterceptedProbes runs the same proxied
+// session twice: under the strict platform policy every intercepted probe
+// is rejected; under an accept-all trust manager the app proceeds on all of
+// them, and the report attributes each one as a misvalidation.
+func TestAcceptAllAppMisvalidatesInterceptedProbes(t *testing.T) {
+	proxy := newTestProxy(t, false)
+	run := func(pol device.ValidationPolicy) *netalyzr.Report {
+		t.Helper()
+		client, err := netalyzr.New(interceptedDevice(), proxy,
+			netalyzr.WithValidationTime(certgen.Epoch),
+			netalyzr.WithPolicy(pol))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := client.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	strict := run(device.ValidationPolicy{App: "platform-default"})
+	if n := len(strict.MisvalidatedProbes()); n != 0 {
+		t.Errorf("strict session misvalidated %d probes, want 0", n)
+	}
+	for _, p := range strict.UntrustedProbes() {
+		if p.AppAccepted {
+			t.Errorf("%s: strict app accepted an untrusted chain", p.Target)
+		}
+	}
+
+	rep := run(device.ValidationPolicy{App: "accept-all-trust-manager", AcceptAll: true})
+	wantIntercepted := len(tlsnet.InterceptedDomains)
+	if n := len(rep.UntrustedProbes()); n != wantIntercepted {
+		t.Fatalf("untrusted probes = %d, want %d: policy must not change device validation", n, wantIntercepted)
+	}
+	mis := rep.MisvalidatedProbes()
+	if len(mis) != wantIntercepted {
+		t.Fatalf("misvalidated probes = %d, want every intercepted probe (%d)", len(mis), wantIntercepted)
+	}
+	for _, p := range mis {
+		if p.DeviceValidated || !p.AppAccepted {
+			t.Errorf("%s: misvalidated probe flags device=%v app=%v", p.Target, p.DeviceValidated, p.AppAccepted)
+		}
+		if p.Verdict.Chain != trusteval.OutcomeOverridden {
+			t.Errorf("%s: chain outcome = %v, want overridden", p.Target, p.Verdict.Chain)
+		}
+		if p.Verdict.Cause != trusteval.CauseAppAcceptAll {
+			t.Errorf("%s: cause = %q, want %q", p.Target, p.Verdict.Cause, trusteval.CauseAppAcceptAll)
+		}
+	}
+	// The whitelisted (tunneled) probes stay clean under either policy.
+	for _, p := range rep.Probes {
+		if p.Err == nil && p.DeviceValidated && p.Verdict.Cause != trusteval.CauseClean {
+			t.Errorf("%s: tunneled probe attributed %q", p.Target, p.Verdict.Cause)
+		}
+	}
+}

@@ -3,13 +3,15 @@ package mitm
 import (
 	"crypto/x509"
 	"fmt"
+	"sync"
 	"time"
 
 	"tangledmass/internal/certid"
-	"tangledmass/internal/chain"
+	"tangledmass/internal/device"
 	"tangledmass/internal/netalyzr"
 	"tangledmass/internal/notary"
 	"tangledmass/internal/rootstore"
+	"tangledmass/internal/trusteval"
 )
 
 // Verdict classifies one probed chain.
@@ -52,6 +54,13 @@ type Finding struct {
 	Reason string
 	// SignerSubject is the subject of the chain's topmost certificate.
 	SignerSubject string
+	// Eval is the underlying trust-evaluation verdict (layer outcomes,
+	// overrides, attribution cause) the classification was derived from.
+	Eval trusteval.Verdict
+	// AppAccepted reports whether an app running the detector's policy
+	// would have proceeded — true for an intercepted chain only when the
+	// policy misvalidates (e.g. an accept-all trust manager).
+	AppAccepted bool
 }
 
 // Detector evaluates probe results the way §7's analysis did: against the
@@ -64,9 +73,27 @@ type Detector struct {
 	Notary *notary.Notary
 	// At pins the validation clock.
 	At time.Time
+	// Policy optionally evaluates findings under an app validation policy;
+	// the zero value is the strict platform default. The classification
+	// (Intercepted/Clean) always reflects the analyst's view; the policy
+	// only drives Finding.AppAccepted and the Eval overrides.
+	Policy device.ValidationPolicy
+
+	once sync.Once
+	eng  *trusteval.Engine
 }
 
-// Inspect classifies one probe result.
+// engine lazily builds the detector's trust-evaluation engine so the
+// existing literal construction (&Detector{Reference: ..., At: ...}) keeps
+// working.
+func (d *Detector) engine() *trusteval.Engine {
+	d.once.Do(func() { d.eng = trusteval.New(d.At) })
+	return d.eng
+}
+
+// Inspect classifies one probe result. The chain judgment routes through
+// the trust-evaluation engine with the reference union as the effective
+// store: an anchored chain is one the engine's chain layer passes.
 func (d *Detector) Inspect(p netalyzr.ProbeResult) Finding {
 	f := Finding{Host: p.Target.Host, Port: p.Target.Port}
 	if p.Err != nil || len(p.Chain) == 0 {
@@ -77,12 +104,18 @@ func (d *Detector) Inspect(p netalyzr.ProbeResult) Finding {
 	top := p.Chain[len(p.Chain)-1]
 	f.SignerSubject = certid.SubjectString(top)
 
-	v := chain.NewVerifier(d.Reference.Certificates(), p.Chain[1:], d.At)
-	anchored := v.Validates(p.Chain[0])
+	f.Eval = d.engine().Evaluate(trusteval.Request{
+		Chain:  p.Chain,
+		Host:   p.Target.Host,
+		Port:   p.Target.Port,
+		Store:  d.Reference,
+		Policy: d.Policy,
+	})
+	f.AppAccepted = f.Eval.Accepted
 	// The presented top may itself be an intermediate whose issuer is a
-	// store root; "anchored" covers that. A chain is interception-shaped
-	// when no path into the reference store exists.
-	if !anchored {
+	// store root; the chain layer covers that. A chain is
+	// interception-shaped when no path into the reference store exists.
+	if f.Eval.Chain != trusteval.OutcomePass {
 		f.Verdict = Intercepted
 		f.Reason = fmt.Sprintf("chain terminates at %q, which is not in %s",
 			issuerCN(top), d.Reference.Name())

@@ -16,6 +16,10 @@ const (
 	// KeyProbesUntrusted counts successful probes whose chain did not
 	// validate against the device store — the §7 interception signal.
 	KeyProbesUntrusted = "netalyzr.probe.untrusted"
+	// KeyProbesMisvalidated counts untrusted probes the session's app
+	// policy accepted anyway (accept-all trust manager, disabled hostname
+	// verifier) — interception explained by the app, not the store.
+	KeyProbesMisvalidated = "netalyzr.probe.misvalidated"
 	// KeyDialsTotal counts individual dial attempts (one per retry).
 	KeyDialsTotal = "netalyzr.dial.total"
 	// KeyDialErrors counts dial attempts that failed.

@@ -13,12 +13,12 @@ import (
 	"fmt"
 	"time"
 
-	"tangledmass/internal/chain"
 	"tangledmass/internal/device"
 	"tangledmass/internal/obs"
 	"tangledmass/internal/resilient"
 	"tangledmass/internal/rootstore"
 	"tangledmass/internal/tlsnet"
+	"tangledmass/internal/trusteval"
 )
 
 // ProbeResult is one domain's TLS trust-chain check.
@@ -28,8 +28,16 @@ type ProbeResult struct {
 	// it regardless of whether it validates.
 	Chain []*x509.Certificate
 	// DeviceValidated reports whether the presented chain verifies against
-	// the device's effective root store.
+	// the device's effective root store (the Verdict's chain layer, before
+	// any app policy override).
 	DeviceValidated bool
+	// Verdict is the full trust-evaluation outcome for this probe under
+	// the session's app policy.
+	Verdict trusteval.Verdict
+	// AppAccepted reports whether the session's app, under its validation
+	// policy, would proceed with this connection. An accept-all app
+	// "accepts" a chain the device store rejects.
+	AppAccepted bool
 	// Err records a connection or handshake failure that survived the
 	// retry policy. The probe fails; the session degrades gracefully and
 	// carries on with the remaining targets.
@@ -46,6 +54,9 @@ type Report struct {
 	Rooted  bool
 	// Store is the device's effective trust store at probe time.
 	Store *rootstore.Store
+	// Policy is the validation policy the session's app profile ran
+	// under (zero value: strict platform default).
+	Policy device.ValidationPolicy
 	// Probes holds one result per target, in target order.
 	Probes []ProbeResult
 }
@@ -60,6 +71,9 @@ type Client struct {
 	retry   *resilient.Retrier
 	obs     *obs.Observer
 	session string
+	policy  device.ValidationPolicy
+	pins    trusteval.PinChecker
+	engine  *trusteval.Engine
 }
 
 // Option configures a Client.
@@ -104,6 +118,24 @@ func WithSession(id string) Option {
 	return func(c *Client) { c.session = id }
 }
 
+// WithPolicy sets the validation policy of the app profile this session
+// runs as. The default is the strict platform behaviour.
+func WithPolicy(p device.ValidationPolicy) Option {
+	return func(c *Client) { c.policy = p }
+}
+
+// WithPins enables the engine's pin layer (typically a *pinning.Store).
+func WithPins(p trusteval.PinChecker) Option {
+	return func(c *Client) { c.pins = p }
+}
+
+// WithEngine shares an externally-built trust-evaluation engine (and its
+// verifier memo / chain cache) across sessions. The default builds a
+// per-client engine from the client's validation time, pins and observer.
+func WithEngine(e *trusteval.Engine) Option {
+	return func(c *Client) { c.engine = e }
+}
+
 // New builds a measurement client for the handset and its network path —
 // direct to the origin, or through an interception proxy when the device's
 // traffic is tunneled (§7).
@@ -125,6 +157,11 @@ func New(dev *device.Device, dialer tlsnet.Dialer, opts ...Option) (*Client, err
 			MaxDelay:    200 * time.Millisecond,
 		}, 0).WithObserver(c.obs)
 	}
+	if c.engine == nil {
+		c.engine = trusteval.New(c.at,
+			trusteval.WithPins(c.pins),
+			trusteval.WithObserver(c.obs))
+	}
 	return c, nil
 }
 
@@ -142,6 +179,7 @@ func (c *Client) Run(ctx context.Context) (*Report, error) {
 		Profile: c.device.Profile,
 		Rooted:  c.device.Rooted(),
 		Store:   c.device.EffectiveStore(),
+		Policy:  c.policy,
 	}
 	c.obs.Counter(KeyStoreCerts).Add(int64(rep.Store.Len()))
 	for _, hp := range targets {
@@ -174,9 +212,22 @@ func (c *Client) probe(ctx context.Context, store *rootstore.Store, hp tlsnet.Ho
 		res.ErrKind = resilient.Kind(err)
 		return res
 	}
-	res.DeviceValidated = c.validates(store, res.Chain)
+	res.Verdict = c.engine.Evaluate(trusteval.Request{
+		Chain:  res.Chain,
+		Host:   hp.Host,
+		Port:   hp.Port,
+		Store:  store,
+		Policy: c.policy,
+	})
+	res.DeviceValidated = res.Verdict.Chain == trusteval.OutcomePass
+	res.AppAccepted = res.Verdict.Accepted
 	if !res.DeviceValidated {
 		c.obs.Counter(KeyProbesUntrusted).Inc()
+		if res.AppAccepted {
+			// The device store rejected the chain but the app proceeded —
+			// the app-misvalidation signal the attribution analysis counts.
+			c.obs.Counter(KeyProbesMisvalidated).Inc()
+		}
 	}
 	return res
 }
@@ -218,16 +269,6 @@ func (c *Client) fetchChain(ctx context.Context, hp tlsnet.HostPort) ([]*x509.Ce
 	return presented, nil
 }
 
-// validates checks the presented chain against the device store, using the
-// presented intermediates for path building.
-func (c *Client) validates(store *rootstore.Store, presented []*x509.Certificate) bool {
-	if len(presented) == 0 {
-		return false
-	}
-	v := chain.NewVerifier(store.Certificates(), presented[1:], c.at)
-	return v.Validates(presented[0])
-}
-
 // FaultTally is the session's fault ledger: failed probes counted by their
 // typed ErrKind. A handset on a lossy mobile network reports a partial
 // session rather than none, and the tally says exactly what was lost.
@@ -251,6 +292,19 @@ func (r *Report) UntrustedProbes() []ProbeResult {
 	var out []ProbeResult
 	for _, p := range r.Probes {
 		if p.Err == nil && !p.DeviceValidated {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// MisvalidatedProbes returns the probes the app accepted despite the
+// device store rejecting the chain — interception the app's own validation
+// policy made possible.
+func (r *Report) MisvalidatedProbes() []ProbeResult {
+	var out []ProbeResult
+	for _, p := range r.Probes {
+		if p.Err == nil && !p.DeviceValidated && p.AppAccepted {
 			out = append(out, p)
 		}
 	}

@@ -3,6 +3,7 @@ package pinning
 import (
 	"tangledmass/internal/netalyzr"
 	"tangledmass/internal/tlsnet"
+	"tangledmass/internal/trusteval"
 )
 
 // BuildFromSites constructs the pin store the paper's pinned apps
@@ -34,19 +35,28 @@ type AppVerdict struct {
 	// Violation is non-nil when the presented chain failed the pin check —
 	// the in-app warning of §2 ("certificates which do not chain ... can
 	// evoke a visual warning message in apps implementing cert pinning").
+	// It is reported even when the session's policy bypassed the pin.
 	Violation error
+	// Bypassed reports that the pin mismatched but the session app's
+	// policy ignored it — the connection proceeded anyway.
+	Bypassed bool
 }
 
 // EvaluateReport runs the pin check over a Netalyzr session's probes,
-// returning one verdict per probe. This is the app-side complement to the
-// detector in internal/mitm: even without the Notary, a pinned app catches
+// returning one verdict per probe. The check routes through the
+// trust-evaluation engine's pin layer (trusteval.EvaluatePin) under the
+// report's session policy, so a pin-bypassed app records the violation but
+// proceeds. This is the app-side complement to the detector in
+// internal/mitm: even without the Notary, a pinned app catches
 // interception of its own traffic.
 func EvaluateReport(s *Store, rep *netalyzr.Report) []AppVerdict {
 	out := make([]AppVerdict, 0, len(rep.Probes))
 	for _, p := range rep.Probes {
 		v := AppVerdict{Host: p.Target.Host, Port: p.Target.Port, Pinned: s.Pinned(p.Target.Host)}
 		if p.Err == nil && v.Pinned {
-			v.Violation = s.Check(p.Target.Host, p.Chain)
+			outcome, err := trusteval.EvaluatePin(s, p.Target.Host, p.Chain, rep.Policy)
+			v.Violation = err
+			v.Bypassed = outcome == trusteval.OutcomeOverridden
 		}
 		out = append(out, v)
 	}

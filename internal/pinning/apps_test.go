@@ -1,0 +1,85 @@
+package pinning
+
+import (
+	"context"
+	"testing"
+
+	"tangledmass/internal/cauniverse"
+	"tangledmass/internal/certgen"
+	"tangledmass/internal/device"
+	"tangledmass/internal/mitm"
+	"tangledmass/internal/netalyzr"
+	"tangledmass/internal/tlsnet"
+)
+
+// TestPinBypassedAppTunnelsThroughProxy is the debug-build failure mode: a
+// pinned host is intercepted, the pin trips, but the session's policy
+// bypasses it — the violation is recorded and the connection proceeds.
+func TestPinBypassedAppTunnelsThroughProxy(t *testing.T) {
+	u := cauniverse.Default()
+	world, err := tlsnet.NewWorld(tlsnet.Config{Seed: 14, NumLeaves: 10, Universe: u})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, err := tlsnet.NewSites(world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := tlsnet.ServeSites(sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	pins := BuildFromSites(sites)
+
+	// No whitelist: the proxy intercepts the pinned hosts too.
+	proxy, err := mitm.NewProxy(u.InterceptionRoot().Issued, u.Generator(),
+		tlsnet.DirectDialer{Server: srv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := []tlsnet.HostPort{
+		{Host: "www.twitter.com", Port: 443},
+		{Host: "www.facebook.com", Port: 443},
+	}
+	run := func(pol device.ValidationPolicy) []AppVerdict {
+		t.Helper()
+		dev := device.New(device.Profile{Model: "Nexus 7", Manufacturer: "ASUS", Version: "4.4"},
+			u.AOSP("4.4"), nil)
+		client, err := netalyzr.New(dev, proxy,
+			netalyzr.WithValidationTime(certgen.Epoch),
+			netalyzr.WithTargets(targets),
+			netalyzr.WithPolicy(pol))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := client.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return EvaluateReport(pins, rep)
+	}
+
+	// The strict pinned app raises the violation and does not proceed.
+	for _, v := range run(device.ValidationPolicy{App: "banking-app"}) {
+		if !v.Pinned {
+			t.Fatalf("%s: expected a pinned host", v.Host)
+		}
+		if v.Violation == nil {
+			t.Errorf("%s: intercepted pinned host raised no violation", v.Host)
+		}
+		if v.Bypassed {
+			t.Errorf("%s: strict policy must not bypass the pin", v.Host)
+		}
+	}
+
+	// The pin-bypassed debug build records the same violation but proceeds.
+	for _, v := range run(device.ValidationPolicy{App: "pin-bypass-debug-build", BypassPins: true}) {
+		if v.Violation == nil {
+			t.Errorf("%s: bypass must still record the violation", v.Host)
+		}
+		if !v.Bypassed {
+			t.Errorf("%s: BypassPins policy should mark the verdict bypassed", v.Host)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package population
+
+import (
+	"tangledmass/internal/device"
+	"tangledmass/internal/stats"
+)
+
+// appProfileCatalog is the stats-weighted pool of app validation profiles a
+// handset's sessions run as. The broken-validation shares follow the
+// app-study literature the ROADMAP cites (Okara; "Danger is My Middle
+// Name"): a substantial minority of apps ship accept-all trust managers or
+// allow-all hostname verifiers, and a smaller tail disables pinning in
+// debug builds. Names are profile archetypes, not real packages.
+var appProfileCatalog = []struct {
+	profile device.ValidationPolicy
+	weight  float64
+}{
+	{device.ValidationPolicy{App: "stock-browser"}, 0.40},
+	{device.ValidationPolicy{App: "platform-webview"}, 0.18},
+	{device.ValidationPolicy{App: "banking-app"}, 0.08},
+	{device.ValidationPolicy{App: "ad-sdk-httpclient", AcceptAll: true}, 0.09},
+	{device.ValidationPolicy{App: "allow-all-hostname-client", SkipHostname: true}, 0.11},
+	{device.ValidationPolicy{App: "accept-all-trust-manager", AcceptAll: true, SkipHostname: true}, 0.06},
+	{device.ValidationPolicy{App: "pin-bypass-debug-build", BypassPins: true}, 0.08},
+}
+
+// profileSource derives the per-handset RNG for app-profile assignment as a
+// pure function of (seed, handset ID). It is deliberately independent of
+// the main sequential generation stream: profile draws must not perturb the
+// calibrated quota/version/rooting draws, and a handset's profiles must be
+// reproducible without replaying the fleet.
+func profileSource(seed int64, handsetID int) *stats.Source {
+	return stats.NewSource(seed*1_000_003 + int64(handsetID)*7919 + 17)
+}
+
+// assignAppProfiles gives every handset one to three app profiles drawn
+// (without duplicates) from the weighted catalog and records them on the
+// device, which carries the policy set from here on — through
+// serialization (the dataset app-profiles column) and back.
+func (p *Population) assignAppProfiles(seed int64) {
+	weights := make([]float64, len(appProfileCatalog))
+	for i, e := range appProfileCatalog {
+		weights[i] = e.weight
+	}
+	for _, h := range p.Handsets {
+		src := profileSource(seed, h.ID)
+		n := 1 + src.Intn(3)
+		seen := make(map[string]bool, n)
+		for len(seen) < n {
+			e := appProfileCatalog[src.PickWeighted(weights)]
+			if seen[e.profile.App] {
+				continue
+			}
+			seen[e.profile.App] = true
+			h.Device.AddPolicy(e.profile)
+		}
+	}
+}
+
+// sessionPolicies returns the handset's policy set for session emission,
+// falling back to the strict platform default when the handset carries
+// none (datasets written before the app-profiles column).
+func sessionPolicies(h *Handset) []device.ValidationPolicy {
+	if pols := h.Device.Policies(); len(pols) > 0 {
+		return pols
+	}
+	return []device.ValidationPolicy{{App: "platform-default"}}
+}
+
+// TamperChannel classifies how the handset's trust set departed from its
+// firmware composition: the system channel (a rooted-only install — the
+// Freedom app and its Table 5 kin), the user channel (user-store CAs), or
+// firmware when nothing was added post-build. It is derived from
+// serialized state only (the rooted-exclusive flag and user-store
+// membership), so generated and loaded fleets classify identically.
+func (h *Handset) TamperChannel() device.Channel {
+	if h.RootedExclusive {
+		return device.ChannelRootInstall
+	}
+	if h.Device != nil && h.Device.UserStore().Len() > 0 {
+		return device.ChannelUser
+	}
+	return device.ChannelFirmware
+}

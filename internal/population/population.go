@@ -73,6 +73,10 @@ type Session struct {
 	// paper's collection window (November 2013 – April 2014, §4.1).
 	At          time.Time
 	Intercepted bool
+	// Policy is the app validation profile this execution ran as — a
+	// seed-free rotation through the handset's policy set, so the
+	// generator and the dataset loader derive identical session policies.
+	Policy device.ValidationPolicy
 }
 
 // collectionWindow is the measurement period of §4.1.
@@ -153,6 +157,7 @@ func Generate(cfg Config) (*Population, error) {
 		return nil, err
 	}
 	p.rebalanceSessions(quotaTargets)
+	p.assignAppProfiles(cfg.Seed)
 	p.finalizeHandsets(u)
 	p.emitSessions()
 	return p, nil
@@ -266,7 +271,11 @@ func (p *Population) newHandset(u *cauniverse.Universe, src *stats.Source,
 	}
 
 	// Rare user-installed VPN roots (§5.2): unique self-signed certs seen
-	// on exactly one device each.
+	// on exactly one device each. The install routes through the
+	// API-level-gated channel logic: on a rooted handset at API ≥ 19 the
+	// installer takes the silent system-store path, leaving a root only
+	// rooted devices could carry — a Table 5-shaped install — while
+	// everything else lands in the user store as the paper observed.
 	if src.Bool(0.015) {
 		*userCertSeq++
 		vpn, err := u.Generator().SelfSignedCA(fmt.Sprintf("User VPN CA %04d", *userCertSeq),
@@ -274,7 +283,9 @@ func (p *Population) newHandset(u *cauniverse.Universe, src *stats.Source,
 		if err != nil {
 			return nil, fmt.Errorf("population: issuing user VPN root: %w", err)
 		}
-		d.AddUserCert(vpn.Cert)
+		if d.InstallCA(vpn.Cert) == device.ChannelRootInstall {
+			h.RootedExclusive = true
+		}
 	}
 	return h, nil
 }
@@ -419,6 +430,7 @@ func (p *Population) emitSessions() {
 	p.Sessions = make([]*Session, 0, total)
 	id := 0
 	for _, h := range p.Handsets {
+		pols := sessionPolicies(h)
 		for i := 0; i < h.SessionCount; i++ {
 			id++
 			backing = append(backing, Session{
@@ -426,6 +438,7 @@ func (p *Population) emitSessions() {
 				Handset:     h,
 				At:          sessionTime(id),
 				Intercepted: h.Intercepted && i == 0,
+				Policy:      pols[i%len(pols)],
 			})
 			p.Sessions = append(p.Sessions, &backing[len(backing)-1])
 		}

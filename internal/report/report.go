@@ -192,6 +192,22 @@ func Figure3(rows []analysis.CategoryValidation, maxPoints int) string {
 	return b.String()
 }
 
+// TrustAttributionTable renders the interception-attribution matrix: the
+// per-cause totals first, then the (cause, channel, API level) detail rows.
+func TrustAttributionTable(ta analysis.TrustAttribution) string {
+	return table(func(p rowPrinter) {
+		p.printf("Sessions\t%d\n", ta.TotalSessions)
+		p.printf("Interceptable sessions\t%d\n", ta.Exposed)
+		for _, c := range ta.ByCause {
+			p.printf("Cause %s\t%d\n", c.Cause, c.Sessions)
+		}
+		p.println("Cause\tChannel\tAPI level\tSessions")
+		for _, r := range ta.Rows {
+			p.printf("%s\t%s\t%d\t%d\n", r.Cause, r.Channel, r.APILevel, r.Sessions)
+		}
+	})
+}
+
 // Headlines renders the §5/§6 prose numbers.
 func Headlines(h analysis.Headlines) string {
 	return table(func(p rowPrinter) {

@@ -114,6 +114,24 @@ func TestHeadlinesRendering(t *testing.T) {
 	}
 }
 
+func TestTrustAttributionRendering(t *testing.T) {
+	out := TrustAttributionTable(analysis.TrustAttribution{
+		TotalSessions: 100, Exposed: 30,
+		ByCause: []analysis.CauseCount{
+			{Cause: "store-tampering", Sessions: 12},
+			{Cause: "clean", Sessions: 70},
+		},
+		Rows: []analysis.TrustAttributionRow{
+			{Cause: "store-tampering", Channel: "system", APILevel: 19, Sessions: 5},
+		},
+	})
+	for _, want := range []string{"Interceptable sessions", "Cause store-tampering", "system", "19"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("TrustAttributionTable missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestCSVWriters(t *testing.T) {
 	var buf strings.Builder
 	err := Figure1CSV(&buf, []analysis.ScatterPoint{

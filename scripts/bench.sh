@@ -1,7 +1,7 @@
 #!/bin/sh
 # bench.sh runs the full benchmark sweep with -benchmem and emits a
 # machine-readable JSON record (ns/op, B/op, allocs/op per benchmark) via
-# cmd/benchjson. The committed BENCH_pr8.json is the serial baseline the
+# cmd/benchjson. The committed BENCH_pr10.json is the serial baseline the
 # verify bench-gate compares against.
 #
 # Usage:
@@ -13,14 +13,14 @@
 #   BENCH_PATTERN   -bench pattern (default ".")
 #   BENCH_BASELINE  baseline filename the verify bench-gate compares
 #                   against; used as the default output path and label
-#                   source (default BENCH_pr8.json)
+#                   source (default BENCH_pr10.json)
 #   BENCH_LABEL     label stored in the JSON record (default: derived from
-#                   the baseline name, e.g. BENCH_pr8.json -> "pr8")
+#                   the baseline name, e.g. BENCH_pr10.json -> "pr10")
 set -eu
 
 cd "$(dirname "$0")/.."
 
-baseline=${BENCH_BASELINE:-BENCH_pr8.json}
+baseline=${BENCH_BASELINE:-BENCH_pr10.json}
 out=${1:-$baseline}
 benchtime=${BENCH_TIME:-3x}
 pattern=${BENCH_PATTERN:-.}

@@ -45,7 +45,7 @@ go test -race ./...
 # even on loaded machines). BENCH_GATE=off skips it (useful on loaded or
 # throttled machines where timings are meaningless). BENCH_BASELINE picks
 # a different committed baseline file.
-BENCH_BASELINE=${BENCH_BASELINE:-BENCH_pr8.json}
+BENCH_BASELINE=${BENCH_BASELINE:-BENCH_pr10.json}
 if [ "${BENCH_GATE:-on}" = "off" ]; then
 	echo "==> bench-gate: skipped (BENCH_GATE=off)"
 else
